@@ -1,0 +1,341 @@
+package spotverse
+
+// One benchmark per table and figure of the paper's evaluation, plus
+// ablation benches for the design choices DESIGN.md calls out. Each bench
+// re-runs the full experiment per iteration and reports the headline
+// numbers as custom metrics; run with
+//
+//	go test -bench=. -benchmem
+//
+// The rows the paper reports are printed once per bench via -v logging.
+
+import (
+	"fmt"
+	"io"
+	"testing"
+	"time"
+
+	"spotverse/internal/catalog"
+	"spotverse/internal/core"
+	"spotverse/internal/experiment"
+	"spotverse/internal/workload"
+)
+
+const benchSeed = 42
+
+func BenchmarkTable1BaselineRegions(b *testing.B) {
+	var rows []experiment.Table1Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiment.Table1(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	_ = experiment.RenderTable1(io.Discard, rows)
+	b.Logf("\n%s", renderToString(func(w io.Writer) error { return experiment.RenderTable1(w, rows) }))
+}
+
+func BenchmarkFig2SpotPriceDiversity(b *testing.B) {
+	var series []experiment.Fig2Series
+	for i := 0; i < b.N; i++ {
+		var err error
+		series, err = experiment.Fig2(benchSeed, 90)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(series)), "series")
+	b.Logf("\n%s", renderToString(func(w io.Writer) error { return experiment.RenderFig2(w, series) }))
+}
+
+func BenchmarkFig3Motivation(b *testing.B) {
+	var results []experiment.Fig3Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		results, err = experiment.Fig3(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(results[0].Single.Interruptions), "single_interruptions")
+	b.ReportMetric(float64(results[0].Multi.Interruptions), "multi_interruptions")
+	b.Logf("\n%s", renderToString(func(w io.Writer) error { return experiment.RenderFig3(w, results) }))
+}
+
+func BenchmarkFig4Metrics(b *testing.B) {
+	var (
+		heat []experiment.Fig4Heatmap
+		avgs []experiment.Fig4Averages
+	)
+	for i := 0; i < b.N; i++ {
+		var err error
+		heat, avgs, err = experiment.Fig4(benchSeed, 180)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.Logf("\n%s", renderToString(func(w io.Writer) error { return experiment.RenderFig4(w, heat, avgs) }))
+}
+
+func BenchmarkFig7MainComparison(b *testing.B) {
+	var results []experiment.Fig7Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		results, err = experiment.Fig7(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	std := results[0]
+	b.ReportMetric(float64(std.Single.Interruptions), "single_interruptions")
+	b.ReportMetric(float64(std.SpotVerse.Interruptions), "spotverse_interruptions")
+	b.ReportMetric(std.Single.TotalCostUSD, "single_cost_usd")
+	b.ReportMetric(std.SpotVerse.TotalCostUSD, "spotverse_cost_usd")
+	b.Logf("\n%s", renderToString(func(w io.Writer) error { return experiment.RenderFig7(w, results) }))
+}
+
+func BenchmarkFig8TypesAndSizes(b *testing.B) {
+	var typeRows, sizeRows []experiment.Fig8Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		typeRows, err = experiment.Fig8(benchSeed, experiment.Fig8TypeSet)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sizeRows, err = experiment.Fig8(benchSeed, experiment.Fig8SizeSet)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.Logf("\n%s%s",
+		renderToString(func(w io.Writer) error {
+			return experiment.RenderFig8(w, "Figure 8a/8b — instance types", typeRows)
+		}),
+		renderToString(func(w io.Writer) error {
+			return experiment.RenderFig8(w, "Figure 8c/8d — m5 sizes", sizeRows)
+		}))
+}
+
+func BenchmarkFig9InitialDistribution(b *testing.B) {
+	var results []experiment.Fig9Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		results, err = experiment.Fig9(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(results[0].FixedStart.Interruptions), "fixed_interruptions")
+	b.ReportMetric(float64(results[0].Spread.Interruptions), "spread_interruptions")
+	b.Logf("\n%s", renderToString(func(w io.Writer) error { return experiment.RenderFig9(w, results) }))
+}
+
+func BenchmarkFig10Thresholds(b *testing.B) {
+	var cells []experiment.Fig10Cell
+	var selection map[int][]catalog.Region
+	for i := 0; i < b.N; i++ {
+		var err error
+		cells, err = experiment.Fig10(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		selection, err = experiment.Table3Selection(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	for _, c := range cells {
+		if c.Threshold == 4 && c.DurationHours == 20 {
+			b.ReportMetric(c.NormalizedCost, "t4_20h_normalized")
+		}
+		if c.Threshold == 6 && c.DurationHours == 10 {
+			b.ReportMetric(c.NormalizedCost, "t6_10h_normalized")
+		}
+	}
+	b.Logf("\n%s", renderToString(func(w io.Writer) error { return experiment.RenderFig10(w, cells, selection) }))
+}
+
+func BenchmarkTable3RegionSelection(b *testing.B) {
+	var selection map[int][]catalog.Region
+	for i := 0; i < b.N; i++ {
+		var err error
+		selection, err = experiment.Table3Selection(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.Logf("selection: %v", selection)
+}
+
+func BenchmarkTable4SkyPilot(b *testing.B) {
+	var res *experiment.Table4Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiment.Table4(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(res.SpotVerse.Interruptions), "spotverse_interruptions")
+	b.ReportMetric(float64(res.SkyPilot.Interruptions), "skypilot_interruptions")
+	b.ReportMetric(1-res.SpotVerse.TotalCostUSD/res.SkyPilot.TotalCostUSD, "cost_reduction")
+	b.Logf("\n%s", renderToString(func(w io.Writer) error { return experiment.RenderTable4(w, res) }))
+}
+
+// --- Ablation benches (DESIGN.md "Design choices called out") ---
+
+// runManaged runs n standard workloads under a SpotVerse config and
+// returns the result.
+func runManaged(b *testing.B, cfg core.Config, n int, horizon time.Duration) *experiment.Result {
+	b.Helper()
+	sim := NewSimulation(benchSeed)
+	mgr, err := sim.NewManager(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ws, err := sim.GenerateWorkloads(WorkloadOptions{Kind: workload.KindStandard, Count: n})
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := sim.Run(RunConfig{Workloads: ws, Strategy: mgr, InstanceType: M5XLarge, Horizon: horizon})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// BenchmarkAblationScoreVsPrice isolates the combined-score ranking:
+// SpotVerse's score-filtered placement versus the pure price-chasing
+// broker over identical workloads.
+func BenchmarkAblationScoreVsPrice(b *testing.B) {
+	var scoreCost, priceCost float64
+	for i := 0; i < b.N; i++ {
+		res := runManaged(b, core.Config{InstanceType: M5XLarge, Threshold: 6, Seed: benchSeed}, 20, 0)
+		scoreCost = res.TotalCostUSD
+
+		sim := NewSimulation(benchSeed)
+		sky, err := sim.NewSkyPilotStrategy(M5XLarge)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ws, err := sim.GenerateWorkloads(WorkloadOptions{Kind: workload.KindStandard, Count: 20})
+		if err != nil {
+			b.Fatal(err)
+		}
+		resP, err := sim.Run(RunConfig{Workloads: ws, Strategy: sky, InstanceType: M5XLarge})
+		if err != nil {
+			b.Fatal(err)
+		}
+		priceCost = resP.TotalCostUSD
+	}
+	b.StopTimer()
+	b.ReportMetric(scoreCost, "score_cost_usd")
+	b.ReportMetric(priceCost, "price_cost_usd")
+}
+
+// BenchmarkAblationMigrationPolicy compares Algorithm 1's random top-R
+// migration pick against always-cheapest.
+func BenchmarkAblationMigrationPolicy(b *testing.B) {
+	var random, cheapest *experiment.Result
+	for i := 0; i < b.N; i++ {
+		random = runManaged(b, core.Config{
+			InstanceType: M5XLarge, Threshold: 5,
+			FixedStartRegion: "ca-central-1", Migration: core.PickRandom, Seed: benchSeed,
+		}, 20, 0)
+		cheapest = runManaged(b, core.Config{
+			InstanceType: M5XLarge, Threshold: 5,
+			FixedStartRegion: "ca-central-1", Migration: core.PickCheapest, Seed: benchSeed,
+		}, 20, 0)
+	}
+	b.StopTimer()
+	b.ReportMetric(random.TotalCostUSD, "random_cost_usd")
+	b.ReportMetric(cheapest.TotalCostUSD, "cheapest_cost_usd")
+	b.ReportMetric(float64(random.Interruptions), "random_interruptions")
+	b.ReportMetric(float64(cheapest.Interruptions), "cheapest_interruptions")
+}
+
+// BenchmarkAblationInitialSpread measures Fig. 9's lever in isolation.
+func BenchmarkAblationInitialSpread(b *testing.B) {
+	var fixed, spread *experiment.Result
+	for i := 0; i < b.N; i++ {
+		fixed = runManaged(b, core.Config{
+			InstanceType: M5XLarge, Threshold: 5,
+			FixedStartRegion: "ca-central-1", Seed: benchSeed,
+		}, 20, 0)
+		spread = runManaged(b, core.Config{
+			InstanceType: M5XLarge, Threshold: 6, Seed: benchSeed,
+		}, 20, 0)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(fixed.Interruptions), "fixed_interruptions")
+	b.ReportMetric(float64(spread.Interruptions), "spread_interruptions")
+}
+
+// BenchmarkAblationOnDemandFallback runs with an unreachable threshold so
+// nothing qualifies: with the fallback the fleet rides reliable on-demand
+// instances; without it, workloads grind through spot retries in place.
+func BenchmarkAblationOnDemandFallback(b *testing.B) {
+	var with, without *experiment.Result
+	for i := 0; i < b.N; i++ {
+		with = runManaged(b, core.Config{
+			InstanceType: M5XLarge, Threshold: 20, Seed: benchSeed,
+		}, 10, 0)
+		without = runManaged(b, core.Config{
+			InstanceType: M5XLarge, Threshold: 20, DisableOnDemandFallback: true,
+			FixedStartRegion: "ca-central-1", Seed: benchSeed,
+		}, 10, 30*24*time.Hour)
+	}
+	b.StopTimer()
+	b.ReportMetric(with.MakespanHours, "fallback_makespan_h")
+	b.ReportMetric(without.MakespanHours, "no_fallback_makespan_h")
+	b.ReportMetric(float64(with.Interruptions), "fallback_interruptions")
+	b.ReportMetric(float64(without.Interruptions), "no_fallback_interruptions")
+}
+
+// BenchmarkAblationRegionFanout sweeps Algorithm 1's R.
+func BenchmarkAblationRegionFanout(b *testing.B) {
+	for _, r := range []int{1, 2, 4, 8} {
+		r := r
+		b.Run(fmt.Sprintf("R=%d", r), func(b *testing.B) {
+			var res *experiment.Result
+			for i := 0; i < b.N; i++ {
+				res = runManaged(b, core.Config{
+					InstanceType: M5XLarge, Threshold: 5, MaxRegions: r,
+					FixedStartRegion: "ca-central-1", Seed: benchSeed,
+				}, 20, 0)
+			}
+			b.StopTimer()
+			b.ReportMetric(res.TotalCostUSD, "cost_usd")
+			b.ReportMetric(float64(res.Interruptions), "interruptions")
+		})
+	}
+}
+
+func renderToString(render func(io.Writer) error) string {
+	var sb stringsBuilder
+	if err := render(&sb); err != nil {
+		return "render error: " + err.Error()
+	}
+	return sb.String()
+}
+
+// stringsBuilder avoids importing strings solely for the test helper.
+type stringsBuilder struct{ buf []byte }
+
+func (s *stringsBuilder) Write(p []byte) (int, error) {
+	s.buf = append(s.buf, p...)
+	return len(p), nil
+}
+
+func (s *stringsBuilder) String() string { return string(s.buf) }

@@ -1,0 +1,106 @@
+// Command marketgen emits the simulated spot-market dataset as CSV: spot
+// prices per (type, AZ), and advisor metrics (Interruption Frequency,
+// Stability Score, Spot Placement Score) per (type, region) — a
+// SpotLake-style archive for offline analysis.
+//
+// Usage:
+//
+//	marketgen [-days 90] [-seed 42] [-out dir]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"spotverse/internal/catalog"
+	"spotverse/internal/market"
+	"spotverse/internal/report"
+	"spotverse/internal/simclock"
+)
+
+func main() {
+	var (
+		days = flag.Int("days", 90, "days of history to generate")
+		seed = flag.Int64("seed", 42, "simulation seed")
+		out  = flag.String("out", "marketdata", "output directory")
+	)
+	flag.Parse()
+	if err := run(*days, *seed, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "marketgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(days int, seed int64, out string) error {
+	if days <= 0 {
+		return fmt.Errorf("days must be positive, got %d", days)
+	}
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	cat := catalog.Default()
+	mkt := market.New(cat, seed, simclock.Epoch)
+
+	// Prices per (type, AZ), daily.
+	var priceRows [][]string
+	for _, t := range cat.InstanceTypes() {
+		for _, r := range cat.OfferedRegions(t) {
+			for _, az := range cat.Zones(r) {
+				hist, err := mkt.PriceHistory(t, az, simclock.Epoch,
+					simclock.Epoch.Add(time.Duration(days)*24*time.Hour), 24*time.Hour)
+				if err != nil {
+					return err
+				}
+				for _, p := range hist {
+					priceRows = append(priceRows, []string{
+						string(t), string(az), p.Time.Format("2006-01-02"), report.F(p.USDPerHour, 5),
+					})
+				}
+			}
+		}
+	}
+	if err := writeCSV(filepath.Join(out, "spot_prices.csv"),
+		[]string{"type", "az", "date", "usd_per_hour"}, priceRows); err != nil {
+		return err
+	}
+
+	// Advisor metrics per (type, region), daily.
+	var advisorRows [][]string
+	for _, t := range cat.InstanceTypes() {
+		for d := 0; d < days; d++ {
+			at := simclock.Epoch.Add(time.Duration(d) * 24 * time.Hour)
+			snapshot, err := mkt.AdvisorSnapshot(t, at)
+			if err != nil {
+				return err
+			}
+			for _, e := range snapshot {
+				advisorRows = append(advisorRows, []string{
+					string(e.Type), string(e.Region), at.Format("2006-01-02"),
+					report.F(e.SpotPriceUSD, 5), report.F(e.OnDemandUSD, 5),
+					report.F(e.InterruptionFrequency, 4),
+					strconv.Itoa(e.StabilityScore), strconv.Itoa(e.PlacementScore),
+				})
+			}
+		}
+	}
+	if err := writeCSV(filepath.Join(out, "advisor.csv"),
+		[]string{"type", "region", "date", "spot_usd", "ondemand_usd", "interruption_frequency", "stability_score", "placement_score"},
+		advisorRows); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d price rows and %d advisor rows to %s\n", len(priceRows), len(advisorRows), out)
+	return nil
+}
+
+func writeCSV(path string, header []string, rows [][]string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return report.CSV(f, header, rows)
+}

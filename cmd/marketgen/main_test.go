@@ -1,0 +1,37 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestMarketgenWritesDataset(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(7, 42, dir); err != nil {
+		t.Fatal(err)
+	}
+	prices, err := os.ReadFile(filepath.Join(dir, "spot_prices.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(prices), "type,az,date,usd_per_hour\n") {
+		t.Fatalf("header = %.60q", prices)
+	}
+	advisor, err := os.ReadFile(filepath.Join(dir, "advisor.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(string(advisor), "\n")
+	// 7 days x (5 types x 16 regions + p3 subset) + header.
+	if lines < 7*5*16 {
+		t.Fatalf("advisor rows = %d", lines)
+	}
+}
+
+func TestMarketgenValidation(t *testing.T) {
+	if err := run(0, 42, t.TempDir()); err == nil {
+		t.Fatal("zero days should error")
+	}
+}

@@ -1,0 +1,236 @@
+// Command spotverse-experiments regenerates every table and figure of the
+// SpotVerse paper's evaluation on the simulated cloud.
+//
+// Usage:
+//
+//	spotverse-experiments [-exp all|fig2|fig3|fig4|fig7|fig8|fig9|fig10|table1|table4] [-seed N] [-csv dir]
+//
+// Each experiment prints an ASCII rendering of the corresponding table or
+// figure; -csv additionally writes raw series files into the directory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"spotverse/internal/experiment"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment to run: all, fig2, fig3, fig4, fig7, fig8, fig9, fig10, table1, table4, ext, trials")
+		seed   = flag.Int64("seed", 42, "simulation seed")
+		csvDir = flag.String("csv", "", "directory to write raw CSV series (optional)")
+		trials = flag.Int("trials", 3, "trial count for -exp trials (the paper repeats each experiment 3x)")
+	)
+	flag.Parse()
+	if err := run(*exp, *seed, *csvDir, *trials); err != nil {
+		fmt.Fprintln(os.Stderr, "spotverse-experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, seed int64, csvDir string, trials int) error {
+	if csvDir != "" {
+		if err := os.MkdirAll(csvDir, 0o755); err != nil {
+			return err
+		}
+	}
+	runners := map[string]func() error{
+		"trials": func() error { return runTrials(seed, trials) },
+		"fig2":   func() error { return runFig2(seed, csvDir) },
+		"fig3":   func() error { return runFig3(seed) },
+		"fig4":   func() error { return runFig4(seed, csvDir) },
+		"fig7":   func() error { return runFig7(seed, csvDir) },
+		"fig8":   func() error { return runFig8(seed) },
+		"fig9":   func() error { return runFig9(seed) },
+		"fig10":  func() error { return runFig10(seed) },
+		"table1": func() error { return runTable1(seed) },
+		"table4": func() error { return runTable4(seed) },
+		"ext":    func() error { return runExtensions(seed) },
+	}
+	if exp == "all" {
+		for _, name := range []string{"table1", "fig2", "fig3", "fig4", "fig7", "fig8", "fig9", "fig10", "table4", "ext"} {
+			if err := runners[name](); err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+			fmt.Println()
+		}
+		return nil
+	}
+	r, ok := runners[exp]
+	if !ok {
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return r()
+}
+
+func writeCSV(dir, name string, write func(f *os.File) error) error {
+	if dir == "" {
+		return nil
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return write(f)
+}
+
+func runFig2(seed int64, csvDir string) error {
+	series, err := experiment.Fig2(seed, 90)
+	if err != nil {
+		return err
+	}
+	if err := experiment.RenderFig2(os.Stdout, series); err != nil {
+		return err
+	}
+	return writeCSV(csvDir, "fig2_prices.csv", func(f *os.File) error {
+		return experiment.Fig2CSV(f, series)
+	})
+}
+
+func runFig3(seed int64) error {
+	results, err := experiment.Fig3(seed)
+	if err != nil {
+		return err
+	}
+	return experiment.RenderFig3(os.Stdout, results)
+}
+
+func runFig4(seed int64, csvDir string) error {
+	heat, avgs, err := experiment.Fig4(seed, 180)
+	if err != nil {
+		return err
+	}
+	if err := experiment.RenderFig4(os.Stdout, heat, avgs); err != nil {
+		return err
+	}
+	return writeCSV(csvDir, "fig4_metrics.csv", func(f *os.File) error {
+		return experiment.Fig4CSV(f, heat, avgs)
+	})
+}
+
+func runFig7(seed int64, csvDir string) error {
+	results, err := experiment.Fig7(seed)
+	if err != nil {
+		return err
+	}
+	if err := experiment.RenderFig7(os.Stdout, results); err != nil {
+		return err
+	}
+	for _, r := range results {
+		kind := r.Kind.String()
+		if err := writeCSV(csvDir, "fig7_"+kind+"_single.csv", func(f *os.File) error {
+			return experiment.SeriesCSV(f, "single-region", r.Single)
+		}); err != nil {
+			return err
+		}
+		if err := writeCSV(csvDir, "fig7_"+kind+"_spotverse.csv", func(f *os.File) error {
+			return experiment.SeriesCSV(f, "spotverse", r.SpotVerse)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runFig8(seed int64) error {
+	types, err := experiment.Fig8(seed, experiment.Fig8TypeSet)
+	if err != nil {
+		return err
+	}
+	if err := experiment.RenderFig8(os.Stdout, "Figure 8a/8b — instance types (standard general workload)", types); err != nil {
+		return err
+	}
+	sizes, err := experiment.Fig8(seed, experiment.Fig8SizeSet)
+	if err != nil {
+		return err
+	}
+	return experiment.RenderFig8(os.Stdout, "Figure 8c/8d — m5 family sizes (standard general workload)", sizes)
+}
+
+func runFig9(seed int64) error {
+	results, err := experiment.Fig9(seed)
+	if err != nil {
+		return err
+	}
+	return experiment.RenderFig9(os.Stdout, results)
+}
+
+func runFig10(seed int64) error {
+	cells, err := experiment.Fig10(seed)
+	if err != nil {
+		return err
+	}
+	selection, err := experiment.Table3Selection(seed)
+	if err != nil {
+		return err
+	}
+	return experiment.RenderFig10(os.Stdout, cells, selection)
+}
+
+func runTable1(seed int64) error {
+	rows, err := experiment.Table1(seed)
+	if err != nil {
+		return err
+	}
+	return experiment.RenderTable1(os.Stdout, rows)
+}
+
+func runTable4(seed int64) error {
+	res, err := experiment.Table4(seed)
+	if err != nil {
+		return err
+	}
+	return experiment.RenderTable4(os.Stdout, res)
+}
+
+// runTrials repeats the Fig. 7 standard-workload comparison across
+// seeds and prints mean ± std, the paper's three-trial protocol.
+func runTrials(seed int64, n int) error {
+	type strategyRun struct {
+		name string
+		fn   func(trialSeed int64) (*experiment.Result, error)
+	}
+	runs := []strategyRun{
+		{"single-region", func(s int64) (*experiment.Result, error) {
+			return experiment.Fig7TrialSingle(s)
+		}},
+		{"spotverse", func(s int64) (*experiment.Result, error) {
+			return experiment.Fig7TrialSpotVerse(s)
+		}},
+	}
+	fmt.Printf("## Fig. 7 standard workload over %d trials (seeds %d..%d)\n", n, seed, seed+int64(n)-1)
+	fmt.Printf("%-14s %22s %22s %22s\n", "strategy", "interruptions", "makespan_h", "cost_usd")
+	for _, r := range runs {
+		summary, err := experiment.Trials(n, seed, r.fn)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-14s %13.1f ± %6.1f %13.1f ± %6.1f %13.2f ± %6.2f\n",
+			r.name,
+			summary.Interruptions.Mean, summary.Interruptions.Std,
+			summary.MakespanHours.Mean, summary.MakespanHours.Std,
+			summary.TotalCostUSD.Mean, summary.TotalCostUSD.Std)
+	}
+	return nil
+}
+
+func runExtensions(seed int64) error {
+	pred, err := experiment.ExtPredictive(seed, 24)
+	if err != nil {
+		return err
+	}
+	ckpt, err := experiment.ExtCheckpointStores(seed, 20)
+	if err != nil {
+		return err
+	}
+	scoring, err := experiment.ExtScoringModes(seed, 20)
+	if err != nil {
+		return err
+	}
+	return experiment.RenderExtensions(os.Stdout, pred, ckpt, scoring)
+}

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestUnknownExperimentRejected(t *testing.T) {
+	if err := run("fig99", 42, "", 3); err == nil {
+		t.Fatal("unknown experiment should error")
+	}
+}
+
+func TestRunTable1(t *testing.T) {
+	if err := run("table1", 42, "", 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFig9(t *testing.T) {
+	if err := run("fig9", 42, "", 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTrials(t *testing.T) {
+	if err := run("trials", 42, "", 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFig3(t *testing.T) {
+	if err := run("fig3", 42, "", 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFig4(t *testing.T) {
+	if err := run("fig4", 42, "", 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTable4(t *testing.T) {
+	if err := run("table4", 42, "", 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCSVOutput(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("fig2", 42, dir, 3); err != nil {
+		t.Fatal(err)
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, "fig2_prices.csv"))
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("csv missing: %v %v", matches, err)
+	}
+}
+
+func TestRunFig7WithCSV(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("fig7", 42, dir, 3); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"fig7_standard_single.csv", "fig7_standard_spotverse.csv",
+		"fig7_checkpoint_single.csv", "fig7_checkpoint_spotverse.csv",
+	} {
+		if _, err := filepath.Glob(filepath.Join(dir, name)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRunFig4WithCSV(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("fig4", 42, dir, 3); err != nil {
+		t.Fatal(err)
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, "fig4_metrics.csv"))
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("csv missing: %v %v", matches, err)
+	}
+}
+
+func TestRunFig8(t *testing.T) {
+	if err := run("fig8", 42, "", 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFig10(t *testing.T) {
+	if err := run("fig10", 42, "", 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunExtensions(t *testing.T) {
+	if err := run("ext", 42, "", 3); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,84 @@
+// Market explorer: query the simulated spot market the way an operator
+// would before committing a fleet — advisor snapshots, price history,
+// stability trends, and what Algorithm 1 would select at each threshold.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"spotverse"
+	"spotverse/internal/core"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	sim := spotverse.NewSimulation(42)
+	it := spotverse.M5XLarge
+
+	fmt.Printf("Spot Instance Advisor snapshot for %s at %s\n\n", it, sim.Now().Format("2006-01-02"))
+	rows, err := sim.Market().AdvisorSnapshot(it, sim.Now())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-16s %9s %9s %8s %5s %5s %6s\n", "region", "spot$/h", "od$/h", "savings", "IF", "stab", "score")
+	for _, r := range rows {
+		fmt.Printf("%-16s %9.4f %9.4f %7.0f%% %5.2f %5d %6d\n",
+			r.Region, r.SpotPriceUSD, r.OnDemandUSD, r.SavingsOverOnDemand*100,
+			r.InterruptionFrequency, r.StabilityScore, r.CombinedScore)
+	}
+
+	fmt.Printf("\n30-day price history, ca-central-1a vs eu-north-1a (%s)\n", it)
+	for _, az := range []spotverse.AZ{"ca-central-1a", "eu-north-1a"} {
+		hist, err := sim.Market().PriceHistory(it, az, sim.Now(), sim.Now().Add(30*24*time.Hour), 5*24*time.Hour)
+		if err != nil {
+			return err
+		}
+		var parts []string
+		for _, p := range hist {
+			parts = append(parts, fmt.Sprintf("%.4f", p.USDPerHour))
+		}
+		fmt.Printf("  %-16s %s\n", az, strings.Join(parts, " "))
+	}
+
+	fmt.Println("\nAlgorithm 1 region selection by threshold:")
+	for _, threshold := range []int{4, 5, 6} {
+		mgr, err := sim.NewManager(core.Config{
+			InstanceType: it,
+			Threshold:    threshold,
+			Selection:    core.SelectBucket,
+			Seed:         int64(threshold),
+		})
+		if err != nil {
+			// One manager per simulation: rebuild for each threshold.
+			sim = spotverse.NewSimulation(42)
+			mgr, err = sim.NewManager(core.Config{
+				InstanceType: it,
+				Threshold:    threshold,
+				Selection:    core.SelectBucket,
+				Seed:         int64(threshold),
+			})
+			if err != nil {
+				return err
+			}
+		}
+		top, err := mgr.Optimizer().TopRegions(nil)
+		if err != nil {
+			return err
+		}
+		names := make([]string, len(top))
+		for i, r := range top {
+			names[i] = string(r)
+		}
+		fmt.Printf("  T=%d: %s\n", threshold, strings.Join(names, ", "))
+		sim = spotverse.NewSimulation(42)
+	}
+	return nil
+}

@@ -1,0 +1,90 @@
+// Threshold tuning: sweep SpotVerse's combined-score threshold and the
+// workload duration to find where spot instances stop paying off against
+// on-demand — the paper's Fig. 10 through the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"spotverse"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	fmt.Println("normalized cost vs cheapest on-demand (<1 means spot saves):")
+	fmt.Printf("%-10s %-11s %-10s %-12s %s\n", "threshold", "duration", "spot$", "on-demand$", "normalized")
+	for _, threshold := range []int{4, 5, 6} {
+		for _, hours := range []int{5, 10, 20} {
+			norm, spotCost, odCost, err := cell(threshold, hours)
+			if err != nil {
+				return err
+			}
+			marker := ""
+			if norm >= 1 {
+				marker = "  <-- spot costs MORE than on-demand"
+			}
+			fmt.Printf("%-10d %-11s $%-9.2f $%-11.2f %.3f%s\n",
+				threshold, fmt.Sprintf("%dh", hours), spotCost, odCost, norm, marker)
+		}
+	}
+	fmt.Println("\nthresholds 5-6 keep saving; chasing only the cheapest regions")
+	fmt.Println("(threshold 4) loses to on-demand once workloads run long enough.")
+	return nil
+}
+
+func cell(threshold, hours int) (norm, spotCost, odCost float64, err error) {
+	const fleet = 16
+	mk := func() (*spotverse.Simulation, []*spotverse.Workload, error) {
+		sim := spotverse.NewSimulation(int64(100 + threshold))
+		ws, err := sim.GenerateWorkloads(spotverse.WorkloadOptions{
+			Kind:        spotverse.KindStandard,
+			Count:       fleet,
+			MinDuration: time.Duration(hours) * time.Hour,
+			MaxDuration: time.Duration(hours) * time.Hour,
+		})
+		return sim, ws, err
+	}
+
+	sim, ws, err := mk()
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	mgr, err := sim.NewManager(spotverse.ManagerConfig{
+		InstanceType: spotverse.M5XLarge,
+		Threshold:    threshold,
+		Selection:    spotverse.SelectBucket,
+	})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	res, err := sim.Run(spotverse.RunConfig{
+		Workloads:    ws,
+		Strategy:     mgr,
+		InstanceType: spotverse.M5XLarge,
+		Horizon:      90 * 24 * time.Hour,
+	})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+
+	simOD, wsOD, err := mk()
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	od, err := simOD.NewOnDemandStrategy(spotverse.M5XLarge)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	resOD, err := simOD.Run(spotverse.RunConfig{Workloads: wsOD, Strategy: od, InstanceType: spotverse.M5XLarge})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return res.TotalCostUSD / resOD.TotalCostUSD, res.TotalCostUSD, resOD.TotalCostUSD, nil
+}

@@ -1,0 +1,3 @@
+module spotverse
+
+go 1.22

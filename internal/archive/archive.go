@@ -1,0 +1,213 @@
+// Package archive reads the CSV market datasets emitted by cmd/marketgen
+// back into queryable form — a SpotLake-style archive service (the paper
+// builds on SpotLake's dataset for its metric analysis). It lets offline
+// tooling answer the questions the Optimizer answers online: cheapest
+// regions, stability histories, score trajectories.
+package archive
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"spotverse/internal/catalog"
+)
+
+// Errors returned by the loaders.
+var (
+	ErrBadHeader = errors.New("archive: unexpected CSV header")
+	ErrEmpty     = errors.New("archive: no records")
+)
+
+// PriceRecord is one row of spot_prices.csv.
+type PriceRecord struct {
+	Type       catalog.InstanceType
+	AZ         catalog.AZ
+	Date       string
+	USDPerHour float64
+}
+
+// AdvisorRecord is one row of advisor.csv.
+type AdvisorRecord struct {
+	Type                  catalog.InstanceType
+	Region                catalog.Region
+	Date                  string
+	SpotUSD               float64
+	OnDemandUSD           float64
+	InterruptionFrequency float64
+	StabilityScore        int
+	PlacementScore        int
+}
+
+// CombinedScore is the Optimizer's quantity.
+func (r AdvisorRecord) CombinedScore() int { return r.StabilityScore + r.PlacementScore }
+
+// Archive is a loaded dataset.
+type Archive struct {
+	Prices  []PriceRecord
+	Advisor []AdvisorRecord
+}
+
+var priceHeader = []string{"type", "az", "date", "usd_per_hour"}
+
+// LoadPrices parses a spot_prices.csv stream.
+func LoadPrices(r io.Reader) ([]PriceRecord, error) {
+	rows, err := readCSV(r, priceHeader)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]PriceRecord, 0, len(rows))
+	for i, row := range rows {
+		usd, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("archive: prices row %d: %w", i+2, err)
+		}
+		out = append(out, PriceRecord{
+			Type:       catalog.InstanceType(row[0]),
+			AZ:         catalog.AZ(row[1]),
+			Date:       row[2],
+			USDPerHour: usd,
+		})
+	}
+	if len(out) == 0 {
+		return nil, ErrEmpty
+	}
+	return out, nil
+}
+
+var advisorHeader = []string{
+	"type", "region", "date", "spot_usd", "ondemand_usd",
+	"interruption_frequency", "stability_score", "placement_score",
+}
+
+// LoadAdvisor parses an advisor.csv stream.
+func LoadAdvisor(r io.Reader) ([]AdvisorRecord, error) {
+	rows, err := readCSV(r, advisorHeader)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]AdvisorRecord, 0, len(rows))
+	for i, row := range rows {
+		rec := AdvisorRecord{
+			Type:   catalog.InstanceType(row[0]),
+			Region: catalog.Region(row[1]),
+			Date:   row[2],
+		}
+		if rec.SpotUSD, err = strconv.ParseFloat(row[3], 64); err != nil {
+			return nil, fmt.Errorf("archive: advisor row %d spot: %w", i+2, err)
+		}
+		if rec.OnDemandUSD, err = strconv.ParseFloat(row[4], 64); err != nil {
+			return nil, fmt.Errorf("archive: advisor row %d ondemand: %w", i+2, err)
+		}
+		if rec.InterruptionFrequency, err = strconv.ParseFloat(row[5], 64); err != nil {
+			return nil, fmt.Errorf("archive: advisor row %d frequency: %w", i+2, err)
+		}
+		if rec.StabilityScore, err = strconv.Atoi(row[6]); err != nil {
+			return nil, fmt.Errorf("archive: advisor row %d stability: %w", i+2, err)
+		}
+		if rec.PlacementScore, err = strconv.Atoi(row[7]); err != nil {
+			return nil, fmt.Errorf("archive: advisor row %d sps: %w", i+2, err)
+		}
+		out = append(out, rec)
+	}
+	if len(out) == 0 {
+		return nil, ErrEmpty
+	}
+	return out, nil
+}
+
+func readCSV(r io.Reader, wantHeader []string) ([][]string, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(wantHeader)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("archive: header: %w", err)
+	}
+	for i, h := range wantHeader {
+		if header[i] != h {
+			return nil, fmt.Errorf("%w: column %d is %q, want %q", ErrBadHeader, i, header[i], h)
+		}
+	}
+	var rows [][]string
+	for {
+		row, err := cr.Read()
+		if errors.Is(err, io.EOF) {
+			return rows, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("archive: read: %w", err)
+		}
+		rows = append(rows, row)
+	}
+}
+
+// CheapestRegionOn returns the region with the lowest spot price for the
+// type on the given date.
+func CheapestRegionOn(records []AdvisorRecord, t catalog.InstanceType, date string) (catalog.Region, float64, error) {
+	var (
+		best  catalog.Region
+		price float64
+		found bool
+	)
+	for _, r := range records {
+		if r.Type != t || r.Date != date {
+			continue
+		}
+		if !found || r.SpotUSD < price {
+			best, price, found = r.Region, r.SpotUSD, true
+		}
+	}
+	if !found {
+		return "", 0, fmt.Errorf("%w: %s on %s", ErrEmpty, t, date)
+	}
+	return best, price, nil
+}
+
+// StabilityHistory returns the date-ordered stability scores of (t, r).
+func StabilityHistory(records []AdvisorRecord, t catalog.InstanceType, region catalog.Region) []int {
+	type dated struct {
+		date  string
+		score int
+	}
+	var ds []dated
+	for _, r := range records {
+		if r.Type == t && r.Region == region {
+			ds = append(ds, dated{r.Date, r.StabilityScore})
+		}
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i].date < ds[j].date })
+	out := make([]int, len(ds))
+	for i, d := range ds {
+		out[i] = d.score
+	}
+	return out
+}
+
+// RegionsAtScore returns the regions whose combined score equals score on
+// the date, sorted by spot price ascending — the offline Table 3 query.
+func RegionsAtScore(records []AdvisorRecord, t catalog.InstanceType, date string, score int) []catalog.Region {
+	type cand struct {
+		region catalog.Region
+		price  float64
+	}
+	var cands []cand
+	for _, r := range records {
+		if r.Type == t && r.Date == date && r.CombinedScore() == score {
+			cands = append(cands, cand{r.Region, r.SpotUSD})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].price != cands[j].price {
+			return cands[i].price < cands[j].price
+		}
+		return cands[i].region < cands[j].region
+	})
+	out := make([]catalog.Region, len(cands))
+	for i, c := range cands {
+		out[i] = c.region
+	}
+	return out
+}

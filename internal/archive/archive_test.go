@@ -1,0 +1,161 @@
+package archive
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"spotverse/internal/catalog"
+	"spotverse/internal/market"
+	"spotverse/internal/report"
+	"spotverse/internal/simclock"
+)
+
+// buildAdvisorCSV renders a small advisor archive straight from the
+// market model, matching cmd/marketgen's format.
+func buildAdvisorCSV(t *testing.T, days int) string {
+	t.Helper()
+	mkt := market.New(catalog.Default(), 42, simclock.Epoch)
+	var rows [][]string
+	for d := 0; d < days; d++ {
+		at := simclock.Epoch.Add(time.Duration(d) * 24 * time.Hour)
+		snap, err := mkt.AdvisorSnapshot(catalog.M5XLarge, at)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range snap {
+			rows = append(rows, []string{
+				string(e.Type), string(e.Region), at.Format("2006-01-02"),
+				report.F(e.SpotPriceUSD, 5), report.F(e.OnDemandUSD, 5),
+				report.F(e.InterruptionFrequency, 4),
+				report.F(float64(e.StabilityScore), 0), report.F(float64(e.PlacementScore), 0),
+			})
+		}
+	}
+	var sb strings.Builder
+	if err := report.CSV(&sb, []string{
+		"type", "region", "date", "spot_usd", "ondemand_usd",
+		"interruption_frequency", "stability_score", "placement_score",
+	}, rows); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+func TestLoadAdvisorRoundTrip(t *testing.T) {
+	csvData := buildAdvisorCSV(t, 5)
+	records, err := LoadAdvisor(strings.NewReader(csvData))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows := 5 * len(catalog.Default().OfferedRegions(catalog.M5XLarge))
+	if len(records) != wantRows {
+		t.Fatalf("records = %d, want %d", len(records), wantRows)
+	}
+	for _, r := range records {
+		if r.SpotUSD <= 0 || r.SpotUSD >= r.OnDemandUSD {
+			t.Fatalf("bad prices: %+v", r)
+		}
+		if r.StabilityScore < 1 || r.StabilityScore > 3 {
+			t.Fatalf("bad stability: %+v", r)
+		}
+	}
+}
+
+func TestCheapestRegionOnMatchesTable1(t *testing.T) {
+	records, err := LoadAdvisor(strings.NewReader(buildAdvisorCSV(t, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	region, price, err := CheapestRegionOn(records, catalog.M5XLarge, "2024-03-04")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if region != "ca-central-1" {
+		t.Fatalf("cheapest = %s (%v), want ca-central-1", region, price)
+	}
+	if _, _, err := CheapestRegionOn(records, catalog.M5XLarge, "1999-01-01"); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestStabilityHistoryOrdered(t *testing.T) {
+	records, err := LoadAdvisor(strings.NewReader(buildAdvisorCSV(t, 10)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist := StabilityHistory(records, catalog.M5XLarge, "eu-north-1")
+	if len(hist) != 10 {
+		t.Fatalf("history = %d points", len(hist))
+	}
+	for _, s := range hist {
+		if s != 3 {
+			t.Fatalf("eu-north-1 stability = %v, want all 3", hist)
+		}
+	}
+}
+
+func TestRegionsAtScoreMatchesTable3(t *testing.T) {
+	records, err := LoadAdvisor(strings.NewReader(buildAdvisorCSV(t, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := RegionsAtScore(records, catalog.M5XLarge, "2024-03-04", 6)
+	want := map[catalog.Region]bool{"eu-north-1": true, "ap-northeast-3": true, "us-west-1": true, "eu-west-1": true}
+	if len(got) != 4 {
+		t.Fatalf("regions = %v", got)
+	}
+	for _, r := range got {
+		if !want[r] {
+			t.Fatalf("unexpected region %s in %v", r, got)
+		}
+	}
+	// Price ascending.
+	for i := 1; i < len(got); i++ {
+		pi := priceOf(records, got[i-1])
+		pj := priceOf(records, got[i])
+		if pi > pj {
+			t.Fatalf("not price-sorted: %v", got)
+		}
+	}
+}
+
+func priceOf(records []AdvisorRecord, region catalog.Region) float64 {
+	for _, r := range records {
+		if r.Region == region {
+			return r.SpotUSD
+		}
+	}
+	return 0
+}
+
+func TestLoadPrices(t *testing.T) {
+	csvData := "type,az,date,usd_per_hour\nm5.xlarge,ca-central-1a,2024-03-04,0.05280\n"
+	records, err := LoadPrices(strings.NewReader(csvData))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 1 || records[0].USDPerHour != 0.0528 || records[0].AZ != "ca-central-1a" {
+		t.Fatalf("records = %+v", records)
+	}
+}
+
+func TestHeaderValidation(t *testing.T) {
+	if _, err := LoadPrices(strings.NewReader("a,b,c,d\n")); !errors.Is(err, ErrBadHeader) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := LoadAdvisor(strings.NewReader("oops\n")); err == nil {
+		t.Fatal("short header accepted")
+	}
+	if _, err := LoadPrices(strings.NewReader("type,az,date,usd_per_hour\n")); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBadNumbersRejected(t *testing.T) {
+	bad := "type,az,date,usd_per_hour\nm5.xlarge,x,2024-03-04,not-a-number\n"
+	if _, err := LoadPrices(strings.NewReader(bad)); err == nil {
+		t.Fatal("bad number accepted")
+	}
+}

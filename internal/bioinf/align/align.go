@@ -1,0 +1,149 @@
+// Package align implements global pairwise sequence alignment
+// (Needleman-Wunsch with linear gap penalties). The genome-reconstruction
+// pipeline uses it to score consensus quality against references in a
+// way positional identity cannot once indels shift coordinates.
+package align
+
+import (
+	"errors"
+	"strings"
+)
+
+// Errors returned by the aligner.
+var ErrEmpty = errors.New("align: empty sequence")
+
+// Scoring parameterises the aligner.
+type Scoring struct {
+	// Match is the score for identical symbols (default +2).
+	Match int
+	// Mismatch is the score for differing symbols (default -1).
+	Mismatch int
+	// Gap is the per-symbol gap penalty (default -2).
+	Gap int
+}
+
+func (s Scoring) normalized() Scoring {
+	if s.Match == 0 && s.Mismatch == 0 && s.Gap == 0 {
+		return Scoring{Match: 2, Mismatch: -1, Gap: -2}
+	}
+	return s
+}
+
+// Result is one computed alignment.
+type Result struct {
+	// Score is the optimal global alignment score.
+	Score int
+	// AlignedA and AlignedB are the gapped sequences ('-' for gaps),
+	// equal length.
+	AlignedA string
+	AlignedB string
+	// Matches, Mismatches and Gaps partition the alignment columns.
+	Matches    int
+	Mismatches int
+	Gaps       int
+}
+
+// Identity is the fraction of alignment columns that match.
+func (r Result) Identity() float64 {
+	total := r.Matches + r.Mismatches + r.Gaps
+	if total == 0 {
+		return 0
+	}
+	return float64(r.Matches) / float64(total)
+}
+
+// Global aligns a against b with Needleman-Wunsch.
+func Global(a, b string, sc Scoring) (Result, error) {
+	if a == "" || b == "" {
+		return Result{}, ErrEmpty
+	}
+	sc = sc.normalized()
+	n, m := len(a), len(b)
+	// Score matrix in a flat slice: (n+1) x (m+1).
+	w := m + 1
+	score := make([]int, (n+1)*w)
+	for j := 1; j <= m; j++ {
+		score[j] = j * sc.Gap
+	}
+	for i := 1; i <= n; i++ {
+		score[i*w] = i * sc.Gap
+	}
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= m; j++ {
+			sub := sc.Mismatch
+			if a[i-1] == b[j-1] {
+				sub = sc.Match
+			}
+			best := score[(i-1)*w+j-1] + sub
+			if up := score[(i-1)*w+j] + sc.Gap; up > best {
+				best = up
+			}
+			if left := score[i*w+j-1] + sc.Gap; left > best {
+				best = left
+			}
+			score[i*w+j] = best
+		}
+	}
+	// Traceback.
+	var sa, sb strings.Builder
+	i, j := n, m
+	for i > 0 || j > 0 {
+		switch {
+		case i > 0 && j > 0 && score[i*w+j] == score[(i-1)*w+j-1]+subScore(a[i-1], b[j-1], sc):
+			sa.WriteByte(a[i-1])
+			sb.WriteByte(b[j-1])
+			i--
+			j--
+		case i > 0 && score[i*w+j] == score[(i-1)*w+j]+sc.Gap:
+			sa.WriteByte(a[i-1])
+			sb.WriteByte('-')
+			i--
+		default:
+			sa.WriteByte('-')
+			sb.WriteByte(b[j-1])
+			j--
+		}
+	}
+	res := Result{
+		Score:    score[n*w+m],
+		AlignedA: reverse(sa.String()),
+		AlignedB: reverse(sb.String()),
+	}
+	for k := 0; k < len(res.AlignedA); k++ {
+		ca, cb := res.AlignedA[k], res.AlignedB[k]
+		switch {
+		case ca == '-' || cb == '-':
+			res.Gaps++
+		case ca == cb:
+			res.Matches++
+		default:
+			res.Mismatches++
+		}
+	}
+	return res, nil
+}
+
+func subScore(x, y byte, sc Scoring) int {
+	if x == y {
+		return sc.Match
+	}
+	return sc.Mismatch
+}
+
+func reverse(s string) string {
+	b := []byte(s)
+	for i, j := 0, len(b)-1; i < j; i, j = i+1, j-1 {
+		b[i], b[j] = b[j], b[i]
+	}
+	return string(b)
+}
+
+// Identity is the convenience path: align with default scoring and
+// return the column identity.
+func Identity(a, b string) (float64, error) {
+	res, err := Global(a, b, Scoring{})
+	if err != nil {
+		return 0, err
+	}
+	return res.Identity(), nil
+}

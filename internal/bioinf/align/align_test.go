@@ -1,0 +1,120 @@
+package align
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"spotverse/internal/bioinf/synth"
+	"spotverse/internal/bioinf/variant"
+	"spotverse/internal/simclock"
+)
+
+func TestIdenticalSequences(t *testing.T) {
+	res, err := Global("ACGTACGT", "ACGTACGT", Scoring{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Identity() != 1 || res.Mismatches != 0 || res.Gaps != 0 {
+		t.Fatalf("res = %+v", res)
+	}
+	if res.Score != 16 { // 8 matches x +2
+		t.Fatalf("score = %d", res.Score)
+	}
+}
+
+func TestSingleMismatch(t *testing.T) {
+	res, err := Global("ACGT", "AGGT", Scoring{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Matches != 3 || res.Mismatches != 1 || res.Gaps != 0 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestInsertionMakesGap(t *testing.T) {
+	res, err := Global("ACGT", "ACTTGT", Scoring{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Gaps != 2 {
+		t.Fatalf("gaps = %d (%s / %s)", res.Gaps, res.AlignedA, res.AlignedB)
+	}
+	if len(res.AlignedA) != len(res.AlignedB) {
+		t.Fatal("aligned lengths differ")
+	}
+	if strings.ReplaceAll(res.AlignedA, "-", "") != "ACGT" {
+		t.Fatalf("alignedA lost symbols: %q", res.AlignedA)
+	}
+	if strings.ReplaceAll(res.AlignedB, "-", "") != "ACTTGT" {
+		t.Fatalf("alignedB lost symbols: %q", res.AlignedB)
+	}
+}
+
+func TestEmptyRejected(t *testing.T) {
+	if _, err := Global("", "ACGT", Scoring{}); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := Identity("ACGT", ""); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSymmetricScore(t *testing.T) {
+	a, b := "ACGTTACG", "ACGTACGGA"
+	r1, err := Global(a, b, Scoring{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Global(b, a, Scoring{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Score != r2.Score {
+		t.Fatalf("asymmetric scores: %d vs %d", r1.Score, r2.Score)
+	}
+}
+
+// TestIndelAwareIdentity is the motivating case: after an indel, aligned
+// identity stays high while positional identity collapses.
+func TestIndelAwareIdentity(t *testing.T) {
+	rng := simclock.Stream(71, "align-test")
+	ref, err := synth.Genome(rng, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := synth.Mutate(rng, ref, 0.002, 0.004)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons, _, err := variant.Consensus(ref, f, variant.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cons) == len(ref) {
+		t.Skip("no indels landed for this seed")
+	}
+	positional := variant.Identity(cons, ref)
+	aligned, err := Identity(cons, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aligned < 0.95 {
+		t.Fatalf("aligned identity %v too low for light mutation", aligned)
+	}
+	if aligned <= positional {
+		t.Fatalf("aligned identity %v not above positional %v despite indels", aligned, positional)
+	}
+}
+
+func TestCustomScoring(t *testing.T) {
+	// With free gaps, aligning disjoint sequences should prefer gaps.
+	res, err := Global("AAAA", "TTTT", Scoring{Match: 1, Mismatch: -10, Gap: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mismatches != 0 {
+		t.Fatalf("mismatches = %d with free gaps", res.Mismatches)
+	}
+}

@@ -1,0 +1,80 @@
+package align
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"spotverse/internal/simclock"
+)
+
+func randSeq(g *simclock.RNG, n int) string {
+	const bases = "ACGT"
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = bases[g.Intn(4)]
+	}
+	return string(b)
+}
+
+// Property: alignments never lose or invent symbols, aligned lengths
+// match, identity stays in [0,1], and aligning a sequence to itself
+// scores perfect identity.
+func TestAlignmentProperties(t *testing.T) {
+	g := simclock.NewRNG(99)
+	f := func(na, nb uint8) bool {
+		a := randSeq(g, int(na%60)+1)
+		b := randSeq(g, int(nb%60)+1)
+		res, err := Global(a, b, Scoring{})
+		if err != nil {
+			return false
+		}
+		if len(res.AlignedA) != len(res.AlignedB) {
+			return false
+		}
+		if strings.ReplaceAll(res.AlignedA, "-", "") != a {
+			return false
+		}
+		if strings.ReplaceAll(res.AlignedB, "-", "") != b {
+			return false
+		}
+		id := res.Identity()
+		if id < 0 || id > 1 {
+			return false
+		}
+		if res.Matches+res.Mismatches+res.Gaps != len(res.AlignedA) {
+			return false
+		}
+		self, err := Global(a, a, Scoring{})
+		if err != nil || self.Identity() != 1 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the optimal score never improves by deleting a shared prefix
+// character from both sequences plus its match score (weak consistency
+// check of the DP).
+func TestScoreMonotoneUnderSharedPrefix(t *testing.T) {
+	g := simclock.NewRNG(17)
+	for i := 0; i < 50; i++ {
+		a := randSeq(g, 20)
+		b := randSeq(g, 25)
+		full, err := Global("G"+a, "G"+b, Scoring{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		inner, err := Global(a, b, Scoring{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := Scoring{}.normalized()
+		if full.Score < inner.Score+sc.Mismatch {
+			t.Fatalf("prefix made score collapse: %d vs %d", full.Score, inner.Score)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+// Package denoise implements a DADA2-like amplicon denoising step:
+// quality filtering, dereplication into unique sequences with abundances,
+// and absorption of likely error variants into more abundant neighbours.
+package denoise
+
+import (
+	"errors"
+	"sort"
+
+	"spotverse/internal/bioinf/fastq"
+	"spotverse/internal/bioinf/seq"
+)
+
+// ErrNoReads is returned when denoising an empty input.
+var ErrNoReads = errors.New("denoise: no reads")
+
+// Options tune the pipeline.
+type Options struct {
+	// MinQuality drops reads whose mean Phred is below this (default 20).
+	MinQuality float64
+	// MaxErrorDistance absorbs a variant into a neighbour within this
+	// Hamming distance (default 2).
+	MaxErrorDistance int
+	// MinFoldDifference requires the absorbing sequence to be at least
+	// this many times more abundant (default 4).
+	MinFoldDifference int
+}
+
+func (o Options) normalized() Options {
+	if o.MinQuality <= 0 {
+		o.MinQuality = 20
+	}
+	if o.MaxErrorDistance <= 0 {
+		o.MaxErrorDistance = 2
+	}
+	if o.MinFoldDifference <= 0 {
+		o.MinFoldDifference = 4
+	}
+	return o
+}
+
+// SequenceVariant is an inferred true sequence with its abundance.
+type SequenceVariant struct {
+	Seq       string
+	Abundance int
+}
+
+// Result summarises a denoising run.
+type Result struct {
+	Input          int
+	QualityDropped int
+	UniqueBefore   int
+	Variants       []SequenceVariant
+	Absorbed       int
+}
+
+// Run denoises reads. All reads must have equal length for the
+// Hamming-based merge; unequal-length uniques are kept as-is.
+func Run(reads []fastq.Read, opts Options) (*Result, error) {
+	if len(reads) == 0 {
+		return nil, ErrNoReads
+	}
+	opts = opts.normalized()
+	res := &Result{Input: len(reads)}
+
+	counts := make(map[string]int)
+	for _, r := range reads {
+		if r.MeanQuality() < opts.MinQuality {
+			res.QualityDropped++
+			continue
+		}
+		counts[r.Seq]++
+	}
+	res.UniqueBefore = len(counts)
+
+	uniq := make([]SequenceVariant, 0, len(counts))
+	for s, n := range counts {
+		uniq = append(uniq, SequenceVariant{Seq: s, Abundance: n})
+	}
+	// Most abundant first; ties broken lexicographically for determinism.
+	sort.Slice(uniq, func(i, j int) bool {
+		if uniq[i].Abundance != uniq[j].Abundance {
+			return uniq[i].Abundance > uniq[j].Abundance
+		}
+		return uniq[i].Seq < uniq[j].Seq
+	})
+
+	var kept []SequenceVariant
+	for _, cand := range uniq {
+		absorbed := false
+		for k := range kept {
+			if len(kept[k].Seq) != len(cand.Seq) {
+				continue
+			}
+			d, err := seq.Hamming(kept[k].Seq, cand.Seq)
+			if err != nil {
+				continue
+			}
+			if d <= opts.MaxErrorDistance && kept[k].Abundance >= cand.Abundance*opts.MinFoldDifference {
+				kept[k].Abundance += cand.Abundance
+				absorbed = true
+				res.Absorbed++
+				break
+			}
+		}
+		if !absorbed {
+			kept = append(kept, cand)
+		}
+	}
+	// Re-sort: absorption may have reordered abundances.
+	sort.Slice(kept, func(i, j int) bool {
+		if kept[i].Abundance != kept[j].Abundance {
+			return kept[i].Abundance > kept[j].Abundance
+		}
+		return kept[i].Seq < kept[j].Seq
+	})
+	res.Variants = kept
+	return res, nil
+}

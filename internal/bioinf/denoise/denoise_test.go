@@ -1,0 +1,123 @@
+package denoise
+
+import (
+	"strings"
+	"testing"
+
+	"spotverse/internal/bioinf/fastq"
+)
+
+func rd(seq string, qual byte) fastq.Read {
+	return fastq.Read{ID: "r", Seq: seq, Qual: strings.Repeat(string(qual), len(seq))}
+}
+
+func repeat(r fastq.Read, n int) []fastq.Read {
+	out := make([]fastq.Read, n)
+	for i := range out {
+		out[i] = r
+	}
+	return out
+}
+
+func TestQualityFilterDrops(t *testing.T) {
+	reads := append(repeat(rd("ACGTACGT", 'I'), 5), repeat(rd("ACGTACGT", '#'), 3)...)
+	res, err := Run(reads, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.QualityDropped != 3 {
+		t.Fatalf("dropped = %d, want 3", res.QualityDropped)
+	}
+	if len(res.Variants) != 1 || res.Variants[0].Abundance != 5 {
+		t.Fatalf("variants = %+v", res.Variants)
+	}
+}
+
+func TestErrorVariantAbsorbed(t *testing.T) {
+	true1 := "ACGTACGTAC"
+	err1 := "ACGTACGTAT" // 1 mismatch, low abundance
+	reads := append(repeat(rd(true1, 'I'), 20), repeat(rd(err1, 'I'), 2)...)
+	res, err := Run(reads, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Variants) != 1 {
+		t.Fatalf("variants = %+v", res.Variants)
+	}
+	if res.Variants[0].Seq != true1 || res.Variants[0].Abundance != 22 {
+		t.Fatalf("winner = %+v", res.Variants[0])
+	}
+	if res.Absorbed != 1 {
+		t.Fatalf("absorbed = %d", res.Absorbed)
+	}
+}
+
+func TestDistinctVariantsKept(t *testing.T) {
+	a := "ACGTACGTAC"
+	b := "TGCATGCATG" // far away
+	reads := append(repeat(rd(a, 'I'), 10), repeat(rd(b, 'I'), 10)...)
+	res, err := Run(reads, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Variants) != 2 {
+		t.Fatalf("variants = %+v", res.Variants)
+	}
+}
+
+func TestFoldDifferenceRequired(t *testing.T) {
+	a := "ACGTACGTAC"
+	b := "ACGTACGTAT" // 1 mismatch but nearly equal abundance
+	reads := append(repeat(rd(a, 'I'), 10), repeat(rd(b, 'I'), 9)...)
+	res, err := Run(reads, Options{MinFoldDifference: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Variants) != 2 {
+		t.Fatalf("similar-abundance variant absorbed: %+v", res.Variants)
+	}
+}
+
+func TestUnequalLengthsNotMerged(t *testing.T) {
+	reads := append(repeat(rd("ACGTACGTAC", 'I'), 20), repeat(rd("ACGTACGT", 'I'), 2)...)
+	res, err := Run(reads, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Variants) != 2 {
+		t.Fatalf("variants = %+v", res.Variants)
+	}
+}
+
+func TestVariantsSortedByAbundance(t *testing.T) {
+	reads := append(repeat(rd("AAAAAAAAAA", 'I'), 3), repeat(rd("TTTTTTTTTT", 'I'), 7)...)
+	res, err := Run(reads, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Variants[0].Abundance < res.Variants[1].Abundance {
+		t.Fatalf("not sorted: %+v", res.Variants)
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	if _, err := Run(nil, Options{}); err == nil {
+		t.Fatal("want ErrNoReads")
+	}
+}
+
+func TestAbundanceConserved(t *testing.T) {
+	reads := append(repeat(rd("ACGTACGTAC", 'I'), 15), repeat(rd("ACGTACGTAT", 'I'), 3)...)
+	reads = append(reads, repeat(rd("GGGGGGGGGG", 'I'), 4)...)
+	res, err := Run(reads, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0
+	for _, v := range res.Variants {
+		sum += v.Abundance
+	}
+	if sum+res.QualityDropped != res.Input {
+		t.Fatalf("abundance %d + dropped %d != input %d", sum, res.QualityDropped, res.Input)
+	}
+}

@@ -1,0 +1,148 @@
+// Package diversity computes the alpha-diversity metrics of the QIIME 2
+// workflow's final analysis step: Shannon entropy, Simpson index,
+// observed richness, Pielou evenness, and rarefaction curves.
+package diversity
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Errors returned by the package.
+var (
+	ErrEmpty    = errors.New("diversity: empty abundance vector")
+	ErrNegative = errors.New("diversity: negative abundance")
+)
+
+func total(abundances []float64) (float64, error) {
+	if len(abundances) == 0 {
+		return 0, ErrEmpty
+	}
+	var sum float64
+	for i, a := range abundances {
+		if a < 0 {
+			return 0, fmt.Errorf("%w at index %d", ErrNegative, i)
+		}
+		sum += a
+	}
+	if sum == 0 {
+		return 0, ErrEmpty
+	}
+	return sum, nil
+}
+
+// Shannon returns the Shannon entropy H' = -sum(p ln p).
+func Shannon(abundances []float64) (float64, error) {
+	sum, err := total(abundances)
+	if err != nil {
+		return 0, err
+	}
+	var h float64
+	for _, a := range abundances {
+		if a == 0 {
+			continue
+		}
+		p := a / sum
+		h -= p * math.Log(p)
+	}
+	return h, nil
+}
+
+// Simpson returns the Simpson diversity 1 - sum(p^2).
+func Simpson(abundances []float64) (float64, error) {
+	sum, err := total(abundances)
+	if err != nil {
+		return 0, err
+	}
+	var s float64
+	for _, a := range abundances {
+		p := a / sum
+		s += p * p
+	}
+	return 1 - s, nil
+}
+
+// Observed returns the count of species with non-zero abundance.
+func Observed(abundances []float64) (int, error) {
+	if _, err := total(abundances); err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, a := range abundances {
+		if a > 0 {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// Pielou returns evenness J' = H'/ln(S); 0 when only one species exists.
+func Pielou(abundances []float64) (float64, error) {
+	h, err := Shannon(abundances)
+	if err != nil {
+		return 0, err
+	}
+	s, err := Observed(abundances)
+	if err != nil {
+		return 0, err
+	}
+	if s <= 1 {
+		return 0, nil
+	}
+	return h / math.Log(float64(s)), nil
+}
+
+// Rarefaction returns the expected species richness at each sampling
+// depth using the analytic hypergeometric formula over integer counts.
+func Rarefaction(counts []int, depths []int) ([]float64, error) {
+	if len(counts) == 0 {
+		return nil, ErrEmpty
+	}
+	n := 0
+	for i, c := range counts {
+		if c < 0 {
+			return nil, fmt.Errorf("%w at index %d", ErrNegative, i)
+		}
+		n += c
+	}
+	if n == 0 {
+		return nil, ErrEmpty
+	}
+	out := make([]float64, len(depths))
+	for di, depth := range depths {
+		if depth <= 0 {
+			out[di] = 0
+			continue
+		}
+		if depth > n {
+			depth = n
+		}
+		var expected float64
+		for _, c := range counts {
+			if c == 0 {
+				continue
+			}
+			// P(species absent from subsample) = C(n-c, depth)/C(n, depth),
+			// computed in log space for stability.
+			if n-c < depth {
+				expected++ // species guaranteed present
+				continue
+			}
+			logP := logChoose(n-c, depth) - logChoose(n, depth)
+			expected += 1 - math.Exp(logP)
+		}
+		out[di] = expected
+	}
+	return out, nil
+}
+
+func logChoose(n, k int) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	lg, _ := math.Lgamma(float64(n + 1))
+	lk, _ := math.Lgamma(float64(k + 1))
+	lnk, _ := math.Lgamma(float64(n - k + 1))
+	return lg - lk - lnk
+}

@@ -1,0 +1,159 @@
+package diversity
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"spotverse/internal/bioinf/synth"
+	"spotverse/internal/simclock"
+)
+
+func TestShannonUniform(t *testing.T) {
+	h, err := Shannon([]float64{1, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(h-math.Log(4)) > 1e-12 {
+		t.Fatalf("H = %v, want ln(4)", h)
+	}
+}
+
+func TestShannonSingleSpeciesZero(t *testing.T) {
+	h, err := Shannon([]float64{5, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h != 0 {
+		t.Fatalf("H = %v, want 0", h)
+	}
+}
+
+func TestSimpson(t *testing.T) {
+	s, err := Simpson([]float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s-0.5) > 1e-12 {
+		t.Fatalf("Simpson = %v, want 0.5", s)
+	}
+	s, _ = Simpson([]float64{10, 0})
+	if s != 0 {
+		t.Fatalf("single-species Simpson = %v, want 0", s)
+	}
+}
+
+func TestObserved(t *testing.T) {
+	n, err := Observed([]float64{3, 0, 1, 0, 2})
+	if err != nil || n != 3 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+}
+
+func TestPielou(t *testing.T) {
+	j, err := Pielou([]float64{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(j-1) > 1e-12 {
+		t.Fatalf("uniform evenness = %v, want 1", j)
+	}
+	j, _ = Pielou([]float64{10, 0})
+	if j != 0 {
+		t.Fatalf("single-species evenness = %v, want 0", j)
+	}
+	skew, _ := Pielou([]float64{100, 1, 1})
+	if skew >= 1 || skew <= 0 {
+		t.Fatalf("skewed evenness = %v, want (0,1)", skew)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := Shannon(nil); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := Shannon([]float64{0, 0}); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("all-zero err = %v", err)
+	}
+	if _, err := Simpson([]float64{1, -1}); !errors.Is(err, ErrNegative) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRarefactionMonotone(t *testing.T) {
+	counts := []int{50, 30, 10, 5, 3, 1, 1}
+	depths := []int{1, 10, 50, 100}
+	curve, err := Rarefaction(counts, depths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i] < curve[i-1]-1e-9 {
+			t.Fatalf("rarefaction not monotone: %v", curve)
+		}
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	full, err := Rarefaction(counts, []int{total})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(full[0]-7) > 1e-9 {
+		t.Fatalf("full-depth richness = %v, want 7", full[0])
+	}
+}
+
+func TestRarefactionDepthOne(t *testing.T) {
+	curve, err := Rarefaction([]int{10, 10}, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(curve[0]-1) > 1e-9 {
+		t.Fatalf("depth-1 richness = %v, want 1", curve[0])
+	}
+}
+
+func TestRarefactionErrors(t *testing.T) {
+	if _, err := Rarefaction(nil, []int{1}); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := Rarefaction([]int{1, -2}, []int{1}); !errors.Is(err, ErrNegative) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := Rarefaction([]int{0, 0}, []int{1}); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSyntheticCommunityMetrics(t *testing.T) {
+	rng := simclock.Stream(41, "diversity-test")
+	prof, err := synth.CommunityProfile(rng, 10, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sample := range prof {
+		h, err := Shannon(sample)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h <= 0 || h > math.Log(50) {
+			t.Fatalf("H = %v outside (0, ln 50]", h)
+		}
+		s, err := Simpson(sample)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s <= 0 || s >= 1 {
+			t.Fatalf("Simpson = %v outside (0,1)", s)
+		}
+		j, err := Pielou(sample)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if j <= 0 || j > 1 {
+			t.Fatalf("evenness = %v outside (0,1]", j)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+// Package fasta reads and writes FASTA-formatted nucleotide sequences,
+// the interchange format the genome-reconstruction workflow emits.
+package fasta
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Record is one FASTA entry.
+type Record struct {
+	// ID is the first whitespace-delimited token of the header.
+	ID string
+	// Description is the remainder of the header line.
+	Description string
+	// Seq is the sequence with line breaks removed.
+	Seq string
+}
+
+// Errors returned by the parser.
+var (
+	ErrNoHeader  = errors.New("fasta: sequence data before first header")
+	ErrEmptyID   = errors.New("fasta: empty record ID")
+	ErrBadSymbol = errors.New("fasta: invalid sequence symbol")
+)
+
+// validSymbols covers IUPAC nucleotide codes plus gap characters.
+const validSymbols = "ACGTUNRYSWKMBDHVacgtunryswkmbdhv-*"
+
+func validSeq(s string) error {
+	for i := 0; i < len(s); i++ {
+		if !strings.ContainsRune(validSymbols, rune(s[i])) {
+			return fmt.Errorf("%w: %q at offset %d", ErrBadSymbol, s[i], i)
+		}
+	}
+	return nil
+}
+
+// Read parses all records from r.
+func Read(r io.Reader) ([]Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var (
+		out []Record
+		cur *Record
+		sb  strings.Builder
+	)
+	flush := func() {
+		if cur != nil {
+			cur.Seq = sb.String()
+			out = append(out, *cur)
+			sb.Reset()
+		}
+	}
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimRight(sc.Text(), "\r\n ")
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, ">") {
+			flush()
+			header := strings.TrimPrefix(text, ">")
+			id, desc, _ := strings.Cut(header, " ")
+			if id == "" {
+				return nil, fmt.Errorf("line %d: %w", line, ErrEmptyID)
+			}
+			cur = &Record{ID: id, Description: desc}
+			continue
+		}
+		if cur == nil {
+			return nil, fmt.Errorf("line %d: %w", line, ErrNoHeader)
+		}
+		if err := validSeq(text); err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		sb.WriteString(text)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("fasta: scan: %w", err)
+	}
+	flush()
+	return out, nil
+}
+
+// ReadString parses records from a string.
+func ReadString(s string) ([]Record, error) {
+	return Read(strings.NewReader(s))
+}
+
+// Write renders records to w, wrapping sequences at width columns
+// (default 70 when width <= 0).
+func Write(w io.Writer, recs []Record, width int) error {
+	if width <= 0 {
+		width = 70
+	}
+	bw := bufio.NewWriter(w)
+	for _, rec := range recs {
+		if rec.ID == "" {
+			return ErrEmptyID
+		}
+		header := ">" + rec.ID
+		if rec.Description != "" {
+			header += " " + rec.Description
+		}
+		if _, err := bw.WriteString(header + "\n"); err != nil {
+			return fmt.Errorf("fasta: write: %w", err)
+		}
+		for i := 0; i < len(rec.Seq); i += width {
+			end := i + width
+			if end > len(rec.Seq) {
+				end = len(rec.Seq)
+			}
+			if _, err := bw.WriteString(rec.Seq[i:end] + "\n"); err != nil {
+				return fmt.Errorf("fasta: write: %w", err)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// String renders records with default wrapping.
+func String(recs []Record) string {
+	var sb strings.Builder
+	// strings.Builder never errors.
+	_ = Write(&sb, recs, 0)
+	return sb.String()
+}

@@ -1,0 +1,112 @@
+package fasta
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReadSingleRecord(t *testing.T) {
+	recs, err := ReadString(">seq1 a viral isolate\nACGT\nACGT\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("records = %d, want 1", len(recs))
+	}
+	r := recs[0]
+	if r.ID != "seq1" || r.Description != "a viral isolate" || r.Seq != "ACGTACGT" {
+		t.Fatalf("record = %+v", r)
+	}
+}
+
+func TestReadMultipleRecords(t *testing.T) {
+	recs, err := ReadString(">a\nAC\n>b\nGT\n>c desc\nNN\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 || recs[1].ID != "b" || recs[2].Seq != "NN" {
+		t.Fatalf("records = %+v", recs)
+	}
+}
+
+func TestBlankLinesIgnored(t *testing.T) {
+	recs, err := ReadString("\n>a\n\nAC\n\nGT\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs[0].Seq != "ACGT" {
+		t.Fatalf("seq = %q", recs[0].Seq)
+	}
+}
+
+func TestSequenceBeforeHeaderRejected(t *testing.T) {
+	if _, err := ReadString("ACGT\n>a\nAC\n"); err == nil {
+		t.Fatal("want ErrNoHeader")
+	}
+}
+
+func TestEmptyIDRejected(t *testing.T) {
+	if _, err := ReadString("> description only\nAC\n"); err == nil {
+		t.Fatal("want ErrEmptyID")
+	}
+}
+
+func TestInvalidSymbolRejected(t *testing.T) {
+	if _, err := ReadString(">a\nACGT7\n"); err == nil {
+		t.Fatal("want ErrBadSymbol")
+	}
+}
+
+func TestIUPACAndGapsAccepted(t *testing.T) {
+	if _, err := ReadString(">a\nRYSWKMBDHVN-acgt\n"); err != nil {
+		t.Fatalf("IUPAC codes rejected: %v", err)
+	}
+}
+
+func TestWriteWrapsLines(t *testing.T) {
+	long := strings.Repeat("ACGT", 30) // 120 chars
+	out := String([]Record{{ID: "x", Seq: long}})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 { // header + 70 + 50
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	if len(lines[1]) != 70 || len(lines[2]) != 50 {
+		t.Fatalf("wrap widths = %d,%d", len(lines[1]), len(lines[2]))
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	in := []Record{
+		{ID: "a", Description: "first", Seq: strings.Repeat("ACGTN", 33)},
+		{ID: "b", Seq: "GGCC"},
+	}
+	recs, err := ReadString(String(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	for i := range in {
+		if recs[i].ID != in[i].ID || recs[i].Seq != in[i].Seq || recs[i].Description != in[i].Description {
+			t.Fatalf("round trip mismatch at %d: %+v vs %+v", i, recs[i], in[i])
+		}
+	}
+}
+
+func TestWriteEmptyIDRejected(t *testing.T) {
+	var sb strings.Builder
+	if err := Write(&sb, []Record{{Seq: "AC"}}, 0); err == nil {
+		t.Fatal("empty ID should be rejected on write")
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	recs, err := ReadString("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("records = %d, want 0", len(recs))
+	}
+}

@@ -1,0 +1,128 @@
+// Package fastq reads and writes FASTQ sequencing reads with Phred+33
+// quality strings — the raw input of the NGS preprocessing workflow.
+package fastq
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Read is one sequencing read.
+type Read struct {
+	// ID is the read identifier (without the leading '@').
+	ID string
+	// Seq is the nucleotide sequence.
+	Seq string
+	// Qual is the Phred+33 quality string, same length as Seq.
+	Qual string
+}
+
+// Errors returned by the parser.
+var (
+	ErrTruncated   = errors.New("fastq: truncated record")
+	ErrBadHeader   = errors.New("fastq: header must start with '@'")
+	ErrBadSep      = errors.New("fastq: separator must start with '+'")
+	ErrLengthMatch = errors.New("fastq: quality length differs from sequence length")
+	ErrBadQuality  = errors.New("fastq: quality symbol out of Phred+33 range")
+)
+
+// PhredOffset is the ASCII offset of Phred+33 encoding.
+const PhredOffset = 33
+
+// QualityScores decodes the Phred quality values of a read.
+func (r Read) QualityScores() []int {
+	out := make([]int, len(r.Qual))
+	for i := 0; i < len(r.Qual); i++ {
+		out[i] = int(r.Qual[i]) - PhredOffset
+	}
+	return out
+}
+
+// MeanQuality returns the average Phred score, 0 for empty reads.
+func (r Read) MeanQuality() float64 {
+	if len(r.Qual) == 0 {
+		return 0
+	}
+	sum := 0
+	for _, q := range r.QualityScores() {
+		sum += q
+	}
+	return float64(sum) / float64(len(r.Qual))
+}
+
+// Parse reads all records from rd.
+func Parse(rd io.Reader) ([]Read, error) {
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var out []Read
+	lines := make([]string, 0, 4)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		lines = append(lines, strings.TrimRight(sc.Text(), "\r"))
+		if len(lines) < 4 {
+			continue
+		}
+		rec, err := fromLines(lines)
+		if err != nil {
+			return nil, fmt.Errorf("record ending line %d: %w", lineNo, err)
+		}
+		out = append(out, rec)
+		lines = lines[:0]
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("fastq: scan: %w", err)
+	}
+	if len(lines) != 0 {
+		return nil, ErrTruncated
+	}
+	return out, nil
+}
+
+// ParseString reads records from a string.
+func ParseString(s string) ([]Read, error) {
+	return Parse(strings.NewReader(s))
+}
+
+func fromLines(lines []string) (Read, error) {
+	if !strings.HasPrefix(lines[0], "@") {
+		return Read{}, ErrBadHeader
+	}
+	if !strings.HasPrefix(lines[2], "+") {
+		return Read{}, ErrBadSep
+	}
+	seq, qual := lines[1], lines[3]
+	if len(seq) != len(qual) {
+		return Read{}, ErrLengthMatch
+	}
+	for i := 0; i < len(qual); i++ {
+		if qual[i] < PhredOffset || qual[i] > PhredOffset+60 {
+			return Read{}, fmt.Errorf("%w: %q", ErrBadQuality, qual[i])
+		}
+	}
+	return Read{ID: strings.TrimPrefix(lines[0], "@"), Seq: seq, Qual: qual}, nil
+}
+
+// Write renders reads to w.
+func Write(w io.Writer, reads []Read) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range reads {
+		if len(r.Seq) != len(r.Qual) {
+			return fmt.Errorf("read %q: %w", r.ID, ErrLengthMatch)
+		}
+		if _, err := fmt.Fprintf(bw, "@%s\n%s\n+\n%s\n", r.ID, r.Seq, r.Qual); err != nil {
+			return fmt.Errorf("fastq: write: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// String renders reads to a string.
+func String(reads []Read) string {
+	var sb strings.Builder
+	_ = Write(&sb, reads)
+	return sb.String()
+}

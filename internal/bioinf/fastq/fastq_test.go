@@ -1,0 +1,111 @@
+package fastq
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+const sample = "@r1 lane1\nACGT\n+\nIIII\n@r2\nGGCC\n+anything\n!!!!\n"
+
+func TestParseTwoReads(t *testing.T) {
+	reads, err := ParseString(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reads) != 2 {
+		t.Fatalf("reads = %d, want 2", len(reads))
+	}
+	if reads[0].ID != "r1 lane1" || reads[0].Seq != "ACGT" || reads[0].Qual != "IIII" {
+		t.Fatalf("read0 = %+v", reads[0])
+	}
+}
+
+func TestQualityScores(t *testing.T) {
+	reads, _ := ParseString(sample)
+	q := reads[0].QualityScores()
+	for _, v := range q {
+		if v != 40 { // 'I' = 73, 73-33 = 40
+			t.Fatalf("scores = %v, want all 40", q)
+		}
+	}
+	zeros := reads[1].QualityScores()
+	for _, v := range zeros {
+		if v != 0 { // '!' = 33
+			t.Fatalf("scores = %v, want all 0", zeros)
+		}
+	}
+}
+
+func TestMeanQuality(t *testing.T) {
+	r := Read{ID: "x", Seq: "AC", Qual: string([]byte{33 + 10, 33 + 30})}
+	if got := r.MeanQuality(); got != 20 {
+		t.Fatalf("mean = %v, want 20", got)
+	}
+	var empty Read
+	if empty.MeanQuality() != 0 {
+		t.Fatal("empty read mean should be 0")
+	}
+}
+
+func TestTruncatedRejected(t *testing.T) {
+	_, err := ParseString("@r1\nACGT\n+\n")
+	if !errors.Is(err, ErrTruncated) {
+		t.Fatalf("err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestBadHeaderRejected(t *testing.T) {
+	_, err := ParseString("r1\nACGT\n+\nIIII\n")
+	if err == nil || !strings.Contains(err.Error(), "header") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBadSeparatorRejected(t *testing.T) {
+	_, err := ParseString("@r1\nACGT\nIIII\nIIII\n")
+	if err == nil {
+		t.Fatal("want ErrBadSep")
+	}
+}
+
+func TestLengthMismatchRejected(t *testing.T) {
+	_, err := ParseString("@r1\nACGT\n+\nIII\n")
+	if err == nil {
+		t.Fatal("want ErrLengthMatch")
+	}
+}
+
+func TestQualityRangeEnforced(t *testing.T) {
+	_, err := ParseString("@r1\nA\n+\n\x01\n")
+	if err == nil {
+		t.Fatal("want ErrBadQuality")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	in := []Read{
+		{ID: "a", Seq: "ACGTAC", Qual: "IIIIII"},
+		{ID: "b", Seq: "GG", Qual: "!5"},
+	}
+	out, err := ParseString(String(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("reads = %d", len(out))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("round trip mismatch: %+v vs %+v", out[i], in[i])
+		}
+	}
+}
+
+func TestWriteRejectsMismatchedLengths(t *testing.T) {
+	var sb strings.Builder
+	err := Write(&sb, []Read{{ID: "x", Seq: "ACG", Qual: "II"}})
+	if !errors.Is(err, ErrLengthMatch) {
+		t.Fatalf("err = %v", err)
+	}
+}

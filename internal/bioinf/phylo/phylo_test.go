@@ -1,0 +1,187 @@
+package phylo
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"spotverse/internal/bioinf/synth"
+	"spotverse/internal/bioinf/variant"
+	"spotverse/internal/simclock"
+)
+
+func TestNeighborJoiningFourTaxa(t *testing.T) {
+	// Classic additive matrix: ((A,B),(C,D)).
+	names := []string{"A", "B", "C", "D"}
+	d := [][]float64{
+		{0, 2, 7, 7},
+		{2, 0, 7, 7},
+		{7, 7, 0, 2},
+		{7, 7, 2, 0},
+	}
+	tree, err := NeighborJoining(names, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaves := tree.Leaves()
+	if len(leaves) != 4 {
+		t.Fatalf("leaves = %v", leaves)
+	}
+	nw := tree.Newick()
+	if !strings.HasSuffix(nw, ";") {
+		t.Fatalf("newick = %q", nw)
+	}
+	// A and B must be siblings: the newick should contain them adjacent
+	// inside one set of parens (order within pair may vary).
+	if !strings.Contains(nw, "A:") || !strings.Contains(nw, "B:") {
+		t.Fatalf("newick = %q", nw)
+	}
+	pair := pairOf(tree, "A")
+	if pair != "B" {
+		t.Fatalf("A paired with %q, want B (newick %s)", pair, nw)
+	}
+}
+
+// pairOf returns the other leaf sharing A's immediate parent, if the
+// parent is a cherry.
+func pairOf(root *Node, name string) string {
+	var find func(n *Node) string
+	find = func(n *Node) string {
+		if n.IsLeaf() {
+			return ""
+		}
+		if len(n.Children) == 2 && n.Children[0].IsLeaf() && n.Children[1].IsLeaf() {
+			if n.Children[0].Name == name {
+				return n.Children[1].Name
+			}
+			if n.Children[1].Name == name {
+				return n.Children[0].Name
+			}
+		}
+		for _, c := range n.Children {
+			if got := find(c); got != "" {
+				return got
+			}
+		}
+		return ""
+	}
+	return find(root)
+}
+
+func TestTwoTaxa(t *testing.T) {
+	tree, err := NeighborJoining([]string{"A", "B"}, [][]float64{{0, 4}, {4, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tree.Leaves()) != 2 {
+		t.Fatalf("leaves = %v", tree.Leaves())
+	}
+	if tree.Children[0].Length != 2 || tree.Children[1].Length != 2 {
+		t.Fatalf("branch lengths = %v, %v", tree.Children[0].Length, tree.Children[1].Length)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := NeighborJoining([]string{"A"}, [][]float64{{0}}); !errors.Is(err, ErrTooFewTaxa) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := NeighborJoining([]string{"A", "B"}, [][]float64{{0, 1}}); !errors.Is(err, ErrBadMatrix) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := NeighborJoining([]string{"A", "B"}, [][]float64{{0, 1}, {2, 0}}); !errors.Is(err, ErrAsymmetric) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := NeighborJoining([]string{"A", "B"}, [][]float64{{0, -1}, {-1, 0}}); !errors.Is(err, ErrNegativeDst) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDistanceMatrixValidation(t *testing.T) {
+	if _, err := DistanceMatrix([]string{"A"}, []string{"ACGT", "ACGT"}, 3); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+	if _, err := DistanceMatrix([]string{"A", "A"}, []string{"ACGT", "ACGT"}, 3); !errors.Is(err, ErrDupTaxon) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDistanceMatrixProperties(t *testing.T) {
+	rng := simclock.Stream(31, "phylo-test")
+	names := []string{"a", "b", "c"}
+	seqs := make([]string, 3)
+	for i := range seqs {
+		g, err := synth.Genome(rng, 800)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqs[i] = g
+	}
+	d, err := DistanceMatrix(names, seqs, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range d {
+		if d[i][i] != 0 {
+			t.Fatalf("diagonal %d = %v", i, d[i][i])
+		}
+		for j := range d {
+			if d[i][j] != d[j][i] {
+				t.Fatal("asymmetric matrix")
+			}
+		}
+	}
+}
+
+// TestRelatedSequencesClusterTogether is the biological sanity check:
+// two mutated isolates of one genome must pair with each other, not with
+// an unrelated genome.
+func TestRelatedSequencesClusterTogether(t *testing.T) {
+	rng := simclock.Stream(33, "phylo-cluster")
+	base, err := synth.Genome(rng, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := synth.Genome(rng, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(g string) string {
+		f, err := synth.Mutate(rng, g, 0.003, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, _, err := variant.Consensus(g, f, variant.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	names := []string{"iso1", "iso2", "out1", "out2"}
+	seqs := []string{mk(base), mk(base), mk(other), mk(other)}
+	tree, err := BuildFromSequences(names, seqs, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pairOf(tree, "iso1"); got != "iso2" {
+		t.Fatalf("iso1 paired with %q, want iso2 (%s)", got, tree.Newick())
+	}
+}
+
+func TestNewickParsesStructurally(t *testing.T) {
+	tree, err := NeighborJoining(
+		[]string{"A", "B", "C"},
+		[][]float64{{0, 2, 3}, {2, 0, 3}, {3, 3, 0}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw := tree.Newick()
+	if strings.Count(nw, "(") != strings.Count(nw, ")") {
+		t.Fatalf("unbalanced parens: %q", nw)
+	}
+	for _, name := range []string{"A", "B", "C"} {
+		if !strings.Contains(nw, name+":") {
+			t.Fatalf("missing %s in %q", name, nw)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package phylo
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"spotverse/internal/simclock"
+)
+
+// Property: for any valid symmetric distance matrix, neighbour joining
+// returns a tree containing every taxon exactly once, with balanced
+// Newick output and non-negative branch lengths.
+func TestNJPreservesTaxa(t *testing.T) {
+	g := simclock.NewRNG(55)
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%10) + 2 // 2..11 taxa
+		names := make([]string, n)
+		for i := range names {
+			names[i] = fmt.Sprintf("t%02d", i)
+		}
+		d := make([][]float64, n)
+		for i := range d {
+			d[i] = make([]float64, n)
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				v := g.Uniform(0.1, 5)
+				d[i][j], d[j][i] = v, v
+			}
+		}
+		tree, err := NeighborJoining(names, d)
+		if err != nil {
+			return false
+		}
+		leaves := tree.Leaves()
+		if len(leaves) != n {
+			return false
+		}
+		seen := map[string]bool{}
+		for _, l := range leaves {
+			if seen[l] {
+				return false
+			}
+			seen[l] = true
+		}
+		nw := tree.Newick()
+		if strings.Count(nw, "(") != strings.Count(nw, ")") || !strings.HasSuffix(nw, ";") {
+			return false
+		}
+		return noNegativeLengths(tree)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func noNegativeLengths(n *Node) bool {
+	if n.Length < 0 {
+		return false
+	}
+	for _, c := range n.Children {
+		if !noNegativeLengths(c) {
+			return false
+		}
+	}
+	return true
+}
+
+// Property: NJ recovers additive trees exactly — for a matrix generated
+// from a known tree metric, the reconstructed topology pairs the right
+// cherries.
+func TestNJRecoversAdditiveCherries(t *testing.T) {
+	g := simclock.NewRNG(56)
+	for trial := 0; trial < 30; trial++ {
+		// Build an additive 4-taxon metric: ((A,B),(C,D)) with random
+		// positive branch lengths.
+		a, b, c, d := g.Uniform(0.5, 3), g.Uniform(0.5, 3), g.Uniform(0.5, 3), g.Uniform(0.5, 3)
+		mid := g.Uniform(1, 4)
+		names := []string{"A", "B", "C", "D"}
+		dist := [][]float64{
+			{0, a + b, a + mid + c, a + mid + d},
+			{a + b, 0, b + mid + c, b + mid + d},
+			{a + mid + c, b + mid + c, 0, c + d},
+			{a + mid + d, b + mid + d, c + d, 0},
+		}
+		tree, err := NeighborJoining(names, dist)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The tree is unrooted; depending on where the final join lands,
+		// either {A,B} or {C,D} shows up as a cherry — but never a mixed
+		// pair like {A,C}.
+		ab := pairOf(tree, "A") == "B" || pairOf(tree, "B") == "A"
+		cd := pairOf(tree, "C") == "D" || pairOf(tree, "D") == "C"
+		if !ab && !cd {
+			t.Fatalf("trial %d: no correct cherry in %s", trial, tree.Newick())
+		}
+		for _, wrong := range []struct{ x, y string }{{"A", "C"}, {"A", "D"}, {"B", "C"}, {"B", "D"}} {
+			if pairOf(tree, wrong.x) == wrong.y {
+				t.Fatalf("trial %d: wrong cherry {%s,%s} in %s", trial, wrong.x, wrong.y, tree.Newick())
+			}
+		}
+	}
+}

@@ -1,0 +1,115 @@
+// Package variant applies VCF variant calls to a reference genome to
+// reconstruct a consensus sequence — the core computation of the paper's
+// 23-step Galaxy Genome Reconstruction workflow (VCF-described viral
+// isolates against a SARS-CoV-2-like reference).
+package variant
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"spotverse/internal/bioinf/vcf"
+)
+
+// Errors returned by the reconstructor.
+var (
+	ErrPosOutOfRange = errors.New("variant: position outside reference")
+	ErrRefMismatch   = errors.New("variant: REF does not match reference")
+	ErrOverlap       = errors.New("variant: overlapping variants")
+)
+
+// Options tune reconstruction.
+type Options struct {
+	// MinQual drops variants below this quality (0 keeps everything).
+	MinQual float64
+	// PassOnly drops variants whose FILTER is neither "PASS" nor ".".
+	PassOnly bool
+	// IgnoreRefMismatch skips (rather than fails on) REF mismatches.
+	IgnoreRefMismatch bool
+}
+
+// Stats summarises a reconstruction.
+type Stats struct {
+	Applied       int
+	FilteredQual  int
+	FilteredPass  int
+	SkippedRef    int
+	Substitutions int
+	Insertions    int
+	Deletions     int
+}
+
+// Consensus applies the variants to the reference and returns the
+// reconstructed sequence. Variants are applied in position order;
+// overlapping REF spans are an error.
+func Consensus(reference string, f *vcf.File, opts Options) (string, Stats, error) {
+	var stats Stats
+	variants := make([]vcf.Variant, len(f.Variants))
+	copy(variants, f.Variants)
+	sort.SliceStable(variants, func(i, j int) bool { return variants[i].Pos < variants[j].Pos })
+
+	var sb strings.Builder
+	sb.Grow(len(reference) + 64)
+	cursor := 0 // 0-based index into reference, next base to copy
+	for _, v := range variants {
+		if opts.MinQual > 0 && v.Qual < opts.MinQual {
+			stats.FilteredQual++
+			continue
+		}
+		if opts.PassOnly && v.Filter != "PASS" && v.Filter != "." && v.Filter != "" {
+			stats.FilteredPass++
+			continue
+		}
+		start := v.Pos - 1
+		end := start + len(v.Ref)
+		if start < 0 || end > len(reference) {
+			return "", stats, fmt.Errorf("%w: pos %d ref %q (reference length %d)", ErrPosOutOfRange, v.Pos, v.Ref, len(reference))
+		}
+		if start < cursor {
+			return "", stats, fmt.Errorf("%w: pos %d overlaps prior variant", ErrOverlap, v.Pos)
+		}
+		if !strings.EqualFold(reference[start:end], v.Ref) {
+			if opts.IgnoreRefMismatch {
+				stats.SkippedRef++
+				continue
+			}
+			return "", stats, fmt.Errorf("%w: pos %d expected %q found %q", ErrRefMismatch, v.Pos, v.Ref, reference[start:end])
+		}
+		sb.WriteString(reference[cursor:start])
+		sb.WriteString(v.Alt)
+		cursor = end
+		stats.Applied++
+		switch {
+		case len(v.Ref) == len(v.Alt):
+			stats.Substitutions++
+		case len(v.Ref) < len(v.Alt):
+			stats.Insertions++
+		default:
+			stats.Deletions++
+		}
+	}
+	sb.WriteString(reference[cursor:])
+	return sb.String(), stats, nil
+}
+
+// Identity returns the fraction of aligned positions (ungapped, by
+// position) at which the two sequences agree, over the shorter length.
+// It is a cheap reconstruction sanity metric, 0 for empty inputs.
+func Identity(a, b string) float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	if n == 0 {
+		return 0
+	}
+	same := 0
+	for i := 0; i < n; i++ {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	return float64(same) / float64(n)
+}

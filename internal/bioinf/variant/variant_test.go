@@ -1,0 +1,214 @@
+package variant
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"spotverse/internal/bioinf/synth"
+	"spotverse/internal/bioinf/vcf"
+	"spotverse/internal/simclock"
+)
+
+func file(vs ...vcf.Variant) *vcf.File {
+	return &vcf.File{Variants: vs}
+}
+
+func TestSubstitution(t *testing.T) {
+	got, stats, err := Consensus("ACGTACGT", file(
+		vcf.Variant{Chrom: "c", Pos: 3, Ref: "G", Alt: "T", Filter: "PASS"},
+	), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "ACTTACGT" {
+		t.Fatalf("consensus = %q", got)
+	}
+	if stats.Applied != 1 || stats.Substitutions != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+func TestInsertion(t *testing.T) {
+	got, stats, err := Consensus("ACGT", file(
+		vcf.Variant{Chrom: "c", Pos: 2, Ref: "C", Alt: "CTT", Filter: "PASS"},
+	), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "ACTTGT" {
+		t.Fatalf("consensus = %q", got)
+	}
+	if stats.Insertions != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+func TestDeletion(t *testing.T) {
+	got, stats, err := Consensus("ACGTA", file(
+		vcf.Variant{Chrom: "c", Pos: 2, Ref: "CGT", Alt: "C", Filter: "PASS"},
+	), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "ACA" {
+		t.Fatalf("consensus = %q", got)
+	}
+	if stats.Deletions != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+func TestVariantsAppliedInPositionOrder(t *testing.T) {
+	got, _, err := Consensus("AAAAAA", file(
+		vcf.Variant{Chrom: "c", Pos: 5, Ref: "A", Alt: "T"},
+		vcf.Variant{Chrom: "c", Pos: 1, Ref: "A", Alt: "G"},
+	), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "GAAATA" {
+		t.Fatalf("consensus = %q", got)
+	}
+}
+
+func TestQualityFilter(t *testing.T) {
+	got, stats, err := Consensus("ACGT", file(
+		vcf.Variant{Chrom: "c", Pos: 1, Ref: "A", Alt: "T", Qual: 10},
+		vcf.Variant{Chrom: "c", Pos: 3, Ref: "G", Alt: "C", Qual: 90},
+	), Options{MinQual: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "ACCT" || stats.FilteredQual != 1 {
+		t.Fatalf("got %q stats %+v", got, stats)
+	}
+}
+
+func TestPassOnlyFilter(t *testing.T) {
+	got, stats, err := Consensus("ACGT", file(
+		vcf.Variant{Chrom: "c", Pos: 1, Ref: "A", Alt: "T", Filter: "lowqual"},
+	), Options{PassOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "ACGT" || stats.FilteredPass != 1 {
+		t.Fatalf("got %q stats %+v", got, stats)
+	}
+}
+
+func TestRefMismatch(t *testing.T) {
+	_, _, err := Consensus("ACGT", file(
+		vcf.Variant{Chrom: "c", Pos: 1, Ref: "G", Alt: "T"},
+	), Options{})
+	if !errors.Is(err, ErrRefMismatch) {
+		t.Fatalf("err = %v", err)
+	}
+	got, stats, err := Consensus("ACGT", file(
+		vcf.Variant{Chrom: "c", Pos: 1, Ref: "G", Alt: "T"},
+	), Options{IgnoreRefMismatch: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "ACGT" || stats.SkippedRef != 1 {
+		t.Fatalf("got %q stats %+v", got, stats)
+	}
+}
+
+func TestPosOutOfRange(t *testing.T) {
+	_, _, err := Consensus("ACGT", file(
+		vcf.Variant{Chrom: "c", Pos: 5, Ref: "A", Alt: "T"},
+	), Options{})
+	if !errors.Is(err, ErrPosOutOfRange) {
+		t.Fatalf("err = %v", err)
+	}
+	_, _, err = Consensus("ACGT", file(
+		vcf.Variant{Chrom: "c", Pos: 4, Ref: "TT", Alt: "T"},
+	), Options{})
+	if !errors.Is(err, ErrPosOutOfRange) {
+		t.Fatalf("spanning-end err = %v", err)
+	}
+}
+
+func TestOverlapRejected(t *testing.T) {
+	_, _, err := Consensus("ACGTACGT", file(
+		vcf.Variant{Chrom: "c", Pos: 2, Ref: "CGT", Alt: "C"},
+		vcf.Variant{Chrom: "c", Pos: 3, Ref: "G", Alt: "A"},
+	), Options{})
+	if !errors.Is(err, ErrOverlap) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestEmptyVCFIdentity(t *testing.T) {
+	got, stats, err := Consensus("ACGT", file(), Options{})
+	if err != nil || got != "ACGT" || stats.Applied != 0 {
+		t.Fatalf("got %q stats %+v err %v", got, stats, err)
+	}
+}
+
+// TestSynthRoundTrip is the key integration property: applying a
+// synthesised VCF reproduces a genome that differs from the reference in
+// the expected way, and most positions still match.
+func TestSynthRoundTrip(t *testing.T) {
+	rng := simclock.Stream(99, "variant-test")
+	ref, err := synth.Genome(rng, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Substitutions only: positional identity stays meaningful.
+	f, err := synth.Mutate(rng, ref, 0.01, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Variants) == 0 {
+		t.Fatal("no variants generated")
+	}
+	got, stats, err := Consensus(ref, f, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Applied != len(f.Variants) {
+		t.Fatalf("applied %d of %d", stats.Applied, len(f.Variants))
+	}
+	if len(got) != len(ref) {
+		t.Fatalf("substitution-only consensus changed length: %d vs %d", len(got), len(ref))
+	}
+	id := Identity(got, ref)
+	if id < 0.97 || id >= 1 {
+		t.Fatalf("identity %v, want just under 1 for 1%% substitutions", id)
+	}
+	// Indels: consensus must change length but still apply cleanly.
+	fi, err := synth.Mutate(rng, ref, 0, 0.005)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, stats2, err := Consensus(ref, fi, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats2.Applied != len(fi.Variants) {
+		t.Fatalf("indels applied %d of %d", stats2.Applied, len(fi.Variants))
+	}
+	if len(fi.Variants) > 0 && len(got2) == len(ref) {
+		t.Fatal("indel consensus kept reference length")
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	if Identity("ACGT", "ACGT") != 1 {
+		t.Fatal("self identity != 1")
+	}
+	if Identity("AAAA", "TTTT") != 0 {
+		t.Fatal("disjoint identity != 0")
+	}
+	if Identity("", "ACGT") != 0 {
+		t.Fatal("empty identity != 0")
+	}
+	if Identity("ACGTAA", "ACGT") != 1 {
+		t.Fatal("prefix identity over shorter length")
+	}
+	if got := Identity(strings.Repeat("A", 10), "AAAAATTTTT"); got != 0.5 {
+		t.Fatalf("identity = %v, want 0.5", got)
+	}
+}

@@ -1,0 +1,195 @@
+// Package vcf reads and writes a pragmatic subset of the Variant Call
+// Format v4.2: the CHROM/POS/ID/REF/ALT/QUAL/FILTER/INFO columns the
+// genome-reconstruction workflow consumes.
+package vcf
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Variant is one data line.
+type Variant struct {
+	Chrom string
+	// Pos is 1-based, per the VCF spec.
+	Pos    int
+	ID     string
+	Ref    string
+	Alt    string
+	Qual   float64
+	Filter string
+	Info   map[string]string
+}
+
+// File is a parsed VCF: header meta lines plus variants.
+type File struct {
+	// Meta holds the "##"-prefixed header lines, verbatim.
+	Meta []string
+	// Variants are the data lines in file order.
+	Variants []Variant
+}
+
+// Errors returned by the parser.
+var (
+	ErrNoColumnHeader = errors.New("vcf: missing #CHROM column header")
+	ErrBadColumns     = errors.New("vcf: data line has fewer than 8 columns")
+	ErrBadPos         = errors.New("vcf: position is not a positive integer")
+	ErrEmptyRef       = errors.New("vcf: empty REF")
+)
+
+// Parse reads a VCF from r.
+func Parse(r io.Reader) (*File, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	f := &File{}
+	sawHeader := false
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimRight(sc.Text(), "\r")
+		switch {
+		case text == "":
+			continue
+		case strings.HasPrefix(text, "##"):
+			f.Meta = append(f.Meta, text)
+		case strings.HasPrefix(text, "#CHROM"):
+			sawHeader = true
+		case strings.HasPrefix(text, "#"):
+			continue
+		default:
+			if !sawHeader {
+				return nil, fmt.Errorf("line %d: %w", line, ErrNoColumnHeader)
+			}
+			v, err := parseLine(text)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", line, err)
+			}
+			f.Variants = append(f.Variants, v)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("vcf: scan: %w", err)
+	}
+	if !sawHeader {
+		return nil, ErrNoColumnHeader
+	}
+	return f, nil
+}
+
+// ParseString reads a VCF from a string.
+func ParseString(s string) (*File, error) {
+	return Parse(strings.NewReader(s))
+}
+
+func parseLine(text string) (Variant, error) {
+	cols := strings.Split(text, "\t")
+	if len(cols) < 8 {
+		return Variant{}, ErrBadColumns
+	}
+	pos, err := strconv.Atoi(cols[1])
+	if err != nil || pos <= 0 {
+		return Variant{}, fmt.Errorf("%w: %q", ErrBadPos, cols[1])
+	}
+	if cols[3] == "" {
+		return Variant{}, ErrEmptyRef
+	}
+	qual := 0.0
+	if cols[5] != "." {
+		qual, err = strconv.ParseFloat(cols[5], 64)
+		if err != nil {
+			return Variant{}, fmt.Errorf("vcf: bad QUAL %q: %w", cols[5], err)
+		}
+	}
+	info := map[string]string{}
+	if cols[7] != "." && cols[7] != "" {
+		for _, kv := range strings.Split(cols[7], ";") {
+			k, v, found := strings.Cut(kv, "=")
+			if !found {
+				info[k] = ""
+				continue
+			}
+			info[k] = v
+		}
+	}
+	return Variant{
+		Chrom:  cols[0],
+		Pos:    pos,
+		ID:     cols[2],
+		Ref:    cols[3],
+		Alt:    cols[4],
+		Qual:   qual,
+		Filter: cols[6],
+		Info:   info,
+	}, nil
+}
+
+// Write renders the file to w.
+func Write(w io.Writer, f *File) error {
+	bw := bufio.NewWriter(w)
+	for _, m := range f.Meta {
+		if _, err := bw.WriteString(m + "\n"); err != nil {
+			return fmt.Errorf("vcf: write: %w", err)
+		}
+	}
+	if _, err := bw.WriteString("#CHROM\tPOS\tID\tREF\tALT\tQUAL\tFILTER\tINFO\n"); err != nil {
+		return fmt.Errorf("vcf: write: %w", err)
+	}
+	for _, v := range f.Variants {
+		qual := "."
+		if v.Qual != 0 {
+			qual = strconv.FormatFloat(v.Qual, 'g', -1, 64)
+		}
+		info := "."
+		if len(v.Info) > 0 {
+			keys := make([]string, 0, len(v.Info))
+			for k := range v.Info {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			parts := make([]string, 0, len(keys))
+			for _, k := range keys {
+				if v.Info[k] == "" {
+					parts = append(parts, k)
+				} else {
+					parts = append(parts, k+"="+v.Info[k])
+				}
+			}
+			info = strings.Join(parts, ";")
+		}
+		id := v.ID
+		if id == "" {
+			id = "."
+		}
+		filter := v.Filter
+		if filter == "" {
+			filter = "PASS"
+		}
+		if _, err := fmt.Fprintf(bw, "%s\t%d\t%s\t%s\t%s\t%s\t%s\t%s\n",
+			v.Chrom, v.Pos, id, v.Ref, v.Alt, qual, filter, info); err != nil {
+			return fmt.Errorf("vcf: write: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// String renders the file to a string.
+func String(f *File) string {
+	var sb strings.Builder
+	_ = Write(&sb, f)
+	return sb.String()
+}
+
+// SortByPosition orders variants by (chrom, pos), stable.
+func (f *File) SortByPosition() {
+	sort.SliceStable(f.Variants, func(i, j int) bool {
+		if f.Variants[i].Chrom != f.Variants[j].Chrom {
+			return f.Variants[i].Chrom < f.Variants[j].Chrom
+		}
+		return f.Variants[i].Pos < f.Variants[j].Pos
+	})
+}

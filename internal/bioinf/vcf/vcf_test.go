@@ -1,0 +1,115 @@
+package vcf
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+const sample = `##fileformat=VCFv4.2
+##source=test
+#CHROM	POS	ID	REF	ALT	QUAL	FILTER	INFO
+chr1	5	rs1	A	T	60	PASS	DP=30;AF=0.5
+chr1	9	.	AC	A	45.5	PASS	.
+chr1	2	ins2	G	GTT	.	lowqual	FLAG
+`
+
+func TestParse(t *testing.T) {
+	f, err := ParseString(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Meta) != 2 || len(f.Variants) != 3 {
+		t.Fatalf("meta=%d variants=%d", len(f.Meta), len(f.Variants))
+	}
+	v := f.Variants[0]
+	if v.Chrom != "chr1" || v.Pos != 5 || v.Ref != "A" || v.Alt != "T" || v.Qual != 60 {
+		t.Fatalf("v0 = %+v", v)
+	}
+	if v.Info["DP"] != "30" || v.Info["AF"] != "0.5" {
+		t.Fatalf("info = %v", v.Info)
+	}
+	if f.Variants[2].Info["FLAG"] != "" {
+		t.Fatalf("flag info = %v", f.Variants[2].Info)
+	}
+	if f.Variants[1].Qual != 45.5 {
+		t.Fatalf("qual = %v", f.Variants[1].Qual)
+	}
+}
+
+func TestMissingHeaderRejected(t *testing.T) {
+	_, err := ParseString("chr1\t5\t.\tA\tT\t.\tPASS\t.\n")
+	if !errors.Is(err, ErrNoColumnHeader) {
+		t.Fatalf("err = %v", err)
+	}
+	_, err = ParseString("##meta\n")
+	if !errors.Is(err, ErrNoColumnHeader) {
+		t.Fatalf("empty file err = %v", err)
+	}
+}
+
+func TestBadColumnsRejected(t *testing.T) {
+	_, err := ParseString("#CHROM\tPOS\nchr1\t5\t.\tA\n")
+	if !errors.Is(err, ErrBadColumns) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBadPosRejected(t *testing.T) {
+	for _, pos := range []string{"0", "-3", "abc"} {
+		_, err := ParseString("#CHROM\nchr1\t" + pos + "\t.\tA\tT\t.\tPASS\t.\n")
+		if !errors.Is(err, ErrBadPos) {
+			t.Fatalf("pos %q: err = %v", pos, err)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	f, err := ParseString(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := ParseString(String(f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again.Variants) != len(f.Variants) {
+		t.Fatalf("variants = %d vs %d", len(again.Variants), len(f.Variants))
+	}
+	for i := range f.Variants {
+		a, b := f.Variants[i], again.Variants[i]
+		if a.Chrom != b.Chrom || a.Pos != b.Pos || a.Ref != b.Ref || a.Alt != b.Alt {
+			t.Fatalf("variant %d mismatch: %+v vs %+v", i, a, b)
+		}
+		for k, v := range a.Info {
+			if b.Info[k] != v {
+				t.Fatalf("variant %d info %q: %q vs %q", i, k, v, b.Info[k])
+			}
+		}
+	}
+}
+
+func TestSortByPosition(t *testing.T) {
+	f, _ := ParseString(sample)
+	f.SortByPosition()
+	if f.Variants[0].Pos != 2 || f.Variants[1].Pos != 5 || f.Variants[2].Pos != 9 {
+		t.Fatalf("order = %d,%d,%d", f.Variants[0].Pos, f.Variants[1].Pos, f.Variants[2].Pos)
+	}
+}
+
+func TestWriteDotDefaults(t *testing.T) {
+	out := String(&File{Variants: []Variant{{Chrom: "c", Pos: 1, Ref: "A", Alt: "T"}}})
+	if !strings.Contains(out, "c\t1\t.\tA\tT\t.\tPASS\t.") {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestCommentLinesSkipped(t *testing.T) {
+	f, err := ParseString("#CHROM header\n#random comment\nchr1\t1\t.\tA\tT\t.\tPASS\t.\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Variants) != 1 {
+		t.Fatalf("variants = %d", len(f.Variants))
+	}
+}

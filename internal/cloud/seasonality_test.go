@@ -1,0 +1,78 @@
+package cloud
+
+import (
+	"testing"
+	"time"
+
+	"spotverse/internal/catalog"
+	"spotverse/internal/market"
+	"spotverse/internal/simclock"
+)
+
+// TestSeasonalInterruptionRates verifies that with seasonality enabled,
+// instances launched during weekday business hours get reclaimed faster
+// than instances launched on the weekend.
+func TestSeasonalInterruptionRates(t *testing.T) {
+	survival := func(launchOffset time.Duration) float64 {
+		eng := simclock.NewEngineAt(simclock.Epoch)
+		mkt := market.New(catalog.Default(), 7, simclock.Epoch)
+		mkt.EnableSeasonality()
+		p := New(eng, mkt, 7)
+		_ = eng.RunFor(launchOffset)
+		const n = 300
+		for i := 0; i < n; i++ {
+			if _, err := p.RequestSpot(catalog.M5XLarge, "ca-central-1", "w"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sweep := eng.Every(15*time.Minute, "sweep", func(time.Time) { p.EvaluateOpenRequests() })
+		defer sweep.Stop()
+		_ = eng.RunFor(6 * time.Hour)
+		launched, running := 0, 0
+		for _, inst := range p.AllInstances() {
+			launched++
+			if inst.State == StateRunning {
+				running++
+			}
+		}
+		if launched < n*8/10 {
+			t.Fatalf("only %d/%d launched", launched, n)
+		}
+		return float64(running) / float64(launched)
+	}
+	// Epoch is Monday 00:00 UTC: 15h offset lands in Monday's business
+	// peak; 5 days + 15h lands on Saturday afternoon (off-peak).
+	peakSurvival := survival(15 * time.Hour)
+	weekendSurvival := survival(5*24*time.Hour + 15*time.Hour)
+	if peakSurvival >= weekendSurvival {
+		t.Fatalf("peak survival %v >= weekend %v; seasonality not biting", peakSurvival, weekendSurvival)
+	}
+}
+
+// TestLaunchGateBlocksFulfilment covers the AMI-gate path added to the
+// provider: gated regions reject both entry points.
+func TestLaunchGateBlocksFulfilment(t *testing.T) {
+	eng := simclock.NewEngine()
+	mkt := market.New(catalog.Default(), 8, simclock.Epoch)
+	p := New(eng, mkt, 8)
+	blocked := map[catalog.Region]bool{"eu-north-1": true}
+	p.SetLaunchGate(func(_ catalog.InstanceType, r catalog.Region) error {
+		if blocked[r] {
+			return ErrNotFound // any error will do for the gate
+		}
+		return nil
+	})
+	if _, err := p.RequestSpot(catalog.M5XLarge, "eu-north-1", "w"); err == nil {
+		t.Fatal("gated spot request accepted")
+	}
+	if _, err := p.RunOnDemand(catalog.M5XLarge, "eu-north-1", "w"); err == nil {
+		t.Fatal("gated on-demand accepted")
+	}
+	if _, err := p.RequestSpot(catalog.M5XLarge, "us-east-1", "w"); err != nil {
+		t.Fatalf("ungated region rejected: %v", err)
+	}
+	p.SetLaunchGate(nil)
+	if _, err := p.RunOnDemand(catalog.M5XLarge, "eu-north-1", "w"); err != nil {
+		t.Fatalf("clearing the gate failed: %v", err)
+	}
+}

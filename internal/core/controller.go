@@ -1,0 +1,116 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"spotverse/internal/catalog"
+	"spotverse/internal/services/eventbridge"
+	"spotverse/internal/services/lambda"
+	"spotverse/internal/strategy"
+)
+
+// Controller is SpotVerse's actuation component. Interruption handling
+// follows the paper's AWS wiring: the interruption warning is published
+// to EventBridge, a rule routes it into a Step Functions execution that
+// retries the interruption-handler Lambda, and the handler asks the
+// Optimizer for a migration target and re-provisions the workload. A
+// CloudWatch rule sweeps open spot requests every 15 minutes.
+type Controller struct {
+	cfg  Config
+	deps Deps
+	opt  *Optimizer
+
+	handled  int
+	failures int
+	sweeps   int
+}
+
+const (
+	handlerFunction = "spotverse-interruption-handler"
+	// SweepInterval is the paper's periodic open-request check.
+	SweepInterval = 15 * time.Minute
+)
+
+// interruptionPayload travels through the bus and Lambda.
+type interruptionPayload struct {
+	workloadID string
+	region     catalog.Region
+	relaunch   strategy.RelaunchFunc
+}
+
+func newController(cfg Config, deps Deps, opt *Optimizer) (*Controller, error) {
+	c := &Controller{cfg: cfg, deps: deps, opt: opt}
+	_, err := deps.Lambda.Register(handlerFunction, 128, 15*time.Minute, 2*time.Second,
+		func(raw any) error {
+			p, ok := raw.(interruptionPayload)
+			if !ok {
+				return fmt.Errorf("controller: bad payload %T", raw)
+			}
+			placement, err := opt.Replace(p.region)
+			if err != nil {
+				return fmt.Errorf("controller handle %s: %w", p.workloadID, err)
+			}
+			p.relaunch(placement)
+			c.handled++
+			return nil
+		})
+	if err != nil {
+		return nil, fmt.Errorf("controller: %w", err)
+	}
+	if err := deps.Bus.AddRule("spotverse-interruption", EventSourceEC2, DetailTypeInterruption,
+		func(ev eventbridge.Event) {
+			p, ok := ev.Detail.(interruptionPayload)
+			if !ok {
+				return
+			}
+			c.execute(p)
+		}); err != nil {
+		return nil, fmt.Errorf("controller: %w", err)
+	}
+	if err := deps.CloudWatch.Schedule("open-request-sweep", SweepInterval, func(time.Time) {
+		c.sweeps++
+		deps.Provider.EvaluateOpenRequests()
+	}); err != nil {
+		return nil, fmt.Errorf("controller: %w", err)
+	}
+	return c, nil
+}
+
+// execute wraps the handler Lambda in a retrying Step Functions run.
+func (c *Controller) execute(p interruptionPayload) {
+	_ = c.deps.StepFn.ExecuteAsync("interruption-"+p.workloadID,
+		func(finish func(error)) {
+			err := c.deps.Lambda.Invoke(handlerFunction, p, func(res lambda.Result) {
+				finish(res.Err)
+			})
+			if err != nil {
+				finish(err)
+			}
+		},
+		func(final error) {
+			if final != nil {
+				c.failures++
+			}
+		})
+}
+
+// HandleInterruption publishes the interruption warning onto the bus,
+// which triggers the full EventBridge → Step Functions → Lambda chain.
+func (c *Controller) HandleInterruption(id string, current catalog.Region, relaunch strategy.RelaunchFunc) error {
+	if relaunch == nil {
+		return fmt.Errorf("controller: nil relaunch for %s", id)
+	}
+	c.deps.Bus.Put(eventbridge.Event{
+		Source:     EventSourceEC2,
+		DetailType: DetailTypeInterruption,
+		Detail:     interruptionPayload{workloadID: id, region: current, relaunch: relaunch},
+	})
+	return nil
+}
+
+// Stats reports controller counters: handled interruptions, exhausted
+// retries, and sweep executions.
+func (c *Controller) Stats() (handled, failures, sweeps int) {
+	return c.handled, c.failures, c.sweeps
+}

@@ -1,0 +1,269 @@
+// Package core implements SpotVerse, the paper's contribution: a
+// multi-region spot-instance manager built from three components
+// (Section 3.2).
+//
+//   - The Monitor periodically collects spot prices, on-demand prices,
+//     Interruption Frequencies (as Stability Scores) and Spot Placement
+//     Scores into DynamoDB via CloudWatch-triggered Lambda collectors.
+//   - The Optimizer implements Algorithm 1: it scores regions by
+//     Placement + Stability, filters by a threshold, sorts the survivors
+//     by spot price, and distributes workloads round-robin across the top
+//     R regions; interrupted workloads migrate to a random top-R region
+//     excluding the one that failed; when no region clears the threshold
+//     it falls back to the cheapest on-demand instances.
+//   - The Controller reacts to EventBridge interruption events through a
+//     Step Functions-retried Lambda handler and re-provisions workloads.
+package core
+
+import (
+	"errors"
+	"time"
+
+	"spotverse/internal/catalog"
+	"spotverse/internal/cloud"
+	"spotverse/internal/market"
+	"spotverse/internal/services/cloudwatch"
+	"spotverse/internal/services/dynamo"
+	"spotverse/internal/services/eventbridge"
+	"spotverse/internal/services/lambda"
+	"spotverse/internal/services/s3"
+	"spotverse/internal/services/stepfn"
+	"spotverse/internal/simclock"
+	"spotverse/internal/strategy"
+)
+
+// Defaults for Config fields left zero.
+const (
+	DefaultThreshold    = 5
+	DefaultMaxRegions   = 4
+	DefaultCollectEvery = time.Hour
+	// MetricsTable is the DynamoDB table the Monitor writes.
+	MetricsTable = "spotverse-metrics"
+	// DetailTypeInterruption is the EventBridge detail-type for spot
+	// interruption warnings.
+	DetailTypeInterruption = "EC2 Spot Instance Interruption Warning"
+	// EventSourceEC2 is the EventBridge source for EC2 events.
+	EventSourceEC2 = "aws.ec2"
+)
+
+// SelectionMode controls how the threshold filters regions.
+type SelectionMode int
+
+// Selection modes.
+const (
+	// SelectAtLeast keeps regions whose combined score >= threshold —
+	// Algorithm 1 as published.
+	SelectAtLeast SelectionMode = iota + 1
+	// SelectBucket keeps regions whose combined score == threshold —
+	// the grouping the paper's threshold study (Table 3 / Fig. 10) uses,
+	// where each threshold value maps to a disjoint region quartet.
+	SelectBucket
+)
+
+// ScoringMode selects which advisor metrics feed the combined score,
+// supporting the paper's Section 7 observation that other providers
+// expose fewer metrics: Azure publishes interruption rates but no
+// placement score, and GCP (at writing) neither.
+type ScoringMode int
+
+// Scoring modes.
+const (
+	// ScoreCombined is SPS + Stability — AWS, Algorithm 1 as published.
+	ScoreCombined ScoringMode = iota + 1
+	// ScoreStabilityOnly uses the Stability Score alone (1-3), for
+	// Azure-like providers; thresholds must be on the 1-3 scale.
+	ScoreStabilityOnly
+	// ScorePriceOnly ignores reliability entirely (GCP-like or
+	// cost-first configurations); every region passes the filter.
+	ScorePriceOnly
+)
+
+// MigrationPick selects how the interruption handler chooses among the
+// top-R candidate regions.
+type MigrationPick int
+
+// Migration policies.
+const (
+	// PickRandom chooses uniformly among the top R — Algorithm 1 as
+	// published (it spreads migrating workloads instead of dogpiling the
+	// single cheapest region).
+	PickRandom MigrationPick = iota + 1
+	// PickCheapest always chooses the cheapest qualifying region; the
+	// ablation bench measures what the randomisation buys.
+	PickCheapest
+)
+
+// Errors returned by the package.
+var (
+	ErrNoMetrics = errors.New("core: no metrics collected for instance type")
+	ErrNoRegions = errors.New("core: no candidate regions")
+)
+
+// Config parameterises a SpotVerse deployment.
+type Config struct {
+	// InstanceType is the instance type being managed.
+	InstanceType catalog.InstanceType
+	// Threshold is Algorithm 1's combined-score threshold T.
+	Threshold int
+	// MaxRegions is Algorithm 1's R (the paper uses 4).
+	MaxRegions int
+	// Selection picks the threshold semantics (default SelectAtLeast).
+	Selection SelectionMode
+	// Scoring picks the metric set (default ScoreCombined; see
+	// ScoringMode for the Azure/GCP-style degradations).
+	Scoring ScoringMode
+	// DisableOnDemandFallback turns off the cheapest-on-demand escape
+	// hatch used when no region clears the threshold (Section 3.3); the
+	// ablation bench flips it.
+	DisableOnDemandFallback bool
+	// FixedStartRegion, when set, overrides the initial-distribution
+	// strategy and starts every workload there (the paper's Fig. 7 setup
+	// for fair comparison against the single-region baseline).
+	FixedStartRegion catalog.Region
+	// Migration picks the interruption-handler policy (default
+	// PickRandom, Algorithm 1).
+	Migration MigrationPick
+	// CollectEvery is the Monitor's collection period.
+	CollectEvery time.Duration
+	// Seed feeds the random migration pick.
+	Seed int64
+}
+
+func (c Config) normalized() Config {
+	if c.Threshold == 0 {
+		c.Threshold = DefaultThreshold
+	}
+	if c.MaxRegions <= 0 {
+		c.MaxRegions = DefaultMaxRegions
+	}
+	if c.Selection == 0 {
+		c.Selection = SelectAtLeast
+	}
+	if c.Migration == 0 {
+		c.Migration = PickRandom
+	}
+	if c.Scoring == 0 {
+		c.Scoring = ScoreCombined
+	}
+	if c.CollectEvery <= 0 {
+		c.CollectEvery = DefaultCollectEvery
+	}
+	return c
+}
+
+// Deps are the cloud services SpotVerse runs on.
+type Deps struct {
+	Engine     *simclock.Engine
+	Market     *market.Model
+	Provider   *cloud.Provider
+	Dynamo     *dynamo.Store
+	Lambda     *lambda.Runtime
+	Bus        *eventbridge.Bus
+	CloudWatch *cloudwatch.Service
+	StepFn     *stepfn.Machine
+	// S3 is optional; the CloudFormation deployment path (deploy.go)
+	// provisions the activity-log bucket onto it when present.
+	S3 *s3.Store
+}
+
+func (d Deps) validate() error {
+	switch {
+	case d.Engine == nil, d.Market == nil, d.Provider == nil, d.Dynamo == nil,
+		d.Lambda == nil, d.Bus == nil, d.CloudWatch == nil, d.StepFn == nil:
+		return errors.New("core: all dependencies are required")
+	}
+	return nil
+}
+
+// SpotVerse bundles Monitor, Optimizer, and Controller. It implements
+// strategy.Strategy.
+type SpotVerse struct {
+	cfg  Config
+	deps Deps
+	rng  *simclock.RNG
+
+	monitor    *Monitor
+	optimizer  *Optimizer
+	controller *Controller
+}
+
+var _ strategy.Strategy = (*SpotVerse)(nil)
+
+// New deploys SpotVerse: it creates the metrics table, registers the
+// Lambda functions, schedules the Monitor's collectors and the
+// Controller's 15-minute open-request sweep, and subscribes the
+// interruption handler to EventBridge.
+func New(cfg Config, deps Deps) (*SpotVerse, error) {
+	if err := deps.validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.normalized()
+	if _, err := deps.Market.Catalog().Spec(cfg.InstanceType); err != nil {
+		return nil, err
+	}
+	sv := &SpotVerse{
+		cfg:  cfg,
+		deps: deps,
+		rng:  simclock.Stream(cfg.Seed, "spotverse/"+string(cfg.InstanceType)),
+	}
+	mon, err := newMonitor(cfg, deps)
+	if err != nil {
+		return nil, err
+	}
+	sv.monitor = mon
+	sv.optimizer = newOptimizer(cfg, deps, mon, sv.rng)
+	ctl, err := newController(cfg, deps, sv.optimizer)
+	if err != nil {
+		return nil, err
+	}
+	sv.controller = ctl
+	return sv, nil
+}
+
+// Name implements strategy.Strategy.
+func (sv *SpotVerse) Name() string { return "spotverse" }
+
+// Monitor exposes the monitor component.
+func (sv *SpotVerse) Monitor() *Monitor { return sv.monitor }
+
+// Optimizer exposes the optimizer component.
+func (sv *SpotVerse) Optimizer() *Optimizer { return sv.optimizer }
+
+// Controller exposes the controller component.
+func (sv *SpotVerse) Controller() *Controller { return sv.controller }
+
+// PlaceInitial implements Algorithm 1's initialization phase.
+func (sv *SpotVerse) PlaceInitial(ids []string) (map[string]strategy.Placement, error) {
+	out := make(map[string]strategy.Placement, len(ids))
+	if sv.cfg.FixedStartRegion != "" {
+		for _, id := range ids {
+			out[id] = strategy.Placement{Region: sv.cfg.FixedStartRegion, Lifecycle: cloud.LifecycleSpot}
+		}
+		return out, nil
+	}
+	top, err := sv.optimizer.TopRegions(nil)
+	if err != nil {
+		return nil, err
+	}
+	if len(top) == 0 {
+		od, err := sv.optimizer.CheapestOnDemand()
+		if err != nil {
+			return nil, err
+		}
+		for _, id := range ids {
+			out[id] = strategy.Placement{Region: od, Lifecycle: cloud.LifecycleOnDemand}
+		}
+		return out, nil
+	}
+	for i, id := range ids {
+		out[id] = strategy.Placement{Region: top[i%len(top)], Lifecycle: cloud.LifecycleSpot}
+	}
+	return out, nil
+}
+
+// OnInterrupted implements Algorithm 1's interruption phase, routed
+// through the Controller's EventBridge → Step Functions → Lambda path as
+// in the paper's AWS implementation.
+func (sv *SpotVerse) OnInterrupted(id string, current catalog.Region, relaunch strategy.RelaunchFunc) error {
+	return sv.controller.HandleInterruption(id, current, relaunch)
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"spotverse/internal/catalog"
+	"spotverse/internal/services/cloudformation"
+	"spotverse/internal/services/dynamo"
+	"spotverse/internal/services/s3"
+)
+
+// The paper deploys SpotVerse with AWS CloudFormation (Section 4,
+// Fig. 6). This file provides the equivalent declarative path: a stack
+// template describing the deployment's resources, providers that
+// provision the data-plane resources onto the simulated services, and a
+// Deploy helper that creates the stack and then wires SpotVerse to it.
+// Code-level resources (Lambda registrations, EventBridge rules,
+// CloudWatch schedules) are declared for visibility but provisioned by
+// New itself, matching the paper's split between CloudFormation and the
+// AWS SDK.
+
+// Resource type names used in the deployment template.
+const (
+	ResourceDynamoTable   = "DynamoDB::Table"
+	ResourceS3Bucket      = "S3::Bucket"
+	ResourceLambda        = "Lambda::Function"
+	ResourceEventRule     = "Events::Rule"
+	ResourceSchedule      = "CloudWatch::Schedule"
+	ResourceStateMachine  = "StepFunctions::StateMachine"
+	activityLogBucketName = "spotverse-activity-logs"
+)
+
+// InfrastructureTemplate returns the declarative description of a
+// SpotVerse deployment for the given instance type.
+func InfrastructureTemplate(cfg Config) *cloudformation.Template {
+	return &cloudformation.Template{
+		Name: "spotverse-" + string(cfg.InstanceType),
+		Resources: []cloudformation.Resource{
+			{ID: "MetricsTable", Type: ResourceDynamoTable,
+				Properties: map[string]string{"name": MetricsTable}},
+			{ID: "ActivityLogs", Type: ResourceS3Bucket,
+				Properties: map[string]string{"name": activityLogBucketName, "region": "us-east-1"}},
+			{ID: "MetricsCollector", Type: ResourceLambda, DependsOn: []string{"MetricsTable"},
+				Properties: map[string]string{"name": collectorFunction, "memoryMB": "128"}},
+			{ID: "InterruptionHandler", Type: ResourceLambda, DependsOn: []string{"MetricsTable"},
+				Properties: map[string]string{"name": handlerFunction, "memoryMB": "128"}},
+			{ID: "RetryMachine", Type: ResourceStateMachine, DependsOn: []string{"InterruptionHandler"}},
+			{ID: "InterruptionRule", Type: ResourceEventRule, DependsOn: []string{"RetryMachine"},
+				Properties: map[string]string{"source": EventSourceEC2, "detailType": DetailTypeInterruption}},
+			{ID: "CollectionSchedule", Type: ResourceSchedule, DependsOn: []string{"MetricsCollector"}},
+			{ID: "SweepSchedule", Type: ResourceSchedule},
+		},
+	}
+}
+
+// RegisterProviders binds the template's resource types to the simulated
+// services. Data-plane resources (table, bucket) are provisioned by the
+// stack; code-plane resources are logical markers provisioned by New.
+func RegisterProviders(engine *cloudformation.Engine, deps Deps) {
+	engine.RegisterProvider(ResourceDynamoTable, cloudformation.ProviderFunc{
+		CreateFn: func(r cloudformation.Resource) (string, error) {
+			name := r.Properties["name"]
+			if name == "" {
+				return "", errors.New("core: table resource needs a name")
+			}
+			if err := deps.Dynamo.CreateTable(name); err != nil && !errors.Is(err, dynamo.ErrTableExists) {
+				return "", err
+			}
+			return "table/" + name, nil
+		},
+	})
+	engine.RegisterProvider(ResourceS3Bucket, cloudformation.ProviderFunc{
+		CreateFn: func(r cloudformation.Resource) (string, error) {
+			name := r.Properties["name"]
+			region := catalog.Region(r.Properties["region"])
+			if name == "" || region == "" {
+				return "", errors.New("core: bucket resource needs name and region")
+			}
+			if deps.S3 == nil {
+				// S3 is optional in Deps; skip bucket provisioning when
+				// the deployment has no object store wired.
+				return "bucket/unbound/" + name, nil
+			}
+			if err := deps.S3.CreateBucket(name, region); err != nil && !errors.Is(err, s3.ErrBucketExists) {
+				return "", err
+			}
+			return "bucket/" + name, nil
+		},
+	})
+	logical := cloudformation.ProviderFunc{
+		CreateFn: func(r cloudformation.Resource) (string, error) {
+			return "logical/" + r.ID, nil
+		},
+	}
+	for _, t := range []string{ResourceLambda, ResourceEventRule, ResourceSchedule, ResourceStateMachine} {
+		engine.RegisterProvider(t, logical)
+	}
+}
+
+// Deploy provisions the infrastructure stack and then constructs
+// SpotVerse on top of it.
+func Deploy(engine *cloudformation.Engine, cfg Config, deps Deps) (*SpotVerse, *cloudformation.Stack, error) {
+	if engine == nil {
+		return nil, nil, errors.New("core: nil cloudformation engine")
+	}
+	if err := deps.validate(); err != nil {
+		return nil, nil, err
+	}
+	RegisterProviders(engine, deps)
+	stack, err := engine.CreateStack(InfrastructureTemplate(cfg.normalized()))
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: deploy: %w", err)
+	}
+	sv, err := New(cfg, deps)
+	if err != nil {
+		// The stack stays up for inspection; callers may DeleteStack.
+		return nil, stack, fmt.Errorf("core: deploy wiring: %w", err)
+	}
+	return sv, stack, nil
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"spotverse/internal/catalog"
+	"spotverse/internal/cost"
+	"spotverse/internal/services/cloudformation"
+	"spotverse/internal/services/s3"
+	"spotverse/internal/simclock"
+)
+
+func TestInfrastructureTemplateValid(t *testing.T) {
+	tpl := InfrastructureTemplate(Config{InstanceType: catalog.M5XLarge}.normalized())
+	if len(tpl.Resources) != 8 {
+		t.Fatalf("resources = %d", len(tpl.Resources))
+	}
+	// The template itself must be deployable (dependency graph acyclic):
+	// CreateStack validates it end to end below.
+	rec := cloudformation.NewEngine()
+	deps := newDeps(500)
+	RegisterProviders(rec, deps)
+	stack, err := rec.CreateStack(tpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stack.Status != cloudformation.StatusCreateComplete {
+		t.Fatalf("status = %v", stack.Status)
+	}
+}
+
+func TestDeployEndToEnd(t *testing.T) {
+	deps := newDeps(501)
+	ledger := cost.NewLedger()
+	deps.S3 = s3.New(deps.Engine, deps.Market.Catalog(), ledger)
+	engine := cloudformation.NewEngine()
+	sv, stack, err := Deploy(engine, Config{InstanceType: catalog.M5XLarge, Seed: 501}, deps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stack == nil || sv == nil {
+		t.Fatal("nil outputs")
+	}
+	// The stack provisioned the metrics table; the monitor reuses it.
+	if _, ok := stack.PhysicalID("MetricsTable"); !ok {
+		t.Fatal("metrics table not in stack")
+	}
+	if err := sv.Monitor().CollectNow(); err != nil {
+		t.Fatal(err)
+	}
+	// The activity-log bucket exists on S3.
+	if _, err := deps.S3.BucketRegion("spotverse-activity-logs"); err != nil {
+		t.Fatal(err)
+	}
+	// The manager works end to end after a CFN deployment.
+	placements, err := sv.PlaceInitial([]string{"w1", "w2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(placements) != 2 {
+		t.Fatalf("placements = %v", placements)
+	}
+	if err := deps.Engine.Run(simclock.Epoch.Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	// Tear down.
+	if err := engine.DeleteStack(stack.Name); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeployWithoutS3SkipsBucket(t *testing.T) {
+	deps := newDeps(502)
+	engine := cloudformation.NewEngine()
+	sv, stack, err := Deploy(engine, Config{InstanceType: catalog.M5XLarge, Seed: 502}, deps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sv == nil {
+		t.Fatal("nil manager")
+	}
+	phys, ok := stack.PhysicalID("ActivityLogs")
+	if !ok || phys != "bucket/unbound/spotverse-activity-logs" {
+		t.Fatalf("bucket physical id = %q", phys)
+	}
+}
+
+func TestDeployValidation(t *testing.T) {
+	deps := newDeps(503)
+	if _, _, err := Deploy(nil, Config{InstanceType: catalog.M5XLarge}, deps); err == nil {
+		t.Fatal("nil engine accepted")
+	}
+	if _, _, err := Deploy(cloudformation.NewEngine(), Config{InstanceType: catalog.M5XLarge}, Deps{}); err == nil {
+		t.Fatal("empty deps accepted")
+	}
+}

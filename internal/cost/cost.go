@@ -1,0 +1,139 @@
+// Package cost provides the differential cost model the paper's
+// evaluation uses (Section 5.1.2): a ledger of USD line items grouped by
+// category — instance usage, Lambda, DynamoDB, S3 storage and cross-region
+// transfer, CloudWatch, EventBridge, Step Functions — so strategies can be
+// compared on exactly what they each consume.
+package cost
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Category labels a ledger line item.
+type Category string
+
+// Ledger categories.
+const (
+	CategoryInstances   Category = "instances"
+	CategoryLambda      Category = "lambda"
+	CategoryDynamoDB    Category = "dynamodb"
+	CategoryS3Storage   Category = "s3-storage"
+	CategoryS3Transfer  Category = "s3-transfer"
+	CategoryCloudWatch  Category = "cloudwatch"
+	CategoryEventBridge Category = "eventbridge"
+	CategoryStepFn      Category = "stepfunctions"
+	CategoryEFS         Category = "efs"
+)
+
+// Published AWS rates used by the service substrates (us-east-1, 2024).
+const (
+	// LambdaUSDPerGBSecond is the Lambda compute rate.
+	LambdaUSDPerGBSecond = 0.0000166667
+	// LambdaUSDPerRequest is the Lambda invocation rate.
+	LambdaUSDPerRequest = 0.0000002
+	// DynamoWriteUSD is the on-demand write request unit rate.
+	DynamoWriteUSD = 0.00000125
+	// DynamoReadUSD is the on-demand read request unit rate.
+	DynamoReadUSD = 0.00000025
+	// S3StorageUSDPerGBMonth is standard-tier storage.
+	S3StorageUSDPerGBMonth = 0.023
+	// S3CrossRegionUSDPerGB is inter-region data transfer.
+	S3CrossRegionUSDPerGB = 0.02
+	// S3CrossContinentUSDPerGB is the pricier inter-continent transfer.
+	S3CrossContinentUSDPerGB = 0.05
+	// EventBridgeUSDPerEvent is the custom event publish rate.
+	EventBridgeUSDPerEvent = 0.000001
+	// StepFnUSDPerTransition is the standard state transition rate.
+	StepFnUSDPerTransition = 0.000025
+	// CloudWatchUSDPerMetricPut is an approximation of metric ingest.
+	CloudWatchUSDPerMetricPut = 0.0000003
+	// EFSStorageUSDPerGBMonth is EFS Standard storage.
+	EFSStorageUSDPerGBMonth = 0.30
+	// EFSReadUSDPerGB and EFSWriteUSDPerGB are elastic throughput rates.
+	EFSReadUSDPerGB  = 0.03
+	EFSWriteUSDPerGB = 0.06
+	// EFSReplicationUSDPerGB is cross-region replication transfer.
+	EFSReplicationUSDPerGB = 0.02
+)
+
+// Ledger accumulates USD by category. The zero value is ready to use.
+type Ledger struct {
+	amounts map[Category]float64
+}
+
+// NewLedger returns an empty ledger.
+func NewLedger() *Ledger {
+	return &Ledger{amounts: make(map[Category]float64)}
+}
+
+// Add records amount (USD) under the category. Negative amounts are
+// rejected: refunds do not exist in this model.
+func (l *Ledger) Add(c Category, usd float64) error {
+	if usd < 0 {
+		return fmt.Errorf("cost: negative amount %v for %s", usd, c)
+	}
+	if l.amounts == nil {
+		l.amounts = make(map[Category]float64)
+	}
+	l.amounts[c] += usd
+	return nil
+}
+
+// MustAdd is Add for internally-generated non-negative amounts.
+func (l *Ledger) MustAdd(c Category, usd float64) {
+	if err := l.Add(c, usd); err != nil {
+		panic(err)
+	}
+}
+
+// Total returns the summed USD across categories. Summation follows
+// category order so the floating-point result is deterministic.
+func (l *Ledger) Total() float64 {
+	var sum float64
+	for _, item := range l.Breakdown() {
+		sum += item.USD
+	}
+	return sum
+}
+
+// Of returns the USD recorded under one category.
+func (l *Ledger) Of(c Category) float64 { return l.amounts[c] }
+
+// Breakdown returns category totals sorted by category name.
+func (l *Ledger) Breakdown() []LineItem {
+	out := make([]LineItem, 0, len(l.amounts))
+	for c, v := range l.amounts {
+		out = append(out, LineItem{Category: c, USD: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Category < out[j].Category })
+	return out
+}
+
+// Merge adds every category of other into l.
+func (l *Ledger) Merge(other *Ledger) {
+	if other == nil {
+		return
+	}
+	for c, v := range other.amounts {
+		l.MustAdd(c, v)
+	}
+}
+
+// LineItem is one category total.
+type LineItem struct {
+	Category Category
+	USD      float64
+}
+
+// String renders the ledger as "category=$x.xx ..." for logs.
+func (l *Ledger) String() string {
+	items := l.Breakdown()
+	parts := make([]string, 0, len(items)+1)
+	for _, it := range items {
+		parts = append(parts, fmt.Sprintf("%s=$%.4f", it.Category, it.USD))
+	}
+	parts = append(parts, fmt.Sprintf("total=$%.4f", l.Total()))
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,86 @@
+package cost
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroLedgerUsable(t *testing.T) {
+	var l Ledger
+	if err := l.Add(CategoryLambda, 1.5); err != nil {
+		t.Fatal(err)
+	}
+	if l.Total() != 1.5 {
+		t.Fatalf("total = %v, want 1.5", l.Total())
+	}
+}
+
+func TestAddAccumulatesPerCategory(t *testing.T) {
+	l := NewLedger()
+	l.MustAdd(CategoryInstances, 10)
+	l.MustAdd(CategoryInstances, 5)
+	l.MustAdd(CategoryS3Transfer, 2)
+	if got := l.Of(CategoryInstances); got != 15 {
+		t.Fatalf("instances = %v, want 15", got)
+	}
+	if got := l.Total(); got != 17 {
+		t.Fatalf("total = %v, want 17", got)
+	}
+}
+
+func TestNegativeRejected(t *testing.T) {
+	l := NewLedger()
+	if err := l.Add(CategoryLambda, -0.01); err == nil {
+		t.Fatal("negative amount should be rejected")
+	}
+}
+
+func TestBreakdownSorted(t *testing.T) {
+	l := NewLedger()
+	l.MustAdd(CategoryS3Transfer, 1)
+	l.MustAdd(CategoryDynamoDB, 2)
+	l.MustAdd(CategoryInstances, 3)
+	items := l.Breakdown()
+	if len(items) != 3 {
+		t.Fatalf("items = %d, want 3", len(items))
+	}
+	for i := 1; i < len(items); i++ {
+		if items[i].Category <= items[i-1].Category {
+			t.Fatal("breakdown not sorted by category")
+		}
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, b := NewLedger(), NewLedger()
+	a.MustAdd(CategoryLambda, 1)
+	b.MustAdd(CategoryLambda, 2)
+	b.MustAdd(CategoryStepFn, 3)
+	a.Merge(b)
+	if a.Of(CategoryLambda) != 3 || a.Of(CategoryStepFn) != 3 {
+		t.Fatalf("merge wrong: %v", a)
+	}
+	a.Merge(nil) // must not panic
+}
+
+func TestStringMentionsTotal(t *testing.T) {
+	l := NewLedger()
+	l.MustAdd(CategoryLambda, 1.25)
+	if s := l.String(); !strings.Contains(s, "total=") || !strings.Contains(s, "lambda=") {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestTotalEqualsSumProperty(t *testing.T) {
+	f := func(a, b, c uint16) bool {
+		l := NewLedger()
+		l.MustAdd(CategoryInstances, float64(a))
+		l.MustAdd(CategoryLambda, float64(b))
+		l.MustAdd(CategoryDynamoDB, float64(c))
+		return l.Total() == float64(a)+float64(b)+float64(c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,23 @@
+package experiment
+
+import (
+	"strconv"
+	"time"
+
+	"spotverse/internal/services/dynamo"
+	"spotverse/internal/workload"
+)
+
+// dynamoCheckpointItem serialises a workload's checkpoint state the way
+// the paper's NGS workload records per-file progress in DynamoDB.
+func dynamoCheckpointItem(w *workload.State, now time.Time) dynamo.Item {
+	return dynamo.Item{
+		Key: "ckpt#" + w.Spec.ID,
+		Attrs: map[string]string{
+			"workload":   w.Spec.ID,
+			"shardsDone": strconv.Itoa(w.ShardsDone),
+			"shards":     strconv.Itoa(w.Spec.Shards),
+			"updated":    now.Format(time.RFC3339),
+		},
+	}
+}

@@ -1,0 +1,171 @@
+package experiment
+
+import (
+	"fmt"
+
+	"spotverse/internal/baselines"
+	"spotverse/internal/catalog"
+	"spotverse/internal/core"
+	"spotverse/internal/predict"
+)
+
+// This file implements the paper's Section 7 future-work directions as
+// runnable experiments: the learning-based placement strategy evaluated
+// in a market with day/time-of-week interruption seasonality, the
+// EFS-vs-S3 checkpoint storage comparison, and the degraded scoring
+// modes for providers that expose fewer advisor metrics.
+
+// ExtPredictiveResult compares SpotVerse, the learning strategy, and the
+// price-chasing broker in a seasonal market.
+type ExtPredictiveResult struct {
+	SpotVerse  *Result
+	Predictive *Result
+	SkyPilot   *Result
+}
+
+// ExtPredictive runs n standard workloads per strategy in a market with
+// hour-of-week hazard seasonality enabled.
+func ExtPredictive(seed int64, n int) (*ExtPredictiveResult, error) {
+	if n <= 0 {
+		n = EvalInstances
+	}
+	runOne := func(build func(env *Env) (RunConfig, error)) (*Result, error) {
+		env := NewEnv(seed)
+		env.Market.EnableSeasonality()
+		cfg, err := build(env)
+		if err != nil {
+			return nil, err
+		}
+		cfg.InstanceType = catalog.M5XLarge
+		cfg.Workloads, err = genStandard(seed, n)
+		if err != nil {
+			return nil, err
+		}
+		return Run(env, cfg)
+	}
+
+	sv, err := runOne(func(env *Env) (RunConfig, error) {
+		mgr, err := newSpotVerse(env, core.Config{InstanceType: catalog.M5XLarge, Threshold: 6, Seed: seed})
+		if err != nil {
+			return RunConfig{}, err
+		}
+		return RunConfig{Strategy: mgr, DisableSweep: true}, nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("ext-predictive spotverse: %w", err)
+	}
+	pred, err := runOne(func(env *Env) (RunConfig, error) {
+		a, err := predict.NewAdaptive(env.Engine, env.Market, catalog.M5XLarge, predict.Config{Seed: seed})
+		if err != nil {
+			return RunConfig{}, err
+		}
+		return RunConfig{Strategy: a}, nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("ext-predictive adaptive: %w", err)
+	}
+	sky, err := runOne(func(env *Env) (RunConfig, error) {
+		s, err := baselines.NewSkyPilotLike(env.Engine, env.Market, catalog.M5XLarge)
+		if err != nil {
+			return RunConfig{}, err
+		}
+		return RunConfig{Strategy: s}, nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("ext-predictive skypilot: %w", err)
+	}
+	return &ExtPredictiveResult{SpotVerse: sv, Predictive: pred, SkyPilot: sky}, nil
+}
+
+// ExtCheckpointStoresResult compares S3 and EFS checkpoint storage for
+// the same checkpoint fleet.
+type ExtCheckpointStoresResult struct {
+	S3  *Result
+	EFS *Result
+}
+
+// ExtCheckpointStores runs n checkpoint workloads under SpotVerse with
+// each checkpoint store.
+func ExtCheckpointStores(seed int64, n int) (*ExtCheckpointStoresResult, error) {
+	if n <= 0 {
+		n = EvalInstances
+	}
+	runOne := func(store CheckpointStore) (*Result, error) {
+		env := NewEnv(seed)
+		mgr, err := newSpotVerse(env, core.Config{
+			InstanceType:     catalog.M5XLarge,
+			Threshold:        5,
+			FixedStartRegion: BaselineRegionM5XLarge,
+			Seed:             seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		ws, err := genCheckpoint(seed, n)
+		if err != nil {
+			return nil, err
+		}
+		return Run(env, RunConfig{
+			Workloads:     ws,
+			Strategy:      mgr,
+			InstanceType:  catalog.M5XLarge,
+			DisableSweep:  true,
+			CheckpointVia: store,
+		})
+	}
+	s3res, err := runOne(CheckpointS3)
+	if err != nil {
+		return nil, fmt.Errorf("ext-checkpoint s3: %w", err)
+	}
+	efsres, err := runOne(CheckpointEFS)
+	if err != nil {
+		return nil, fmt.Errorf("ext-checkpoint efs: %w", err)
+	}
+	return &ExtCheckpointStoresResult{S3: s3res, EFS: efsres}, nil
+}
+
+// ExtScoringModesResult holds one run per scoring degradation.
+type ExtScoringModesResult struct {
+	Combined      *Result
+	StabilityOnly *Result
+	PriceOnly     *Result
+}
+
+// ExtScoringModes runs the same fleet under AWS-style combined scoring,
+// Azure-style stability-only scoring, and reliability-blind price-only
+// scoring.
+func ExtScoringModes(seed int64, n int) (*ExtScoringModesResult, error) {
+	if n <= 0 {
+		n = EvalInstances
+	}
+	runOne := func(mode core.ScoringMode, threshold int) (*Result, error) {
+		env := NewEnv(seed)
+		mgr, err := newSpotVerse(env, core.Config{
+			InstanceType: catalog.M5XLarge,
+			Threshold:    threshold,
+			Scoring:      mode,
+			Seed:         seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		ws, err := genStandard(seed, n)
+		if err != nil {
+			return nil, err
+		}
+		return Run(env, RunConfig{Workloads: ws, Strategy: mgr, InstanceType: catalog.M5XLarge, DisableSweep: true})
+	}
+	combined, err := runOne(core.ScoreCombined, 6)
+	if err != nil {
+		return nil, fmt.Errorf("ext-scoring combined: %w", err)
+	}
+	stability, err := runOne(core.ScoreStabilityOnly, 3)
+	if err != nil {
+		return nil, fmt.Errorf("ext-scoring stability-only: %w", err)
+	}
+	price, err := runOne(core.ScorePriceOnly, 1)
+	if err != nil {
+		return nil, fmt.Errorf("ext-scoring price-only: %w", err)
+	}
+	return &ExtScoringModesResult{Combined: combined, StabilityOnly: stability, PriceOnly: price}, nil
+}

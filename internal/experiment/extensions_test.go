@@ -1,0 +1,93 @@
+package experiment
+
+import (
+	"testing"
+
+	"spotverse/internal/cost"
+)
+
+func TestExtPredictiveLearnsToAvoidTraps(t *testing.T) {
+	res, err := ExtPredictive(42, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The learning strategy must beat the price-chasing broker: it
+	// starts on cheap regions too, but abandons the ones that keep
+	// interrupting it.
+	if res.Predictive.Interruptions >= res.SkyPilot.Interruptions {
+		t.Errorf("predictive interruptions %d >= skypilot %d",
+			res.Predictive.Interruptions, res.SkyPilot.Interruptions)
+	}
+	if res.Predictive.TotalCostUSD >= res.SkyPilot.TotalCostUSD {
+		t.Errorf("predictive cost %v >= skypilot %v",
+			res.Predictive.TotalCostUSD, res.SkyPilot.TotalCostUSD)
+	}
+	// SpotVerse (with advisor access) should remain at least competitive
+	// with the from-scratch learner on interruptions.
+	if res.SpotVerse.Interruptions > res.SkyPilot.Interruptions {
+		t.Errorf("spotverse interruptions %d > skypilot %d under seasonality",
+			res.SpotVerse.Interruptions, res.SkyPilot.Interruptions)
+	}
+	for _, r := range []*Result{res.SpotVerse, res.Predictive, res.SkyPilot} {
+		if r.Completed != 24 {
+			t.Fatalf("%s completed %d/24", r.StrategyName, r.Completed)
+		}
+	}
+}
+
+func TestExtCheckpointStores(t *testing.T) {
+	res, err := ExtCheckpointStores(42, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.S3.Completed != 20 || res.EFS.Completed != 20 {
+		t.Fatalf("completed %d/%d", res.S3.Completed, res.EFS.Completed)
+	}
+	// Same seed, same interruptions: only the storage channel differs.
+	if res.S3.Interruptions != res.EFS.Interruptions {
+		t.Fatalf("interruption counts diverged: %d vs %d", res.S3.Interruptions, res.EFS.Interruptions)
+	}
+	s3Transfer := breakdownOf(res.S3, cost.CategoryS3Transfer) + breakdownOf(res.S3, cost.CategoryS3Storage)
+	efsCost := breakdownOf(res.EFS, cost.CategoryEFS)
+	if res.S3.Interruptions > 0 {
+		if s3Transfer <= 0 {
+			t.Error("S3 run recorded no S3 checkpoint costs")
+		}
+		if efsCost <= 0 {
+			t.Error("EFS run recorded no EFS costs")
+		}
+		if breakdownOf(res.EFS, cost.CategoryS3Transfer) > 0 {
+			t.Error("EFS run leaked S3 transfer costs")
+		}
+	}
+}
+
+func TestExtScoringModes(t *testing.T) {
+	res, err := ExtScoringModes(42, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stability-only (Azure-style) still avoids unstable regions: it
+	// must land far closer to combined scoring than to price-only.
+	if res.StabilityOnly.Interruptions >= res.PriceOnly.Interruptions {
+		t.Errorf("stability-only interruptions %d >= price-only %d",
+			res.StabilityOnly.Interruptions, res.PriceOnly.Interruptions)
+	}
+	if res.Combined.Interruptions > res.PriceOnly.Interruptions {
+		t.Errorf("combined interruptions %d > price-only %d",
+			res.Combined.Interruptions, res.PriceOnly.Interruptions)
+	}
+	// Price-only walks into the ca-central-1 trap.
+	if res.PriceOnly.InterruptionsByRegion["ca-central-1"] == 0 {
+		t.Error("price-only never hit the trap region")
+	}
+}
+
+func breakdownOf(r *Result, c cost.Category) float64 {
+	for _, item := range r.Breakdown {
+		if item.Category == c {
+			return item.USD
+		}
+	}
+	return 0
+}

@@ -1,0 +1,732 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"spotverse/internal/baselines"
+	"spotverse/internal/catalog"
+	"spotverse/internal/core"
+	"spotverse/internal/market"
+	"spotverse/internal/simclock"
+	"spotverse/internal/workload"
+)
+
+// This file implements one reproduction function per table and figure in
+// the paper's evaluation (see DESIGN.md's per-experiment index). Each
+// function builds its own environments so runs are isolated, and returns
+// structured results the report layer renders.
+
+// Evaluation setup constants taken from the paper.
+const (
+	// EvalInstances is the per-experiment parallel workload count
+	// (Section 5.2.1: 40 instances).
+	EvalInstances = 40
+	// MotivationInstances is the motivational experiment's count
+	// (Section 2.2: 42 workloads).
+	MotivationInstances = 42
+	// BaselineRegionM5XLarge is the paper's single-region baseline for
+	// m5.xlarge (Table 1).
+	BaselineRegionM5XLarge = catalog.Region("ca-central-1")
+)
+
+// MotivationRegions is the motivational experiment's fixed region set.
+var MotivationRegions = []catalog.Region{"ap-northeast-3", "ca-central-1", "eu-north-1"}
+
+// newSpotVerse wires a core.SpotVerse onto an Env.
+func newSpotVerse(env *Env, cfg core.Config) (*core.SpotVerse, error) {
+	return core.New(cfg, core.Deps{
+		Engine:     env.Engine,
+		Market:     env.Market,
+		Provider:   env.Provider,
+		Dynamo:     env.Dynamo,
+		Lambda:     env.Lambda,
+		Bus:        env.Bus,
+		CloudWatch: env.CloudWatch,
+		StepFn:     env.StepFn,
+	})
+}
+
+func genStandard(seed int64, n int) ([]*workload.State, error) {
+	return workload.Generate(simclock.Stream(seed, "wl-standard"),
+		workload.GenOptions{Kind: workload.KindStandard, Count: n})
+}
+
+func genCheckpoint(seed int64, n int) ([]*workload.State, error) {
+	return workload.Generate(simclock.Stream(seed, "wl-checkpoint"),
+		workload.GenOptions{
+			Kind:  workload.KindCheckpoint,
+			Count: n,
+			// Resuming re-downloads the 1 GB dataset, restarts Galaxy and
+			// reinstalls tools (Section 4), which dominates the paper's
+			// resume path.
+			ResumeOverhead: 15 * time.Minute,
+		})
+}
+
+// ---------------------------------------------------------------------
+// Figure 2: spot price diversity across instance types and regions/AZs.
+// ---------------------------------------------------------------------
+
+// Fig2Types are the four representative instance types of Figure 2.
+var Fig2Types = []catalog.InstanceType{
+	catalog.C52XLarge, catalog.M52XLarge, catalog.R52XLarge, catalog.P32XLarge,
+}
+
+// Fig2Series is one (type, AZ) price trace summary.
+type Fig2Series struct {
+	Type   catalog.InstanceType
+	AZ     catalog.AZ
+	Points []market.PricePoint
+	Mean   float64
+	Min    float64
+	Max    float64
+}
+
+// Fig2 samples Days of spot price history for the four instance types
+// across every offering AZ.
+func Fig2(seed int64, days int) ([]Fig2Series, error) {
+	if days <= 0 {
+		days = 90
+	}
+	env := NewEnv(seed)
+	from := env.Engine.Now()
+	to := from.Add(time.Duration(days) * 24 * time.Hour)
+	var out []Fig2Series
+	for _, t := range Fig2Types {
+		for _, r := range env.Catalog().OfferedRegions(t) {
+			for _, az := range env.Catalog().Zones(r) {
+				pts, err := env.Market.PriceHistory(t, az, from, to, 24*time.Hour)
+				if err != nil {
+					return nil, fmt.Errorf("fig2 %s/%s: %w", t, az, err)
+				}
+				s := Fig2Series{Type: t, AZ: az, Points: pts, Min: pts[0].USDPerHour, Max: pts[0].USDPerHour}
+				var sum float64
+				for _, p := range pts {
+					sum += p.USDPerHour
+					if p.USDPerHour < s.Min {
+						s.Min = p.USDPerHour
+					}
+					if p.USDPerHour > s.Max {
+						s.Max = p.USDPerHour
+					}
+				}
+				s.Mean = sum / float64(len(pts))
+				out = append(out, s)
+			}
+		}
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------
+// Figure 3: motivational single- vs naive multi-region comparison.
+// ---------------------------------------------------------------------
+
+// Fig3Result compares the two deployments for one workload kind.
+type Fig3Result struct {
+	Kind          workload.Kind
+	Single        *Result
+	Multi         *Result
+	CostSaving    float64 // 1 - multi/single
+	TimeSaving    float64 // 1 - multi/single (makespan)
+	InterruptDrop float64 // 1 - multi/single
+}
+
+// Fig3 runs the motivational experiment: 42 m5.xlarge workloads,
+// single-region ca-central-1 vs naive multi-region over the fixed
+// three-region set, for standard and checkpoint workloads.
+func Fig3(seed int64) ([]Fig3Result, error) {
+	kinds := []workload.Kind{workload.KindStandard, workload.KindCheckpoint}
+	out := make([]Fig3Result, 0, len(kinds))
+	for _, kind := range kinds {
+		gen := func(s int64) ([]*workload.State, error) {
+			if kind == workload.KindCheckpoint {
+				return genCheckpoint(s, MotivationInstances)
+			}
+			return genStandard(s, MotivationInstances)
+		}
+		envS := NewEnv(seed)
+		single, err := baselines.NewSingleRegion(envS.Catalog(), catalog.M5XLarge, BaselineRegionM5XLarge)
+		if err != nil {
+			return nil, err
+		}
+		wsS, err := gen(seed)
+		if err != nil {
+			return nil, err
+		}
+		resS, err := Run(envS, RunConfig{Workloads: wsS, Strategy: single, InstanceType: catalog.M5XLarge})
+		if err != nil {
+			return nil, fmt.Errorf("fig3 single %s: %w", kind, err)
+		}
+		envM := NewEnv(seed)
+		multi, err := baselines.NewNaiveMultiRegion(envM.Catalog(), catalog.M5XLarge, MotivationRegions, seed)
+		if err != nil {
+			return nil, err
+		}
+		wsM, err := gen(seed)
+		if err != nil {
+			return nil, err
+		}
+		resM, err := Run(envM, RunConfig{Workloads: wsM, Strategy: multi, InstanceType: catalog.M5XLarge})
+		if err != nil {
+			return nil, fmt.Errorf("fig3 multi %s: %w", kind, err)
+		}
+		out = append(out, Fig3Result{
+			Kind:          kind,
+			Single:        resS,
+			Multi:         resM,
+			CostSaving:    1 - resM.TotalCostUSD/resS.TotalCostUSD,
+			TimeSaving:    1 - resM.MakespanHours/resS.MakespanHours,
+			InterruptDrop: 1 - float64(resM.Interruptions)/float64(max(resS.Interruptions, 1)),
+		})
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------
+// Figure 4: Interruption Frequency and Spot Placement Score dynamics.
+// ---------------------------------------------------------------------
+
+// Fig4Heatmap is the per-region Interruption Frequency series for
+// m5.2xlarge (Fig. 4a).
+type Fig4Heatmap struct {
+	Region catalog.Region
+	// Daily frequencies over the horizon.
+	Frequencies []float64
+}
+
+// Fig4Averages is the cross-region average Stability Score and SPS
+// series per instance type (Figs. 4b, 4c).
+type Fig4Averages struct {
+	Type catalog.InstanceType
+	// Day d's averages across offering regions.
+	AvgStability []float64
+	AvgSPS       []float64
+}
+
+// Fig4 samples days of advisor history: the m5.2xlarge IF heatmap plus
+// six-month average score trajectories for c5/m5/p3 2xlarge.
+func Fig4(seed int64, days int) ([]Fig4Heatmap, []Fig4Averages, error) {
+	if days <= 0 {
+		days = 180
+	}
+	env := NewEnv(seed)
+	start := env.Engine.Now()
+
+	var heat []Fig4Heatmap
+	for _, r := range env.Catalog().OfferedRegions(catalog.M52XLarge) {
+		h := Fig4Heatmap{Region: r, Frequencies: make([]float64, 0, days)}
+		for d := 0; d < days; d++ {
+			f, err := env.Market.InterruptionFrequency(catalog.M52XLarge, r, start.Add(time.Duration(d)*24*time.Hour))
+			if err != nil {
+				return nil, nil, err
+			}
+			h.Frequencies = append(h.Frequencies, f)
+		}
+		heat = append(heat, h)
+	}
+
+	types := []catalog.InstanceType{catalog.C52XLarge, catalog.M52XLarge, catalog.P32XLarge}
+	var avgs []Fig4Averages
+	for _, t := range types {
+		a := Fig4Averages{Type: t}
+		regions := env.Catalog().OfferedRegions(t)
+		for d := 0; d < days; d++ {
+			at := start.Add(time.Duration(d) * 24 * time.Hour)
+			var stabSum float64
+			var spsSum float64
+			for _, r := range regions {
+				st, err := env.Market.StabilityScore(t, r, at)
+				if err != nil {
+					return nil, nil, err
+				}
+				sps, err := env.Market.PlacementScoreLatent(t, r, at)
+				if err != nil {
+					return nil, nil, err
+				}
+				stabSum += float64(st)
+				spsSum += sps
+			}
+			a.AvgStability = append(a.AvgStability, stabSum/float64(len(regions)))
+			a.AvgSPS = append(a.AvgSPS, spsSum/float64(len(regions)))
+		}
+		avgs = append(avgs, a)
+	}
+	return heat, avgs, nil
+}
+
+// ---------------------------------------------------------------------
+// Figure 7: main comparison, standard + checkpoint workloads.
+// ---------------------------------------------------------------------
+
+// Fig7Result holds the three-way comparison for one workload kind.
+type Fig7Result struct {
+	Kind      workload.Kind
+	Single    *Result
+	SpotVerse *Result
+	// OnDemandCostUSD is the comparator cost of running the same
+	// workloads on the cheapest on-demand instances.
+	OnDemandCostUSD float64
+}
+
+// Fig7 runs the paper's headline experiment: 40 m5.xlarge workloads
+// starting in ca-central-1, single-region vs SpotVerse (which migrates
+// per Algorithm 1; initial spread disabled for fair comparison), for
+// standard and checkpoint workloads, plus the on-demand cost comparator.
+func Fig7(seed int64) ([]Fig7Result, error) {
+	kinds := []workload.Kind{workload.KindStandard, workload.KindCheckpoint}
+	out := make([]Fig7Result, 0, len(kinds))
+	for _, kind := range kinds {
+		gen := func(s int64) ([]*workload.State, error) {
+			if kind == workload.KindCheckpoint {
+				return genCheckpoint(s, EvalInstances)
+			}
+			return genStandard(s, EvalInstances)
+		}
+		envS := NewEnv(seed)
+		single, err := baselines.NewSingleRegion(envS.Catalog(), catalog.M5XLarge, BaselineRegionM5XLarge)
+		if err != nil {
+			return nil, err
+		}
+		wsS, err := gen(seed)
+		if err != nil {
+			return nil, err
+		}
+		resS, err := Run(envS, RunConfig{Workloads: wsS, Strategy: single, InstanceType: catalog.M5XLarge})
+		if err != nil {
+			return nil, fmt.Errorf("fig7 single %s: %w", kind, err)
+		}
+
+		envV := NewEnv(seed)
+		sv, err := newSpotVerse(envV, core.Config{
+			InstanceType:     catalog.M5XLarge,
+			Threshold:        5,
+			FixedStartRegion: BaselineRegionM5XLarge,
+			Seed:             seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		wsV, err := gen(seed)
+		if err != nil {
+			return nil, err
+		}
+		resV, err := Run(envV, RunConfig{Workloads: wsV, Strategy: sv, InstanceType: catalog.M5XLarge, DisableSweep: true})
+		if err != nil {
+			return nil, fmt.Errorf("fig7 spotverse %s: %w", kind, err)
+		}
+
+		odCost, err := onDemandComparatorCost(seed, gen)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Fig7Result{Kind: kind, Single: resS, SpotVerse: resV, OnDemandCostUSD: odCost})
+	}
+	return out, nil
+}
+
+// Fig7TrialSingle runs one single-region trial of the Fig. 7 standard
+// setup for a seed (used by the repeated-trials protocol).
+func Fig7TrialSingle(seed int64) (*Result, error) {
+	env := NewEnv(seed)
+	single, err := baselines.NewSingleRegion(env.Catalog(), catalog.M5XLarge, BaselineRegionM5XLarge)
+	if err != nil {
+		return nil, err
+	}
+	ws, err := genStandard(seed, EvalInstances)
+	if err != nil {
+		return nil, err
+	}
+	return Run(env, RunConfig{Workloads: ws, Strategy: single, InstanceType: catalog.M5XLarge})
+}
+
+// Fig7TrialSpotVerse runs one SpotVerse trial of the Fig. 7 standard
+// setup for a seed.
+func Fig7TrialSpotVerse(seed int64) (*Result, error) {
+	env := NewEnv(seed)
+	sv, err := newSpotVerse(env, core.Config{
+		InstanceType:     catalog.M5XLarge,
+		Threshold:        5,
+		FixedStartRegion: BaselineRegionM5XLarge,
+		Seed:             seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ws, err := genStandard(seed, EvalInstances)
+	if err != nil {
+		return nil, err
+	}
+	return Run(env, RunConfig{Workloads: ws, Strategy: sv, InstanceType: catalog.M5XLarge, DisableSweep: true})
+}
+
+// onDemandComparatorCost runs the same workload set on cheapest
+// on-demand instances and reports total cost.
+func onDemandComparatorCost(seed int64, gen func(int64) ([]*workload.State, error)) (float64, error) {
+	env := NewEnv(seed)
+	od, err := baselines.NewOnDemand(env.Catalog(), catalog.M5XLarge)
+	if err != nil {
+		return 0, err
+	}
+	ws, err := gen(seed)
+	if err != nil {
+		return 0, err
+	}
+	res, err := Run(env, RunConfig{Workloads: ws, Strategy: od, InstanceType: catalog.M5XLarge})
+	if err != nil {
+		return 0, err
+	}
+	return res.TotalCostUSD, nil
+}
+
+// ---------------------------------------------------------------------
+// Figure 8: instance types and sizes.
+// ---------------------------------------------------------------------
+
+// Fig8Row compares single-region vs SpotVerse for one instance type.
+type Fig8Row struct {
+	Type           catalog.InstanceType
+	BaselineRegion catalog.Region
+	Single         *Result
+	SpotVerse      *Result
+	// OnDemandCostUSD is the cheapest-on-demand comparator.
+	OnDemandCostUSD float64
+}
+
+// Fig8TypeSet is the paper's similar-spec type comparison.
+var Fig8TypeSet = []catalog.InstanceType{catalog.M52XLarge, catalog.C52XLarge, catalog.R52XLarge}
+
+// Fig8SizeSet is the paper's m5 family size comparison.
+var Fig8SizeSet = []catalog.InstanceType{catalog.M5Large, catalog.M5XLarge, catalog.M52XLarge}
+
+// Fig8 runs the standard general workload over the given instance types,
+// each starting in its Table 1 baseline region.
+func Fig8(seed int64, types []catalog.InstanceType) ([]Fig8Row, error) {
+	out := make([]Fig8Row, 0, len(types))
+	for _, t := range types {
+		// Table 1: the baseline region is the cheapest spot region over
+		// the opening weeks.
+		probe := NewEnv(seed)
+		baseRegion, _, err := probe.Market.CheapestSpotRegion(t, probe.Engine.Now(), probe.Engine.Now().Add(14*24*time.Hour))
+		if err != nil {
+			return nil, err
+		}
+
+		envS := NewEnv(seed)
+		single, err := baselines.NewSingleRegion(envS.Catalog(), t, baseRegion)
+		if err != nil {
+			return nil, err
+		}
+		wsS, err := genStandard(seed, EvalInstances)
+		if err != nil {
+			return nil, err
+		}
+		resS, err := Run(envS, RunConfig{Workloads: wsS, Strategy: single, InstanceType: t})
+		if err != nil {
+			return nil, fmt.Errorf("fig8 single %s: %w", t, err)
+		}
+
+		envV := NewEnv(seed)
+		sv, err := newSpotVerse(envV, core.Config{
+			InstanceType:     t,
+			Threshold:        5,
+			FixedStartRegion: baseRegion,
+			Seed:             seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		wsV, err := genStandard(seed, EvalInstances)
+		if err != nil {
+			return nil, err
+		}
+		resV, err := Run(envV, RunConfig{Workloads: wsV, Strategy: sv, InstanceType: t, DisableSweep: true})
+		if err != nil {
+			return nil, fmt.Errorf("fig8 spotverse %s: %w", t, err)
+		}
+
+		envO := NewEnv(seed)
+		od, err := baselines.NewOnDemand(envO.Catalog(), t)
+		if err != nil {
+			return nil, err
+		}
+		wsO, err := genStandard(seed, EvalInstances)
+		if err != nil {
+			return nil, err
+		}
+		resO, err := Run(envO, RunConfig{Workloads: wsO, Strategy: od, InstanceType: t})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Fig8Row{
+			Type:            t,
+			BaselineRegion:  baseRegion,
+			Single:          resS,
+			SpotVerse:       resV,
+			OnDemandCostUSD: resO.TotalCostUSD,
+		})
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------
+// Figure 9: initial workload distribution strategy.
+// ---------------------------------------------------------------------
+
+// Fig9Result compares fixed-start vs spread-start SpotVerse for one
+// workload kind.
+type Fig9Result struct {
+	Kind       workload.Kind
+	FixedStart *Result
+	Spread     *Result
+}
+
+// Fig9 measures what Algorithm 1's initial distribution buys: SpotVerse
+// starting everything in ca-central-1 (the Fig. 7 configuration) versus
+// SpotVerse spreading round-robin across the four top-scoring regions
+// (threshold 6: us-west-1, ap-northeast-3, eu-west-1, eu-north-1).
+func Fig9(seed int64) ([]Fig9Result, error) {
+	kinds := []workload.Kind{workload.KindStandard, workload.KindCheckpoint}
+	out := make([]Fig9Result, 0, len(kinds))
+	for _, kind := range kinds {
+		gen := func(s int64) ([]*workload.State, error) {
+			if kind == workload.KindCheckpoint {
+				return genCheckpoint(s, EvalInstances)
+			}
+			return genStandard(s, EvalInstances)
+		}
+		run := func(cfg core.Config) (*Result, error) {
+			env := NewEnv(seed)
+			sv, err := newSpotVerse(env, cfg)
+			if err != nil {
+				return nil, err
+			}
+			ws, err := gen(seed)
+			if err != nil {
+				return nil, err
+			}
+			return Run(env, RunConfig{Workloads: ws, Strategy: sv, InstanceType: catalog.M5XLarge, DisableSweep: true})
+		}
+		fixed, err := run(core.Config{
+			InstanceType:     catalog.M5XLarge,
+			Threshold:        5,
+			FixedStartRegion: BaselineRegionM5XLarge,
+			Seed:             seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fig9 fixed %s: %w", kind, err)
+		}
+		spread, err := run(core.Config{
+			InstanceType: catalog.M5XLarge,
+			Threshold:    6,
+			Seed:         seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fig9 spread %s: %w", kind, err)
+		}
+		out = append(out, Fig9Result{Kind: kind, FixedStart: fixed, Spread: spread})
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------
+// Figure 10 + Tables 2/3: threshold-based allocation.
+// ---------------------------------------------------------------------
+
+// Fig10Cell is one (threshold, duration) observation.
+type Fig10Cell struct {
+	Threshold     int
+	DurationHours int
+	SpotVerse     *Result
+	// OnDemandCostUSD is the cheapest-on-demand comparator for the same
+	// duration and fleet size.
+	OnDemandCostUSD float64
+	// NormalizedCost is SpotVerse total / on-demand total (< 1 saves).
+	NormalizedCost float64
+}
+
+// Fig10Thresholds and Fig10Durations mirror Table 2.
+var (
+	Fig10Thresholds = []int{4, 5, 6}
+	Fig10Durations  = []int{5, 10, 20}
+)
+
+// Fig10 sweeps score thresholds and workload durations with the bucket
+// selection the paper's Table 3 grouping implies, reporting cost
+// normalized against cheapest on-demand.
+func Fig10(seed int64) ([]Fig10Cell, error) {
+	var out []Fig10Cell
+	for _, threshold := range Fig10Thresholds {
+		for _, hours := range Fig10Durations {
+			gen := func(s int64) ([]*workload.State, error) {
+				return workload.Generate(simclock.Stream(s, "wl-fig10"), workload.GenOptions{
+					Kind:        workload.KindStandard,
+					Count:       EvalInstances,
+					MinDuration: time.Duration(hours) * time.Hour,
+					MaxDuration: time.Duration(hours) * time.Hour,
+				})
+			}
+			env := NewEnv(seed)
+			sv, err := newSpotVerse(env, core.Config{
+				InstanceType: catalog.M5XLarge,
+				Threshold:    threshold,
+				Selection:    core.SelectBucket,
+				Seed:         seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			ws, err := gen(seed)
+			if err != nil {
+				return nil, err
+			}
+			res, err := Run(env, RunConfig{
+				Workloads:    ws,
+				Strategy:     sv,
+				InstanceType: catalog.M5XLarge,
+				DisableSweep: true,
+				// Threshold-4 cells restart long workloads in unstable
+				// regions many times over; give the geometric tail room.
+				Horizon: 90 * 24 * time.Hour,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("fig10 T=%d D=%dh: %w", threshold, hours, err)
+			}
+
+			envO := NewEnv(seed)
+			od, err := baselines.NewOnDemand(envO.Catalog(), catalog.M5XLarge)
+			if err != nil {
+				return nil, err
+			}
+			wsO, err := gen(seed)
+			if err != nil {
+				return nil, err
+			}
+			resO, err := Run(envO, RunConfig{Workloads: wsO, Strategy: od, InstanceType: catalog.M5XLarge})
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Fig10Cell{
+				Threshold:       threshold,
+				DurationHours:   hours,
+				SpotVerse:       res,
+				OnDemandCostUSD: resO.TotalCostUSD,
+				NormalizedCost:  res.TotalCostUSD / resO.TotalCostUSD,
+			})
+		}
+	}
+	return out, nil
+}
+
+// Table3Selection reports the regions the optimizer selects per
+// threshold under bucket selection (Table 3).
+func Table3Selection(seed int64) (map[int][]catalog.Region, error) {
+	out := make(map[int][]catalog.Region, len(Fig10Thresholds))
+	for _, threshold := range Fig10Thresholds {
+		env := NewEnv(seed)
+		sv, err := newSpotVerse(env, core.Config{
+			InstanceType: catalog.M5XLarge,
+			Threshold:    threshold,
+			Selection:    core.SelectBucket,
+			Seed:         seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		top, err := sv.Optimizer().TopRegions(nil)
+		if err != nil {
+			return nil, err
+		}
+		out[threshold] = top
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------
+// Table 1: baseline (cheapest spot) regions per type.
+// ---------------------------------------------------------------------
+
+// Table1Row is one baseline-region entry.
+type Table1Row struct {
+	Type   catalog.InstanceType
+	Region catalog.Region
+	// AvgSpotUSD is the time-averaged regional spot price.
+	AvgSpotUSD float64
+}
+
+// Table1Types are the instance types the paper's Table 1 lists.
+var Table1Types = []catalog.InstanceType{
+	catalog.M5Large, catalog.M5XLarge, catalog.M52XLarge, catalog.R52XLarge, catalog.C52XLarge,
+}
+
+// Table1 computes the cheapest spot region per type over the opening two
+// weeks.
+func Table1(seed int64) ([]Table1Row, error) {
+	env := NewEnv(seed)
+	from := env.Engine.Now()
+	to := from.Add(14 * 24 * time.Hour)
+	out := make([]Table1Row, 0, len(Table1Types))
+	for _, t := range Table1Types {
+		r, price, err := env.Market.CheapestSpotRegion(t, from, to)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Table1Row{Type: t, Region: r, AvgSpotUSD: price})
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------
+// Table 4: SpotVerse vs SkyPilot.
+// ---------------------------------------------------------------------
+
+// Table4Result is the head-to-head comparison.
+type Table4Result struct {
+	SpotVerse *Result
+	SkyPilot  *Result
+}
+
+// Table4 runs 40 standard general workloads under SpotVerse (spread
+// start, threshold 6) and under the SkyPilot-style cheapest-price broker.
+func Table4(seed int64) (*Table4Result, error) {
+	envV := NewEnv(seed)
+	sv, err := newSpotVerse(envV, core.Config{
+		InstanceType: catalog.M5XLarge,
+		Threshold:    6,
+		Seed:         seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	wsV, err := genStandard(seed, EvalInstances)
+	if err != nil {
+		return nil, err
+	}
+	resV, err := Run(envV, RunConfig{Workloads: wsV, Strategy: sv, InstanceType: catalog.M5XLarge, DisableSweep: true})
+	if err != nil {
+		return nil, fmt.Errorf("table4 spotverse: %w", err)
+	}
+
+	envP := NewEnv(seed)
+	sky, err := baselines.NewSkyPilotLike(envP.Engine, envP.Market, catalog.M5XLarge)
+	if err != nil {
+		return nil, err
+	}
+	wsP, err := genStandard(seed, EvalInstances)
+	if err != nil {
+		return nil, err
+	}
+	resP, err := Run(envP, RunConfig{Workloads: wsP, Strategy: sky, InstanceType: catalog.M5XLarge})
+	if err != nil {
+		return nil, fmt.Errorf("table4 skypilot: %w", err)
+	}
+	return &Table4Result{SpotVerse: resV, SkyPilot: resP}, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,294 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"spotverse/internal/catalog"
+	"spotverse/internal/report"
+)
+
+// This file renders each experiment's results in the shape the paper
+// reports them: summary tables plus the series behind the figures.
+
+func renderRunRow(t *report.Table, label string, r *Result) {
+	t.MustAddRow(label,
+		strconv.Itoa(r.Interruptions),
+		report.F(r.MakespanHours, 1),
+		report.USD(r.TotalCostUSD),
+		strconv.Itoa(r.Completed),
+	)
+}
+
+// RenderFig2 writes per-(type,AZ) price summaries plus a CSV of the
+// series.
+func RenderFig2(w io.Writer, series []Fig2Series) error {
+	t := report.NewTable("Figure 2 — spot price diversity (USD/h)", "type", "az", "mean", "min", "max")
+	for _, s := range series {
+		t.MustAddRow(string(s.Type), string(s.AZ), report.F(s.Mean, 4), report.F(s.Min, 4), report.F(s.Max, 4))
+	}
+	return t.Render(w)
+}
+
+// Fig2CSV writes the raw daily price series.
+func Fig2CSV(w io.Writer, series []Fig2Series) error {
+	rows := make([][]string, 0, 1024)
+	for _, s := range series {
+		for _, p := range s.Points {
+			rows = append(rows, []string{
+				string(s.Type), string(s.AZ), p.Time.Format("2006-01-02"), report.F(p.USDPerHour, 5),
+			})
+		}
+	}
+	return report.CSV(w, []string{"type", "az", "date", "usd_per_hour"}, rows)
+}
+
+// RenderFig3 writes the motivational comparison.
+func RenderFig3(w io.Writer, results []Fig3Result) error {
+	t := report.NewTable("Figure 3 — single vs naive multi-region (42 workloads, m5.xlarge)",
+		"workload", "deployment", "interruptions", "makespan_h", "cost", "saving")
+	for _, r := range results {
+		t.MustAddRow(r.Kind.String(), "single-region", strconv.Itoa(r.Single.Interruptions),
+			report.F(r.Single.MakespanHours, 1), report.USD(r.Single.TotalCostUSD), "-")
+		t.MustAddRow(r.Kind.String(), "multi-region", strconv.Itoa(r.Multi.Interruptions),
+			report.F(r.Multi.MakespanHours, 1), report.USD(r.Multi.TotalCostUSD),
+			report.Pct(r.CostSaving)+" cost, "+report.Pct(r.TimeSaving)+" time")
+	}
+	return t.Render(w)
+}
+
+// RenderFig4 writes the heatmap summary and score trajectories.
+func RenderFig4(w io.Writer, heat []Fig4Heatmap, avgs []Fig4Averages) error {
+	t := report.NewTable("Figure 4a — m5.2xlarge Interruption Frequency by region (monthly fraction)",
+		"region", "day0", "day45", "day90", "day135", "day179", "min", "max")
+	for _, h := range heat {
+		n := len(h.Frequencies)
+		pick := func(i int) string {
+			if i >= n {
+				i = n - 1
+			}
+			return report.F(h.Frequencies[i], 3)
+		}
+		lo, hi := h.Frequencies[0], h.Frequencies[0]
+		for _, f := range h.Frequencies {
+			if f < lo {
+				lo = f
+			}
+			if f > hi {
+				hi = f
+			}
+		}
+		t.MustAddRow(string(h.Region), pick(0), pick(45), pick(90), pick(135), pick(179),
+			report.F(lo, 3), report.F(hi, 3))
+	}
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	t2 := report.NewTable("Figure 4b/4c — six-month average Stability Score and SPS",
+		"type", "avg_stability_d0", "avg_stability_d179", "avg_sps_d0", "avg_sps_d179")
+	for _, a := range avgs {
+		last := len(a.AvgStability) - 1
+		t2.MustAddRow(string(a.Type),
+			report.F(a.AvgStability[0], 2), report.F(a.AvgStability[last], 2),
+			report.F(a.AvgSPS[0], 2), report.F(a.AvgSPS[last], 2))
+	}
+	return t2.Render(w)
+}
+
+// Fig4CSV writes the raw daily advisor series behind Fig. 4: the
+// m5.2xlarge Interruption-Frequency heatmap plus the per-type average
+// Stability Score and SPS trajectories.
+func Fig4CSV(w io.Writer, heat []Fig4Heatmap, avgs []Fig4Averages) error {
+	var rows [][]string
+	for _, h := range heat {
+		for d, f := range h.Frequencies {
+			rows = append(rows, []string{
+				"heatmap", "m5.2xlarge", string(h.Region), strconv.Itoa(d), report.F(f, 4), "", "",
+			})
+		}
+	}
+	for _, a := range avgs {
+		for d := range a.AvgStability {
+			rows = append(rows, []string{
+				"averages", string(a.Type), "", strconv.Itoa(d), "",
+				report.F(a.AvgStability[d], 3), report.F(a.AvgSPS[d], 3),
+			})
+		}
+	}
+	return report.CSV(w, []string{"series", "type", "region", "day", "interruption_frequency", "avg_stability", "avg_sps"}, rows)
+}
+
+// RenderFig7 writes the headline comparison with the on-demand
+// comparator and the interruption distribution.
+func RenderFig7(w io.Writer, results []Fig7Result) error {
+	t := report.NewTable("Figure 7 — single-region vs SpotVerse (40 workloads, m5.xlarge, start ca-central-1)",
+		"workload", "strategy", "interruptions", "makespan_h", "cost", "completed")
+	for _, r := range results {
+		renderRunRowKind(t, r.Kind.String(), "single-region", r.Single)
+		renderRunRowKind(t, r.Kind.String(), "spotverse", r.SpotVerse)
+		t.MustAddRow(r.Kind.String(), "on-demand (comparator)", "0", "-", report.USD(r.OnDemandCostUSD), "-")
+	}
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	// Fig. 7c: regional interruption distribution.
+	t2 := report.NewTable("Figure 7c — interruption distribution by region (standard workload)",
+		"strategy", "region", "interruptions")
+	for _, r := range results {
+		if r.Kind.String() != "standard" {
+			continue
+		}
+		for _, pair := range sortedRegionCounts(r.Single.InterruptionsByRegion) {
+			t2.MustAddRow("single-region", string(pair.region), strconv.Itoa(pair.n))
+		}
+		for _, pair := range sortedRegionCounts(r.SpotVerse.InterruptionsByRegion) {
+			t2.MustAddRow("spotverse", string(pair.region), strconv.Itoa(pair.n))
+		}
+	}
+	return t2.Render(w)
+}
+
+func renderRunRowKind(t *report.Table, kind, label string, r *Result) {
+	t.MustAddRow(kind, label,
+		strconv.Itoa(r.Interruptions),
+		report.F(r.MakespanHours, 1),
+		report.USD(r.TotalCostUSD),
+		strconv.Itoa(r.Completed),
+	)
+}
+
+type regionCount struct {
+	region catalog.Region
+	n      int
+}
+
+func sortedRegionCounts(m map[catalog.Region]int) []regionCount {
+	out := make([]regionCount, 0, len(m))
+	for r, n := range m {
+		out = append(out, regionCount{r, n})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].region < out[j].region })
+	return out
+}
+
+// SeriesCSV writes cumulative interruption and completion series for one
+// run (Figs. 7a/7b).
+func SeriesCSV(w io.Writer, label string, r *Result) error {
+	rows := make([][]string, 0, len(r.InterruptionStamps)+len(r.CompletionStamps))
+	for i, ts := range r.InterruptionStamps {
+		rows = append(rows, []string{label, "interruption", report.F(ts.Sub(r.Start).Hours(), 3), strconv.Itoa(i + 1)})
+	}
+	for i, ts := range r.CompletionStamps {
+		rows = append(rows, []string{label, "completion", report.F(ts.Sub(r.Start).Hours(), 3), strconv.Itoa(i + 1)})
+	}
+	return report.CSV(w, []string{"strategy", "event", "elapsed_hours", "cumulative"}, rows)
+}
+
+// RenderFig8 writes the type/size comparison.
+func RenderFig8(w io.Writer, title string, rows []Fig8Row) error {
+	t := report.NewTable(title,
+		"type", "baseline_region", "strategy", "interruptions", "makespan_h", "cost", "vs_on_demand")
+	for _, row := range rows {
+		t.MustAddRow(string(row.Type), string(row.BaselineRegion), "single-region",
+			strconv.Itoa(row.Single.Interruptions), report.F(row.Single.MakespanHours, 1),
+			report.USD(row.Single.TotalCostUSD), report.Pct(1-row.Single.TotalCostUSD/row.OnDemandCostUSD))
+		t.MustAddRow(string(row.Type), string(row.BaselineRegion), "spotverse",
+			strconv.Itoa(row.SpotVerse.Interruptions), report.F(row.SpotVerse.MakespanHours, 1),
+			report.USD(row.SpotVerse.TotalCostUSD), report.Pct(1-row.SpotVerse.TotalCostUSD/row.OnDemandCostUSD))
+	}
+	return t.Render(w)
+}
+
+// RenderFig9 writes the initial-distribution comparison.
+func RenderFig9(w io.Writer, results []Fig9Result) error {
+	t := report.NewTable("Figure 9 — impact of the initial regional distribution (SpotVerse)",
+		"workload", "start", "interruptions", "makespan_h", "cost", "completed")
+	for _, r := range results {
+		renderRunRowKind(t, r.Kind.String(), "fixed (ca-central-1)", r.FixedStart)
+		renderRunRowKind(t, r.Kind.String(), "spread (top-4 regions)", r.Spread)
+	}
+	return t.Render(w)
+}
+
+// RenderFig10 writes the threshold sweep with normalized costs, plus the
+// Table 3 selection.
+func RenderFig10(w io.Writer, cells []Fig10Cell, selection map[int][]catalog.Region) error {
+	t := report.NewTable("Figure 10 — normalized cost vs cheapest on-demand (m5.xlarge)",
+		"threshold", "duration_h", "spot_cost", "ondemand_cost", "normalized")
+	for _, c := range cells {
+		t.MustAddRow(strconv.Itoa(c.Threshold), strconv.Itoa(c.DurationHours),
+			report.USD(c.SpotVerse.TotalCostUSD), report.USD(c.OnDemandCostUSD),
+			report.F(c.NormalizedCost, 3))
+	}
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	t2 := report.NewTable("Table 3 — regions selected per threshold", "threshold", "regions")
+	thresholds := make([]int, 0, len(selection))
+	for k := range selection {
+		thresholds = append(thresholds, k)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(thresholds)))
+	for _, th := range thresholds {
+		regions := ""
+		for i, r := range selection[th] {
+			if i > 0 {
+				regions += ", "
+			}
+			regions += string(r)
+		}
+		t2.MustAddRow(strconv.Itoa(th), regions)
+	}
+	return t2.Render(w)
+}
+
+// RenderTable1 writes the baseline-region table.
+func RenderTable1(w io.Writer, rows []Table1Row) error {
+	t := report.NewTable("Table 1 — baseline (cheapest spot) regions", "instance_type", "baseline_region", "avg_spot_usd_h")
+	for _, r := range rows {
+		t.MustAddRow(string(r.Type), string(r.Region), report.F(r.AvgSpotUSD, 4))
+	}
+	return t.Render(w)
+}
+
+// RenderExtensions writes the Section 7 future-work experiment results.
+func RenderExtensions(w io.Writer, pred *ExtPredictiveResult, ckpt *ExtCheckpointStoresResult, scoring *ExtScoringModesResult) error {
+	t := report.NewTable("Extension — learning strategy under hour-of-week seasonality",
+		"strategy", "interruptions", "makespan_h", "cost", "completed")
+	renderRunRow(t, "spotverse (advisor)", pred.SpotVerse)
+	renderRunRow(t, "predictive (learned)", pred.Predictive)
+	renderRunRow(t, "skypilot (price-only)", pred.SkyPilot)
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	t2 := report.NewTable("Extension — checkpoint storage: S3 vs EFS",
+		"store", "interruptions", "makespan_h", "cost", "completed")
+	renderRunRow(t2, "s3", ckpt.S3)
+	renderRunRow(t2, "efs", ckpt.EFS)
+	if err := t2.Render(w); err != nil {
+		return err
+	}
+	t3 := report.NewTable("Extension — multi-provider scoring degradations",
+		"scoring", "interruptions", "makespan_h", "cost", "completed")
+	renderRunRow(t3, "combined (AWS)", scoring.Combined)
+	renderRunRow(t3, "stability-only (Azure-like)", scoring.StabilityOnly)
+	renderRunRow(t3, "price-only (GCP-like)", scoring.PriceOnly)
+	return t3.Render(w)
+}
+
+// RenderTable4 writes the SkyPilot head-to-head.
+func RenderTable4(w io.Writer, res *Table4Result) error {
+	t := report.NewTable("Table 4 — SpotVerse vs SkyPilot (40 standard workloads, m5.xlarge)",
+		"framework", "interruptions", "makespan_h", "cost", "completed")
+	renderRunRow(t, "spotverse", res.SpotVerse)
+	renderRunRow(t, "skypilot", res.SkyPilot)
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "cost reduction: %s, completion-time reduction: %s\n",
+		report.Pct(1-res.SpotVerse.TotalCostUSD/res.SkyPilot.TotalCostUSD),
+		report.Pct(1-res.SpotVerse.MakespanHours/res.SkyPilot.MakespanHours))
+	return err
+}

@@ -1,0 +1,99 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"spotverse/internal/baselines"
+	"spotverse/internal/catalog"
+	"spotverse/internal/workload"
+)
+
+// Render smoke tests: every renderer must produce shaped output for the
+// real experiment results without error.
+
+func TestRenderFig2(t *testing.T) {
+	series, err := Fig2(42, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := RenderFig2(&sb, series); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Figure 2") || !strings.Contains(sb.String(), "p3.2xlarge") {
+		t.Fatalf("out = %.200q", sb.String())
+	}
+	var csv strings.Builder
+	if err := Fig2CSV(&csv, series); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(csv.String(), "type,az,date,usd_per_hour\n") {
+		t.Fatalf("csv header = %.60q", csv.String())
+	}
+	lines := strings.Count(csv.String(), "\n")
+	if lines < len(series)*10 {
+		t.Fatalf("csv lines = %d for %d series", lines, len(series))
+	}
+}
+
+func TestRenderFig4(t *testing.T) {
+	heat, avgs, err := Fig4(42, 180)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := RenderFig4(&sb, heat, avgs); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "ca-central-1") || !strings.Contains(out, "Figure 4b/4c") {
+		t.Fatalf("out = %.300q", out)
+	}
+}
+
+func TestRenderTable1(t *testing.T) {
+	rows, err := Table1(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := RenderTable1(&sb, rows); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"m5.xlarge", "ca-central-1", "c5.2xlarge", "eu-north-1"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Fatalf("missing %q in %q", want, sb.String())
+		}
+	}
+}
+
+func TestSeriesCSV(t *testing.T) {
+	env := NewEnv(42)
+	strat, err := baselines.NewSingleRegion(env.Catalog(), catalog.M5XLarge, "ca-central-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(env, RunConfig{
+		Workloads:    genWorkloads(t, 42, workload.KindStandard, 5),
+		Strategy:     strat,
+		InstanceType: catalog.M5XLarge,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := SeriesCSV(&sb, "single", res); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "strategy,event,elapsed_hours,cumulative\n") {
+		t.Fatalf("header = %.80q", out)
+	}
+	if strings.Count(out, "completion") != res.Completed {
+		t.Fatalf("completion rows != %d", res.Completed)
+	}
+	if strings.Count(out, "interruption") != res.Interruptions {
+		t.Fatalf("interruption rows != %d", res.Interruptions)
+	}
+}

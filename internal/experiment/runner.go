@@ -1,0 +1,411 @@
+package experiment
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"spotverse/internal/catalog"
+	"spotverse/internal/cloud"
+	"spotverse/internal/cost"
+	"spotverse/internal/simclock"
+	"spotverse/internal/strategy"
+	"spotverse/internal/workload"
+)
+
+// Defaults for RunConfig fields left zero.
+const (
+	DefaultHorizon         = 14 * 24 * time.Hour
+	DefaultSweepInterval   = 15 * time.Minute
+	CheckpointTable        = "spotverse-checkpoints"
+	checkpointBucket       = "spotverse-checkpoints"
+	checkpointBucketRegion = catalog.Region("us-east-1")
+)
+
+// Errors returned by the runner.
+var (
+	ErrNoWorkloads = errors.New("experiment: no workloads")
+	ErrNoStrategy  = errors.New("experiment: no strategy")
+	ErrHorizon     = errors.New("experiment: horizon reached before all workloads completed")
+)
+
+// RunConfig parameterises one experiment run.
+type RunConfig struct {
+	// Workloads to execute (state is mutated by the run).
+	Workloads []*workload.State
+	// Strategy decides placement.
+	Strategy strategy.Strategy
+	// InstanceType used by every workload.
+	InstanceType catalog.InstanceType
+	// Horizon caps simulated time (default 14 days). Reaching it with
+	// unfinished workloads is an error unless AllowIncomplete.
+	Horizon time.Duration
+	// AllowIncomplete tolerates unfinished workloads at the horizon.
+	AllowIncomplete bool
+	// DisableSweep turns off the harness's own 15-minute open-request
+	// sweep; SpotVerse's Controller schedules its own, so runs driving a
+	// core.SpotVerse strategy set this to avoid double sweeps.
+	DisableSweep bool
+	// CheckpointVia selects the checkpoint store (default S3; EFS is the
+	// paper's future-work alternative).
+	CheckpointVia CheckpointStore
+	// Trace enables the structured event timeline on the Result.
+	Trace bool
+}
+
+// CheckpointStore selects where checkpoint workloads persist state.
+type CheckpointStore int
+
+// Checkpoint stores.
+const (
+	// CheckpointS3 uploads shard slices to a central S3 bucket, paying
+	// cross-region transfer from remote instances (the paper's setup).
+	CheckpointS3 CheckpointStore = iota
+	// CheckpointEFS writes to an EFS file system replicated on demand
+	// into every region that touches it (Section 7's proposal).
+	CheckpointEFS
+)
+
+// Result aggregates one run's metrics.
+type Result struct {
+	StrategyName string
+	InstanceType catalog.InstanceType
+	Workloads    int
+	Completed    int
+
+	// Interruptions is the total count of provider-initiated
+	// terminations; InterruptionStamps is the cumulative series (Fig. 7a)
+	// and InterruptionsByRegion the distribution (Fig. 7c).
+	Interruptions         int
+	InterruptionStamps    []time.Time
+	InterruptionsByRegion map[catalog.Region]int
+
+	// CompletionStamps is the per-workload completion instants sorted
+	// ascending (Fig. 7b); MakespanHours the last of them relative to
+	// start; MeanCompletionHours the mean.
+	CompletionStamps    []time.Time
+	MakespanHours       float64
+	MeanCompletionHours float64
+
+	// LaunchesByRegion counts instance launches per region.
+	LaunchesByRegion map[catalog.Region]int
+	// OnDemandLaunches counts launches that fell back to on-demand.
+	OnDemandLaunches int
+
+	// InstanceCostUSD is total instance spend; ServiceCostUSD the
+	// control-plane spend; TotalCostUSD their sum. Breakdown carries the
+	// per-category line items including instances.
+	InstanceCostUSD float64
+	ServiceCostUSD  float64
+	TotalCostUSD    float64
+	Breakdown       []cost.LineItem
+
+	// Start is the simulated start time of the run.
+	Start time.Time
+
+	// Timeline is the structured event log (nil unless RunConfig.Trace).
+	Timeline *Timeline
+}
+
+// Run executes the experiment on the environment. The environment must
+// be fresh (one Run per Env): strategies register rules and schedules on
+// it.
+func Run(env *Env, cfg RunConfig) (*Result, error) {
+	if len(cfg.Workloads) == 0 {
+		return nil, ErrNoWorkloads
+	}
+	if cfg.Strategy == nil {
+		return nil, ErrNoStrategy
+	}
+	if cfg.Horizon <= 0 {
+		cfg.Horizon = DefaultHorizon
+	}
+	start := env.Engine.Now()
+	res := &Result{
+		StrategyName:          cfg.Strategy.Name(),
+		InstanceType:          cfg.InstanceType,
+		Workloads:             len(cfg.Workloads),
+		InterruptionsByRegion: make(map[catalog.Region]int),
+		LaunchesByRegion:      make(map[catalog.Region]int),
+		Start:                 start,
+	}
+
+	byID := make(map[string]*workload.State, len(cfg.Workloads))
+	ids := make([]string, 0, len(cfg.Workloads))
+	hasCheckpoint := false
+	for _, w := range cfg.Workloads {
+		byID[w.Spec.ID] = w
+		ids = append(ids, w.Spec.ID)
+		if w.Spec.Kind == workload.KindCheckpoint {
+			hasCheckpoint = true
+		}
+	}
+	sort.Strings(ids)
+
+	d := newDriver(env, cfg, byID, res)
+	if cfg.Trace {
+		res.Timeline = &Timeline{}
+		d.timeline = res.Timeline
+	}
+	if hasCheckpoint {
+		if err := d.setupCheckpointStores(); err != nil {
+			return nil, err
+		}
+	}
+	env.Provider.OnLaunch(d.onLaunch)
+	env.Provider.OnInterruptionNotice(d.onNotice)
+	env.Provider.OnTerminate(d.onTerminate)
+
+	if !cfg.DisableSweep {
+		if err := env.CloudWatch.Schedule("harness-open-request-sweep", DefaultSweepInterval, func(time.Time) {
+			env.Provider.EvaluateOpenRequests()
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	placements, err := cfg.Strategy.PlaceInitial(ids)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: initial placement: %w", err)
+	}
+	for _, id := range ids {
+		p, ok := placements[id]
+		if !ok {
+			return nil, fmt.Errorf("experiment: strategy left %q unplaced", id)
+		}
+		if err := d.provision(id, p); err != nil {
+			return nil, err
+		}
+	}
+
+	horizon := start.Add(cfg.Horizon)
+	done := func() bool { return d.completed == len(cfg.Workloads) }
+	for !done() {
+		if env.Engine.Pending() == 0 {
+			break
+		}
+		if env.Engine.Now().After(horizon) {
+			break
+		}
+		env.Engine.Step()
+	}
+	env.CloudWatch.StopAll()
+
+	// Terminate any instances still running (completed runs already
+	// terminated theirs; this covers AllowIncomplete horizons).
+	for _, inst := range env.Provider.RunningInstances() {
+		_ = env.Provider.Terminate(inst.ID)
+	}
+
+	if !done() && !cfg.AllowIncomplete {
+		return nil, fmt.Errorf("%w: %d/%d done after %v (strategy %s)",
+			ErrHorizon, d.completed, len(cfg.Workloads), cfg.Horizon, cfg.Strategy.Name())
+	}
+
+	res.Completed = d.completed
+	sort.Slice(res.CompletionStamps, func(i, j int) bool { return res.CompletionStamps[i].Before(res.CompletionStamps[j]) })
+	if n := len(res.CompletionStamps); n > 0 {
+		res.MakespanHours = res.CompletionStamps[n-1].Sub(start).Hours()
+		var sum float64
+		for _, ts := range res.CompletionStamps {
+			sum += ts.Sub(start).Hours()
+		}
+		res.MeanCompletionHours = sum / float64(n)
+	}
+	res.InstanceCostUSD = env.Provider.TotalInstanceCost()
+	res.ServiceCostUSD = env.Ledger.Total()
+	res.TotalCostUSD = res.InstanceCostUSD + res.ServiceCostUSD
+	full := cost.NewLedger()
+	full.Merge(env.Ledger)
+	full.MustAdd(cost.CategoryInstances, res.InstanceCostUSD)
+	res.Breakdown = full.Breakdown()
+	return res, nil
+}
+
+// driver maps instances to workloads and reacts to provider events.
+type driver struct {
+	env  *Env
+	cfg  RunConfig
+	byID map[string]*workload.State
+	res  *Result
+
+	runStart     map[cloud.InstanceID]time.Time
+	completionEv map[string]*simclock.Event
+	completed    int
+	timeline     *Timeline
+}
+
+func newDriver(env *Env, cfg RunConfig, byID map[string]*workload.State, res *Result) *driver {
+	return &driver{
+		env:          env,
+		cfg:          cfg,
+		byID:         byID,
+		res:          res,
+		runStart:     make(map[cloud.InstanceID]time.Time),
+		completionEv: make(map[string]*simclock.Event),
+	}
+}
+
+func (d *driver) setupCheckpointStores() error {
+	if err := d.env.Dynamo.CreateTable(CheckpointTable); err != nil {
+		return err
+	}
+	if d.cfg.CheckpointVia == CheckpointEFS {
+		return d.env.EFS.Create(checkpointBucket, checkpointBucketRegion)
+	}
+	return d.env.S3.CreateBucket(checkpointBucket, checkpointBucketRegion)
+}
+
+// checkpointWrite persists a workload's shard slice from a region.
+func (d *driver) checkpointWrite(key string, size int64, from catalog.Region) {
+	if d.cfg.CheckpointVia == CheckpointEFS {
+		if !d.env.EFS.Mounted(checkpointBucket, from) {
+			_ = d.env.EFS.Replicate(checkpointBucket, from)
+		}
+		_ = d.env.EFS.WriteSized(checkpointBucket, key, size, from)
+		return
+	}
+	_ = d.env.S3.PutSized(checkpointBucket, key, size, from)
+}
+
+// checkpointRead re-fetches a workload's data on resume.
+func (d *driver) checkpointRead(key string, from catalog.Region) {
+	if d.cfg.CheckpointVia == CheckpointEFS {
+		if !d.env.EFS.Exists(checkpointBucket, key) {
+			return
+		}
+		if !d.env.EFS.Mounted(checkpointBucket, from) {
+			_ = d.env.EFS.Replicate(checkpointBucket, from)
+		}
+		_, _ = d.env.EFS.ReadSized(checkpointBucket, key, from)
+		return
+	}
+	if d.env.S3.Exists(checkpointBucket, key) {
+		_, _ = d.env.S3.Get(checkpointBucket, key, from)
+	}
+}
+
+// provision issues the spot request or on-demand launch for a workload.
+func (d *driver) provision(id string, p strategy.Placement) error {
+	switch p.Lifecycle {
+	case cloud.LifecycleOnDemand:
+		_, err := d.env.Provider.RunOnDemand(d.cfg.InstanceType, p.Region, id)
+		if err != nil {
+			return fmt.Errorf("experiment: provision %s on-demand: %w", id, err)
+		}
+	default:
+		_, err := d.env.Provider.RequestSpot(d.cfg.InstanceType, p.Region, id)
+		if err != nil {
+			return fmt.Errorf("experiment: provision %s spot: %w", id, err)
+		}
+	}
+	return nil
+}
+
+func (d *driver) onLaunch(inst *cloud.Instance) {
+	w, ok := d.byID[inst.Tag]
+	if !ok {
+		return
+	}
+	if w.Completed {
+		// A stale open request got fulfilled after completion.
+		_ = d.env.Provider.Terminate(inst.ID)
+		return
+	}
+	if err := w.BeginAttempt(); err != nil {
+		_ = d.env.Provider.Terminate(inst.ID)
+		return
+	}
+	d.res.LaunchesByRegion[inst.Region]++
+	if inst.Lifecycle == cloud.LifecycleOnDemand {
+		d.res.OnDemandLaunches++
+	}
+	d.runStart[inst.ID] = d.env.Engine.Now()
+	d.timeline.add(Event{At: d.env.Engine.Now(), Kind: EventLaunch, Workload: w.Spec.ID, Instance: inst.ID, Region: inst.Region, Lifecycle: inst.Lifecycle})
+	// Resumed checkpoint attempts re-download their dataset slice from
+	// the checkpoint bucket (cross-region transfer bills apply).
+	if w.Spec.Kind == workload.KindCheckpoint && w.Attempts > 1 && w.ShardsDone > 0 {
+		d.checkpointRead("ckpt/"+w.Spec.ID, inst.Region)
+	}
+	need := w.AttemptDuration()
+	instID := inst.ID
+	d.completionEv[w.Spec.ID] = d.env.Engine.ScheduleAfter(need, "workload-complete:"+w.Spec.ID, func() {
+		d.complete(w, instID)
+	})
+}
+
+// CompletionObserver is implemented by strategies that learn from
+// successful runs (e.g. the predictive strategy's survival feedback).
+type CompletionObserver interface {
+	OnCompleted(id string)
+}
+
+func (d *driver) complete(w *workload.State, instID cloud.InstanceID) {
+	inst, err := d.env.Provider.Instance(instID)
+	if err != nil || inst.State != cloud.StateRunning {
+		return
+	}
+	if err := w.MarkComplete(d.env.Engine.Now()); err != nil {
+		return
+	}
+	d.completed++
+	d.res.CompletionStamps = append(d.res.CompletionStamps, d.env.Engine.Now())
+	delete(d.completionEv, w.Spec.ID)
+	d.timeline.add(Event{At: d.env.Engine.Now(), Kind: EventComplete, Workload: w.Spec.ID, Instance: instID, Region: inst.Region, Lifecycle: inst.Lifecycle})
+	if obs, ok := d.cfg.Strategy.(CompletionObserver); ok {
+		obs.OnCompleted(w.Spec.ID)
+	}
+	_ = d.env.Provider.Terminate(instID)
+}
+
+// onNotice handles the two-minute warning: checkpoint workloads persist
+// their progress to DynamoDB and upload the in-flight shard slice to S3,
+// exactly the paper's interruption path.
+func (d *driver) onNotice(inst *cloud.Instance) {
+	w, ok := d.byID[inst.Tag]
+	if !ok || w.Completed || w.Spec.Kind != workload.KindCheckpoint {
+		return
+	}
+	d.timeline.add(Event{At: d.env.Engine.Now(), Kind: EventNotice, Workload: w.Spec.ID, Instance: inst.ID, Region: inst.Region, Lifecycle: inst.Lifecycle})
+	d.checkpointWrite("ckpt/"+w.Spec.ID, w.CheckpointBytes(), inst.Region)
+	_ = d.env.Dynamo.Put(CheckpointTable, dynamoCheckpointItem(w, d.env.Engine.Now()))
+}
+
+func (d *driver) onTerminate(inst *cloud.Instance, interrupted bool) {
+	w, ok := d.byID[inst.Tag]
+	if !ok {
+		return
+	}
+	startAt, tracked := d.runStart[inst.ID]
+	delete(d.runStart, inst.ID)
+	if !interrupted || w.Completed || !tracked {
+		return
+	}
+	// Record the interruption.
+	now := d.env.Engine.Now()
+	d.res.Interruptions++
+	d.res.InterruptionStamps = append(d.res.InterruptionStamps, now)
+	d.res.InterruptionsByRegion[inst.Region]++
+	d.timeline.add(Event{At: now, Kind: EventInterrupt, Workload: w.Spec.ID, Instance: inst.ID, Region: inst.Region, Lifecycle: inst.Lifecycle})
+	// Bank progress and cancel the stale completion event.
+	w.CreditProgress(now.Sub(startAt))
+	if ev, ok := d.completionEv[w.Spec.ID]; ok {
+		ev.Cancel()
+		delete(d.completionEv, w.Spec.ID)
+	}
+	// Ask the strategy where to go next.
+	id := w.Spec.ID
+	err := d.cfg.Strategy.OnInterrupted(id, inst.Region, func(p strategy.Placement) {
+		if w.Completed {
+			return
+		}
+		d.timeline.add(Event{At: d.env.Engine.Now(), Kind: EventRelaunch, Workload: id, Region: p.Region, Lifecycle: p.Lifecycle})
+		_ = d.provision(id, p)
+	})
+	if err != nil {
+		// A strategy that cannot place leaves the workload stranded; the
+		// run will hit the horizon and report it.
+		return
+	}
+}

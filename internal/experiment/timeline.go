@@ -1,0 +1,150 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"spotverse/internal/catalog"
+	"spotverse/internal/cloud"
+)
+
+// EventKind labels a timeline entry.
+type EventKind string
+
+// Timeline event kinds.
+const (
+	EventLaunch    EventKind = "launch"
+	EventNotice    EventKind = "notice"
+	EventInterrupt EventKind = "interrupt"
+	EventComplete  EventKind = "complete"
+	EventRelaunch  EventKind = "relaunch"
+)
+
+// Event is one timeline entry of an experiment run.
+type Event struct {
+	At        time.Time
+	Kind      EventKind
+	Workload  string
+	Instance  cloud.InstanceID
+	Region    catalog.Region
+	Lifecycle cloud.Lifecycle
+}
+
+// Timeline is an append-only event log, enabled via RunConfig.Trace.
+type Timeline struct {
+	events []Event
+}
+
+func (tl *Timeline) add(e Event) {
+	if tl == nil {
+		return
+	}
+	tl.events = append(tl.events, e)
+}
+
+// Events returns a copy of the recorded events in order.
+func (tl *Timeline) Events() []Event {
+	if tl == nil {
+		return nil
+	}
+	out := make([]Event, len(tl.events))
+	copy(out, tl.events)
+	return out
+}
+
+// Len reports the number of recorded events.
+func (tl *Timeline) Len() int {
+	if tl == nil {
+		return 0
+	}
+	return len(tl.events)
+}
+
+// ByWorkload returns the events of one workload, in order.
+func (tl *Timeline) ByWorkload(id string) []Event {
+	if tl == nil {
+		return nil
+	}
+	var out []Event
+	for _, e := range tl.events {
+		if e.Workload == id {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Render writes the timeline as aligned text relative to start.
+func (tl *Timeline) Render(w io.Writer, start time.Time) error {
+	if tl == nil {
+		return nil
+	}
+	for _, e := range tl.events {
+		if _, err := fmt.Fprintf(w, "%9.3fh  %-9s  %-16s  %-14s  %s\n",
+			e.At.Sub(start).Hours(), e.Kind, e.Workload, e.Region, e.Instance); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders relative to the first event.
+func (tl *Timeline) String() string {
+	if tl == nil || len(tl.events) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	_ = tl.Render(&sb, tl.events[0].At)
+	return sb.String()
+}
+
+// Validate checks structural invariants of a completed run's timeline:
+// per workload, events alternate launch → (notice?) → interrupt →
+// relaunch → launch … ending with complete; at most one live instance at
+// any instant. It returns the violations found.
+func (tl *Timeline) Validate() []string {
+	if tl == nil {
+		return nil
+	}
+	var problems []string
+	byWL := map[string][]Event{}
+	for _, e := range tl.events {
+		byWL[e.Workload] = append(byWL[e.Workload], e)
+	}
+	ids := make([]string, 0, len(byWL))
+	for id := range byWL {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		live := 0
+		completed := false
+		for _, e := range byWL[id] {
+			switch e.Kind {
+			case EventLaunch:
+				live++
+				if live > 1 {
+					problems = append(problems, fmt.Sprintf("%s: two live instances at %s", id, e.At))
+				}
+			case EventInterrupt, EventComplete:
+				if live == 0 {
+					problems = append(problems, fmt.Sprintf("%s: %s without live instance at %s", id, e.Kind, e.At))
+				} else {
+					live--
+				}
+				if e.Kind == EventComplete {
+					completed = true
+				}
+			case EventNotice, EventRelaunch:
+				// informational
+			}
+			if completed && e.Kind == EventLaunch {
+				problems = append(problems, fmt.Sprintf("%s: launch after completion at %s", id, e.At))
+			}
+		}
+	}
+	return problems
+}

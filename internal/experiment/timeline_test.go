@@ -1,0 +1,123 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"spotverse/internal/baselines"
+	"spotverse/internal/catalog"
+	"spotverse/internal/workload"
+)
+
+func tracedRun(t *testing.T, seed int64, kind workload.Kind, n int) *Result {
+	t.Helper()
+	env := NewEnv(seed)
+	strat, err := baselines.NewSingleRegion(env.Catalog(), catalog.M5XLarge, "ca-central-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(env, RunConfig{
+		Workloads:    genWorkloads(t, seed, kind, n),
+		Strategy:     strat,
+		InstanceType: catalog.M5XLarge,
+		Trace:        true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestTimelineDisabledByDefault(t *testing.T) {
+	env := NewEnv(30)
+	strat, err := baselines.NewOnDemand(env.Catalog(), catalog.M5XLarge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(env, RunConfig{
+		Workloads:    genWorkloads(t, 30, workload.KindStandard, 2),
+		Strategy:     strat,
+		InstanceType: catalog.M5XLarge,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Timeline != nil {
+		t.Fatal("timeline present without Trace")
+	}
+	// nil Timeline methods must be safe.
+	var tl *Timeline
+	if tl.Len() != 0 || tl.Events() != nil || tl.Validate() != nil || tl.String() != "" {
+		t.Fatal("nil timeline misbehaves")
+	}
+}
+
+func TestTimelineStructureValid(t *testing.T) {
+	res := tracedRun(t, 31, workload.KindStandard, 10)
+	if res.Timeline.Len() == 0 {
+		t.Fatal("empty timeline")
+	}
+	if problems := res.Timeline.Validate(); len(problems) > 0 {
+		t.Fatalf("timeline violations: %v", problems)
+	}
+	// Event counts reconcile with the result.
+	counts := map[EventKind]int{}
+	for _, e := range res.Timeline.Events() {
+		counts[e.Kind]++
+	}
+	if counts[EventComplete] != res.Completed {
+		t.Fatalf("completes %d != completed %d", counts[EventComplete], res.Completed)
+	}
+	if counts[EventInterrupt] != res.Interruptions {
+		t.Fatalf("interrupts %d != interruptions %d", counts[EventInterrupt], res.Interruptions)
+	}
+	if counts[EventRelaunch] != res.Interruptions {
+		t.Fatalf("relaunches %d != interruptions %d", counts[EventRelaunch], res.Interruptions)
+	}
+	if counts[EventLaunch] != res.Completed+res.Interruptions {
+		t.Fatalf("launches %d != completes+interrupts %d", counts[EventLaunch], res.Completed+res.Interruptions)
+	}
+}
+
+func TestTimelineCheckpointNotices(t *testing.T) {
+	res := tracedRun(t, 32, workload.KindCheckpoint, 10)
+	counts := map[EventKind]int{}
+	for _, e := range res.Timeline.Events() {
+		counts[e.Kind]++
+	}
+	if res.Interruptions > 0 && counts[EventNotice] == 0 {
+		t.Fatal("checkpoint run recorded no notices despite interruptions")
+	}
+	if counts[EventNotice] < counts[EventInterrupt] {
+		t.Fatalf("notices %d < interrupts %d; every reclaim warns first", counts[EventNotice], counts[EventInterrupt])
+	}
+}
+
+func TestTimelineMonotoneAndRenderable(t *testing.T) {
+	res := tracedRun(t, 33, workload.KindStandard, 5)
+	events := res.Timeline.Events()
+	for i := 1; i < len(events); i++ {
+		if events[i].At.Before(events[i-1].At) {
+			t.Fatal("timeline not time-ordered")
+		}
+	}
+	out := res.Timeline.String()
+	if !strings.Contains(out, "launch") || !strings.Contains(out, "complete") {
+		t.Fatalf("render = %.200q", out)
+	}
+	one := res.Timeline.ByWorkload(events[0].Workload)
+	if len(one) == 0 || one[len(one)-1].Kind != EventComplete {
+		t.Fatalf("per-workload view = %+v", one)
+	}
+}
+
+func TestTimelineValidateCatchesViolations(t *testing.T) {
+	tl := &Timeline{}
+	tl.add(Event{Kind: EventComplete, Workload: "w"})
+	tl.add(Event{Kind: EventLaunch, Workload: "w"})
+	tl.add(Event{Kind: EventLaunch, Workload: "w"})
+	problems := tl.Validate()
+	if len(problems) < 2 {
+		t.Fatalf("problems = %v", problems)
+	}
+}

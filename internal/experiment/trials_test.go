@@ -1,0 +1,79 @@
+package experiment
+
+import (
+	"errors"
+	"testing"
+
+	"spotverse/internal/baselines"
+	"spotverse/internal/catalog"
+)
+
+func TestTrialsAggregates(t *testing.T) {
+	summary, err := Trials(3, 100, func(seed int64) (*Result, error) {
+		env := NewEnv(seed)
+		strat, err := baselines.NewSingleRegion(env.Catalog(), catalog.M5XLarge, "ca-central-1")
+		if err != nil {
+			return nil, err
+		}
+		ws, err := genStandard(seed, 10)
+		if err != nil {
+			return nil, err
+		}
+		return Run(env, RunConfig{Workloads: ws, Strategy: strat, InstanceType: catalog.M5XLarge})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if summary.Trials != 3 || len(summary.Results) != 3 {
+		t.Fatalf("summary = %+v", summary)
+	}
+	if summary.Interruptions.Mean <= 0 {
+		t.Fatal("no interruptions across trials in the risky region")
+	}
+	if summary.Interruptions.Min > summary.Interruptions.Mean || summary.Interruptions.Mean > summary.Interruptions.Max {
+		t.Fatalf("stats ordering broken: %+v", summary.Interruptions)
+	}
+	if summary.Interruptions.Std == 0 && summary.Results[0].Interruptions != summary.Results[1].Interruptions {
+		t.Fatal("std zero despite differing trials")
+	}
+	if summary.TotalCostUSD.Mean <= 0 || summary.MakespanHours.Mean < 10 {
+		t.Fatalf("implausible means: %+v", summary)
+	}
+	// Distinct seeds should actually vary the outcome.
+	if summary.Interruptions.Min == summary.Interruptions.Max &&
+		summary.TotalCostUSD.Min == summary.TotalCostUSD.Max {
+		t.Fatal("trials identical across seeds; seeding broken")
+	}
+}
+
+func TestTrialsValidation(t *testing.T) {
+	if _, err := Trials(0, 1, nil); !errors.Is(err, ErrNoTrials) {
+		t.Fatalf("err = %v", err)
+	}
+	wantErr := errors.New("boom")
+	_, err := Trials(2, 1, func(int64) (*Result, error) { return nil, wantErr })
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTrialsSingleTrialStdZero(t *testing.T) {
+	summary, err := Trials(1, 50, func(seed int64) (*Result, error) {
+		env := NewEnv(seed)
+		strat, err := baselines.NewOnDemand(env.Catalog(), catalog.M5XLarge)
+		if err != nil {
+			return nil, err
+		}
+		ws, err := genStandard(seed, 2)
+		if err != nil {
+			return nil, err
+		}
+		return Run(env, RunConfig{Workloads: ws, Strategy: strat, InstanceType: catalog.M5XLarge})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if summary.Interruptions.Std != 0 || summary.TotalCostUSD.Std != 0 {
+		t.Fatalf("single-trial std nonzero: %+v", summary)
+	}
+}

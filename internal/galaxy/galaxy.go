@@ -1,0 +1,339 @@
+// Package galaxy implements a Galaxy-like workflow management substrate:
+// a tool registry ("toolshed"), histories holding named datasets, workflow
+// DAGs executed in topological order, admin-gated tool installation, and a
+// Planemo-style runner. It hosts the paper's three workloads — the
+// 23-step Genome Reconstruction workflow, the checkpointable NGS Data
+// Preprocessing workflow, and the QIIME 2-style standard general workload
+// — with every step backed by real computation from internal/bioinf.
+package galaxy
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Errors returned by the engine.
+var (
+	ErrNotAdmin      = errors.New("galaxy: user is not an administrator")
+	ErrBadAPIKey     = errors.New("galaxy: invalid API key")
+	ErrUnknownTool   = errors.New("galaxy: unknown tool")
+	ErrToolExists    = errors.New("galaxy: tool already installed")
+	ErrCycle         = errors.New("galaxy: workflow has a cycle")
+	ErrUnknownInput  = errors.New("galaxy: step references unknown input")
+	ErrDupStep       = errors.New("galaxy: duplicate step id")
+	ErrMissingInput  = errors.New("galaxy: workflow input not supplied")
+	ErrNoSuchHistory = errors.New("galaxy: no such history")
+)
+
+// Dataset is a named, typed blob in a history — Galaxy's unit of data.
+type Dataset struct {
+	// Name labels the dataset.
+	Name string
+	// Format is the datatype, e.g. "fasta", "fastq", "vcf", "txt".
+	Format string
+	// Data is the payload.
+	Data []byte
+}
+
+// Tool is an installable computation. Run consumes named input datasets
+// and parameters and produces named outputs.
+type Tool struct {
+	// ID is the tool's unique identifier in the shed.
+	ID string
+	// Description is shown in the tool panel.
+	Description string
+	// Run executes the tool.
+	Run func(inputs map[string]Dataset, params map[string]string) (map[string]Dataset, error)
+}
+
+// Config is the Galaxy instance configuration file surface the paper
+// touches: admin_users plus API keys.
+type Config struct {
+	// AdminUsers lists administrator e-mail addresses (the paper's
+	// admin_users setting).
+	AdminUsers []string
+	// APIKeys maps user e-mail to API key.
+	APIKeys map[string]string
+}
+
+// Instance is one deployed Galaxy.
+type Instance struct {
+	cfg       Config
+	shed      map[string]Tool
+	histories map[string]*History
+	histSeq   int
+}
+
+// History is an ordered collection of datasets.
+type History struct {
+	ID       string
+	Name     string
+	datasets map[string]Dataset
+	order    []string
+}
+
+// New deploys a Galaxy instance with the given configuration.
+func New(cfg Config) *Instance {
+	admins := make([]string, len(cfg.AdminUsers))
+	copy(admins, cfg.AdminUsers)
+	keys := make(map[string]string, len(cfg.APIKeys))
+	for k, v := range cfg.APIKeys {
+		keys[k] = v
+	}
+	return &Instance{
+		cfg:       Config{AdminUsers: admins, APIKeys: keys},
+		shed:      make(map[string]Tool),
+		histories: make(map[string]*History),
+	}
+}
+
+// IsAdmin reports whether the user is in admin_users.
+func (g *Instance) IsAdmin(user string) bool {
+	for _, a := range g.cfg.AdminUsers {
+		if a == user {
+			return true
+		}
+	}
+	return false
+}
+
+// Authenticate maps an API key back to its user.
+func (g *Instance) Authenticate(apiKey string) (string, error) {
+	for user, key := range g.cfg.APIKeys {
+		if key == apiKey && key != "" {
+			return user, nil
+		}
+	}
+	return "", ErrBadAPIKey
+}
+
+// InstallTool installs a tool into the shed; only admins may install
+// (the paper's Galaxy Admin integration).
+func (g *Instance) InstallTool(user string, t Tool) error {
+	if !g.IsAdmin(user) {
+		return fmt.Errorf("install %q as %q: %w", t.ID, user, ErrNotAdmin)
+	}
+	if t.ID == "" || t.Run == nil {
+		return fmt.Errorf("install: tool needs id and run body")
+	}
+	if _, ok := g.shed[t.ID]; ok {
+		return fmt.Errorf("install %q: %w", t.ID, ErrToolExists)
+	}
+	g.shed[t.ID] = t
+	return nil
+}
+
+// Tools lists installed tool IDs, sorted.
+func (g *Instance) Tools() []string {
+	out := make([]string, 0, len(g.shed))
+	for id := range g.shed {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NewHistory creates a history.
+func (g *Instance) NewHistory(name string) *History {
+	g.histSeq++
+	h := &History{
+		ID:       fmt.Sprintf("hist-%04d", g.histSeq),
+		Name:     name,
+		datasets: make(map[string]Dataset),
+	}
+	g.histories[h.ID] = h
+	return h
+}
+
+// History fetches a history by ID.
+func (g *Instance) History(id string) (*History, error) {
+	h, ok := g.histories[id]
+	if !ok {
+		return nil, fmt.Errorf("history %q: %w", id, ErrNoSuchHistory)
+	}
+	return h, nil
+}
+
+// Add stores a dataset in the history (latest wins by name).
+func (h *History) Add(d Dataset) {
+	if _, ok := h.datasets[d.Name]; !ok {
+		h.order = append(h.order, d.Name)
+	}
+	h.datasets[d.Name] = d
+}
+
+// Get fetches a dataset by name.
+func (h *History) Get(name string) (Dataset, bool) {
+	d, ok := h.datasets[name]
+	return d, ok
+}
+
+// Datasets lists dataset names in insertion order.
+func (h *History) Datasets() []string {
+	out := make([]string, len(h.order))
+	copy(out, h.order)
+	return out
+}
+
+// InputRef wires a step input to either a workflow input (Workflow != "")
+// or a prior step's output.
+type InputRef struct {
+	// Workflow names a workflow-level input dataset.
+	Workflow string
+	// Step and Output name a prior step's output dataset.
+	Step   string
+	Output string
+}
+
+// Step is one workflow node.
+type Step struct {
+	// ID is unique within the workflow.
+	ID string
+	// Tool is the shed tool to run.
+	Tool string
+	// Inputs maps the tool's input names to their sources.
+	Inputs map[string]InputRef
+	// Params are tool parameters.
+	Params map[string]string
+}
+
+// Workflow is a DAG of steps.
+type Workflow struct {
+	Name  string
+	Steps []Step
+}
+
+// Validate checks the workflow: unique step IDs, known wiring, acyclicity.
+// It returns a valid topological order of step indices.
+func (w *Workflow) Validate() ([]int, error) {
+	idx := make(map[string]int, len(w.Steps))
+	for i, s := range w.Steps {
+		if _, ok := idx[s.ID]; ok {
+			return nil, fmt.Errorf("step %q: %w", s.ID, ErrDupStep)
+		}
+		idx[s.ID] = i
+	}
+	// Build edges: dependency -> dependent.
+	adj := make([][]int, len(w.Steps))
+	indeg := make([]int, len(w.Steps))
+	for i, s := range w.Steps {
+		for input, ref := range s.Inputs {
+			if ref.Workflow != "" {
+				continue
+			}
+			j, ok := idx[ref.Step]
+			if !ok {
+				return nil, fmt.Errorf("step %q input %q references step %q: %w", s.ID, input, ref.Step, ErrUnknownInput)
+			}
+			adj[j] = append(adj[j], i)
+			indeg[i]++
+		}
+	}
+	// Kahn's algorithm, smallest index first for determinism.
+	var order []int
+	ready := make([]int, 0, len(w.Steps))
+	for i, d := range indeg {
+		if d == 0 {
+			ready = append(ready, i)
+		}
+	}
+	for len(ready) > 0 {
+		sort.Ints(ready)
+		n := ready[0]
+		ready = ready[1:]
+		order = append(order, n)
+		for _, m := range adj[n] {
+			indeg[m]--
+			if indeg[m] == 0 {
+				ready = append(ready, m)
+			}
+		}
+	}
+	if len(order) != len(w.Steps) {
+		return nil, fmt.Errorf("workflow %q: %w", w.Name, ErrCycle)
+	}
+	return order, nil
+}
+
+// StepResult records one executed step.
+type StepResult struct {
+	StepID  string
+	Tool    string
+	Outputs []string
+	Err     error
+}
+
+// Invocation is one workflow execution.
+type Invocation struct {
+	Workflow string
+	// Results are per-step outcomes in execution order.
+	Results []StepResult
+	// History holds every produced dataset, namespaced "step/output".
+	History *History
+	// Completed reports whether every step succeeded.
+	Completed bool
+}
+
+// StepHook observes step completion (used by checkpointing integrations).
+type StepHook func(stepID string, outputs map[string]Dataset)
+
+// RunWorkflow executes the workflow against the supplied workflow inputs,
+// recording outputs into a fresh history. hook may be nil.
+func (g *Instance) RunWorkflow(w *Workflow, inputs map[string]Dataset, hook StepHook) (*Invocation, error) {
+	order, err := w.Validate()
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range w.Steps {
+		if _, ok := g.shed[s.Tool]; !ok {
+			return nil, fmt.Errorf("step %q: tool %q: %w", s.ID, s.Tool, ErrUnknownTool)
+		}
+	}
+	inv := &Invocation{Workflow: w.Name, History: g.NewHistory("invocation: " + w.Name)}
+	produced := make(map[string]map[string]Dataset, len(w.Steps))
+	for _, i := range order {
+		s := w.Steps[i]
+		in := make(map[string]Dataset, len(s.Inputs))
+		for name, ref := range s.Inputs {
+			if ref.Workflow != "" {
+				d, ok := inputs[ref.Workflow]
+				if !ok {
+					return nil, fmt.Errorf("step %q input %q: workflow input %q: %w", s.ID, name, ref.Workflow, ErrMissingInput)
+				}
+				in[name] = d
+				continue
+			}
+			outs, ok := produced[ref.Step]
+			if !ok {
+				return nil, fmt.Errorf("step %q input %q: step %q has no outputs yet: %w", s.ID, name, ref.Step, ErrUnknownInput)
+			}
+			d, ok := outs[ref.Output]
+			if !ok {
+				return nil, fmt.Errorf("step %q input %q: step %q lacks output %q: %w", s.ID, name, ref.Step, ref.Output, ErrUnknownInput)
+			}
+			in[name] = d
+		}
+		tool := g.shed[s.Tool]
+		outs, err := tool.Run(in, s.Params)
+		res := StepResult{StepID: s.ID, Tool: s.Tool, Err: err}
+		if err != nil {
+			inv.Results = append(inv.Results, res)
+			return inv, fmt.Errorf("step %q (%s): %w", s.ID, s.Tool, err)
+		}
+		produced[s.ID] = outs
+		names := make([]string, 0, len(outs))
+		for name, d := range outs {
+			names = append(names, name)
+			inv.History.Add(Dataset{Name: s.ID + "/" + name, Format: d.Format, Data: d.Data})
+		}
+		sort.Strings(names)
+		res.Outputs = names
+		inv.Results = append(inv.Results, res)
+		if hook != nil {
+			hook(s.ID, outs)
+		}
+	}
+	inv.Completed = true
+	return inv, nil
+}

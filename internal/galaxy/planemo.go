@@ -1,0 +1,57 @@
+package galaxy
+
+import (
+	"fmt"
+)
+
+// Planemo is the paper's workflow-launcher integration: it authenticates
+// against a Galaxy instance with an API key and drives workflow runs
+// through the "API", as the user-data startup script does on each
+// instance.
+type Planemo struct {
+	galaxy *Instance
+	user   string
+}
+
+// NewPlanemo authenticates with the instance. The key must belong to a
+// configured user.
+func NewPlanemo(g *Instance, apiKey string) (*Planemo, error) {
+	user, err := g.Authenticate(apiKey)
+	if err != nil {
+		return nil, fmt.Errorf("planemo: %w", err)
+	}
+	return &Planemo{galaxy: g, user: user}, nil
+}
+
+// User reports the authenticated user.
+func (p *Planemo) User() string { return p.user }
+
+// RunResult summarises one workflow run.
+type RunResult struct {
+	Workflow  string
+	Steps     int
+	Completed bool
+	// Outputs maps "step/output" dataset names to their sizes.
+	Outputs map[string]int
+}
+
+// Run validates and executes a workflow with the given inputs. hook may
+// be nil; it observes per-step completion for checkpoint integrations.
+func (p *Planemo) Run(w *Workflow, inputs map[string]Dataset, hook StepHook) (*RunResult, error) {
+	inv, err := p.galaxy.RunWorkflow(w, inputs, hook)
+	if err != nil {
+		return nil, fmt.Errorf("planemo run %q: %w", w.Name, err)
+	}
+	res := &RunResult{
+		Workflow:  inv.Workflow,
+		Steps:     len(inv.Results),
+		Completed: inv.Completed,
+		Outputs:   make(map[string]int),
+	}
+	for _, name := range inv.History.Datasets() {
+		if d, ok := inv.History.Get(name); ok {
+			res.Outputs[name] = len(d.Data)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,80 @@
+package galaxy
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Galaxy shares workflows as downloadable definitions (.ga files). This
+// file provides the equivalent JSON export/import for our workflow DAGs,
+// so definitions can be stored in S3, versioned, and re-imported — the
+// propagation path the paper's AMI setup uses for workflow distribution.
+
+// workflowJSON is the serialised form. Field names are part of the
+// on-disk contract.
+type workflowJSON struct {
+	Format string     `json:"format"`
+	Name   string     `json:"name"`
+	Steps  []stepJSON `json:"steps"`
+}
+
+type stepJSON struct {
+	ID     string              `json:"id"`
+	Tool   string              `json:"tool"`
+	Inputs map[string]inputRef `json:"inputs,omitempty"`
+	Params map[string]string   `json:"params,omitempty"`
+}
+
+type inputRef struct {
+	Workflow string `json:"workflow,omitempty"`
+	Step     string `json:"step,omitempty"`
+	Output   string `json:"output,omitempty"`
+}
+
+// formatVersion identifies the serialisation format.
+const formatVersion = "spotverse-galaxy-workflow/1"
+
+// ExportJSON serialises a validated workflow.
+func ExportJSON(w *Workflow) ([]byte, error) {
+	if _, err := w.Validate(); err != nil {
+		return nil, fmt.Errorf("export %q: %w", w.Name, err)
+	}
+	out := workflowJSON{Format: formatVersion, Name: w.Name}
+	for _, s := range w.Steps {
+		sj := stepJSON{ID: s.ID, Tool: s.Tool, Params: s.Params}
+		if len(s.Inputs) > 0 {
+			sj.Inputs = make(map[string]inputRef, len(s.Inputs))
+			for name, ref := range s.Inputs {
+				sj.Inputs[name] = inputRef{Workflow: ref.Workflow, Step: ref.Step, Output: ref.Output}
+			}
+		}
+		out.Steps = append(out.Steps, sj)
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// ImportJSON parses and validates a serialised workflow.
+func ImportJSON(data []byte) (*Workflow, error) {
+	var in workflowJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, fmt.Errorf("galaxy: import: %w", err)
+	}
+	if in.Format != formatVersion {
+		return nil, fmt.Errorf("galaxy: import: unsupported format %q", in.Format)
+	}
+	w := &Workflow{Name: in.Name}
+	for _, sj := range in.Steps {
+		s := Step{ID: sj.ID, Tool: sj.Tool, Params: sj.Params}
+		if len(sj.Inputs) > 0 {
+			s.Inputs = make(map[string]InputRef, len(sj.Inputs))
+			for name, ref := range sj.Inputs {
+				s.Inputs[name] = InputRef{Workflow: ref.Workflow, Step: ref.Step, Output: ref.Output}
+			}
+		}
+		w.Steps = append(w.Steps, s)
+	}
+	if _, err := w.Validate(); err != nil {
+		return nil, fmt.Errorf("galaxy: import %q: %w", w.Name, err)
+	}
+	return w, nil
+}

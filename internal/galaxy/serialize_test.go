@@ -1,0 +1,104 @@
+package galaxy
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestExportImportRoundTrip(t *testing.T) {
+	orig := GenomeReconstructionWorkflow()
+	data, err := ExportJSON(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ImportJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != orig.Name || len(back.Steps) != len(orig.Steps) {
+		t.Fatalf("round trip: %s/%d vs %s/%d", back.Name, len(back.Steps), orig.Name, len(orig.Steps))
+	}
+	for i := range orig.Steps {
+		a, b := orig.Steps[i], back.Steps[i]
+		if a.ID != b.ID || a.Tool != b.Tool {
+			t.Fatalf("step %d mismatch: %+v vs %+v", i, a, b)
+		}
+		for name, ref := range a.Inputs {
+			if b.Inputs[name] != ref {
+				t.Fatalf("step %s input %s: %+v vs %+v", a.ID, name, ref, b.Inputs[name])
+			}
+		}
+		for k, v := range a.Params {
+			if b.Params[k] != v {
+				t.Fatalf("step %s param %s mismatch", a.ID, k)
+			}
+		}
+	}
+}
+
+func TestImportedWorkflowRuns(t *testing.T) {
+	g := newGalaxy(t)
+	data, err := ExportJSON(NGSPreprocessingShardWorkflow())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wf, err := ImportJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build a tiny read set inline.
+	inputs := map[string]Dataset{
+		"reads": {Name: "r.fastq", Format: "fastq", Data: []byte("@r1\nACGTACGTAC\n+\nIIIIIIIIII\n")},
+	}
+	inv, err := g.RunWorkflow(wf, inputs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inv.Completed {
+		t.Fatal("imported workflow did not complete")
+	}
+}
+
+func TestExportRejectsInvalidWorkflow(t *testing.T) {
+	bad := &Workflow{Name: "bad", Steps: []Step{
+		{ID: "a", Tool: "x", Inputs: map[string]InputRef{"in": stepOut("b", "o")}},
+		{ID: "b", Tool: "x", Inputs: map[string]InputRef{"in": stepOut("a", "o")}},
+	}}
+	if _, err := ExportJSON(bad); !errors.Is(err, ErrCycle) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestImportRejectsGarbage(t *testing.T) {
+	if _, err := ImportJSON([]byte("{not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ImportJSON([]byte(`{"format":"other/9","name":"x","steps":[]}`)); err == nil || !strings.Contains(err.Error(), "unsupported format") {
+		t.Fatalf("err = %v", err)
+	}
+	// Valid JSON, invalid DAG.
+	cyclic := `{"format":"spotverse-galaxy-workflow/1","name":"c","steps":[
+		{"id":"a","tool":"t","inputs":{"in":{"step":"b","output":"o"}}},
+		{"id":"b","tool":"t","inputs":{"in":{"step":"a","output":"o"}}}]}`
+	if _, err := ImportJSON([]byte(cyclic)); !errors.Is(err, ErrCycle) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestExportDeterministic(t *testing.T) {
+	a, err := ExportJSON(QIIME2Workflow("s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ExportJSON(QIIME2Workflow("s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("export not deterministic")
+	}
+	if !strings.Contains(string(a), `"format": "spotverse-galaxy-workflow/1"`) {
+		t.Fatalf("format marker missing: %.100s", a)
+	}
+}

@@ -1,0 +1,578 @@
+// Package market models multi-region spot-instance markets: spot price
+// processes, interruption-frequency dynamics, Stability Scores, and Spot
+// Placement Scores.
+//
+// The model reproduces the observable surface SpotVerse consumes on AWS:
+//
+//   - DescribeSpotPriceHistory-style price series per (instance type, AZ),
+//     smooth and slowly mean-reverting as in the post-2017 pricing model;
+//   - the Spot Instance Advisor's Interruption Frequency buckets (<5%,
+//     5-20%, >20%) and the derived Stability Score (3, 2, 1);
+//   - the Spot Placement Score (integer 1-10) per (instance type, region);
+//   - a per-hour interruption hazard and a launch-success probability that
+//     the cloud substrate draws against.
+//
+// All processes are deterministic for a given seed and are generated
+// lazily but sequentially, so query order never changes the series.
+package market
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"spotverse/internal/catalog"
+	"spotverse/internal/simclock"
+)
+
+// Granularities of the underlying processes.
+const (
+	// PriceStep is the spot price update interval.
+	PriceStep = 6 * time.Hour
+	// MetricStep is the advisor metric (IF, SPS) update interval.
+	MetricStep = 24 * time.Hour
+)
+
+// Stability score values derived from Interruption Frequency buckets
+// (Section 3.1 of the paper: <5% → 3, 5-20% → 2, >20% → 1).
+const (
+	StabilityLow  = 1
+	StabilityMid  = 2
+	StabilityHigh = 3
+)
+
+// hazardScale converts a latent interruption frequency (the advisor's
+// monthly fraction) into a per-hour hazard. Calibrated so a frequency of
+// 0.26 yields the ~0.135/h rate that reproduces the paper's single-region
+// interruption counts (DESIGN.md "Calibration notes").
+const hazardScale = 0.52
+
+// Key addresses a (region, instance type) market.
+type Key struct {
+	Region catalog.Region
+	Type   catalog.InstanceType
+}
+
+// PricePoint is one sample of a spot price series.
+type PricePoint struct {
+	Time time.Time
+	// USDPerHour is the spot price.
+	USDPerHour float64
+}
+
+// AdvisorEntry is one row of a Spot-Instance-Advisor-style snapshot.
+type AdvisorEntry struct {
+	Region catalog.Region
+	Type   catalog.InstanceType
+	// SpotPriceUSD is the current regional spot price (cheapest AZ).
+	SpotPriceUSD float64
+	// OnDemandUSD is the regional on-demand price.
+	OnDemandUSD float64
+	// SavingsOverOnDemand is 1 - spot/on-demand.
+	SavingsOverOnDemand float64
+	// InterruptionFrequency is the latent monthly interruption fraction.
+	InterruptionFrequency float64
+	// StabilityScore is 1-3, inverse of the frequency bucket.
+	StabilityScore int
+	// PlacementScore is the Spot Placement Score, 1-10.
+	PlacementScore int
+	// CombinedScore is StabilityScore + PlacementScore, the quantity
+	// Algorithm 1 thresholds on.
+	CombinedScore int
+}
+
+// Model is the deterministic multi-region spot market.
+type Model struct {
+	cat   *catalog.Catalog
+	seed  int64
+	start time.Time
+
+	prices map[azKey]*walk
+	freq   map[Key]*walk
+	sps    map[Key]*walk
+
+	// seasonal enables hour-of-week hazard modulation (seasonality.go).
+	seasonal bool
+	// outages are injected regional capacity failures (failure testing):
+	// spot launches in an affected region fail for the window's duration.
+	outages []outage
+}
+
+type outage struct {
+	region   catalog.Region
+	from, to time.Time
+}
+
+// InjectOutage makes spot launches in the region fail during [from, to)
+// — a regional capacity event for failure-injection tests. Running
+// instances are unaffected (AWS outages rarely reclaim everything); only
+// new placements fail.
+func (m *Model) InjectOutage(r catalog.Region, from, to time.Time) error {
+	if !to.After(from) {
+		return fmt.Errorf("market: outage window %s..%s inverted", from, to)
+	}
+	if _, err := m.cat.RegionInfo(r); err != nil {
+		return err
+	}
+	m.outages = append(m.outages, outage{region: r, from: from, to: to})
+	return nil
+}
+
+// InOutage reports whether the region is inside an injected outage.
+func (m *Model) InOutage(r catalog.Region, at time.Time) bool {
+	for _, o := range m.outages {
+		if o.region == r && !at.Before(o.from) && at.Before(o.to) {
+			return true
+		}
+	}
+	return false
+}
+
+type azKey struct {
+	az catalog.AZ
+	t  catalog.InstanceType
+}
+
+// New returns a market model over the catalog, seeded for determinism,
+// with series starting at start.
+func New(cat *catalog.Catalog, seed int64, start time.Time) *Model {
+	return &Model{
+		cat:    cat,
+		seed:   seed,
+		start:  start,
+		prices: make(map[azKey]*walk),
+		freq:   make(map[Key]*walk),
+		sps:    make(map[Key]*walk),
+	}
+}
+
+// Catalog exposes the underlying inventory.
+func (m *Model) Catalog() *catalog.Catalog { return m.cat }
+
+// Start reports the first instant the model has data for.
+func (m *Model) Start() time.Time { return m.start }
+
+// walk is a bounded, mean-reverting random walk generated lazily but
+// strictly sequentially so that random access is deterministic.
+type walk struct {
+	rng     *simclock.RNG
+	base    float64
+	sigma   float64
+	revert  float64
+	lo, hi  float64
+	samples []float64
+}
+
+func newWalk(rng *simclock.RNG, base, sigma, revert, lo, hi float64) *walk {
+	w := &walk{rng: rng, base: base, sigma: sigma, revert: revert, lo: lo, hi: hi}
+	// First sample starts near base with a small perturbation so distinct
+	// markets don't all begin at their exact tier midpoint.
+	v := clamp(base+rng.Normal(0, sigma), lo, hi)
+	w.samples = []float64{v}
+	return w
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// at returns the walk value at step k (k >= 0), extending the series as
+// needed.
+func (w *walk) at(k int) float64 {
+	if k < 0 {
+		k = 0
+	}
+	for len(w.samples) <= k {
+		prev := w.samples[len(w.samples)-1]
+		next := prev + w.revert*(w.base-prev) + w.rng.Normal(0, w.sigma)
+		w.samples = append(w.samples, clamp(next, w.lo, w.hi))
+	}
+	return w.samples[k]
+}
+
+func (m *Model) stepIndex(at time.Time, step time.Duration) int {
+	d := at.Sub(m.start)
+	if d < 0 {
+		return 0
+	}
+	return int(d / step)
+}
+
+func (m *Model) priceWalk(t catalog.InstanceType, az catalog.AZ) (*walk, error) {
+	k := azKey{az: az, t: t}
+	if w, ok := m.prices[k]; ok {
+		return w, nil
+	}
+	base, err := m.cat.BaselineSpotPrice(t, az.Region())
+	if err != nil {
+		return nil, err
+	}
+	rng := simclock.Stream(m.seed, "price/"+string(t)+"/"+string(az))
+	// Post-2017 spot prices: smooth, ±12% band around the baseline, slow
+	// reversion. Sigma is proportional to the price level.
+	w := newWalk(rng, base, base*0.015, 0.05, base*0.88, base*1.12)
+	m.prices[k] = w
+	return w, nil
+}
+
+// reliability parameters per tier: latent monthly interruption fraction.
+func tierFrequency(tier catalog.ReliabilityTier) float64 {
+	switch tier {
+	case catalog.TierStable:
+		return 0.025
+	case catalog.TierModerate:
+		return 0.120
+	case catalog.TierVolatile:
+		return 0.250
+	default:
+		return 0.285
+	}
+}
+
+// tierFreqSigma is the walk noise per metric step; stable regions move
+// less so they stay inside their advisor bucket over an experiment window.
+func tierFreqSigma(tier catalog.ReliabilityTier) float64 {
+	if tier == catalog.TierStable {
+		return 0.006
+	}
+	return 0.012
+}
+
+// tierSPS is the latent Spot Placement Score midpoint per tier, set well
+// inside integer rounding bands so quartet membership is stable across an
+// experiment window.
+func tierSPS(tier catalog.ReliabilityTier) float64 {
+	switch tier {
+	case catalog.TierStable:
+		return 3.25
+	case catalog.TierModerate:
+		return 3.20
+	case catalog.TierVolatile:
+		return 3.30
+	default:
+		return 2.30
+	}
+}
+
+// ca-central-1 carries the paper's tension for the m5/r5 families: the
+// cheapest spot prices of the bunch, a high placement score (launches
+// succeed), yet a bottom interruption-frequency bucket during the
+// experiment window. That is exactly the trap Algorithm 1 is built to
+// avoid: price- or SPS-only ranking walks straight into it.
+const (
+	caCentral          = catalog.Region("ca-central-1")
+	caCentralFrequency = 0.23
+	caCentralSPSLatent = 4.25
+)
+
+func caCentralTrapped(t catalog.InstanceType) bool {
+	f := t.Family()
+	return f == "m5" || f == "r5"
+}
+
+func (m *Model) freqWalk(t catalog.InstanceType, r catalog.Region) (*walk, error) {
+	k := Key{Region: r, Type: t}
+	if w, ok := m.freq[k]; ok {
+		return w, nil
+	}
+	info, err := m.cat.RegionInfo(r)
+	if err != nil {
+		return nil, err
+	}
+	if !m.cat.Offered(t, r) {
+		return nil, fmt.Errorf("market: %s not offered in %s", t, r)
+	}
+	base := tierFrequency(info.Tier)
+	if r == caCentral && caCentralTrapped(t) {
+		base = caCentralFrequency
+	}
+	sigma := tierFreqSigma(info.Tier)
+	if t.Family() == "p3" {
+		// GPU capacity is scarce and reclaimed in bursts: interruption
+		// frequency swings harder for p3 (Fig. 4 observation).
+		sigma = 0.028
+	}
+	rng := simclock.Stream(m.seed, "freq/"+string(t)+"/"+string(r))
+	w := newWalk(rng, base, sigma, 0.30, 0.005, 0.35)
+	m.freq[k] = w
+	return w, nil
+}
+
+func (m *Model) spsWalk(t catalog.InstanceType, r catalog.Region) (*walk, error) {
+	k := Key{Region: r, Type: t}
+	if w, ok := m.sps[k]; ok {
+		return w, nil
+	}
+	info, err := m.cat.RegionInfo(r)
+	if err != nil {
+		return nil, err
+	}
+	if !m.cat.Offered(t, r) {
+		return nil, fmt.Errorf("market: %s not offered in %s", t, r)
+	}
+	base := tierSPS(info.Tier)
+	if r == caCentral && caCentralTrapped(t) {
+		base = caCentralSPSLatent
+	}
+	sigma := 0.06
+	if t.Family() == "p3" {
+		// p3's placement score is near-constant across regions (Fig. 4c).
+		sigma = 0.02
+		base = 3.30
+	}
+	rng := simclock.Stream(m.seed, "sps/"+string(t)+"/"+string(r))
+	w := newWalk(rng, base, sigma, 0.35, 1, 10)
+	m.sps[k] = w
+	return w, nil
+}
+
+// SpotPrice returns the spot price of t in az at the given instant.
+func (m *Model) SpotPrice(t catalog.InstanceType, az catalog.AZ, at time.Time) (float64, error) {
+	w, err := m.priceWalk(t, az)
+	if err != nil {
+		return 0, err
+	}
+	return w.at(m.stepIndex(at, PriceStep)), nil
+}
+
+// RegionSpotPrice returns the cheapest AZ spot price of t in r, and the AZ.
+func (m *Model) RegionSpotPrice(t catalog.InstanceType, r catalog.Region, at time.Time) (float64, catalog.AZ, error) {
+	if !m.cat.Offered(t, r) {
+		return 0, "", fmt.Errorf("market: %s not offered in %s", t, r)
+	}
+	var (
+		best   float64
+		bestAZ catalog.AZ
+		found  bool
+	)
+	for _, az := range m.cat.Zones(r) {
+		p, err := m.SpotPrice(t, az, at)
+		if err != nil {
+			return 0, "", err
+		}
+		if !found || p < best {
+			best, bestAZ, found = p, az, true
+		}
+	}
+	if !found {
+		return 0, "", fmt.Errorf("market: region %s has no zones", r)
+	}
+	return best, bestAZ, nil
+}
+
+// PriceHistory returns the price series of t in az on [from, to] sampled
+// every step. It mimics DescribeSpotPriceHistory.
+func (m *Model) PriceHistory(t catalog.InstanceType, az catalog.AZ, from, to time.Time, step time.Duration) ([]PricePoint, error) {
+	if step <= 0 {
+		step = PriceStep
+	}
+	if to.Before(from) {
+		return nil, fmt.Errorf("market: history to %s before from %s", to, from)
+	}
+	var out []PricePoint
+	for ts := from; !ts.After(to); ts = ts.Add(step) {
+		p, err := m.SpotPrice(t, az, ts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, PricePoint{Time: ts, USDPerHour: p})
+	}
+	return out, nil
+}
+
+// InterruptionFrequency returns the latent monthly interruption fraction
+// for t in r at the given instant (the advisor's underlying quantity).
+func (m *Model) InterruptionFrequency(t catalog.InstanceType, r catalog.Region, at time.Time) (float64, error) {
+	w, err := m.freqWalk(t, r)
+	if err != nil {
+		return 0, err
+	}
+	return w.at(m.stepIndex(at, MetricStep)), nil
+}
+
+// StabilityScore maps the interruption frequency into the paper's 1-3
+// score: 3 below 5%, 1 above 20%, 2 between.
+func (m *Model) StabilityScore(t catalog.InstanceType, r catalog.Region, at time.Time) (int, error) {
+	f, err := m.InterruptionFrequency(t, r, at)
+	if err != nil {
+		return 0, err
+	}
+	return StabilityFromFrequency(f), nil
+}
+
+// StabilityFromFrequency converts a monthly interruption fraction into the
+// 1-3 Stability Score.
+func StabilityFromFrequency(f float64) int {
+	switch {
+	case f < 0.05:
+		return StabilityHigh
+	case f < 0.20:
+		return StabilityMid
+	default:
+		return StabilityLow
+	}
+}
+
+// PlacementScore returns the integer Spot Placement Score (1-10) of t in r.
+func (m *Model) PlacementScore(t catalog.InstanceType, r catalog.Region, at time.Time) (int, error) {
+	v, err := m.PlacementScoreLatent(t, r, at)
+	if err != nil {
+		return 0, err
+	}
+	s := int(math.Round(v))
+	if s < 1 {
+		s = 1
+	}
+	if s > 10 {
+		s = 10
+	}
+	return s, nil
+}
+
+// PlacementScoreLatent returns the continuous SPS process value, used for
+// the Fig. 4 time-series plots.
+func (m *Model) PlacementScoreLatent(t catalog.InstanceType, r catalog.Region, at time.Time) (float64, error) {
+	w, err := m.spsWalk(t, r)
+	if err != nil {
+		return 0, err
+	}
+	return w.at(m.stepIndex(at, MetricStep)), nil
+}
+
+// CombinedScore is PlacementScore + StabilityScore — the quantity the
+// Optimizer thresholds on (Algorithm 1).
+func (m *Model) CombinedScore(t catalog.InstanceType, r catalog.Region, at time.Time) (int, error) {
+	sps, err := m.PlacementScore(t, r, at)
+	if err != nil {
+		return 0, err
+	}
+	st, err := m.StabilityScore(t, r, at)
+	if err != nil {
+		return 0, err
+	}
+	return sps + st, nil
+}
+
+// HazardPerHour returns the per-hour interruption hazard of a running spot
+// instance of t in r at the given instant.
+func (m *Model) HazardPerHour(t catalog.InstanceType, r catalog.Region, at time.Time) (float64, error) {
+	f, err := m.InterruptionFrequency(t, r, at)
+	if err != nil {
+		return 0, err
+	}
+	return f * hazardScale, nil
+}
+
+// LaunchSuccessProbability is the chance a spot request is fulfilled on
+// its first placement attempt, increasing with the Spot Placement Score
+// (AWS documents SPS as exactly this likelihood).
+func (m *Model) LaunchSuccessProbability(t catalog.InstanceType, r catalog.Region, at time.Time) (float64, error) {
+	if m.InOutage(r, at) {
+		return 0, nil
+	}
+	sps, err := m.PlacementScore(t, r, at)
+	if err != nil {
+		return 0, err
+	}
+	p := 0.50 + 0.05*float64(sps)
+	return clamp(p, 0, 1), nil
+}
+
+// Advisor returns an advisor snapshot row for (t, r).
+func (m *Model) Advisor(t catalog.InstanceType, r catalog.Region, at time.Time) (AdvisorEntry, error) {
+	spot, _, err := m.RegionSpotPrice(t, r, at)
+	if err != nil {
+		return AdvisorEntry{}, err
+	}
+	od, err := m.cat.OnDemandPrice(t, r)
+	if err != nil {
+		return AdvisorEntry{}, err
+	}
+	f, err := m.InterruptionFrequency(t, r, at)
+	if err != nil {
+		return AdvisorEntry{}, err
+	}
+	sps, err := m.PlacementScore(t, r, at)
+	if err != nil {
+		return AdvisorEntry{}, err
+	}
+	st := StabilityFromFrequency(f)
+	return AdvisorEntry{
+		Region:                r,
+		Type:                  t,
+		SpotPriceUSD:          spot,
+		OnDemandUSD:           od,
+		SavingsOverOnDemand:   1 - spot/od,
+		InterruptionFrequency: f,
+		StabilityScore:        st,
+		PlacementScore:        sps,
+		CombinedScore:         sps + st,
+	}, nil
+}
+
+// AdvisorSnapshot returns advisor rows for t across all offering regions,
+// ordered by region name.
+func (m *Model) AdvisorSnapshot(t catalog.InstanceType, at time.Time) ([]AdvisorEntry, error) {
+	regions := m.cat.OfferedRegions(t)
+	out := make([]AdvisorEntry, 0, len(regions))
+	for _, r := range regions {
+		e, err := m.Advisor(t, r, at)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// AveragePrice returns the time-averaged regional spot price of t in r
+// over [from, to], used for stable "cheapest region" rankings (Table 1).
+func (m *Model) AveragePrice(t catalog.InstanceType, r catalog.Region, from, to time.Time) (float64, error) {
+	if !m.cat.Offered(t, r) {
+		return 0, fmt.Errorf("market: %s not offered in %s", t, r)
+	}
+	var sum float64
+	var n int
+	for ts := from; !ts.After(to); ts = ts.Add(PriceStep) {
+		p, _, err := m.RegionSpotPrice(t, r, ts)
+		if err != nil {
+			return 0, err
+		}
+		sum += p
+		n++
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("market: empty averaging window")
+	}
+	return sum / float64(n), nil
+}
+
+// CheapestSpotRegion returns the region with the lowest time-averaged spot
+// price for t over the window — the paper's per-type "baseline region"
+// (Table 1).
+func (m *Model) CheapestSpotRegion(t catalog.InstanceType, from, to time.Time) (catalog.Region, float64, error) {
+	var (
+		best      catalog.Region
+		bestPrice float64
+		found     bool
+	)
+	for _, r := range m.cat.OfferedRegions(t) {
+		p, err := m.AveragePrice(t, r, from, to)
+		if err != nil {
+			return "", 0, err
+		}
+		if !found || p < bestPrice {
+			best, bestPrice, found = r, p, true
+		}
+	}
+	if !found {
+		return "", 0, fmt.Errorf("market: %s offered nowhere", t)
+	}
+	return best, bestPrice, nil
+}

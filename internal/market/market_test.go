@@ -1,0 +1,333 @@
+package market
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"spotverse/internal/catalog"
+	"spotverse/internal/simclock"
+)
+
+func newModel() *Model {
+	return New(catalog.Default(), 42, simclock.Epoch)
+}
+
+func TestDeterministicAcrossInstances(t *testing.T) {
+	a, b := newModel(), newModel()
+	at := simclock.Epoch.Add(30 * 24 * time.Hour)
+	for _, it := range a.Catalog().InstanceTypes() {
+		for _, r := range a.Catalog().OfferedRegions(it) {
+			pa, _, err := a.RegionSpotPrice(it, r, at)
+			if err != nil {
+				t.Fatalf("price %s/%s: %v", it, r, err)
+			}
+			pb, _, _ := b.RegionSpotPrice(it, r, at)
+			if pa != pb {
+				t.Fatalf("nondeterministic price for %s/%s: %v vs %v", it, r, pa, pb)
+			}
+		}
+	}
+}
+
+func TestDeterministicRegardlessOfQueryOrder(t *testing.T) {
+	a, b := newModel(), newModel()
+	late := simclock.Epoch.Add(100 * 24 * time.Hour)
+	early := simclock.Epoch.Add(1 * 24 * time.Hour)
+	// a queries late then early; b queries early then late.
+	aLate, _ := a.SpotPrice(catalog.M5XLarge, "ca-central-1a", late)
+	aEarly, _ := a.SpotPrice(catalog.M5XLarge, "ca-central-1a", early)
+	bEarly, _ := b.SpotPrice(catalog.M5XLarge, "ca-central-1a", early)
+	bLate, _ := b.SpotPrice(catalog.M5XLarge, "ca-central-1a", late)
+	if aLate != bLate || aEarly != bEarly {
+		t.Fatalf("query order changed series: (%v,%v) vs (%v,%v)", aEarly, aLate, bEarly, bLate)
+	}
+}
+
+func TestSpotPriceBandAroundBaseline(t *testing.T) {
+	m := newModel()
+	cat := m.Catalog()
+	for _, it := range cat.InstanceTypes() {
+		for _, r := range cat.OfferedRegions(it) {
+			base, err := cat.BaselineSpotPrice(it, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for d := 0; d < 180; d += 13 {
+				at := simclock.Epoch.Add(time.Duration(d) * 24 * time.Hour)
+				p, _, err := m.RegionSpotPrice(it, r, at)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if p < base*0.87 || p > base*1.13 {
+					t.Fatalf("%s/%s day %d: price %v outside band of baseline %v", it, r, d, p, base)
+				}
+			}
+		}
+	}
+}
+
+func TestSpotBelowOnDemand(t *testing.T) {
+	m := newModel()
+	at := simclock.Epoch.Add(45 * 24 * time.Hour)
+	for _, it := range m.Catalog().InstanceTypes() {
+		for _, r := range m.Catalog().OfferedRegions(it) {
+			spot, _, err := m.RegionSpotPrice(it, r, at)
+			if err != nil {
+				t.Fatal(err)
+			}
+			od, err := m.Catalog().OnDemandPrice(it, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if spot >= od {
+				t.Fatalf("%s/%s: spot %v >= on-demand %v", it, r, spot, od)
+			}
+		}
+	}
+}
+
+func TestTable1BaselineRegions(t *testing.T) {
+	m := newModel()
+	from := simclock.Epoch
+	to := from.Add(14 * 24 * time.Hour)
+	want := map[catalog.InstanceType]catalog.Region{
+		catalog.M5Large:   "us-west-2",
+		catalog.M5XLarge:  "ca-central-1",
+		catalog.M52XLarge: "ap-northeast-3",
+		catalog.R52XLarge: "ca-central-1",
+		catalog.C52XLarge: "eu-north-1",
+	}
+	for it, wantRegion := range want {
+		got, _, err := m.CheapestSpotRegion(it, from, to)
+		if err != nil {
+			t.Fatalf("%s: %v", it, err)
+		}
+		if got != wantRegion {
+			t.Errorf("cheapest region for %s = %s, want %s (Table 1)", it, got, wantRegion)
+		}
+	}
+}
+
+func TestStabilityBuckets(t *testing.T) {
+	cases := []struct {
+		f    float64
+		want int
+	}{
+		{0.0, 3}, {0.049, 3}, {0.05, 2}, {0.19, 2}, {0.20, 1}, {0.35, 1},
+	}
+	for _, c := range cases {
+		if got := StabilityFromFrequency(c.f); got != c.want {
+			t.Errorf("StabilityFromFrequency(%v) = %d, want %d", c.f, got, c.want)
+		}
+	}
+}
+
+// TestTierCombinedScores pins the calibration DESIGN.md promises: the
+// stable quartet scores 6+, the moderate quartet 5, the volatile quartet
+// 4, during the experiment window (first 30 days).
+func TestTierCombinedScores(t *testing.T) {
+	m := newModel()
+	groups := map[int][]catalog.Region{
+		6: {"us-west-1", "ap-northeast-3", "eu-west-1", "eu-north-1"},
+		5: {"ap-southeast-1", "eu-west-3", "ca-central-1", "eu-west-2"},
+		4: {"us-east-1", "us-east-2", "ap-southeast-2", "us-west-2"},
+	}
+	for wantFloor, regions := range groups {
+		for _, r := range regions {
+			for d := 0; d < 30; d += 7 {
+				at := simclock.Epoch.Add(time.Duration(d) * 24 * time.Hour)
+				got, err := m.CombinedScore(catalog.M5XLarge, r, at)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got < wantFloor || got > wantFloor+1 {
+					t.Errorf("combined score for %s day %d = %d, want in [%d,%d]", r, d, got, wantFloor, wantFloor+1)
+				}
+			}
+		}
+	}
+}
+
+func TestCaCentralTrap(t *testing.T) {
+	m := newModel()
+	at := simclock.Epoch.Add(24 * time.Hour)
+	st, err := m.StabilityScore(catalog.M5XLarge, "ca-central-1", at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != StabilityLow {
+		t.Fatalf("ca-central-1 m5.xlarge stability = %d, want 1 (the paper's trap)", st)
+	}
+	sps, err := m.PlacementScore(catalog.M5XLarge, "ca-central-1", at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sps < 4 {
+		t.Fatalf("ca-central-1 m5.xlarge SPS = %d, want >= 4", sps)
+	}
+	// The trap applies to the m5/r5 families only.
+	stC5, err := m.StabilityScore(catalog.C52XLarge, "ca-central-1", at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stC5 == StabilityLow {
+		t.Fatalf("ca-central-1 c5.2xlarge should not be trapped, got stability 1")
+	}
+}
+
+func TestHazardScalesWithFrequency(t *testing.T) {
+	m := newModel()
+	at := simclock.Epoch.Add(24 * time.Hour)
+	hBad, err := m.HazardPerHour(catalog.M5XLarge, "ca-central-1", at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hGood, err := m.HazardPerHour(catalog.M5XLarge, "eu-north-1", at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hBad <= hGood*2 {
+		t.Fatalf("hazard ca-central-1 %v should dwarf eu-north-1 %v", hBad, hGood)
+	}
+	if hBad < 0.09 || hBad > 0.19 {
+		t.Fatalf("ca-central-1 hazard %v/h outside calibration band [0.09, 0.19]", hBad)
+	}
+}
+
+func TestPriceHistoryLengthAndMonotoneTime(t *testing.T) {
+	m := newModel()
+	from := simclock.Epoch
+	to := from.Add(10 * 24 * time.Hour)
+	hist, err := m.PriceHistory(catalog.C52XLarge, "eu-north-1a", from, to, 24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) != 11 {
+		t.Fatalf("history length = %d, want 11", len(hist))
+	}
+	for i := 1; i < len(hist); i++ {
+		if !hist[i].Time.After(hist[i-1].Time) {
+			t.Fatal("history times not strictly increasing")
+		}
+	}
+}
+
+func TestPriceHistoryReversedWindowRejected(t *testing.T) {
+	m := newModel()
+	_, err := m.PriceHistory(catalog.C52XLarge, "eu-north-1a", simclock.Epoch.Add(time.Hour), simclock.Epoch, 0)
+	if err == nil {
+		t.Fatal("reversed window should error")
+	}
+}
+
+func TestAdvisorSnapshotConsistency(t *testing.T) {
+	m := newModel()
+	at := simclock.Epoch.Add(72 * time.Hour)
+	rows, err := m.AdvisorSnapshot(catalog.M5XLarge, at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(m.Catalog().OfferedRegions(catalog.M5XLarge)) {
+		t.Fatalf("snapshot rows = %d, want one per region", len(rows))
+	}
+	for _, row := range rows {
+		if row.CombinedScore != row.PlacementScore+row.StabilityScore {
+			t.Fatalf("%s: combined %d != sps %d + stability %d", row.Region, row.CombinedScore, row.PlacementScore, row.StabilityScore)
+		}
+		if row.SavingsOverOnDemand <= 0 || row.SavingsOverOnDemand >= 1 {
+			t.Fatalf("%s: savings %v out of (0,1)", row.Region, row.SavingsOverOnDemand)
+		}
+		if row.StabilityScore != StabilityFromFrequency(row.InterruptionFrequency) {
+			t.Fatalf("%s: stability inconsistent with frequency", row.Region)
+		}
+	}
+}
+
+func TestP3NotOfferedEverywhere(t *testing.T) {
+	m := newModel()
+	offered := m.Catalog().OfferedRegions(catalog.P32XLarge)
+	all := m.Catalog().Regions()
+	if len(offered) == 0 || len(offered) >= len(all) {
+		t.Fatalf("p3.2xlarge offered in %d/%d regions, want a strict subset", len(offered), len(all))
+	}
+	if _, err := m.Advisor(catalog.P32XLarge, "ca-central-1", simclock.Epoch); err == nil {
+		t.Fatal("advisor for p3 in a non-offering region should error")
+	}
+}
+
+func TestP3PlacementScoreNearConstantAcrossRegions(t *testing.T) {
+	m := newModel()
+	at := simclock.Epoch.Add(60 * 24 * time.Hour)
+	min, max := 11.0, 0.0
+	for _, r := range m.Catalog().OfferedRegions(catalog.P32XLarge) {
+		v, err := m.PlacementScoreLatent(catalog.P32XLarge, r, at)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	if max-min > 1.0 {
+		t.Fatalf("p3 SPS spread %v too wide; paper observes near-constant SPS", max-min)
+	}
+}
+
+func TestLaunchSuccessProbabilityBounds(t *testing.T) {
+	m := newModel()
+	f := func(day uint8) bool {
+		at := simclock.Epoch.Add(time.Duration(day) * 24 * time.Hour)
+		p, err := m.LaunchSuccessProbability(catalog.M5XLarge, "us-east-1", at)
+		return err == nil && p >= 0.5 && p <= 1.0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAveragePriceWithinBand(t *testing.T) {
+	m := newModel()
+	base, err := m.Catalog().BaselineSpotPrice(catalog.M5XLarge, "eu-north-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg, err := m.AveragePrice(catalog.M5XLarge, "eu-north-1", simclock.Epoch, simclock.Epoch.Add(30*24*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg < base*0.85 || avg > base*1.15 {
+		t.Fatalf("average price %v far from baseline %v", avg, base)
+	}
+}
+
+func TestQueriesBeforeStartClampToFirstSample(t *testing.T) {
+	m := newModel()
+	p1, err := m.SpotPrice(catalog.M5XLarge, "us-east-1a", simclock.Epoch.Add(-time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := m.SpotPrice(catalog.M5XLarge, "us-east-1a", simclock.Epoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Fatalf("pre-start query %v != first sample %v", p1, p2)
+	}
+}
+
+func TestUnknownRegionErrors(t *testing.T) {
+	m := newModel()
+	if _, _, err := m.RegionSpotPrice(catalog.M5XLarge, "mars-north-1", simclock.Epoch); err == nil {
+		t.Fatal("unknown region should error")
+	}
+	if _, err := m.StabilityScore(catalog.M5XLarge, "mars-north-1", simclock.Epoch); err == nil {
+		t.Fatal("unknown region should error")
+	}
+	if _, err := m.SpotPrice("x9.mega", "us-east-1a", simclock.Epoch); err == nil {
+		t.Fatal("unknown type should error")
+	}
+}

@@ -1,0 +1,302 @@
+// Package predict implements the paper's future-work direction
+// (Section 7): learning how interruption behaviour depends on the day
+// and time of week, and using the learned model to steer placement.
+//
+// The Forecaster maintains a Bayesian estimate of each region's
+// interruption hazard: a Gamma(alpha, beta) posterior over the hazard
+// rate (events per exposure-hour), conjugate to the exponentially
+// distributed interruption times, optionally refined per hour-of-week
+// bucket. The Adaptive strategy places workloads on the regions with the
+// lowest expected cost-to-complete — price divided by the survival
+// probability of an attempt under the posterior-mean hazard — and keeps
+// learning from every launch and interruption it observes.
+package predict
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"spotverse/internal/catalog"
+	"spotverse/internal/cloud"
+	"spotverse/internal/market"
+	"spotverse/internal/simclock"
+	"spotverse/internal/strategy"
+)
+
+// Errors returned by the package.
+var (
+	ErrNoRegions   = errors.New("predict: no candidate regions")
+	ErrBadExposure = errors.New("predict: exposure must be positive")
+)
+
+// Buckets for the hour-of-week refinement: weekday-peak vs off-peak,
+// matching the seasonality the market can generate.
+const (
+	bucketOffPeak = 0
+	bucketPeak    = 1
+	numBuckets    = 2
+)
+
+func bucketOf(at time.Time) int {
+	if market.HourOfWeekFactor(at) > 1 {
+		return bucketPeak
+	}
+	return bucketOffPeak
+}
+
+// Forecaster learns per-region (and per-bucket) interruption hazards.
+type Forecaster struct {
+	// prior pseudo-counts: alpha events over beta exposure-hours.
+	priorAlpha float64
+	priorBeta  float64
+
+	alpha map[catalog.Region][numBuckets]float64
+	beta  map[catalog.Region][numBuckets]float64
+}
+
+// NewForecaster returns a forecaster with a weakly-informative prior
+// centred on priorHazard events/hour (pseudo-exposure priorWeight hours).
+func NewForecaster(priorHazard, priorWeight float64) *Forecaster {
+	if priorHazard <= 0 {
+		priorHazard = 0.05
+	}
+	if priorWeight <= 0 {
+		priorWeight = 20
+	}
+	return &Forecaster{
+		priorAlpha: priorHazard * priorWeight,
+		priorBeta:  priorWeight,
+		alpha:      make(map[catalog.Region][numBuckets]float64),
+		beta:       make(map[catalog.Region][numBuckets]float64),
+	}
+}
+
+// Observe records an exposure interval in a region: hours of runtime and
+// whether it ended in an interruption. at timestamps the interval's start
+// for bucket attribution.
+func (f *Forecaster) Observe(r catalog.Region, at time.Time, hours float64, interrupted bool) error {
+	if hours <= 0 {
+		return fmt.Errorf("%w: %v", ErrBadExposure, hours)
+	}
+	b := bucketOf(at)
+	a := f.alpha[r]
+	bb := f.beta[r]
+	if interrupted {
+		a[b]++
+	}
+	bb[b] += hours
+	f.alpha[r] = a
+	f.beta[r] = bb
+	return nil
+}
+
+// Hazard returns the posterior-mean hazard (events/hour) for the region
+// in the bucket containing at.
+func (f *Forecaster) Hazard(r catalog.Region, at time.Time) float64 {
+	b := bucketOf(at)
+	return (f.priorAlpha + f.alpha[r][b]) / (f.priorBeta + f.beta[r][b])
+}
+
+// Observations reports total recorded interruptions and exposure hours
+// for a region across buckets.
+func (f *Forecaster) Observations(r catalog.Region) (interruptions float64, exposureHours float64) {
+	a, b := f.alpha[r], f.beta[r]
+	for i := 0; i < numBuckets; i++ {
+		interruptions += a[i]
+		exposureHours += b[i]
+	}
+	return interruptions, exposureHours
+}
+
+// Adaptive is a placement strategy that minimises expected
+// cost-to-complete under the forecaster's hazard estimates. It explores
+// with probability epsilon to keep estimates fresh across regions.
+type Adaptive struct {
+	eng *simclock.Engine
+	mkt *market.Model
+	t   catalog.InstanceType
+	fc  *Forecaster
+	rng *simclock.RNG
+
+	// horizonHours is the assumed attempt length when scoring survival.
+	horizonHours float64
+	// epsilon is the exploration probability.
+	epsilon float64
+	// fanout is how many top regions initial placement spreads over.
+	fanout int
+
+	// lastStart tracks when each workload's current attempt began, and
+	// where, so interruptions convert into labelled exposure.
+	lastStart map[string]attempt
+}
+
+type attempt struct {
+	region catalog.Region
+	at     time.Time
+}
+
+var _ strategy.Strategy = (*Adaptive)(nil)
+
+// Config tunes the adaptive strategy.
+type Config struct {
+	// HorizonHours is the assumed workload duration (default 10.5).
+	HorizonHours float64
+	// Epsilon is the exploration rate (default 0.05).
+	Epsilon float64
+	// Fanout is the initial spread width (default 4).
+	Fanout int
+	// PriorHazard and PriorWeight seed the forecaster (defaults 0.05/20).
+	PriorHazard float64
+	PriorWeight float64
+	// Seed feeds exploration.
+	Seed int64
+}
+
+// NewAdaptive builds the strategy over the live market's prices (it never
+// reads the market's hazards or advisor scores — everything it knows
+// about reliability it learns from its own observations).
+func NewAdaptive(eng *simclock.Engine, mkt *market.Model, t catalog.InstanceType, cfg Config) (*Adaptive, error) {
+	if _, err := mkt.Catalog().Spec(t); err != nil {
+		return nil, err
+	}
+	if cfg.HorizonHours <= 0 {
+		cfg.HorizonHours = 10.5
+	}
+	if cfg.Epsilon <= 0 {
+		cfg.Epsilon = 0.05
+	}
+	if cfg.Fanout <= 0 {
+		cfg.Fanout = 4
+	}
+	return &Adaptive{
+		eng:          eng,
+		mkt:          mkt,
+		t:            t,
+		fc:           NewForecaster(cfg.PriorHazard, cfg.PriorWeight),
+		rng:          simclock.Stream(cfg.Seed, "predict/"+string(t)),
+		horizonHours: cfg.HorizonHours,
+		epsilon:      cfg.Epsilon,
+		fanout:       cfg.Fanout,
+		lastStart:    make(map[string]attempt),
+	}, nil
+}
+
+// Forecaster exposes the learned model.
+func (a *Adaptive) Forecaster() *Forecaster { return a.fc }
+
+// Name implements strategy.Strategy.
+func (a *Adaptive) Name() string { return "predictive" }
+
+// score is the expected cost rate of running one attempt in r now:
+// price × expected-attempts ≈ price × e^{hazard × horizon}.
+func (a *Adaptive) score(r catalog.Region, at time.Time) (float64, error) {
+	price, _, err := a.mkt.RegionSpotPrice(a.t, r, at)
+	if err != nil {
+		return 0, err
+	}
+	h := a.fc.Hazard(r, at)
+	penalty := math.Exp(h * a.horizonHours)
+	if penalty > 1e6 {
+		penalty = 1e6
+	}
+	return price * penalty, nil
+}
+
+// ranked returns candidate regions ordered by ascending score.
+func (a *Adaptive) ranked(exclude catalog.Region) ([]catalog.Region, error) {
+	at := a.eng.Now()
+	type cand struct {
+		r catalog.Region
+		s float64
+	}
+	var cands []cand
+	for _, r := range a.mkt.Catalog().OfferedRegions(a.t) {
+		if r == exclude {
+			continue
+		}
+		s, err := a.score(r, at)
+		if err != nil {
+			return nil, err
+		}
+		cands = append(cands, cand{r, s})
+	}
+	if len(cands) == 0 {
+		return nil, ErrNoRegions
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].s != cands[j].s {
+			return cands[i].s < cands[j].s
+		}
+		return cands[i].r < cands[j].r
+	})
+	out := make([]catalog.Region, len(cands))
+	for i, c := range cands {
+		out[i] = c.r
+	}
+	return out, nil
+}
+
+// PlaceInitial spreads workloads round-robin over the fanout best
+// regions by expected cost.
+func (a *Adaptive) PlaceInitial(ids []string) (map[string]strategy.Placement, error) {
+	regions, err := a.ranked("")
+	if err != nil {
+		return nil, err
+	}
+	n := a.fanout
+	if n > len(regions) {
+		n = len(regions)
+	}
+	top := regions[:n]
+	out := make(map[string]strategy.Placement, len(ids))
+	for i, id := range ids {
+		r := top[i%len(top)]
+		if a.rng.Bool(a.epsilon) {
+			r = simclock.Pick(a.rng, regions)
+		}
+		out[id] = strategy.Placement{Region: r, Lifecycle: cloud.LifecycleSpot}
+		a.lastStart[id] = attempt{region: r, at: a.eng.Now()}
+	}
+	return out, nil
+}
+
+// OnInterrupted learns from the failure and relaunches in the best (or
+// an exploratory) region.
+func (a *Adaptive) OnInterrupted(id string, current catalog.Region, relaunch strategy.RelaunchFunc) error {
+	now := a.eng.Now()
+	if att, ok := a.lastStart[id]; ok {
+		hours := now.Sub(att.at).Hours()
+		if hours > 0 {
+			_ = a.fc.Observe(att.region, att.at, hours, true)
+		}
+	}
+	regions, err := a.ranked(current)
+	if err != nil {
+		return err
+	}
+	r := regions[0]
+	if a.rng.Bool(a.epsilon) {
+		r = simclock.Pick(a.rng, regions)
+	}
+	a.lastStart[id] = attempt{region: r, at: now}
+	relaunch(strategy.Placement{Region: r, Lifecycle: cloud.LifecycleSpot})
+	return nil
+}
+
+// OnCompleted lets callers feed successful exposure back into the
+// forecaster (the experiment harness is not required to call it; the
+// strategy still learns from interruptions alone, just more slowly).
+func (a *Adaptive) OnCompleted(id string) {
+	att, ok := a.lastStart[id]
+	if !ok {
+		return
+	}
+	hours := a.eng.Now().Sub(att.at).Hours()
+	if hours > 0 {
+		_ = a.fc.Observe(att.region, att.at, hours, false)
+	}
+	delete(a.lastStart, id)
+}

@@ -1,0 +1,209 @@
+package predict
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"spotverse/internal/catalog"
+	"spotverse/internal/market"
+	"spotverse/internal/simclock"
+	"spotverse/internal/strategy"
+)
+
+func TestForecasterPriorDominatesInitially(t *testing.T) {
+	f := NewForecaster(0.05, 20)
+	h := f.Hazard("ca-central-1", simclock.Epoch)
+	if h < 0.049 || h > 0.051 {
+		t.Fatalf("prior hazard = %v, want ~0.05", h)
+	}
+}
+
+func TestForecasterLearnsHighHazard(t *testing.T) {
+	f := NewForecaster(0.05, 20)
+	at := simclock.Epoch
+	// 30 interruptions over 150 exposure-hours -> hazard ~0.2.
+	for i := 0; i < 30; i++ {
+		if err := f.Observe("ca-central-1", at, 5, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h := f.Hazard("ca-central-1", at)
+	if h < 0.12 || h > 0.25 {
+		t.Fatalf("learned hazard = %v, want near 0.2", h)
+	}
+	// Unobserved region stays at prior.
+	if got := f.Hazard("eu-north-1", at); got < 0.049 || got > 0.051 {
+		t.Fatalf("unobserved region drifted: %v", got)
+	}
+}
+
+func TestForecasterLearnsLowHazard(t *testing.T) {
+	f := NewForecaster(0.05, 20)
+	at := simclock.Epoch
+	for i := 0; i < 40; i++ {
+		if err := f.Observe("eu-north-1", at, 10, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h := f.Hazard("eu-north-1", at)
+	if h > 0.01 {
+		t.Fatalf("hazard = %v after 400 clean hours, want < 0.01", h)
+	}
+}
+
+func TestForecasterBucketsSeparate(t *testing.T) {
+	f := NewForecaster(0.05, 5)
+	// Epoch is Monday 00:00 UTC: off-peak. Monday 15:00 UTC: peak.
+	offPeak := simclock.Epoch
+	peak := simclock.Epoch.Add(15 * time.Hour)
+	if bucketOf(offPeak) == bucketOf(peak) {
+		t.Fatal("bucketing broken")
+	}
+	for i := 0; i < 20; i++ {
+		_ = f.Observe("us-east-1", peak, 2, true)
+		_ = f.Observe("us-east-1", offPeak, 2, false)
+	}
+	if hp, ho := f.Hazard("us-east-1", peak), f.Hazard("us-east-1", offPeak); hp <= ho {
+		t.Fatalf("peak hazard %v <= off-peak %v", hp, ho)
+	}
+}
+
+func TestForecasterRejectsBadExposure(t *testing.T) {
+	f := NewForecaster(0, 0)
+	if err := f.Observe("x", simclock.Epoch, 0, true); !errors.Is(err, ErrBadExposure) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestObservationsAggregate(t *testing.T) {
+	f := NewForecaster(0.05, 20)
+	_ = f.Observe("r", simclock.Epoch, 3, true)
+	_ = f.Observe("r", simclock.Epoch.Add(15*time.Hour), 7, false)
+	intr, exp := f.Observations("r")
+	if intr != 1 || exp != 10 {
+		t.Fatalf("observations = %v/%v", intr, exp)
+	}
+}
+
+func newAdaptive(t *testing.T) (*simclock.Engine, *Adaptive) {
+	t.Helper()
+	eng := simclock.NewEngine()
+	mkt := market.New(catalog.Default(), 42, simclock.Epoch)
+	a, err := NewAdaptive(eng, mkt, catalog.M5XLarge, Config{Seed: 1, Epsilon: 0.0001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, a
+}
+
+func TestAdaptivePlaceInitialSpreads(t *testing.T) {
+	_, a := newAdaptive(t)
+	ids := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	placements, err := a.PlaceInitial(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regions := map[catalog.Region]int{}
+	for _, p := range placements {
+		regions[p.Region]++
+	}
+	if len(regions) != 4 {
+		t.Fatalf("spread over %d regions, want 4", len(regions))
+	}
+}
+
+func TestAdaptiveAvoidsRegionAfterInterruptions(t *testing.T) {
+	eng, a := newAdaptive(t)
+	// Before learning, ca-central-1 (cheapest) ranks first.
+	first, err := a.ranked("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first[0] != "ca-central-1" {
+		t.Skipf("cheapest at epoch is %s", first[0])
+	}
+	// Feed it a stream of fast interruptions.
+	for i := 0; i < 15; i++ {
+		a.lastStart["w"] = attempt{region: "ca-central-1", at: eng.Now()}
+		_ = eng.RunFor(2 * time.Hour)
+		var relaunched strategy.Placement
+		if err := a.OnInterrupted("w", "ca-central-1", func(p strategy.Placement) { relaunched = p }); err != nil {
+			t.Fatal(err)
+		}
+		if relaunched.Region == "ca-central-1" {
+			t.Fatal("relaunched into the excluded region")
+		}
+	}
+	after, err := a.ranked("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after[0] == "ca-central-1" {
+		t.Fatalf("still ranks ca-central-1 first after 15 interruptions (hazard %v)",
+			a.Forecaster().Hazard("ca-central-1", eng.Now()))
+	}
+}
+
+func TestAdaptiveOnCompletedFeedsSurvival(t *testing.T) {
+	eng, a := newAdaptive(t)
+	a.lastStart["w"] = attempt{region: "eu-north-1", at: eng.Now()}
+	_ = eng.RunFor(10 * time.Hour)
+	a.OnCompleted("w")
+	intr, exp := a.Forecaster().Observations("eu-north-1")
+	if intr != 0 || exp != 10 {
+		t.Fatalf("observations = %v/%v", intr, exp)
+	}
+	// Second OnCompleted for the same id is a no-op.
+	a.OnCompleted("w")
+	_, exp2 := a.Forecaster().Observations("eu-north-1")
+	if exp2 != 10 {
+		t.Fatalf("double-complete added exposure: %v", exp2)
+	}
+}
+
+func TestAdaptiveUnknownType(t *testing.T) {
+	eng := simclock.NewEngine()
+	mkt := market.New(catalog.Default(), 1, simclock.Epoch)
+	if _, err := NewAdaptive(eng, mkt, "z9.mega", Config{}); err == nil {
+		t.Fatal("unknown type should error")
+	}
+}
+
+func TestSeasonalFactorMeanOne(t *testing.T) {
+	var sum float64
+	start := simclock.Epoch // Monday 00:00 UTC
+	for h := 0; h < 168; h++ {
+		sum += market.HourOfWeekFactor(start.Add(time.Duration(h) * time.Hour))
+	}
+	mean := sum / 168
+	if mean < 0.999 || mean > 1.001 {
+		t.Fatalf("weekly mean factor = %v, want 1", mean)
+	}
+}
+
+func TestSeasonalityOffByDefault(t *testing.T) {
+	mkt := market.New(catalog.Default(), 1, simclock.Epoch)
+	if mkt.SeasonalityEnabled() {
+		t.Fatal("seasonality should default off")
+	}
+	peak := simclock.Epoch.Add(15 * time.Hour)
+	if f := mkt.SeasonalFactor(peak); f != 1 {
+		t.Fatalf("factor = %v with seasonality off", f)
+	}
+	mkt.EnableSeasonality()
+	if f := mkt.SeasonalFactor(peak); f <= 1 {
+		t.Fatalf("peak factor = %v, want > 1", f)
+	}
+	base, err := mkt.HazardPerHour(catalog.M5XLarge, "ca-central-1", peak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seasonal, err := mkt.SeasonalHazardPerHour(catalog.M5XLarge, "ca-central-1", peak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seasonal <= base {
+		t.Fatalf("seasonal %v <= base %v at peak", seasonal, base)
+	}
+}

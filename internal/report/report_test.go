@@ -1,0 +1,83 @@
+package report
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestTableRenderAligned(t *testing.T) {
+	tbl := NewTable("Demo", "region", "cost")
+	tbl.MustAddRow("ca-central-1", "$41.46")
+	tbl.MustAddRow("us-east-1", "$77.81")
+	out := tbl.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // title, header, separator, 2 rows -> 5? title+header+sep+2 = 5
+		if len(lines) != 5 {
+			t.Fatalf("lines = %d: %q", len(lines), out)
+		}
+	}
+	if !strings.HasPrefix(lines[0], "## Demo") {
+		t.Fatalf("title = %q", lines[0])
+	}
+	// Column alignment: "cost" column starts at the same offset in every
+	// data line.
+	idx := strings.Index(lines[1], "cost")
+	for _, l := range lines[3:] {
+		if len(l) <= idx {
+			t.Fatalf("row %q shorter than header offset", l)
+		}
+		if l[idx-1] != ' ' && l[idx-1] != '-' {
+			t.Fatalf("row %q misaligned at %d", l, idx)
+		}
+	}
+}
+
+func TestTableRowShapeEnforced(t *testing.T) {
+	tbl := NewTable("x", "a", "b")
+	if err := tbl.AddRow("only-one"); !errors.Is(err, ErrShape) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCSVQuoting(t *testing.T) {
+	var sb strings.Builder
+	err := CSV(&sb, []string{"name", "note"}, [][]string{
+		{"plain", "ok"},
+		{"with,comma", `say "hi"`},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `"with,comma"`) {
+		t.Fatalf("comma not quoted: %q", out)
+	}
+	if !strings.Contains(out, `"say ""hi"""`) {
+		t.Fatalf("quotes not escaped: %q", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+}
+
+func TestCSVShapeEnforced(t *testing.T) {
+	var sb strings.Builder
+	err := CSV(&sb, []string{"a", "b"}, [][]string{{"1"}})
+	if !errors.Is(err, ErrShape) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(3.14159, 2) != "3.14" {
+		t.Fatalf("F = %q", F(3.14159, 2))
+	}
+	if USD(41.456) != "$41.46" {
+		t.Fatalf("USD = %q", USD(41.456))
+	}
+	if Pct(0.523) != "52.3%" {
+		t.Fatalf("Pct = %q", Pct(0.523))
+	}
+}

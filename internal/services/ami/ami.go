@@ -1,0 +1,142 @@
+// Package ami models the Amazon-Machine-Image workflow of Section 4: the
+// paper bakes Galaxy, its tools, and the startup scripts into a custom
+// AMI in one region and propagates copies to every region SpotVerse may
+// launch in. Instances can only launch in regions holding a copy, and
+// cross-region copies cost snapshot transfer.
+package ami
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"spotverse/internal/catalog"
+	"spotverse/internal/cost"
+)
+
+// Errors returned by the registry.
+var (
+	ErrExists     = errors.New("ami: image already registered")
+	ErrNoSuchAMI  = errors.New("ami: no such image")
+	ErrNotPresent = errors.New("ami: image not present in region")
+	ErrBadSize    = errors.New("ami: size must be positive")
+)
+
+// SnapshotTransferUSDPerGB prices cross-region AMI copies (EBS snapshot
+// transfer).
+const SnapshotTransferUSDPerGB = 0.02
+
+// Image is one registered machine image.
+type Image struct {
+	Name      string
+	SizeBytes int64
+	home      catalog.Region
+	copies    map[catalog.Region]bool
+}
+
+// Regions lists the regions holding a copy, sorted.
+func (img *Image) Regions() []catalog.Region {
+	out := make([]catalog.Region, 0, len(img.copies))
+	for r := range img.copies {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Registry tracks images and their regional copies.
+type Registry struct {
+	cat    *catalog.Catalog
+	ledger *cost.Ledger
+	images map[string]*Image
+}
+
+// New returns an empty registry charging the ledger for copies.
+func New(cat *catalog.Catalog, ledger *cost.Ledger) *Registry {
+	return &Registry{cat: cat, ledger: ledger, images: make(map[string]*Image)}
+}
+
+// Register creates an image in its home region.
+func (reg *Registry) Register(name string, home catalog.Region, sizeBytes int64) (*Image, error) {
+	if _, ok := reg.images[name]; ok {
+		return nil, fmt.Errorf("register %q: %w", name, ErrExists)
+	}
+	if sizeBytes <= 0 {
+		return nil, fmt.Errorf("register %q: %w", name, ErrBadSize)
+	}
+	if _, err := reg.cat.RegionInfo(home); err != nil {
+		return nil, fmt.Errorf("register %q: %w", name, err)
+	}
+	img := &Image{Name: name, SizeBytes: sizeBytes, home: home, copies: map[catalog.Region]bool{home: true}}
+	reg.images[name] = img
+	return img, nil
+}
+
+// Image fetches a registered image.
+func (reg *Registry) Image(name string) (*Image, error) {
+	img, ok := reg.images[name]
+	if !ok {
+		return nil, fmt.Errorf("image %q: %w", name, ErrNoSuchAMI)
+	}
+	return img, nil
+}
+
+// Copy replicates the image into a region, charging snapshot transfer.
+// Copying to a region that already holds it is a no-op.
+func (reg *Registry) Copy(name string, to catalog.Region) error {
+	img, err := reg.Image(name)
+	if err != nil {
+		return err
+	}
+	if _, err := reg.cat.RegionInfo(to); err != nil {
+		return fmt.Errorf("copy %q: %w", name, err)
+	}
+	if img.copies[to] {
+		return nil
+	}
+	gb := float64(img.SizeBytes) / (1 << 30)
+	reg.ledger.MustAdd(cost.CategoryS3Transfer, gb*SnapshotTransferUSDPerGB)
+	img.copies[to] = true
+	return nil
+}
+
+// Propagate copies the image to every region offering the instance type
+// — the paper's cross-region AMI distribution step. It returns the
+// regions newly copied to.
+func (reg *Registry) Propagate(name string, t catalog.InstanceType) ([]catalog.Region, error) {
+	img, err := reg.Image(name)
+	if err != nil {
+		return nil, err
+	}
+	var copied []catalog.Region
+	for _, r := range reg.cat.OfferedRegions(t) {
+		if img.copies[r] {
+			continue
+		}
+		if err := reg.Copy(name, r); err != nil {
+			return copied, err
+		}
+		copied = append(copied, r)
+	}
+	return copied, nil
+}
+
+// Present reports whether the image exists in the region.
+func (reg *Registry) Present(name string, r catalog.Region) bool {
+	img, err := reg.Image(name)
+	if err != nil {
+		return false
+	}
+	return img.copies[r]
+}
+
+// LaunchGate returns a function suitable for cloud.Provider.SetLaunchGate:
+// launches are rejected in regions lacking the image.
+func (reg *Registry) LaunchGate(name string) func(catalog.InstanceType, catalog.Region) error {
+	return func(_ catalog.InstanceType, r catalog.Region) error {
+		if !reg.Present(name, r) {
+			return fmt.Errorf("%w: %q in %s", ErrNotPresent, name, r)
+		}
+		return nil
+	}
+}

@@ -1,0 +1,119 @@
+package ami
+
+import (
+	"errors"
+	"testing"
+
+	"spotverse/internal/catalog"
+	"spotverse/internal/cost"
+)
+
+func newRegistry() (*Registry, *cost.Ledger) {
+	l := cost.NewLedger()
+	return New(catalog.Default(), l), l
+}
+
+func TestRegisterAndPresence(t *testing.T) {
+	reg, _ := newRegistry()
+	img, err := reg.Register("galaxy-ami", "us-east-1", 8<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reg.Present("galaxy-ami", "us-east-1") {
+		t.Fatal("home region missing image")
+	}
+	if reg.Present("galaxy-ami", "eu-north-1") {
+		t.Fatal("uncopied region has image")
+	}
+	if got := img.Regions(); len(got) != 1 || got[0] != "us-east-1" {
+		t.Fatalf("regions = %v", got)
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	reg, _ := newRegistry()
+	if _, err := reg.Register("x", "narnia-1", 1); err == nil {
+		t.Fatal("unknown region accepted")
+	}
+	if _, err := reg.Register("x", "us-east-1", 0); !errors.Is(err, ErrBadSize) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := reg.Register("x", "us-east-1", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Register("x", "us-east-1", 1); !errors.Is(err, ErrExists) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCopyChargesOnceAndIsIdempotent(t *testing.T) {
+	reg, l := newRegistry()
+	_, _ = reg.Register("galaxy-ami", "us-east-1", 8<<30)
+	if err := reg.Copy("galaxy-ami", "eu-north-1"); err != nil {
+		t.Fatal(err)
+	}
+	want := 8 * SnapshotTransferUSDPerGB
+	if got := l.Of(cost.CategoryS3Transfer); got < want-1e-9 || got > want+1e-9 {
+		t.Fatalf("copy cost %v, want %v", got, want)
+	}
+	if err := reg.Copy("galaxy-ami", "eu-north-1"); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Of(cost.CategoryS3Transfer); got > want+1e-9 {
+		t.Fatal("idempotent copy charged again")
+	}
+}
+
+func TestPropagateCoversOfferedRegions(t *testing.T) {
+	reg, _ := newRegistry()
+	_, _ = reg.Register("galaxy-ami", "us-east-1", 4<<30)
+	copied, err := reg.Propagate("galaxy-ami", catalog.M5XLarge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offered := catalog.Default().OfferedRegions(catalog.M5XLarge)
+	if len(copied) != len(offered)-1 { // home already has it
+		t.Fatalf("copied %d regions, want %d", len(copied), len(offered)-1)
+	}
+	for _, r := range offered {
+		if !reg.Present("galaxy-ami", r) {
+			t.Fatalf("region %s missing after propagate", r)
+		}
+	}
+	// Second propagate is a no-op.
+	copied2, err := reg.Propagate("galaxy-ami", catalog.M5XLarge)
+	if err != nil || len(copied2) != 0 {
+		t.Fatalf("re-propagate = %v err=%v", copied2, err)
+	}
+}
+
+func TestLaunchGate(t *testing.T) {
+	reg, _ := newRegistry()
+	_, _ = reg.Register("galaxy-ami", "us-east-1", 1<<30)
+	gate := reg.LaunchGate("galaxy-ami")
+	if err := gate(catalog.M5XLarge, "us-east-1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := gate(catalog.M5XLarge, "eu-north-1"); !errors.Is(err, ErrNotPresent) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := reg.Copy("galaxy-ami", "eu-north-1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := gate(catalog.M5XLarge, "eu-north-1"); err != nil {
+		t.Fatalf("gate after copy: %v", err)
+	}
+}
+
+func TestUnknownImage(t *testing.T) {
+	reg, _ := newRegistry()
+	if err := reg.Copy("ghost", "us-east-1"); !errors.Is(err, ErrNoSuchAMI) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := reg.Propagate("ghost", catalog.M5XLarge); !errors.Is(err, ErrNoSuchAMI) {
+		t.Fatalf("err = %v", err)
+	}
+	if reg.Present("ghost", "us-east-1") {
+		t.Fatal("ghost present")
+	}
+}

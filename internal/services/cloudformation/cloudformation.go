@@ -1,0 +1,285 @@
+// Package cloudformation simulates the infrastructure-as-code layer the
+// paper deploys SpotVerse with (Section 4): declarative stacks of typed
+// resources with dependencies, created in topological order, rolled back
+// on failure, and deletable as a unit.
+//
+// Templates are JSON documents:
+//
+//	{
+//	  "name": "spotverse",
+//	  "resources": [
+//	    {"id": "MetricsTable", "type": "DynamoDB::Table",
+//	     "properties": {"name": "spotverse-metrics"}},
+//	    {"id": "Collector", "type": "Lambda::Function",
+//	     "dependsOn": ["MetricsTable"],
+//	     "properties": {"name": "collector", "memoryMB": "128"}}
+//	  ]
+//	}
+//
+// Resource provisioning is pluggable: the engine resolves ordering and
+// lifecycle; a ResourceProvider per type performs the create/delete.
+package cloudformation
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Errors returned by the engine.
+var (
+	ErrStackExists    = errors.New("cloudformation: stack already exists")
+	ErrNoSuchStack    = errors.New("cloudformation: no such stack")
+	ErrDupResource    = errors.New("cloudformation: duplicate resource id")
+	ErrUnknownType    = errors.New("cloudformation: no provider for resource type")
+	ErrUnknownDep     = errors.New("cloudformation: dependsOn references unknown resource")
+	ErrCycle          = errors.New("cloudformation: dependency cycle")
+	ErrCreateFailed   = errors.New("cloudformation: resource creation failed")
+	ErrRollbackFailed = errors.New("cloudformation: rollback failed")
+)
+
+// Resource is one declared resource.
+type Resource struct {
+	ID         string            `json:"id"`
+	Type       string            `json:"type"`
+	DependsOn  []string          `json:"dependsOn,omitempty"`
+	Properties map[string]string `json:"properties,omitempty"`
+}
+
+// Template is a declared stack.
+type Template struct {
+	Name      string     `json:"name"`
+	Resources []Resource `json:"resources"`
+}
+
+// ParseTemplate reads a JSON template.
+func ParseTemplate(data []byte) (*Template, error) {
+	var t Template
+	if err := json.Unmarshal(data, &t); err != nil {
+		return nil, fmt.Errorf("cloudformation: parse: %w", err)
+	}
+	if t.Name == "" {
+		return nil, errors.New("cloudformation: template needs a name")
+	}
+	return &t, nil
+}
+
+// ResourceProvider creates and deletes resources of one type.
+type ResourceProvider interface {
+	// Create provisions the resource and returns an opaque physical ID.
+	Create(r Resource) (string, error)
+	// Delete removes the resource by physical ID.
+	Delete(physicalID string) error
+}
+
+// ProviderFunc adapts create/delete funcs to ResourceProvider.
+type ProviderFunc struct {
+	CreateFn func(r Resource) (string, error)
+	DeleteFn func(physicalID string) error
+}
+
+// Create implements ResourceProvider.
+func (p ProviderFunc) Create(r Resource) (string, error) {
+	if p.CreateFn == nil {
+		return "", fmt.Errorf("%w: nil create", ErrUnknownType)
+	}
+	return p.CreateFn(r)
+}
+
+// Delete implements ResourceProvider.
+func (p ProviderFunc) Delete(physicalID string) error {
+	if p.DeleteFn == nil {
+		return nil
+	}
+	return p.DeleteFn(physicalID)
+}
+
+// StackStatus tracks a stack's lifecycle.
+type StackStatus string
+
+// Stack statuses, mirroring CloudFormation's vocabulary.
+const (
+	StatusCreateComplete StackStatus = "CREATE_COMPLETE"
+	StatusRollbackDone   StackStatus = "ROLLBACK_COMPLETE"
+	StatusDeleted        StackStatus = "DELETE_COMPLETE"
+)
+
+// deployed is one provisioned resource.
+type deployed struct {
+	resource   Resource
+	physicalID string
+}
+
+// Stack is a provisioned template.
+type Stack struct {
+	Name   string
+	Status StackStatus
+
+	// creation order, for reverse-order deletion.
+	created []deployed
+}
+
+// PhysicalID looks up a resource's physical ID by logical ID.
+func (s *Stack) PhysicalID(logicalID string) (string, bool) {
+	for _, d := range s.created {
+		if d.resource.ID == logicalID {
+			return d.physicalID, true
+		}
+	}
+	return "", false
+}
+
+// Resources lists the provisioned logical IDs in creation order.
+func (s *Stack) Resources() []string {
+	out := make([]string, len(s.created))
+	for i, d := range s.created {
+		out[i] = d.resource.ID
+	}
+	return out
+}
+
+// Engine deploys stacks using registered providers.
+type Engine struct {
+	providers map[string]ResourceProvider
+	stacks    map[string]*Stack
+}
+
+// NewEngine returns an empty engine.
+func NewEngine() *Engine {
+	return &Engine{
+		providers: make(map[string]ResourceProvider),
+		stacks:    make(map[string]*Stack),
+	}
+}
+
+// RegisterProvider binds a resource type to its provider.
+func (e *Engine) RegisterProvider(resourceType string, p ResourceProvider) {
+	e.providers[resourceType] = p
+}
+
+// order topologically sorts resources by dependsOn, deterministic.
+func order(resources []Resource) ([]int, error) {
+	idx := make(map[string]int, len(resources))
+	for i, r := range resources {
+		if _, ok := idx[r.ID]; ok {
+			return nil, fmt.Errorf("%w: %q", ErrDupResource, r.ID)
+		}
+		idx[r.ID] = i
+	}
+	adj := make([][]int, len(resources))
+	indeg := make([]int, len(resources))
+	for i, r := range resources {
+		for _, dep := range r.DependsOn {
+			j, ok := idx[dep]
+			if !ok {
+				return nil, fmt.Errorf("%w: %q -> %q", ErrUnknownDep, r.ID, dep)
+			}
+			adj[j] = append(adj[j], i)
+			indeg[i]++
+		}
+	}
+	ready := make([]int, 0, len(resources))
+	for i, d := range indeg {
+		if d == 0 {
+			ready = append(ready, i)
+		}
+	}
+	var out []int
+	for len(ready) > 0 {
+		sort.Ints(ready)
+		n := ready[0]
+		ready = ready[1:]
+		out = append(out, n)
+		for _, m := range adj[n] {
+			indeg[m]--
+			if indeg[m] == 0 {
+				ready = append(ready, m)
+			}
+		}
+	}
+	if len(out) != len(resources) {
+		return nil, ErrCycle
+	}
+	return out, nil
+}
+
+// CreateStack provisions a template. On any resource failure, already
+// created resources are deleted in reverse order and the error is
+// returned (rollback semantics).
+func (e *Engine) CreateStack(t *Template) (*Stack, error) {
+	if _, ok := e.stacks[t.Name]; ok {
+		return nil, fmt.Errorf("create %q: %w", t.Name, ErrStackExists)
+	}
+	for _, r := range t.Resources {
+		if _, ok := e.providers[r.Type]; !ok {
+			return nil, fmt.Errorf("create %q resource %q: %w: %q", t.Name, r.ID, ErrUnknownType, r.Type)
+		}
+	}
+	seq, err := order(t.Resources)
+	if err != nil {
+		return nil, fmt.Errorf("create %q: %w", t.Name, err)
+	}
+	stack := &Stack{Name: t.Name}
+	for _, i := range seq {
+		r := t.Resources[i]
+		phys, err := e.providers[r.Type].Create(r)
+		if err != nil {
+			rbErr := e.rollback(stack)
+			if rbErr != nil {
+				return nil, fmt.Errorf("create %q resource %q: %w: %w (then %w)", t.Name, r.ID, ErrCreateFailed, err, rbErr)
+			}
+			stack.Status = StatusRollbackDone
+			return nil, fmt.Errorf("create %q resource %q: %w: %w", t.Name, r.ID, ErrCreateFailed, err)
+		}
+		stack.created = append(stack.created, deployed{resource: r, physicalID: phys})
+	}
+	stack.Status = StatusCreateComplete
+	e.stacks[t.Name] = stack
+	return stack, nil
+}
+
+func (e *Engine) rollback(stack *Stack) error {
+	var firstErr error
+	for i := len(stack.created) - 1; i >= 0; i-- {
+		d := stack.created[i]
+		if err := e.providers[d.resource.Type].Delete(d.physicalID); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("%w: %q: %w", ErrRollbackFailed, d.resource.ID, err)
+		}
+	}
+	stack.created = nil
+	return firstErr
+}
+
+// DeleteStack removes a stack's resources in reverse creation order.
+func (e *Engine) DeleteStack(name string) error {
+	stack, ok := e.stacks[name]
+	if !ok {
+		return fmt.Errorf("delete %q: %w", name, ErrNoSuchStack)
+	}
+	if err := e.rollback(stack); err != nil {
+		return err
+	}
+	stack.Status = StatusDeleted
+	delete(e.stacks, name)
+	return nil
+}
+
+// Stack returns a deployed stack by name.
+func (e *Engine) Stack(name string) (*Stack, error) {
+	s, ok := e.stacks[name]
+	if !ok {
+		return nil, fmt.Errorf("stack %q: %w", name, ErrNoSuchStack)
+	}
+	return s, nil
+}
+
+// Stacks lists deployed stack names, sorted.
+func (e *Engine) Stacks() []string {
+	out := make([]string, 0, len(e.stacks))
+	for name := range e.stacks {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

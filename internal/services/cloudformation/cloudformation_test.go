@@ -1,0 +1,199 @@
+package cloudformation
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// recorder is a test provider tracking create/delete calls.
+type recorder struct {
+	created []string
+	deleted []string
+	failOn  string
+}
+
+func (r *recorder) provider(kind string) ResourceProvider {
+	return ProviderFunc{
+		CreateFn: func(res Resource) (string, error) {
+			if res.ID == r.failOn {
+				return "", errors.New("injected failure")
+			}
+			phys := kind + "/" + res.ID
+			r.created = append(r.created, phys)
+			return phys, nil
+		},
+		DeleteFn: func(physicalID string) error {
+			r.deleted = append(r.deleted, physicalID)
+			return nil
+		},
+	}
+}
+
+func template() *Template {
+	return &Template{
+		Name: "spotverse",
+		Resources: []Resource{
+			{ID: "Handler", Type: "Lambda::Function", DependsOn: []string{"Table", "Bucket"}},
+			{ID: "Table", Type: "DynamoDB::Table"},
+			{ID: "Bucket", Type: "S3::Bucket"},
+			{ID: "Rule", Type: "Events::Rule", DependsOn: []string{"Handler"}},
+		},
+	}
+}
+
+func newEngine(rec *recorder) *Engine {
+	e := NewEngine()
+	for _, kind := range []string{"Lambda::Function", "DynamoDB::Table", "S3::Bucket", "Events::Rule"} {
+		e.RegisterProvider(kind, rec.provider(kind))
+	}
+	return e
+}
+
+func TestCreateStackRespectsDependencies(t *testing.T) {
+	rec := &recorder{}
+	e := newEngine(rec)
+	stack, err := e.CreateStack(template())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stack.Status != StatusCreateComplete {
+		t.Fatalf("status = %v", stack.Status)
+	}
+	pos := map[string]int{}
+	for i, id := range stack.Resources() {
+		pos[id] = i
+	}
+	if pos["Handler"] < pos["Table"] || pos["Handler"] < pos["Bucket"] || pos["Rule"] < pos["Handler"] {
+		t.Fatalf("order = %v", stack.Resources())
+	}
+	phys, ok := stack.PhysicalID("Table")
+	if !ok || phys != "DynamoDB::Table/Table" {
+		t.Fatalf("physical id = %q ok=%v", phys, ok)
+	}
+	if _, ok := stack.PhysicalID("Nope"); ok {
+		t.Fatal("unknown logical id resolved")
+	}
+}
+
+func TestCreateFailureRollsBack(t *testing.T) {
+	rec := &recorder{failOn: "Handler"}
+	e := newEngine(rec)
+	_, err := e.CreateStack(template())
+	if !errors.Is(err, ErrCreateFailed) {
+		t.Fatalf("err = %v", err)
+	}
+	// Table and Bucket were created first and must have been deleted in
+	// reverse order.
+	if len(rec.created) != 2 || len(rec.deleted) != 2 {
+		t.Fatalf("created=%v deleted=%v", rec.created, rec.deleted)
+	}
+	if rec.deleted[0] != rec.created[1] || rec.deleted[1] != rec.created[0] {
+		t.Fatalf("rollback order wrong: created=%v deleted=%v", rec.created, rec.deleted)
+	}
+	if len(e.Stacks()) != 0 {
+		t.Fatal("failed stack registered")
+	}
+}
+
+func TestDeleteStackReverseOrder(t *testing.T) {
+	rec := &recorder{}
+	e := newEngine(rec)
+	stack, err := e.CreateStack(template())
+	if err != nil {
+		t.Fatal(err)
+	}
+	created := append([]string{}, rec.created...)
+	if err := e.DeleteStack("spotverse"); err != nil {
+		t.Fatal(err)
+	}
+	if stack.Status != StatusDeleted {
+		t.Fatalf("status = %v", stack.Status)
+	}
+	if len(rec.deleted) != len(created) {
+		t.Fatalf("deleted %d of %d", len(rec.deleted), len(created))
+	}
+	for i := range created {
+		if rec.deleted[i] != created[len(created)-1-i] {
+			t.Fatalf("delete order: %v vs created %v", rec.deleted, created)
+		}
+	}
+	if err := e.DeleteStack("spotverse"); !errors.Is(err, ErrNoSuchStack) {
+		t.Fatalf("double delete err = %v", err)
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	rec := &recorder{}
+	e := newEngine(rec)
+	if _, err := e.CreateStack(&Template{Name: "x", Resources: []Resource{{ID: "a", Type: "Quantum::Tunnel"}}}); !errors.Is(err, ErrUnknownType) {
+		t.Fatalf("err = %v", err)
+	}
+	dup := &Template{Name: "x", Resources: []Resource{
+		{ID: "a", Type: "S3::Bucket"}, {ID: "a", Type: "S3::Bucket"},
+	}}
+	if _, err := e.CreateStack(dup); !errors.Is(err, ErrDupResource) {
+		t.Fatalf("err = %v", err)
+	}
+	badDep := &Template{Name: "x", Resources: []Resource{
+		{ID: "a", Type: "S3::Bucket", DependsOn: []string{"ghost"}},
+	}}
+	if _, err := e.CreateStack(badDep); !errors.Is(err, ErrUnknownDep) {
+		t.Fatalf("err = %v", err)
+	}
+	cyclic := &Template{Name: "x", Resources: []Resource{
+		{ID: "a", Type: "S3::Bucket", DependsOn: []string{"b"}},
+		{ID: "b", Type: "S3::Bucket", DependsOn: []string{"a"}},
+	}}
+	if _, err := e.CreateStack(cyclic); !errors.Is(err, ErrCycle) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := e.CreateStack(template()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.CreateStack(template()); !errors.Is(err, ErrStackExists) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestParseTemplate(t *testing.T) {
+	data := []byte(`{
+	  "name": "demo",
+	  "resources": [
+	    {"id": "T", "type": "DynamoDB::Table", "properties": {"name": "metrics"}},
+	    {"id": "F", "type": "Lambda::Function", "dependsOn": ["T"]}
+	  ]
+	}`)
+	tpl, err := ParseTemplate(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tpl.Name != "demo" || len(tpl.Resources) != 2 || tpl.Resources[0].Properties["name"] != "metrics" {
+		t.Fatalf("tpl = %+v", tpl)
+	}
+	if _, err := ParseTemplate([]byte("{bad")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ParseTemplate([]byte(`{"resources":[]}`)); err == nil {
+		t.Fatal("nameless template accepted")
+	}
+}
+
+func TestDeterministicOrderForIndependentResources(t *testing.T) {
+	tpl := &Template{Name: "flat"}
+	for i := 0; i < 6; i++ {
+		tpl.Resources = append(tpl.Resources, Resource{ID: fmt.Sprintf("r%d", i), Type: "S3::Bucket"})
+	}
+	rec := &recorder{}
+	e := newEngine(rec)
+	s, err := e.CreateStack(tpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := s.Resources()
+	for i, id := range got {
+		if id != fmt.Sprintf("r%d", i) {
+			t.Fatalf("order = %v, want declaration order", got)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package cloudwatch
+
+import (
+	"testing"
+	"time"
+
+	"spotverse/internal/cost"
+	"spotverse/internal/simclock"
+)
+
+func newService() (*simclock.Engine, *Service) {
+	eng := simclock.NewEngine()
+	return eng, New(eng, cost.NewLedger())
+}
+
+func TestScheduleFiresPeriodically(t *testing.T) {
+	eng, s := newService()
+	count := 0
+	if err := s.Schedule("sweep", 15*time.Minute, func(time.Time) { count++ }); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(simclock.Epoch.Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if count != 4 {
+		t.Fatalf("fired %d times in 1h at 15m, want 4", count)
+	}
+}
+
+func TestStopAllSilencesRules(t *testing.T) {
+	eng, s := newService()
+	count := 0
+	_ = s.Schedule("sweep", 10*time.Minute, func(time.Time) { count++ })
+	_ = eng.Run(simclock.Epoch.Add(30 * time.Minute))
+	s.StopAll()
+	before := count
+	_ = eng.Run(simclock.Epoch.Add(2 * time.Hour))
+	if count != before {
+		t.Fatalf("rule fired after StopAll: %d -> %d", before, count)
+	}
+}
+
+func TestScheduleValidation(t *testing.T) {
+	_, s := newService()
+	if err := s.Schedule("x", time.Minute, nil); err == nil {
+		t.Fatal("nil target should be rejected")
+	}
+	if err := s.Schedule("x", 0, func(time.Time) {}); err == nil {
+		t.Fatal("zero interval should be rejected")
+	}
+}
+
+func TestMetricsRecorded(t *testing.T) {
+	eng, s := newService()
+	eng.ScheduleAfter(time.Hour, "emit", func() { s.PutMetric("interruptions", 3) })
+	eng.ScheduleAfter(2*time.Hour, "emit", func() { s.PutMetric("interruptions", 5) })
+	_ = eng.Run(time.Time{})
+	pts := s.Metric("interruptions")
+	if len(pts) != 2 || pts[0].Value != 3 || pts[1].Value != 5 {
+		t.Fatalf("points = %+v", pts)
+	}
+	if !pts[1].Time.After(pts[0].Time) {
+		t.Fatal("timestamps not increasing")
+	}
+	names := s.MetricNames()
+	if len(names) != 1 || names[0] != "interruptions" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestMetricReturnsCopy(t *testing.T) {
+	_, s := newService()
+	s.PutMetric("m", 1)
+	pts := s.Metric("m")
+	pts[0].Value = 999
+	if s.Metric("m")[0].Value != 1 {
+		t.Fatal("caller mutation leaked into metric store")
+	}
+}

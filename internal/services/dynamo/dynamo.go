@@ -1,0 +1,181 @@
+// Package dynamo simulates a DynamoDB-like key-value store: named tables,
+// string-keyed items of string attributes, conditional writes, and
+// per-request billing. SpotVerse uses it for the Monitor's metric archive
+// and for checkpoint workload state.
+package dynamo
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"spotverse/internal/cost"
+)
+
+// Errors returned by the store.
+var (
+	ErrNoSuchTable        = errors.New("dynamo: no such table")
+	ErrTableExists        = errors.New("dynamo: table already exists")
+	ErrConditionFailed    = errors.New("dynamo: conditional check failed")
+	ErrItemNotFound       = errors.New("dynamo: item not found")
+	ErrEmptyPartitionKey  = errors.New("dynamo: empty partition key")
+	ErrReservedAttrPrefix = errors.New("dynamo: attribute names must not start with '_'")
+)
+
+// Item is a stored record: a partition key plus string attributes.
+type Item struct {
+	Key   string
+	Attrs map[string]string
+}
+
+func (it Item) clone() Item {
+	cp := Item{Key: it.Key, Attrs: make(map[string]string, len(it.Attrs))}
+	for k, v := range it.Attrs {
+		cp.Attrs[k] = v
+	}
+	return cp
+}
+
+// Store is the simulated key-value service.
+type Store struct {
+	ledger *cost.Ledger
+	tables map[string]map[string]Item
+
+	reads, writes int64
+}
+
+// New returns an empty store charging the ledger.
+func New(ledger *cost.Ledger) *Store {
+	return &Store{ledger: ledger, tables: make(map[string]map[string]Item)}
+}
+
+// CreateTable creates an empty table.
+func (s *Store) CreateTable(name string) error {
+	if _, ok := s.tables[name]; ok {
+		return fmt.Errorf("create table %q: %w", name, ErrTableExists)
+	}
+	s.tables[name] = make(map[string]Item)
+	return nil
+}
+
+func (s *Store) table(name string) (map[string]Item, error) {
+	t, ok := s.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("table %q: %w", name, ErrNoSuchTable)
+	}
+	return t, nil
+}
+
+func validate(it Item) error {
+	if it.Key == "" {
+		return ErrEmptyPartitionKey
+	}
+	for k := range it.Attrs {
+		if strings.HasPrefix(k, "_") {
+			return fmt.Errorf("attribute %q: %w", k, ErrReservedAttrPrefix)
+		}
+	}
+	return nil
+}
+
+// Put writes an item unconditionally.
+func (s *Store) Put(tableName string, it Item) error {
+	t, err := s.table(tableName)
+	if err != nil {
+		return err
+	}
+	if err := validate(it); err != nil {
+		return err
+	}
+	t[it.Key] = it.clone()
+	s.writes++
+	s.ledger.MustAdd(cost.CategoryDynamoDB, cost.DynamoWriteUSD)
+	return nil
+}
+
+// PutIfAbsent writes the item only if the key does not exist yet.
+func (s *Store) PutIfAbsent(tableName string, it Item) error {
+	t, err := s.table(tableName)
+	if err != nil {
+		return err
+	}
+	if err := validate(it); err != nil {
+		return err
+	}
+	s.writes++
+	s.ledger.MustAdd(cost.CategoryDynamoDB, cost.DynamoWriteUSD)
+	if _, exists := t[it.Key]; exists {
+		return fmt.Errorf("put-if-absent %s/%s: %w", tableName, it.Key, ErrConditionFailed)
+	}
+	t[it.Key] = it.clone()
+	return nil
+}
+
+// UpdateIf writes the item only if attribute attr currently equals want.
+// A missing item never matches.
+func (s *Store) UpdateIf(tableName string, it Item, attr, want string) error {
+	t, err := s.table(tableName)
+	if err != nil {
+		return err
+	}
+	if err := validate(it); err != nil {
+		return err
+	}
+	s.writes++
+	s.ledger.MustAdd(cost.CategoryDynamoDB, cost.DynamoWriteUSD)
+	cur, ok := t[it.Key]
+	if !ok || cur.Attrs[attr] != want {
+		return fmt.Errorf("update-if %s/%s: %w", tableName, it.Key, ErrConditionFailed)
+	}
+	t[it.Key] = it.clone()
+	return nil
+}
+
+// Get reads an item by key.
+func (s *Store) Get(tableName, key string) (Item, error) {
+	t, err := s.table(tableName)
+	if err != nil {
+		return Item{}, err
+	}
+	s.reads++
+	s.ledger.MustAdd(cost.CategoryDynamoDB, cost.DynamoReadUSD)
+	it, ok := t[key]
+	if !ok {
+		return Item{}, fmt.Errorf("get %s/%s: %w", tableName, key, ErrItemNotFound)
+	}
+	return it.clone(), nil
+}
+
+// Delete removes an item; deleting a missing key is a no-op.
+func (s *Store) Delete(tableName, key string) error {
+	t, err := s.table(tableName)
+	if err != nil {
+		return err
+	}
+	s.writes++
+	s.ledger.MustAdd(cost.CategoryDynamoDB, cost.DynamoWriteUSD)
+	delete(t, key)
+	return nil
+}
+
+// Scan returns items whose keys carry the prefix, ordered by key.
+func (s *Store) Scan(tableName, keyPrefix string) ([]Item, error) {
+	t, err := s.table(tableName)
+	if err != nil {
+		return nil, err
+	}
+	var out []Item
+	for k, it := range t {
+		if strings.HasPrefix(k, keyPrefix) {
+			out = append(out, it.clone())
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	s.reads += int64(len(out))
+	s.ledger.MustAdd(cost.CategoryDynamoDB, cost.DynamoReadUSD*float64(len(out)))
+	return out, nil
+}
+
+// Stats reports request counters.
+func (s *Store) Stats() (reads, writes int64) { return s.reads, s.writes }

@@ -1,0 +1,155 @@
+package dynamo
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"spotverse/internal/cost"
+)
+
+func newStore() (*Store, *cost.Ledger) {
+	l := cost.NewLedger()
+	return New(l), l
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s, _ := newStore()
+	if err := s.CreateTable("ckpt"); err != nil {
+		t.Fatal(err)
+	}
+	in := Item{Key: "w1", Attrs: map[string]string{"shard": "3", "state": "done"}}
+	if err := s.Put("ckpt", in); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get("ckpt", "w1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Attrs["shard"] != "3" || got.Attrs["state"] != "done" {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestGetReturnsCopy(t *testing.T) {
+	s, _ := newStore()
+	_ = s.CreateTable("t")
+	_ = s.Put("t", Item{Key: "k", Attrs: map[string]string{"a": "1"}})
+	it, _ := s.Get("t", "k")
+	it.Attrs["a"] = "evil"
+	again, _ := s.Get("t", "k")
+	if again.Attrs["a"] != "1" {
+		t.Fatal("caller mutation leaked into store")
+	}
+}
+
+func TestPutIfAbsent(t *testing.T) {
+	s, _ := newStore()
+	_ = s.CreateTable("t")
+	if err := s.PutIfAbsent("t", Item{Key: "k", Attrs: map[string]string{"v": "1"}}); err != nil {
+		t.Fatal(err)
+	}
+	err := s.PutIfAbsent("t", Item{Key: "k", Attrs: map[string]string{"v": "2"}})
+	if !errors.Is(err, ErrConditionFailed) {
+		t.Fatalf("err = %v, want ErrConditionFailed", err)
+	}
+	it, _ := s.Get("t", "k")
+	if it.Attrs["v"] != "1" {
+		t.Fatal("losing write overwrote the item")
+	}
+}
+
+func TestUpdateIf(t *testing.T) {
+	s, _ := newStore()
+	_ = s.CreateTable("t")
+	_ = s.Put("t", Item{Key: "k", Attrs: map[string]string{"state": "running"}})
+	if err := s.UpdateIf("t", Item{Key: "k", Attrs: map[string]string{"state": "done"}}, "state", "running"); err != nil {
+		t.Fatal(err)
+	}
+	err := s.UpdateIf("t", Item{Key: "k", Attrs: map[string]string{"state": "zombie"}}, "state", "running")
+	if !errors.Is(err, ErrConditionFailed) {
+		t.Fatalf("err = %v, want ErrConditionFailed", err)
+	}
+	err = s.UpdateIf("t", Item{Key: "missing", Attrs: map[string]string{"state": "x"}}, "state", "anything")
+	if !errors.Is(err, ErrConditionFailed) {
+		t.Fatalf("missing item err = %v, want ErrConditionFailed", err)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	s, _ := newStore()
+	_ = s.CreateTable("t")
+	if err := s.Put("t", Item{Key: ""}); !errors.Is(err, ErrEmptyPartitionKey) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := s.Put("t", Item{Key: "k", Attrs: map[string]string{"_hidden": "x"}}); !errors.Is(err, ErrReservedAttrPrefix) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTableErrors(t *testing.T) {
+	s, _ := newStore()
+	if err := s.Put("nope", Item{Key: "k"}); !errors.Is(err, ErrNoSuchTable) {
+		t.Fatalf("err = %v", err)
+	}
+	_ = s.CreateTable("t")
+	if err := s.CreateTable("t"); !errors.Is(err, ErrTableExists) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := s.Get("t", "missing"); !errors.Is(err, ErrItemNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestScanPrefixSorted(t *testing.T) {
+	s, _ := newStore()
+	_ = s.CreateTable("t")
+	for i := 0; i < 5; i++ {
+		_ = s.Put("t", Item{Key: fmt.Sprintf("shard#%d", 4-i), Attrs: map[string]string{"i": "x"}})
+	}
+	_ = s.Put("t", Item{Key: "other#1", Attrs: nil})
+	items, err := s.Scan("t", "shard#")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 5 {
+		t.Fatalf("scan = %d items, want 5", len(items))
+	}
+	for i := 1; i < len(items); i++ {
+		if items[i].Key <= items[i-1].Key {
+			t.Fatal("scan not sorted")
+		}
+	}
+}
+
+func TestDeleteIdempotentAndBilled(t *testing.T) {
+	s, l := newStore()
+	_ = s.CreateTable("t")
+	_ = s.Put("t", Item{Key: "k"})
+	before := l.Of(cost.CategoryDynamoDB)
+	if err := s.Delete("t", "k"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("t", "k"); err != nil {
+		t.Fatal("delete of missing key should be a no-op")
+	}
+	if l.Of(cost.CategoryDynamoDB) <= before {
+		t.Fatal("deletes not billed")
+	}
+}
+
+func TestBillingCounts(t *testing.T) {
+	s, l := newStore()
+	_ = s.CreateTable("t")
+	_ = s.Put("t", Item{Key: "a"})
+	_ = s.Put("t", Item{Key: "b"})
+	_, _ = s.Get("t", "a")
+	reads, writes := s.Stats()
+	if reads != 1 || writes != 2 {
+		t.Fatalf("reads=%d writes=%d", reads, writes)
+	}
+	want := 2*cost.DynamoWriteUSD + 1*cost.DynamoReadUSD
+	if got := l.Of(cost.CategoryDynamoDB); got < want-1e-12 || got > want+1e-12 {
+		t.Fatalf("billed %v, want %v", got, want)
+	}
+}

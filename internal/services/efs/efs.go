@@ -1,0 +1,169 @@
+// Package efs simulates an Elastic-File-System-like regional file store —
+// the storage alternative the paper's future-work section proposes for
+// checkpoints, trading S3's cross-region transfer fees for pricier
+// storage and throughput plus explicit replication.
+//
+// A file system is homed in one region and only mountable there until it
+// is replicated; replication charges cross-region transfer for existing
+// bytes and keeps subsequent writes in sync.
+package efs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"spotverse/internal/catalog"
+	"spotverse/internal/cost"
+)
+
+// Errors returned by the service.
+var (
+	ErrExists      = errors.New("efs: file system already exists")
+	ErrNoSuchFS    = errors.New("efs: no such file system")
+	ErrNoSuchFile  = errors.New("efs: no such file")
+	ErrNotMounted  = errors.New("efs: file system has no replica in region")
+	ErrNegSize     = errors.New("efs: negative size")
+	ErrBadReplica  = errors.New("efs: unknown replica region")
+	ErrHomeReplica = errors.New("efs: region already holds a replica")
+)
+
+type fileSystem struct {
+	home     catalog.Region
+	replicas map[catalog.Region]bool
+	files    map[string]int64 // path -> bytes
+}
+
+// Service is the simulated EFS control plane.
+type Service struct {
+	cat    *catalog.Catalog
+	ledger *cost.Ledger
+	fss    map[string]*fileSystem
+}
+
+// New returns an empty service charging the ledger.
+func New(cat *catalog.Catalog, ledger *cost.Ledger) *Service {
+	return &Service{cat: cat, ledger: ledger, fss: make(map[string]*fileSystem)}
+}
+
+// Create makes a file system homed in region.
+func (s *Service) Create(name string, region catalog.Region) error {
+	if _, ok := s.fss[name]; ok {
+		return fmt.Errorf("create %q: %w", name, ErrExists)
+	}
+	if _, err := s.cat.RegionInfo(region); err != nil {
+		return fmt.Errorf("create %q: %w", name, err)
+	}
+	s.fss[name] = &fileSystem{
+		home:     region,
+		replicas: map[catalog.Region]bool{region: true},
+		files:    make(map[string]int64),
+	}
+	return nil
+}
+
+func (s *Service) fs(name string) (*fileSystem, error) {
+	fs, ok := s.fss[name]
+	if !ok {
+		return nil, fmt.Errorf("fs %q: %w", name, ErrNoSuchFS)
+	}
+	return fs, nil
+}
+
+// Replicate adds a replica region, charging replication transfer for the
+// bytes already stored.
+func (s *Service) Replicate(name string, to catalog.Region) error {
+	fs, err := s.fs(name)
+	if err != nil {
+		return err
+	}
+	if _, err := s.cat.RegionInfo(to); err != nil {
+		return fmt.Errorf("replicate %q: %w", name, ErrBadReplica)
+	}
+	if fs.replicas[to] {
+		return fmt.Errorf("replicate %q to %s: %w", name, to, ErrHomeReplica)
+	}
+	var total int64
+	for _, n := range fs.files {
+		total += n
+	}
+	s.ledger.MustAdd(cost.CategoryEFS, gb(total)*cost.EFSReplicationUSDPerGB)
+	fs.replicas[to] = true
+	return nil
+}
+
+// Mounted reports whether the file system is accessible from region.
+func (s *Service) Mounted(name string, region catalog.Region) bool {
+	fs, err := s.fs(name)
+	if err != nil {
+		return false
+	}
+	return fs.replicas[region]
+}
+
+// Replicas lists replica regions, sorted.
+func (s *Service) Replicas(name string) ([]catalog.Region, error) {
+	fs, err := s.fs(name)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]catalog.Region, 0, len(fs.replicas))
+	for r := range fs.replicas {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// WriteSized stores size bytes under path, writing from the given region
+// (which must hold a replica). Charges write throughput, storage, and
+// replication fan-out to the other replicas.
+func (s *Service) WriteSized(name, path string, size int64, from catalog.Region) error {
+	if size < 0 {
+		return fmt.Errorf("write %s/%s: %w", name, path, ErrNegSize)
+	}
+	fs, err := s.fs(name)
+	if err != nil {
+		return err
+	}
+	if !fs.replicas[from] {
+		return fmt.Errorf("write %s/%s from %s: %w", name, path, from, ErrNotMounted)
+	}
+	fs.files[path] = size
+	s.ledger.MustAdd(cost.CategoryEFS, gb(size)*cost.EFSWriteUSDPerGB)
+	s.ledger.MustAdd(cost.CategoryEFS, gb(size)*cost.EFSStorageUSDPerGBMonth/30)
+	if extra := len(fs.replicas) - 1; extra > 0 {
+		s.ledger.MustAdd(cost.CategoryEFS, gb(size)*cost.EFSReplicationUSDPerGB*float64(extra))
+	}
+	return nil
+}
+
+// ReadSized reads path from the given region (which must hold a replica),
+// charging read throughput. It returns the stored size.
+func (s *Service) ReadSized(name, path string, from catalog.Region) (int64, error) {
+	fs, err := s.fs(name)
+	if err != nil {
+		return 0, err
+	}
+	if !fs.replicas[from] {
+		return 0, fmt.Errorf("read %s/%s from %s: %w", name, path, from, ErrNotMounted)
+	}
+	size, ok := fs.files[path]
+	if !ok {
+		return 0, fmt.Errorf("read %s/%s: %w", name, path, ErrNoSuchFile)
+	}
+	s.ledger.MustAdd(cost.CategoryEFS, gb(size)*cost.EFSReadUSDPerGB)
+	return size, nil
+}
+
+// Exists reports whether path is stored (no charge).
+func (s *Service) Exists(name, path string) bool {
+	fs, err := s.fs(name)
+	if err != nil {
+		return false
+	}
+	_, ok := fs.files[path]
+	return ok
+}
+
+func gb(n int64) float64 { return float64(n) / (1 << 30) }

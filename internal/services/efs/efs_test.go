@@ -1,0 +1,123 @@
+package efs
+
+import (
+	"errors"
+	"testing"
+
+	"spotverse/internal/catalog"
+	"spotverse/internal/cost"
+)
+
+func newService() (*Service, *cost.Ledger) {
+	l := cost.NewLedger()
+	return New(catalog.Default(), l), l
+}
+
+func TestCreateAndMount(t *testing.T) {
+	s, _ := newService()
+	if err := s.Create("ckpt", "us-east-1"); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Mounted("ckpt", "us-east-1") {
+		t.Fatal("home region not mounted")
+	}
+	if s.Mounted("ckpt", "eu-north-1") {
+		t.Fatal("unreplicated region mounted")
+	}
+	if err := s.Create("ckpt", "us-east-1"); !errors.Is(err, ErrExists) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := s.Create("bad", "narnia-1"); err == nil {
+		t.Fatal("unknown region should error")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	s, l := newService()
+	_ = s.Create("ckpt", "us-east-1")
+	if err := s.WriteSized("ckpt", "w1", 1<<30, "us-east-1"); err != nil {
+		t.Fatal(err)
+	}
+	size, err := s.ReadSized("ckpt", "w1", "us-east-1")
+	if err != nil || size != 1<<30 {
+		t.Fatalf("size=%d err=%v", size, err)
+	}
+	want := cost.EFSWriteUSDPerGB + cost.EFSStorageUSDPerGBMonth/30 + cost.EFSReadUSDPerGB
+	if got := l.Of(cost.CategoryEFS); got < want-1e-9 || got > want+1e-9 {
+		t.Fatalf("billed %v, want %v", got, want)
+	}
+}
+
+func TestAccessRequiresReplica(t *testing.T) {
+	s, _ := newService()
+	_ = s.Create("ckpt", "us-east-1")
+	if err := s.WriteSized("ckpt", "w1", 100, "eu-north-1"); !errors.Is(err, ErrNotMounted) {
+		t.Fatalf("err = %v", err)
+	}
+	_ = s.WriteSized("ckpt", "w1", 100, "us-east-1")
+	if _, err := s.ReadSized("ckpt", "w1", "eu-north-1"); !errors.Is(err, ErrNotMounted) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestReplicationEnablesAccessAndCharges(t *testing.T) {
+	s, l := newService()
+	_ = s.Create("ckpt", "us-east-1")
+	_ = s.WriteSized("ckpt", "w1", 1<<30, "us-east-1")
+	before := l.Of(cost.CategoryEFS)
+	if err := s.Replicate("ckpt", "eu-north-1"); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Of(cost.CategoryEFS) - before; got < cost.EFSReplicationUSDPerGB-1e-9 {
+		t.Fatalf("replication charged %v", got)
+	}
+	if _, err := s.ReadSized("ckpt", "w1", "eu-north-1"); err != nil {
+		t.Fatal(err)
+	}
+	// Re-replicating the same region is an error.
+	if err := s.Replicate("ckpt", "eu-north-1"); !errors.Is(err, ErrHomeReplica) {
+		t.Fatalf("err = %v", err)
+	}
+	replicas, err := s.Replicas("ckpt")
+	if err != nil || len(replicas) != 2 {
+		t.Fatalf("replicas = %v err = %v", replicas, err)
+	}
+}
+
+func TestWriteFansOutToReplicas(t *testing.T) {
+	s, l := newService()
+	_ = s.Create("ckpt", "us-east-1")
+	_ = s.Replicate("ckpt", "eu-north-1")
+	_ = s.Replicate("ckpt", "ap-northeast-3")
+	before := l.Of(cost.CategoryEFS)
+	_ = s.WriteSized("ckpt", "w1", 1<<30, "us-east-1")
+	delta := l.Of(cost.CategoryEFS) - before
+	want := cost.EFSWriteUSDPerGB + cost.EFSStorageUSDPerGBMonth/30 + 2*cost.EFSReplicationUSDPerGB
+	if delta < want-1e-9 || delta > want+1e-9 {
+		t.Fatalf("write with 2 replicas billed %v, want %v", delta, want)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	s, _ := newService()
+	if err := s.WriteSized("nope", "p", 1, "us-east-1"); !errors.Is(err, ErrNoSuchFS) {
+		t.Fatalf("err = %v", err)
+	}
+	_ = s.Create("ckpt", "us-east-1")
+	if err := s.WriteSized("ckpt", "p", -1, "us-east-1"); !errors.Is(err, ErrNegSize) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := s.ReadSized("ckpt", "missing", "us-east-1"); !errors.Is(err, ErrNoSuchFile) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := s.Replicate("ckpt", "narnia-1"); !errors.Is(err, ErrBadReplica) {
+		t.Fatalf("err = %v", err)
+	}
+	if s.Exists("nope", "p") || s.Exists("ckpt", "missing") {
+		t.Fatal("exists wrong")
+	}
+	_ = s.WriteSized("ckpt", "p", 5, "us-east-1")
+	if !s.Exists("ckpt", "p") {
+		t.Fatal("exists wrong after write")
+	}
+}

@@ -1,0 +1,82 @@
+// Package eventbridge simulates an EventBridge-style event bus: rules
+// match events by source and detail-type and fan out to targets. The
+// cloud provider publishes spot interruption notices here; the SpotVerse
+// Controller subscribes its interruption-handler Lambda.
+package eventbridge
+
+import (
+	"errors"
+	"fmt"
+
+	"spotverse/internal/cost"
+)
+
+// Event is a routed message.
+type Event struct {
+	// Source identifies the emitter, e.g. "aws.ec2".
+	Source string
+	// DetailType classifies the event, e.g. "EC2 Spot Instance
+	// Interruption Warning".
+	DetailType string
+	// Detail is the payload.
+	Detail any
+}
+
+// Target consumes matched events.
+type Target func(ev Event)
+
+// ErrNilTarget is returned when registering a rule without a target.
+var ErrNilTarget = errors.New("eventbridge: nil target")
+
+type rule struct {
+	name       string
+	source     string
+	detailType string
+	target     Target
+}
+
+// Bus is the simulated event bus.
+type Bus struct {
+	ledger *cost.Ledger
+	rules  []rule
+
+	published int64
+	matched   int64
+}
+
+// New returns an empty bus charging the ledger.
+func New(ledger *cost.Ledger) *Bus {
+	return &Bus{ledger: ledger}
+}
+
+// AddRule registers a rule. Empty source or detailType act as wildcards.
+func (b *Bus) AddRule(name, source, detailType string, t Target) error {
+	if t == nil {
+		return fmt.Errorf("rule %q: %w", name, ErrNilTarget)
+	}
+	b.rules = append(b.rules, rule{name: name, source: source, detailType: detailType, target: t})
+	return nil
+}
+
+// Put publishes an event, synchronously delivering it to every matching
+// rule in registration order. It returns the number of matched rules.
+func (b *Bus) Put(ev Event) int {
+	b.published++
+	b.ledger.MustAdd(cost.CategoryEventBridge, cost.EventBridgeUSDPerEvent)
+	n := 0
+	for _, r := range b.rules {
+		if r.source != "" && r.source != ev.Source {
+			continue
+		}
+		if r.detailType != "" && r.detailType != ev.DetailType {
+			continue
+		}
+		n++
+		b.matched++
+		r.target(ev)
+	}
+	return n
+}
+
+// Stats reports publish and match counters.
+func (b *Bus) Stats() (published, matched int64) { return b.published, b.matched }

@@ -1,0 +1,81 @@
+package eventbridge
+
+import (
+	"errors"
+	"testing"
+
+	"spotverse/internal/cost"
+)
+
+func newBus() (*Bus, *cost.Ledger) {
+	l := cost.NewLedger()
+	return New(l), l
+}
+
+func TestRoutingBySourceAndType(t *testing.T) {
+	b, _ := newBus()
+	var got []string
+	_ = b.AddRule("spot", "aws.ec2", "Spot Interruption", func(ev Event) { got = append(got, "spot") })
+	_ = b.AddRule("all-ec2", "aws.ec2", "", func(ev Event) { got = append(got, "all-ec2") })
+	_ = b.AddRule("s3", "aws.s3", "", func(ev Event) { got = append(got, "s3") })
+
+	n := b.Put(Event{Source: "aws.ec2", DetailType: "Spot Interruption"})
+	if n != 2 {
+		t.Fatalf("matched = %d, want 2", n)
+	}
+	if len(got) != 2 || got[0] != "spot" || got[1] != "all-ec2" {
+		t.Fatalf("delivery order = %v", got)
+	}
+}
+
+func TestNoMatch(t *testing.T) {
+	b, _ := newBus()
+	_ = b.AddRule("r", "aws.ec2", "X", func(Event) {})
+	if n := b.Put(Event{Source: "aws.ec2", DetailType: "Y"}); n != 0 {
+		t.Fatalf("matched = %d, want 0", n)
+	}
+}
+
+func TestWildcardRule(t *testing.T) {
+	b, _ := newBus()
+	count := 0
+	_ = b.AddRule("everything", "", "", func(Event) { count++ })
+	b.Put(Event{Source: "a", DetailType: "b"})
+	b.Put(Event{Source: "c", DetailType: "d"})
+	if count != 2 {
+		t.Fatalf("count = %d, want 2", count)
+	}
+}
+
+func TestDetailPayloadPassedThrough(t *testing.T) {
+	b, _ := newBus()
+	var got any
+	_ = b.AddRule("r", "", "", func(ev Event) { got = ev.Detail })
+	b.Put(Event{Source: "x", DetailType: "y", Detail: 1234})
+	if got != 1234 {
+		t.Fatalf("detail = %v", got)
+	}
+}
+
+func TestNilTargetRejected(t *testing.T) {
+	b, _ := newBus()
+	if err := b.AddRule("r", "", "", nil); !errors.Is(err, ErrNilTarget) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBillingAndStats(t *testing.T) {
+	b, l := newBus()
+	_ = b.AddRule("r", "", "", func(Event) {})
+	for i := 0; i < 3; i++ {
+		b.Put(Event{Source: "s", DetailType: "t"})
+	}
+	pub, matched := b.Stats()
+	if pub != 3 || matched != 3 {
+		t.Fatalf("stats = %d/%d", pub, matched)
+	}
+	want := 3 * cost.EventBridgeUSDPerEvent
+	if got := l.Of(cost.CategoryEventBridge); got < want-1e-12 || got > want+1e-12 {
+		t.Fatalf("billed %v, want %v", got, want)
+	}
+}

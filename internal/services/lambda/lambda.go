@@ -1,0 +1,134 @@
+// Package lambda simulates a serverless function runtime on the sim
+// clock: registered functions with memory and timeout configuration,
+// asynchronous invocation with a modelled execution duration, timeout
+// enforcement, and GB-second + per-request billing. SpotVerse's Monitor
+// collectors and the Controller's interruption handler run here, as in
+// the paper's AWS implementation (128 MB, 15-minute timeout).
+package lambda
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"spotverse/internal/cost"
+	"spotverse/internal/simclock"
+)
+
+// Defaults matching the paper's experimental environment.
+const (
+	DefaultMemoryMB = 128
+	DefaultTimeout  = 15 * time.Minute
+)
+
+// Errors returned by the runtime.
+var (
+	ErrNoSuchFunction = errors.New("lambda: no such function")
+	ErrTimeout        = errors.New("lambda: function timed out")
+	ErrAlreadyExists  = errors.New("lambda: function already registered")
+)
+
+// Handler is the function body. It runs inside the simulation event loop
+// at the invocation's completion instant and returns the outcome.
+type Handler func(payload any) error
+
+// Function is a registered lambda.
+type Function struct {
+	Name     string
+	MemoryMB int
+	Timeout  time.Duration
+	// Duration models how long an invocation takes (billed and waited).
+	Duration time.Duration
+	handler  Handler
+}
+
+// Result reports one finished invocation.
+type Result struct {
+	Function string
+	Started  time.Time
+	Elapsed  time.Duration
+	Err      error
+}
+
+// Runtime hosts functions and executes invocations.
+type Runtime struct {
+	eng    *simclock.Engine
+	ledger *cost.Ledger
+	funcs  map[string]*Function
+
+	invocations int64
+	errors      int64
+}
+
+// New returns an empty runtime charging the ledger.
+func New(eng *simclock.Engine, ledger *cost.Ledger) *Runtime {
+	return &Runtime{eng: eng, ledger: ledger, funcs: make(map[string]*Function)}
+}
+
+// Register adds a function. Zero memory/timeout/duration take defaults
+// (128 MB, 15 min, 2 s).
+func (rt *Runtime) Register(name string, memoryMB int, timeout, duration time.Duration, h Handler) (*Function, error) {
+	if _, ok := rt.funcs[name]; ok {
+		return nil, fmt.Errorf("register %q: %w", name, ErrAlreadyExists)
+	}
+	if h == nil {
+		return nil, fmt.Errorf("register %q: nil handler", name)
+	}
+	if memoryMB <= 0 {
+		memoryMB = DefaultMemoryMB
+	}
+	if timeout <= 0 {
+		timeout = DefaultTimeout
+	}
+	if duration <= 0 {
+		duration = 2 * time.Second
+	}
+	f := &Function{Name: name, MemoryMB: memoryMB, Timeout: timeout, Duration: duration, handler: h}
+	rt.funcs[name] = f
+	return f, nil
+}
+
+// Invoke runs the function asynchronously. done (optional) receives the
+// result when the invocation finishes. If the modelled duration exceeds
+// the timeout, the handler is not executed and the result is ErrTimeout
+// (billed for the full timeout, as AWS does).
+func (rt *Runtime) Invoke(name string, payload any, done func(Result)) error {
+	f, ok := rt.funcs[name]
+	if !ok {
+		return fmt.Errorf("invoke %q: %w", name, ErrNoSuchFunction)
+	}
+	started := rt.eng.Now()
+	rt.invocations++
+	rt.ledger.MustAdd(cost.CategoryLambda, cost.LambdaUSDPerRequest)
+
+	bill := func(elapsed time.Duration) {
+		gbSeconds := float64(f.MemoryMB) / 1024 * elapsed.Seconds()
+		rt.ledger.MustAdd(cost.CategoryLambda, gbSeconds*cost.LambdaUSDPerGBSecond)
+	}
+	if f.Duration > f.Timeout {
+		rt.eng.ScheduleAfter(f.Timeout, "lambda-timeout:"+name, func() {
+			bill(f.Timeout)
+			rt.errors++
+			if done != nil {
+				done(Result{Function: name, Started: started, Elapsed: f.Timeout, Err: fmt.Errorf("invoke %q: %w", name, ErrTimeout)})
+			}
+		})
+		return nil
+	}
+	rt.eng.ScheduleAfter(f.Duration, "lambda:"+name, func() {
+		err := f.handler(payload)
+		bill(f.Duration)
+		if err != nil {
+			rt.errors++
+		}
+		if done != nil {
+			done(Result{Function: name, Started: started, Elapsed: f.Duration, Err: err})
+		}
+	})
+	return nil
+}
+
+// Stats reports invocation counters.
+func (rt *Runtime) Stats() (invocations, failures int64) {
+	return rt.invocations, rt.errors
+}

@@ -1,0 +1,143 @@
+package lambda
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"spotverse/internal/cost"
+	"spotverse/internal/simclock"
+)
+
+func newRuntime() (*simclock.Engine, *Runtime, *cost.Ledger) {
+	eng := simclock.NewEngine()
+	l := cost.NewLedger()
+	return eng, New(eng, l), l
+}
+
+func TestInvokeRunsHandlerAfterDuration(t *testing.T) {
+	eng, rt, _ := newRuntime()
+	ran := time.Time{}
+	_, err := rt.Register("collector", 128, time.Minute, 5*time.Second, func(any) error {
+		ran = eng.Now()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Invoke("collector", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	if want := simclock.Epoch.Add(5 * time.Second); !ran.Equal(want) {
+		t.Fatalf("handler ran at %v, want %v", ran, want)
+	}
+}
+
+func TestPayloadDelivered(t *testing.T) {
+	eng, rt, _ := newRuntime()
+	var got any
+	_, _ = rt.Register("f", 0, 0, 0, func(p any) error { got = p; return nil })
+	_ = rt.Invoke("f", "payload-42", nil)
+	_ = eng.Run(time.Time{})
+	if got != "payload-42" {
+		t.Fatalf("payload = %v", got)
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	_, rt, _ := newRuntime()
+	f, err := rt.Register("f", 0, 0, 0, func(any) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.MemoryMB != DefaultMemoryMB || f.Timeout != DefaultTimeout {
+		t.Fatalf("defaults not applied: %+v", f)
+	}
+}
+
+func TestTimeoutSkipsHandler(t *testing.T) {
+	eng, rt, _ := newRuntime()
+	ran := false
+	_, _ = rt.Register("slow", 128, time.Minute, 2*time.Minute, func(any) error {
+		ran = true
+		return nil
+	})
+	var res Result
+	_ = rt.Invoke("slow", nil, func(r Result) { res = r })
+	_ = eng.Run(time.Time{})
+	if ran {
+		t.Fatal("handler ran despite timeout")
+	}
+	if !errors.Is(res.Err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", res.Err)
+	}
+	if res.Elapsed != time.Minute {
+		t.Fatalf("elapsed = %v, want full timeout", res.Elapsed)
+	}
+}
+
+func TestHandlerErrorPropagates(t *testing.T) {
+	eng, rt, _ := newRuntime()
+	boom := errors.New("boom")
+	_, _ = rt.Register("f", 0, 0, 0, func(any) error { return boom })
+	var res Result
+	_ = rt.Invoke("f", nil, func(r Result) { res = r })
+	_ = eng.Run(time.Time{})
+	if !errors.Is(res.Err, boom) {
+		t.Fatalf("err = %v, want boom", res.Err)
+	}
+	_, failures := rt.Stats()
+	if failures != 1 {
+		t.Fatalf("failures = %d, want 1", failures)
+	}
+}
+
+func TestUnknownFunction(t *testing.T) {
+	_, rt, _ := newRuntime()
+	if err := rt.Invoke("ghost", nil, nil); !errors.Is(err, ErrNoSuchFunction) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDuplicateRegisterRejected(t *testing.T) {
+	_, rt, _ := newRuntime()
+	_, _ = rt.Register("f", 0, 0, 0, func(any) error { return nil })
+	if _, err := rt.Register("f", 0, 0, 0, func(any) error { return nil }); !errors.Is(err, ErrAlreadyExists) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestNilHandlerRejected(t *testing.T) {
+	_, rt, _ := newRuntime()
+	if _, err := rt.Register("f", 0, 0, 0, nil); err == nil {
+		t.Fatal("nil handler should be rejected")
+	}
+}
+
+func TestBillingGBSeconds(t *testing.T) {
+	eng, rt, l := newRuntime()
+	_, _ = rt.Register("f", 1024, time.Minute, 10*time.Second, func(any) error { return nil })
+	_ = rt.Invoke("f", nil, nil)
+	_ = eng.Run(time.Time{})
+	want := cost.LambdaUSDPerRequest + 10*cost.LambdaUSDPerGBSecond // 1 GB for 10 s
+	got := l.Of(cost.CategoryLambda)
+	if got < want-1e-12 || got > want+1e-12 {
+		t.Fatalf("billed %v, want %v", got, want)
+	}
+}
+
+func TestStatsCountInvocations(t *testing.T) {
+	eng, rt, _ := newRuntime()
+	_, _ = rt.Register("f", 0, 0, 0, func(any) error { return nil })
+	for i := 0; i < 7; i++ {
+		_ = rt.Invoke("f", nil, nil)
+	}
+	_ = eng.Run(time.Time{})
+	inv, fails := rt.Stats()
+	if inv != 7 || fails != 0 {
+		t.Fatalf("stats = %d/%d", inv, fails)
+	}
+}

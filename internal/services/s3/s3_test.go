@@ -1,0 +1,173 @@
+package s3
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"spotverse/internal/catalog"
+	"spotverse/internal/cost"
+	"spotverse/internal/simclock"
+)
+
+func newStore() (*Store, *cost.Ledger) {
+	l := cost.NewLedger()
+	return New(simclock.NewEngine(), catalog.Default(), l), l
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s, _ := newStore()
+	if err := s.CreateBucket("logs", "us-east-1"); err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("hello spot")
+	if err := s.Put("logs", "run/1", data, "us-east-1"); err != nil {
+		t.Fatal(err)
+	}
+	obj, err := s.Get("logs", "run/1", "us-east-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(obj.Data, data) {
+		t.Fatalf("data = %q, want %q", obj.Data, data)
+	}
+}
+
+func TestGetReturnsCopy(t *testing.T) {
+	s, _ := newStore()
+	_ = s.CreateBucket("b", "us-east-1")
+	_ = s.Put("b", "k", []byte("abc"), "us-east-1")
+	obj, _ := s.Get("b", "k", "us-east-1")
+	obj.Data[0] = 'X'
+	again, _ := s.Get("b", "k", "us-east-1")
+	if string(again.Data) != "abc" {
+		t.Fatal("caller mutation leaked into the store")
+	}
+}
+
+func TestPutCopiesInput(t *testing.T) {
+	s, _ := newStore()
+	_ = s.CreateBucket("b", "us-east-1")
+	data := []byte("abc")
+	_ = s.Put("b", "k", data, "us-east-1")
+	data[0] = 'X'
+	obj, _ := s.Get("b", "k", "us-east-1")
+	if string(obj.Data) != "abc" {
+		t.Fatal("input mutation leaked into the store")
+	}
+}
+
+func TestSameRegionTransferFree(t *testing.T) {
+	s, l := newStore()
+	_ = s.CreateBucket("b", "eu-north-1")
+	_ = s.Put("b", "k", make([]byte, 1<<20), "eu-north-1")
+	if got := l.Of(cost.CategoryS3Transfer); got != 0 {
+		t.Fatalf("same-region transfer charged %v", got)
+	}
+}
+
+func TestCrossRegionTransferCharged(t *testing.T) {
+	s, l := newStore()
+	_ = s.CreateBucket("b", "eu-north-1")
+	_ = s.Put("b", "k", make([]byte, 1<<20), "eu-west-1") // same continent
+	got := l.Of(cost.CategoryS3Transfer)
+	want := cost.S3CrossRegionUSDPerGB / 1024
+	if diff := got - want; diff < -1e-12 || diff > 1e-12 {
+		t.Fatalf("cross-region 1MiB cost = %v, want %v", got, want)
+	}
+	if s.CrossRegionBytes() != 1<<20 {
+		t.Fatalf("cross bytes = %d", s.CrossRegionBytes())
+	}
+}
+
+func TestCrossContinentDearer(t *testing.T) {
+	s, l := newStore()
+	_ = s.CreateBucket("b", "eu-north-1")
+	_ = s.Put("b", "k", make([]byte, 1<<20), "us-east-1")
+	got := l.Of(cost.CategoryS3Transfer)
+	want := cost.S3CrossContinentUSDPerGB / 1024
+	if diff := got - want; diff < -1e-12 || diff > 1e-12 {
+		t.Fatalf("cross-continent 1MiB cost = %v, want %v", got, want)
+	}
+}
+
+func TestGetChargesTransferToo(t *testing.T) {
+	s, l := newStore()
+	_ = s.CreateBucket("b", "eu-north-1")
+	_ = s.Put("b", "k", make([]byte, 1<<19), "eu-north-1")
+	before := l.Of(cost.CategoryS3Transfer)
+	if _, err := s.Get("b", "k", "us-east-1"); err != nil {
+		t.Fatal(err)
+	}
+	if l.Of(cost.CategoryS3Transfer) <= before {
+		t.Fatal("cross-region GET did not charge transfer")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	s, _ := newStore()
+	if err := s.CreateBucket("b", "nowhere-1"); err == nil {
+		t.Fatal("unknown region should error")
+	}
+	_ = s.CreateBucket("b", "us-east-1")
+	if err := s.CreateBucket("b", "us-east-1"); !errors.Is(err, ErrBucketExists) {
+		t.Fatalf("dup bucket err = %v", err)
+	}
+	if _, err := s.Get("nope", "k", "us-east-1"); !errors.Is(err, ErrNoSuchBucket) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := s.Get("b", "missing", "us-east-1"); !errors.Is(err, ErrNoSuchKey) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := s.Put("nope", "k", nil, "us-east-1"); !errors.Is(err, ErrNoSuchBucket) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestListPrefixAndSorted(t *testing.T) {
+	s, _ := newStore()
+	_ = s.CreateBucket("b", "us-east-1")
+	for _, k := range []string{"runs/2", "runs/1", "logs/x", "runs/3"} {
+		_ = s.Put("b", k, []byte("v"), "us-east-1")
+	}
+	keys, err := s.List("b", "runs/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"runs/1", "runs/2", "runs/3"}
+	if len(keys) != len(want) {
+		t.Fatalf("keys = %v", keys)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("keys = %v, want %v", keys, want)
+		}
+	}
+}
+
+func TestDeleteIdempotent(t *testing.T) {
+	s, _ := newStore()
+	_ = s.CreateBucket("b", "us-east-1")
+	_ = s.Put("b", "k", []byte("v"), "us-east-1")
+	if err := s.Delete("b", "k"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("b", "k"); err != nil {
+		t.Fatal("second delete should be a no-op")
+	}
+	if s.Exists("b", "k") {
+		t.Fatal("key survives delete")
+	}
+}
+
+func TestBucketRegion(t *testing.T) {
+	s, _ := newStore()
+	_ = s.CreateBucket("b", "eu-west-2")
+	r, err := s.BucketRegion("b")
+	if err != nil || r != "eu-west-2" {
+		t.Fatalf("region = %v err = %v", r, err)
+	}
+	if _, err := s.BucketRegion("nope"); err == nil {
+		t.Fatal("missing bucket should error")
+	}
+}

@@ -1,0 +1,116 @@
+// Package stepfn simulates the Step Functions retry wrapper the paper
+// puts around the Controller's interruption-handler Lambda: execute a
+// task, and on failure retry with exponential backoff up to a maximum
+// attempt count, billing one state transition per attempt.
+package stepfn
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"spotverse/internal/cost"
+	"spotverse/internal/simclock"
+)
+
+// Errors returned by the machine.
+var (
+	ErrNilTask          = errors.New("stepfn: nil task")
+	ErrAttemptsExceeded = errors.New("stepfn: max attempts exceeded")
+)
+
+// Task is one retryable unit. It returns nil on success.
+type Task func() error
+
+// Config controls retry behaviour.
+type Config struct {
+	// MaxAttempts caps total tries (first try included). Zero means 3.
+	MaxAttempts int
+	// BaseBackoff is the wait before the second attempt. Zero means 30 s.
+	BaseBackoff time.Duration
+	// BackoffRate multiplies the wait per retry. Zero means 2.0.
+	BackoffRate float64
+}
+
+func (c Config) normalized() Config {
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.BaseBackoff <= 0 {
+		c.BaseBackoff = 30 * time.Second
+	}
+	if c.BackoffRate <= 0 {
+		c.BackoffRate = 2.0
+	}
+	return c
+}
+
+// Machine executes tasks with retries on the sim clock.
+type Machine struct {
+	eng    *simclock.Engine
+	ledger *cost.Ledger
+	cfg    Config
+
+	executions  int64
+	transitions int64
+	exhausted   int64
+}
+
+// New returns a machine with the config (zero values take defaults).
+func New(eng *simclock.Engine, ledger *cost.Ledger, cfg Config) *Machine {
+	return &Machine{eng: eng, ledger: ledger, cfg: cfg.normalized()}
+}
+
+// Execute starts an execution. done (optional) receives nil on success or
+// the final error (wrapped in ErrAttemptsExceeded) once retries are
+// exhausted.
+func (m *Machine) Execute(name string, task Task, done func(error)) error {
+	if task == nil {
+		return fmt.Errorf("execute %q: %w", name, ErrNilTask)
+	}
+	return m.ExecuteAsync(name, func(finish func(error)) { finish(task()) }, done)
+}
+
+// AsyncTask is a unit whose completion arrives via the finish callback —
+// typically a Lambda invocation that lands some simulated seconds later.
+// finish must be called exactly once per attempt.
+type AsyncTask func(finish func(error))
+
+// ExecuteAsync starts an execution of an asynchronous task with the same
+// retry semantics as Execute.
+func (m *Machine) ExecuteAsync(name string, task AsyncTask, done func(error)) error {
+	if task == nil {
+		return fmt.Errorf("execute %q: %w", name, ErrNilTask)
+	}
+	m.executions++
+	var attempt func(n int, wait time.Duration)
+	attempt = func(n int, wait time.Duration) {
+		m.transitions++
+		m.ledger.MustAdd(cost.CategoryStepFn, cost.StepFnUSDPerTransition)
+		task(func(err error) {
+			if err == nil {
+				if done != nil {
+					done(nil)
+				}
+				return
+			}
+			if n+1 >= m.cfg.MaxAttempts {
+				m.exhausted++
+				if done != nil {
+					done(fmt.Errorf("execution %q after %d attempts: %w: %w", name, n+1, ErrAttemptsExceeded, err))
+				}
+				return
+			}
+			m.eng.ScheduleAfter(wait, "stepfn-retry:"+name, func() {
+				attempt(n+1, time.Duration(float64(wait)*m.cfg.BackoffRate))
+			})
+		})
+	}
+	attempt(0, m.cfg.BaseBackoff)
+	return nil
+}
+
+// Stats reports execution counters.
+func (m *Machine) Stats() (executions, transitions, exhausted int64) {
+	return m.executions, m.transitions, m.exhausted
+}

@@ -1,0 +1,96 @@
+package stepfn
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"spotverse/internal/cost"
+	"spotverse/internal/simclock"
+)
+
+func newMachine(cfg Config) (*simclock.Engine, *Machine, *cost.Ledger) {
+	eng := simclock.NewEngine()
+	l := cost.NewLedger()
+	return eng, New(eng, l, cfg), l
+}
+
+func TestSuccessFirstTry(t *testing.T) {
+	eng, m, _ := newMachine(Config{})
+	var final error = errors.New("sentinel")
+	_ = m.Execute("x", func() error { return nil }, func(err error) { final = err })
+	_ = eng.Run(time.Time{})
+	if final != nil {
+		t.Fatalf("final = %v, want nil", final)
+	}
+	_, transitions, exhausted := m.Stats()
+	if transitions != 1 || exhausted != 0 {
+		t.Fatalf("transitions=%d exhausted=%d", transitions, exhausted)
+	}
+}
+
+func TestRetriesUntilSuccess(t *testing.T) {
+	eng, m, _ := newMachine(Config{MaxAttempts: 5, BaseBackoff: time.Minute, BackoffRate: 2})
+	tries := 0
+	var doneAt time.Time
+	_ = m.Execute("x", func() error {
+		tries++
+		if tries < 3 {
+			return errors.New("flaky")
+		}
+		return nil
+	}, func(err error) {
+		if err != nil {
+			t.Errorf("final err = %v", err)
+		}
+		doneAt = eng.Now()
+	})
+	_ = eng.Run(time.Time{})
+	if tries != 3 {
+		t.Fatalf("tries = %d, want 3", tries)
+	}
+	// Backoff: 1m before try 2, 2m before try 3.
+	want := simclock.Epoch.Add(3 * time.Minute)
+	if !doneAt.Equal(want) {
+		t.Fatalf("done at %v, want %v", doneAt, want)
+	}
+}
+
+func TestExhaustionWrapsError(t *testing.T) {
+	eng, m, _ := newMachine(Config{MaxAttempts: 2, BaseBackoff: time.Second})
+	boom := errors.New("boom")
+	var final error
+	_ = m.Execute("x", func() error { return boom }, func(err error) { final = err })
+	_ = eng.Run(time.Time{})
+	if !errors.Is(final, ErrAttemptsExceeded) || !errors.Is(final, boom) {
+		t.Fatalf("final = %v, want wrapped ErrAttemptsExceeded+boom", final)
+	}
+	_, _, exhausted := m.Stats()
+	if exhausted != 1 {
+		t.Fatalf("exhausted = %d", exhausted)
+	}
+}
+
+func TestNilTaskRejected(t *testing.T) {
+	_, m, _ := newMachine(Config{})
+	if err := m.Execute("x", nil, nil); !errors.Is(err, ErrNilTask) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDefaultsNormalized(t *testing.T) {
+	cfg := Config{}.normalized()
+	if cfg.MaxAttempts != 3 || cfg.BaseBackoff != 30*time.Second || cfg.BackoffRate != 2.0 {
+		t.Fatalf("defaults = %+v", cfg)
+	}
+}
+
+func TestTransitionsBilled(t *testing.T) {
+	eng, m, l := newMachine(Config{MaxAttempts: 3, BaseBackoff: time.Second})
+	_ = m.Execute("x", func() error { return errors.New("always") }, nil)
+	_ = eng.Run(time.Time{})
+	want := 3 * cost.StepFnUSDPerTransition
+	if got := l.Of(cost.CategoryStepFn); got < want-1e-12 || got > want+1e-12 {
+		t.Fatalf("billed %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,246 @@
+// Package simclock provides a deterministic discrete-event simulation
+// engine: a virtual clock, a priority event queue, cancellable timers, and
+// seeded random-number streams.
+//
+// Everything in the SpotVerse reproduction — spot markets, instances,
+// Lambda invocations, Galaxy jobs — advances on a single Engine. Events
+// scheduled for the same instant fire in schedule order (FIFO), which keeps
+// runs bit-for-bit reproducible for a given seed.
+package simclock
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Epoch is the default start of simulated time. The concrete date is
+// arbitrary; experiments only ever use durations relative to it.
+var Epoch = time.Date(2024, time.March, 4, 0, 0, 0, 0, time.UTC)
+
+// ErrStopped is returned by Run when the engine was stopped explicitly.
+var ErrStopped = errors.New("simclock: engine stopped")
+
+// Event is a scheduled callback. The callback runs with the clock set to
+// the event's due time.
+type Event struct {
+	at     time.Time
+	seq    uint64
+	fn     func()
+	index  int // heap index; -1 once popped or cancelled
+	cancel bool
+	name   string
+}
+
+// At reports the simulated time the event fires.
+func (e *Event) At() time.Time { return e.at }
+
+// Name reports the debug label given at scheduling time.
+func (e *Event) Name() string { return e.name }
+
+// Cancel prevents a pending event from firing. Cancelling an event that
+// already fired (or was cancelled) is a no-op. Cancel reports whether the
+// event was still pending.
+func (e *Event) Cancel() bool {
+	if e.cancel || e.index < 0 {
+		return false
+	}
+	e.cancel = true
+	return true
+}
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if !q[i].at.Equal(q[j].at) {
+		return q[i].at.Before(q[j].at)
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev, ok := x.(*Event)
+	if !ok {
+		return
+	}
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// Engine is a single-threaded discrete-event simulator. It is not safe for
+// concurrent use; all simulated components run inside the event loop.
+type Engine struct {
+	now     time.Time
+	queue   eventQueue
+	seq     uint64
+	stopped bool
+	fired   uint64
+}
+
+// NewEngine returns an engine starting at Epoch.
+func NewEngine() *Engine {
+	return NewEngineAt(Epoch)
+}
+
+// NewEngineAt returns an engine whose clock starts at the given instant.
+func NewEngineAt(start time.Time) *Engine {
+	return &Engine{now: start}
+}
+
+// Now reports current simulated time.
+func (e *Engine) Now() time.Time { return e.now }
+
+// Since reports the simulated duration elapsed since t.
+func (e *Engine) Since(t time.Time) time.Duration { return e.now.Sub(t) }
+
+// Pending reports the number of events waiting in the queue, including
+// cancelled events that have not been reaped yet.
+func (e *Engine) Pending() int { return e.queue.Len() }
+
+// Fired reports how many events have executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// ScheduleAt registers fn to run at the absolute simulated instant t.
+// Scheduling in the past is an error because it would reorder history.
+func (e *Engine) ScheduleAt(t time.Time, name string, fn func()) (*Event, error) {
+	if t.Before(e.now) {
+		return nil, fmt.Errorf("simclock: schedule %q at %s before now %s", name, t, e.now)
+	}
+	e.seq++
+	ev := &Event{at: t, seq: e.seq, fn: fn, name: name}
+	heap.Push(&e.queue, ev)
+	return ev, nil
+}
+
+// ScheduleAfter registers fn to run d after the current instant. Negative
+// delays are clamped to zero.
+func (e *Engine) ScheduleAfter(d time.Duration, name string, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	ev, err := e.ScheduleAt(e.now.Add(d), name, fn)
+	if err != nil {
+		// Unreachable: now+nonNegative is never before now.
+		panic(err)
+	}
+	return ev
+}
+
+// Ticker repeatedly schedules fn every interval until the returned stop
+// function is called. The first firing happens one interval from now.
+type Ticker struct {
+	stop bool
+}
+
+// Stop prevents future firings of the ticker.
+func (t *Ticker) Stop() { t.stop = true }
+
+// Every schedules fn to run every interval. fn receives the firing time.
+func (e *Engine) Every(interval time.Duration, name string, fn func(now time.Time)) *Ticker {
+	if interval <= 0 {
+		interval = time.Nanosecond
+	}
+	t := &Ticker{}
+	var tick func()
+	tick = func() {
+		if t.stop {
+			return
+		}
+		fn(e.now)
+		if t.stop {
+			return
+		}
+		e.ScheduleAfter(interval, name, tick)
+	}
+	e.ScheduleAfter(interval, name, tick)
+	return t
+}
+
+// Step executes the next pending event, advancing the clock to its due
+// time. It reports whether an event was executed.
+func (e *Engine) Step() bool {
+	for e.queue.Len() > 0 {
+		next, ok := heap.Pop(&e.queue).(*Event)
+		if !ok {
+			return false
+		}
+		if next.cancel {
+			continue
+		}
+		e.now = next.at
+		e.fired++
+		next.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains or the horizon passes.
+// A zero horizon means run to drain. Run returns ErrStopped if Stop was
+// called from inside an event.
+func (e *Engine) Run(horizon time.Time) error {
+	e.stopped = false
+	for e.queue.Len() > 0 {
+		if e.stopped {
+			return ErrStopped
+		}
+		next := e.queue[0]
+		if next.cancel {
+			heap.Pop(&e.queue)
+			continue
+		}
+		if !horizon.IsZero() && next.at.After(horizon) {
+			e.now = horizon
+			return nil
+		}
+		e.Step()
+	}
+	if e.stopped {
+		return ErrStopped
+	}
+	if !horizon.IsZero() && e.now.Before(horizon) {
+		e.now = horizon
+	}
+	return nil
+}
+
+// RunFor advances the clock by d, executing all events due in the window.
+func (e *Engine) RunFor(d time.Duration) error {
+	return e.Run(e.now.Add(d))
+}
+
+// RunUntil executes events until pred returns true (checked after every
+// event) or the queue drains. It reports whether pred was satisfied.
+func (e *Engine) RunUntil(pred func() bool) bool {
+	if pred() {
+		return true
+	}
+	for e.Step() {
+		if pred() {
+			return true
+		}
+	}
+	return false
+}
+
+// Stop aborts a Run in progress after the current event returns.
+func (e *Engine) Stop() { e.stopped = true }

@@ -1,0 +1,31 @@
+// Package strategy defines the placement-strategy contract shared by
+// SpotVerse (internal/core) and the comparison baselines
+// (internal/baselines). The experiment harness drives any Strategy the
+// same way, so cost and reliability comparisons are apples-to-apples.
+package strategy
+
+import (
+	"spotverse/internal/catalog"
+	"spotverse/internal/cloud"
+)
+
+// Placement is a region + purchase model decision for one workload.
+type Placement struct {
+	Region    catalog.Region
+	Lifecycle cloud.Lifecycle
+}
+
+// RelaunchFunc re-provisions an interrupted workload at the placement.
+type RelaunchFunc func(Placement)
+
+// Strategy decides where workloads run.
+type Strategy interface {
+	// Name labels the strategy in results.
+	Name() string
+	// PlaceInitial assigns a placement to every workload ID at start.
+	PlaceInitial(ids []string) (map[string]Placement, error)
+	// OnInterrupted reacts to a reclaimed instance: the strategy must
+	// eventually call relaunch exactly once (possibly asynchronously,
+	// e.g. from a Lambda handler) unless a hard error is returned.
+	OnInterrupted(id string, current catalog.Region, relaunch RelaunchFunc) error
+}

@@ -1,0 +1,95 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// Property tests over the checkpoint progress model: however interrupts
+// land, banked progress never exceeds the work, never regresses, and the
+// remaining work plus banked work always equals the total.
+
+func TestCreditProgressConservation(t *testing.T) {
+	f := func(slices []uint16) bool {
+		st, err := New(Spec{
+			ID: "p", Kind: KindCheckpoint, Duration: 10 * time.Hour,
+			Shards: 20, ResumeOverhead: 5 * time.Minute,
+		})
+		if err != nil {
+			return false
+		}
+		for _, s := range slices {
+			if st.Completed {
+				break
+			}
+			if err := st.BeginAttempt(); err != nil {
+				return false
+			}
+			elapsed := time.Duration(s%1200) * time.Minute / 2 // 0..10h
+			before := st.ShardsDone
+			banked := st.CreditProgress(elapsed)
+			if banked < 0 || st.ShardsDone < before || st.ShardsDone > st.Spec.Shards {
+				return false
+			}
+			// Conservation: remaining + done*shardDur == total.
+			if st.Remaining()+time.Duration(st.ShardsDone)*st.Spec.ShardDuration() != st.Spec.Duration {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAttemptDurationNeverExceedsTotalPlusOverhead(t *testing.T) {
+	f := func(interrupts uint8) bool {
+		st, err := New(Spec{
+			ID: "p", Kind: KindCheckpoint, Duration: 10 * time.Hour,
+			Shards: 20, ResumeOverhead: 15 * time.Minute,
+		})
+		if err != nil {
+			return false
+		}
+		for i := 0; i < int(interrupts%30); i++ {
+			if st.Completed {
+				break
+			}
+			if err := st.BeginAttempt(); err != nil {
+				return false
+			}
+			if d := st.AttemptDuration(); d > st.Spec.Duration+st.Spec.ResumeOverhead || d < 0 {
+				return false
+			}
+			st.CreditProgress(45 * time.Minute)
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStandardAttemptAlwaysFullDuration(t *testing.T) {
+	f := func(interrupts uint8) bool {
+		st, err := New(Spec{ID: "s", Kind: KindStandard, Duration: 10 * time.Hour})
+		if err != nil {
+			return false
+		}
+		for i := 0; i < int(interrupts%20); i++ {
+			if err := st.BeginAttempt(); err != nil {
+				return false
+			}
+			if st.AttemptDuration() != 10*time.Hour {
+				return false
+			}
+			st.CreditProgress(9 * time.Hour)
+		}
+		return st.Interruptions == int(interrupts%20)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

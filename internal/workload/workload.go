@@ -1,0 +1,269 @@
+// Package workload models the paper's two workload categories
+// (Section 2.2 / 5.1.1):
+//
+//   - Standard workloads (Genome Reconstruction, QIIME 2) run for a
+//     normalized 10-11 hours and must restart from zero after a spot
+//     interruption.
+//   - Checkpoint workloads (NGS Data Preprocessing) are segmented into
+//     shards whose completion is tracked in DynamoDB; after an
+//     interruption a new instance resumes from the last completed shard,
+//     paying a resume overhead (relaunch + S3 re-download).
+//
+// The package tracks logical progress; the experiment harness maps it
+// onto simulated instances and billing.
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"spotverse/internal/simclock"
+)
+
+// Kind distinguishes restartable from resumable workloads.
+type Kind int
+
+// Workload kinds.
+const (
+	KindStandard Kind = iota + 1
+	KindCheckpoint
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindStandard:
+		return "standard"
+	case KindCheckpoint:
+		return "checkpoint"
+	default:
+		return "unknown"
+	}
+}
+
+// Errors returned by the package.
+var (
+	ErrBadDuration = errors.New("workload: duration must be positive")
+	ErrBadShards   = errors.New("workload: checkpoint workloads need >= 2 shards")
+	ErrCompleted   = errors.New("workload: already completed")
+)
+
+// Spec describes one workload.
+type Spec struct {
+	// ID is unique within an experiment.
+	ID string
+	// Kind selects restart vs resume semantics.
+	Kind Kind
+	// Duration is the total uninterrupted compute time required
+	// (the paper normalizes to 10-11 h with sleep intervals).
+	Duration time.Duration
+	// Shards segments a checkpoint workload; standard workloads use 1.
+	Shards int
+	// DatasetBytes is the input dataset size (the paper's 1 GB FastQC
+	// set); checkpoint uploads/downloads move DatasetBytes/Shards.
+	DatasetBytes int64
+	// ResumeOverhead is the fixed extra time a resumed attempt spends
+	// re-fetching data and restarting tools.
+	ResumeOverhead time.Duration
+}
+
+// Validate checks the spec.
+func (s Spec) Validate() error {
+	if s.Duration <= 0 {
+		return fmt.Errorf("workload %q: %w", s.ID, ErrBadDuration)
+	}
+	if s.Kind == KindCheckpoint && s.Shards < 2 {
+		return fmt.Errorf("workload %q: %w", s.ID, ErrBadShards)
+	}
+	return nil
+}
+
+// ShardDuration is the compute time per shard.
+func (s Spec) ShardDuration() time.Duration {
+	n := s.Shards
+	if s.Kind != KindCheckpoint || n < 1 {
+		n = 1
+	}
+	return s.Duration / time.Duration(n)
+}
+
+// State tracks one workload's logical progress across attempts.
+type State struct {
+	Spec Spec
+	// ShardsDone counts completed shards (checkpoint only).
+	ShardsDone int
+	// Attempts counts instance launches serving this workload.
+	Attempts int
+	// Interruptions counts provider-initiated terminations suffered.
+	Interruptions int
+	// Completed and CompletedAt record success.
+	Completed   bool
+	CompletedAt time.Time
+}
+
+// New validates the spec and returns fresh state.
+func New(spec Spec) (*State, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if spec.Kind == KindStandard {
+		spec.Shards = 1
+	}
+	return &State{Spec: spec}, nil
+}
+
+// Remaining is the compute time still needed, excluding resume overhead.
+func (st *State) Remaining() time.Duration {
+	if st.Completed {
+		return 0
+	}
+	if st.Spec.Kind == KindCheckpoint {
+		left := st.Spec.Shards - st.ShardsDone
+		return time.Duration(left) * st.Spec.ShardDuration()
+	}
+	return st.Spec.Duration
+}
+
+// AttemptDuration is the time the next attempt needs: remaining work plus
+// resume overhead on any attempt after the first for checkpoint
+// workloads (standard restarts pay full duration anyway, and the paper
+// folds their restart cost into the recomputation itself).
+func (st *State) AttemptDuration() time.Duration {
+	d := st.Remaining()
+	if st.Spec.Kind == KindCheckpoint && st.Attempts > 0 {
+		d += st.Spec.ResumeOverhead
+	}
+	return d
+}
+
+// BeginAttempt records an instance launch.
+func (st *State) BeginAttempt() error {
+	if st.Completed {
+		return fmt.Errorf("workload %q: %w", st.Spec.ID, ErrCompleted)
+	}
+	st.Attempts++
+	return nil
+}
+
+// CreditProgress accounts an interrupted attempt that computed for
+// elapsed time (after resume overhead). Standard workloads gain nothing;
+// checkpoint workloads bank completed shards. It returns the number of
+// newly banked shards.
+func (st *State) CreditProgress(elapsed time.Duration) int {
+	st.Interruptions++
+	if st.Spec.Kind != KindCheckpoint || elapsed <= 0 {
+		return 0
+	}
+	if st.Attempts > 1 {
+		elapsed -= st.Spec.ResumeOverhead
+		if elapsed < 0 {
+			elapsed = 0
+		}
+	}
+	banked := int(elapsed / st.Spec.ShardDuration())
+	maxLeft := st.Spec.Shards - st.ShardsDone
+	if banked > maxLeft {
+		banked = maxLeft
+	}
+	st.ShardsDone += banked
+	return banked
+}
+
+// MarkComplete finalises the workload.
+func (st *State) MarkComplete(at time.Time) error {
+	if st.Completed {
+		return fmt.Errorf("workload %q: %w", st.Spec.ID, ErrCompleted)
+	}
+	st.Completed = true
+	st.CompletedAt = at
+	if st.Spec.Kind == KindCheckpoint {
+		st.ShardsDone = st.Spec.Shards
+	}
+	return nil
+}
+
+// CheckpointBytes is the data volume moved per checkpoint upload (one
+// shard's slice of the dataset).
+func (st *State) CheckpointBytes() int64 {
+	if st.Spec.Kind != KindCheckpoint || st.Spec.Shards == 0 {
+		return 0
+	}
+	return st.Spec.DatasetBytes / int64(st.Spec.Shards)
+}
+
+// GenOptions tunes workload set generation.
+type GenOptions struct {
+	// Kind of every generated workload.
+	Kind Kind
+	// Count of workloads.
+	Count int
+	// MinDuration and MaxDuration bound the uniform duration draw; the
+	// defaults are the paper's 10-11 h.
+	MinDuration time.Duration
+	MaxDuration time.Duration
+	// Shards per checkpoint workload (default 20).
+	Shards int
+	// DatasetBytes per workload (default 1 GiB, the paper's SRA set).
+	DatasetBytes int64
+	// ResumeOverhead (default 5 minutes).
+	ResumeOverhead time.Duration
+	// IDPrefix prefixes workload IDs (default the kind name).
+	IDPrefix string
+}
+
+func (o GenOptions) normalized() GenOptions {
+	if o.MinDuration <= 0 {
+		o.MinDuration = 10 * time.Hour
+	}
+	if o.MaxDuration < o.MinDuration {
+		o.MaxDuration = 11 * time.Hour
+	}
+	if o.Shards <= 0 {
+		o.Shards = 20
+	}
+	if o.DatasetBytes <= 0 {
+		o.DatasetBytes = 1 << 30
+	}
+	if o.ResumeOverhead <= 0 {
+		o.ResumeOverhead = 5 * time.Minute
+	}
+	if o.IDPrefix == "" {
+		o.IDPrefix = o.Kind.String()
+	}
+	return o
+}
+
+// Generate builds a reproducible workload set.
+func Generate(rng *simclock.RNG, opts GenOptions) ([]*State, error) {
+	if opts.Count <= 0 {
+		return nil, errors.New("workload: count must be positive")
+	}
+	opts = opts.normalized()
+	out := make([]*State, 0, opts.Count)
+	for i := 0; i < opts.Count; i++ {
+		dur := opts.MinDuration
+		if opts.MaxDuration > opts.MinDuration {
+			span := opts.MaxDuration - opts.MinDuration
+			dur += time.Duration(rng.Float64() * float64(span))
+		}
+		spec := Spec{
+			ID:             fmt.Sprintf("%s-%03d", opts.IDPrefix, i),
+			Kind:           opts.Kind,
+			Duration:       dur,
+			DatasetBytes:   opts.DatasetBytes,
+			ResumeOverhead: opts.ResumeOverhead,
+		}
+		if opts.Kind == KindCheckpoint {
+			spec.Shards = opts.Shards
+		} else {
+			spec.Shards = 1
+		}
+		st, err := New(spec)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, st)
+	}
+	return out, nil
+}

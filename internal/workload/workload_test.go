@@ -1,0 +1,184 @@
+package workload
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"spotverse/internal/simclock"
+)
+
+func stdSpec() Spec {
+	return Spec{ID: "w", Kind: KindStandard, Duration: 10 * time.Hour}
+}
+
+func ckptSpec() Spec {
+	return Spec{
+		ID: "c", Kind: KindCheckpoint, Duration: 10 * time.Hour,
+		Shards: 20, DatasetBytes: 1 << 30, ResumeOverhead: 5 * time.Minute,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Spec{ID: "x", Kind: KindStandard}).Validate(); !errors.Is(err, ErrBadDuration) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := (Spec{ID: "x", Kind: KindCheckpoint, Duration: time.Hour, Shards: 1}).Validate(); !errors.Is(err, ErrBadShards) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := stdSpec().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStandardRestartsFromZero(t *testing.T) {
+	st, err := New(stdSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.BeginAttempt(); err != nil {
+		t.Fatal(err)
+	}
+	if banked := st.CreditProgress(9 * time.Hour); banked != 0 {
+		t.Fatalf("standard banked %d shards", banked)
+	}
+	if st.Remaining() != 10*time.Hour {
+		t.Fatalf("remaining = %v, want full duration", st.Remaining())
+	}
+	if st.Interruptions != 1 {
+		t.Fatalf("interruptions = %d", st.Interruptions)
+	}
+}
+
+func TestCheckpointBanksShards(t *testing.T) {
+	st, err := New(ckptSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = st.BeginAttempt()
+	// 3.4 shard-durations of progress -> 3 shards banked.
+	banked := st.CreditProgress(3*30*time.Minute + 12*time.Minute)
+	if banked != 3 || st.ShardsDone != 3 {
+		t.Fatalf("banked=%d done=%d", banked, st.ShardsDone)
+	}
+	want := 17 * 30 * time.Minute
+	if st.Remaining() != want {
+		t.Fatalf("remaining = %v, want %v", st.Remaining(), want)
+	}
+}
+
+func TestCheckpointResumeOverheadInAttemptDuration(t *testing.T) {
+	st, _ := New(ckptSpec())
+	if st.AttemptDuration() != 10*time.Hour {
+		t.Fatalf("first attempt = %v", st.AttemptDuration())
+	}
+	_ = st.BeginAttempt()
+	st.CreditProgress(5 * time.Hour)
+	_ = st.BeginAttempt()
+	want := 10*30*time.Minute + 5*time.Minute
+	if st.AttemptDuration() != want {
+		t.Fatalf("resumed attempt = %v, want %v", st.AttemptDuration(), want)
+	}
+}
+
+func TestCreditProgressDeductsOverheadOnResumedAttempts(t *testing.T) {
+	st, _ := New(ckptSpec())
+	_ = st.BeginAttempt()
+	st.CreditProgress(2 * 30 * time.Minute) // 2 shards
+	_ = st.BeginAttempt()
+	// 35 minutes elapsed on a resumed attempt: 5 min overhead + 1 shard.
+	banked := st.CreditProgress(35 * time.Minute)
+	if banked != 1 || st.ShardsDone != 3 {
+		t.Fatalf("banked=%d done=%d", banked, st.ShardsDone)
+	}
+}
+
+func TestCreditNeverExceedsShards(t *testing.T) {
+	st, _ := New(ckptSpec())
+	_ = st.BeginAttempt()
+	banked := st.CreditProgress(100 * time.Hour)
+	if banked != 20 || st.ShardsDone != 20 {
+		t.Fatalf("banked=%d done=%d", banked, st.ShardsDone)
+	}
+	if st.Remaining() != 0 {
+		t.Fatalf("remaining = %v", st.Remaining())
+	}
+}
+
+func TestMarkComplete(t *testing.T) {
+	st, _ := New(stdSpec())
+	at := time.Date(2024, 3, 4, 12, 0, 0, 0, time.UTC)
+	if err := st.MarkComplete(at); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Completed || !st.CompletedAt.Equal(at) || st.Remaining() != 0 {
+		t.Fatalf("state = %+v", st)
+	}
+	if err := st.MarkComplete(at); !errors.Is(err, ErrCompleted) {
+		t.Fatalf("double complete err = %v", err)
+	}
+	if err := st.BeginAttempt(); !errors.Is(err, ErrCompleted) {
+		t.Fatalf("attempt after complete err = %v", err)
+	}
+}
+
+func TestCheckpointBytes(t *testing.T) {
+	st, _ := New(ckptSpec())
+	if got := st.CheckpointBytes(); got != (1<<30)/20 {
+		t.Fatalf("checkpoint bytes = %d", got)
+	}
+	std, _ := New(stdSpec())
+	if std.CheckpointBytes() != 0 {
+		t.Fatal("standard workload should not checkpoint")
+	}
+}
+
+func TestGenerate(t *testing.T) {
+	rng := simclock.Stream(1, "workload-test")
+	ws, err := Generate(rng, GenOptions{Kind: KindStandard, Count: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 40 {
+		t.Fatalf("count = %d", len(ws))
+	}
+	ids := map[string]bool{}
+	for _, w := range ws {
+		if w.Spec.Duration < 10*time.Hour || w.Spec.Duration > 11*time.Hour {
+			t.Fatalf("duration %v outside paper's 10-11h", w.Spec.Duration)
+		}
+		if ids[w.Spec.ID] {
+			t.Fatalf("duplicate id %s", w.Spec.ID)
+		}
+		ids[w.Spec.ID] = true
+	}
+}
+
+func TestGenerateCheckpointDefaults(t *testing.T) {
+	rng := simclock.Stream(2, "workload-test")
+	ws, err := Generate(rng, GenOptions{Kind: KindCheckpoint, Count: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range ws {
+		if w.Spec.Shards != 20 || w.Spec.DatasetBytes != 1<<30 || w.Spec.ResumeOverhead != 5*time.Minute {
+			t.Fatalf("defaults not applied: %+v", w.Spec)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, _ := Generate(simclock.Stream(3, "wl"), GenOptions{Kind: KindStandard, Count: 10})
+	b, _ := Generate(simclock.Stream(3, "wl"), GenOptions{Kind: KindStandard, Count: 10})
+	for i := range a {
+		if a[i].Spec.Duration != b[i].Spec.Duration {
+			t.Fatal("generation not deterministic")
+		}
+	}
+}
+
+func TestGenerateBadCount(t *testing.T) {
+	if _, err := Generate(simclock.Stream(4, "wl"), GenOptions{Kind: KindStandard}); err == nil {
+		t.Fatal("want error")
+	}
+}

@@ -1,0 +1,203 @@
+// Package spotverse is the public API of the SpotVerse reproduction: a
+// multi-region spot-instance manager for long-running (bioinformatics)
+// workloads, together with the simulated cloud substrate it is evaluated
+// on.
+//
+// The package re-exports the library's main types and wires them together
+// behind two entry points:
+//
+//   - NewSimulation builds a deterministic simulated cloud (regions, spot
+//     markets, EC2-like provider, S3/DynamoDB/Lambda/EventBridge/
+//     CloudWatch/Step Functions substrates).
+//   - Simulation.NewManager deploys SpotVerse (Monitor + Optimizer +
+//     Controller) onto it; Simulation.Run executes a workload set under
+//     any Strategy and reports interruptions, completion times, and the
+//     differential cost model.
+//
+// A minimal comparison looks like:
+//
+//	sim := spotverse.NewSimulation(42)
+//	mgr, _ := sim.NewManager(spotverse.ManagerConfig{InstanceType: spotverse.M5XLarge})
+//	ws, _ := sim.GenerateWorkloads(spotverse.WorkloadOptions{Kind: spotverse.KindStandard, Count: 40})
+//	res, _ := sim.Run(spotverse.RunConfig{Workloads: ws, Strategy: mgr, InstanceType: spotverse.M5XLarge})
+//	fmt.Println(res.Interruptions, res.TotalCostUSD)
+package spotverse
+
+import (
+	"time"
+
+	"spotverse/internal/baselines"
+	"spotverse/internal/catalog"
+	"spotverse/internal/cloud"
+	"spotverse/internal/core"
+	"spotverse/internal/experiment"
+	"spotverse/internal/market"
+	"spotverse/internal/predict"
+	"spotverse/internal/simclock"
+	"spotverse/internal/strategy"
+	"spotverse/internal/workload"
+)
+
+// Re-exported identity types.
+type (
+	// Region identifies a cloud region.
+	Region = catalog.Region
+	// AZ identifies an availability zone.
+	AZ = catalog.AZ
+	// InstanceType identifies an instance type.
+	InstanceType = catalog.InstanceType
+	// Catalog is the static cloud inventory.
+	Catalog = catalog.Catalog
+	// Market is the spot-market model.
+	Market = market.Model
+	// AdvisorEntry is one Spot-Instance-Advisor row.
+	AdvisorEntry = market.AdvisorEntry
+	// Provider is the EC2-like IaaS provider.
+	Provider = cloud.Provider
+	// Strategy decides workload placement.
+	Strategy = strategy.Strategy
+	// Placement is a (region, lifecycle) decision.
+	Placement = strategy.Placement
+	// Manager is the SpotVerse manager (Monitor+Optimizer+Controller).
+	Manager = core.SpotVerse
+	// ManagerConfig parameterises a Manager.
+	ManagerConfig = core.Config
+	// Workload tracks one workload's progress.
+	Workload = workload.State
+	// WorkloadSpec describes a workload.
+	WorkloadSpec = workload.Spec
+	// WorkloadOptions tunes workload generation.
+	WorkloadOptions = workload.GenOptions
+	// RunConfig parameterises an experiment run.
+	RunConfig = experiment.RunConfig
+	// Result aggregates a run's metrics.
+	Result = experiment.Result
+	// Timeline is the structured event log (RunConfig.Trace).
+	Timeline = experiment.Timeline
+	// AdaptiveConfig tunes the learning strategy.
+	AdaptiveConfig = predict.Config
+)
+
+// Re-exported instance types (the paper's evaluation set).
+const (
+	M5Large   = catalog.M5Large
+	M5XLarge  = catalog.M5XLarge
+	M52XLarge = catalog.M52XLarge
+	C52XLarge = catalog.C52XLarge
+	R52XLarge = catalog.R52XLarge
+	P32XLarge = catalog.P32XLarge
+)
+
+// Re-exported workload kinds.
+const (
+	// KindStandard workloads restart from zero on interruption.
+	KindStandard = workload.KindStandard
+	// KindCheckpoint workloads resume from their last completed shard.
+	KindCheckpoint = workload.KindCheckpoint
+)
+
+// Re-exported selection modes for ManagerConfig.Selection.
+const (
+	// SelectAtLeast keeps regions scoring >= threshold (Algorithm 1).
+	SelectAtLeast = core.SelectAtLeast
+	// SelectBucket keeps regions scoring == threshold (threshold study).
+	SelectBucket = core.SelectBucket
+)
+
+// Simulation is one deterministic simulated cloud plus the services
+// SpotVerse deploys onto.
+type Simulation struct {
+	env  *experiment.Env
+	seed int64
+}
+
+// NewSimulation builds a simulation seeded for reproducibility.
+func NewSimulation(seed int64) *Simulation {
+	return &Simulation{env: experiment.NewEnv(seed), seed: seed}
+}
+
+// NewSimulationAt builds a simulation whose clock starts at a specific
+// instant (markets evolve from there).
+func NewSimulationAt(seed int64, start time.Time) *Simulation {
+	return &Simulation{env: experiment.NewEnvAt(seed, start), seed: seed}
+}
+
+// Catalog exposes the region and instance inventory.
+func (s *Simulation) Catalog() *Catalog { return s.env.Catalog() }
+
+// Market exposes the spot-market model (prices, advisor metrics).
+func (s *Simulation) Market() *Market { return s.env.Market }
+
+// Provider exposes the EC2-like provider.
+func (s *Simulation) Provider() *Provider { return s.env.Provider }
+
+// Now reports current simulated time.
+func (s *Simulation) Now() time.Time { return s.env.Engine.Now() }
+
+// NewManager deploys a SpotVerse manager onto the simulation. One manager
+// per simulation: it registers Lambda functions and CloudWatch rules.
+func (s *Simulation) NewManager(cfg ManagerConfig) (*Manager, error) {
+	if cfg.Seed == 0 {
+		cfg.Seed = s.seed
+	}
+	return core.New(cfg, core.Deps{
+		Engine:     s.env.Engine,
+		Market:     s.env.Market,
+		Provider:   s.env.Provider,
+		Dynamo:     s.env.Dynamo,
+		Lambda:     s.env.Lambda,
+		Bus:        s.env.Bus,
+		CloudWatch: s.env.CloudWatch,
+		StepFn:     s.env.StepFn,
+	})
+}
+
+// NewSingleRegionStrategy returns the traditional single-region baseline.
+func (s *Simulation) NewSingleRegionStrategy(t InstanceType, r Region) (Strategy, error) {
+	return baselines.NewSingleRegion(s.env.Catalog(), t, r)
+}
+
+// NewOnDemandStrategy returns the cheapest-on-demand baseline.
+func (s *Simulation) NewOnDemandStrategy(t InstanceType) (Strategy, error) {
+	return baselines.NewOnDemand(s.env.Catalog(), t)
+}
+
+// NewSkyPilotStrategy returns the SkyPilot-style cheapest-spot baseline.
+func (s *Simulation) NewSkyPilotStrategy(t InstanceType) (Strategy, error) {
+	return baselines.NewSkyPilotLike(s.env.Engine, s.env.Market, t)
+}
+
+// NewAdaptiveStrategy returns the learning strategy (the paper's future
+// work): it never reads the advisor and instead learns per-region,
+// per-hour-of-week interruption hazards from its own observations.
+func (s *Simulation) NewAdaptiveStrategy(t InstanceType, cfg AdaptiveConfig) (Strategy, error) {
+	if cfg.Seed == 0 {
+		cfg.Seed = s.seed
+	}
+	return predict.NewAdaptive(s.env.Engine, s.env.Market, t, cfg)
+}
+
+// EnableSeasonality turns on the market's hour-of-week interruption
+// modulation (weekday business-hour peaks).
+func (s *Simulation) EnableSeasonality() { s.env.Market.EnableSeasonality() }
+
+// InjectOutage makes spot launches in the region fail during [from, to)
+// — failure injection for resilience testing.
+func (s *Simulation) InjectOutage(r Region, from, to time.Time) error {
+	return s.env.Market.InjectOutage(r, from, to)
+}
+
+// GenerateWorkloads builds a reproducible workload set.
+func (s *Simulation) GenerateWorkloads(opts WorkloadOptions) ([]*Workload, error) {
+	return workload.Generate(simclock.Stream(s.seed, "public-workloads"), opts)
+}
+
+// Run executes a workload set under a strategy. When the strategy is a
+// *Manager, the harness's own open-request sweep is disabled because the
+// Controller schedules its own.
+func (s *Simulation) Run(cfg RunConfig) (*Result, error) {
+	if _, isManager := cfg.Strategy.(*Manager); isManager {
+		cfg.DisableSweep = true
+	}
+	return experiment.Run(s.env, cfg)
+}

@@ -1,0 +1,68 @@
+package spotverse
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPublicAdaptiveStrategy(t *testing.T) {
+	sim := NewSimulation(11)
+	sim.EnableSeasonality()
+	strat, err := sim.NewAdaptiveStrategy(M5XLarge, AdaptiveConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := sim.GenerateWorkloads(WorkloadOptions{Kind: KindStandard, Count: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(RunConfig{Workloads: ws, Strategy: strat, InstanceType: M5XLarge})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 6 {
+		t.Fatalf("completed = %d", res.Completed)
+	}
+	if res.StrategyName != "predictive" {
+		t.Fatalf("strategy = %s", res.StrategyName)
+	}
+}
+
+func TestPublicOutageInjection(t *testing.T) {
+	sim := NewSimulation(12)
+	if err := sim.InjectOutage("ca-central-1", sim.Now(), sim.Now().Add(2*time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.InjectOutage("narnia-1", sim.Now(), sim.Now().Add(time.Hour)); err == nil {
+		t.Fatal("unknown region accepted")
+	}
+	p, err := sim.Market().LaunchSuccessProbability(M5XLarge, "ca-central-1", sim.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 0 {
+		t.Fatalf("launch probability %v during outage", p)
+	}
+}
+
+func TestPublicTraceTimeline(t *testing.T) {
+	sim := NewSimulation(13)
+	strat, err := sim.NewSingleRegionStrategy(M5XLarge, "ca-central-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := sim.GenerateWorkloads(WorkloadOptions{Kind: KindStandard, Count: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(RunConfig{Workloads: ws, Strategy: strat, InstanceType: M5XLarge, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Timeline == nil || res.Timeline.Len() == 0 {
+		t.Fatal("no timeline with Trace enabled")
+	}
+	if problems := res.Timeline.Validate(); len(problems) > 0 {
+		t.Fatalf("timeline violations: %v", problems)
+	}
+}

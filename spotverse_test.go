@@ -1,0 +1,66 @@
+package spotverse
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPublicQuickPath(t *testing.T) {
+	sim := NewSimulation(42)
+	mgr, err := sim.NewManager(ManagerConfig{InstanceType: M5XLarge, Threshold: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := sim.GenerateWorkloads(WorkloadOptions{Kind: KindStandard, Count: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(RunConfig{Workloads: ws, Strategy: mgr, InstanceType: M5XLarge})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 8 {
+		t.Fatalf("completed = %d", res.Completed)
+	}
+	if res.TotalCostUSD <= 0 {
+		t.Fatalf("cost = %v", res.TotalCostUSD)
+	}
+}
+
+func TestPublicBaselines(t *testing.T) {
+	sim := NewSimulation(7)
+	for _, mk := range []func() (Strategy, error){
+		func() (Strategy, error) { return sim.NewSingleRegionStrategy(M5XLarge, "ca-central-1") },
+		func() (Strategy, error) { return sim.NewOnDemandStrategy(M5XLarge) },
+		func() (Strategy, error) { return sim.NewSkyPilotStrategy(M5XLarge) },
+	} {
+		if _, err := mk(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestPublicMarketAccess(t *testing.T) {
+	sim := NewSimulation(1)
+	rows, err := sim.Market().AdvisorSnapshot(M5XLarge, sim.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no advisor rows")
+	}
+	if len(sim.Catalog().Regions()) != 16 {
+		t.Fatal("catalog not exposed")
+	}
+}
+
+func TestNewSimulationAt(t *testing.T) {
+	start := time.Date(2024, 6, 1, 0, 0, 0, 0, time.UTC)
+	sim := NewSimulationAt(5, start)
+	if !sim.Now().Equal(start) {
+		t.Fatalf("now = %v", sim.Now())
+	}
+	if !sim.Market().Start().Equal(start) {
+		t.Fatalf("market start = %v", sim.Market().Start())
+	}
+}
