@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test race vet verify experiments
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# verify is the pre-merge gate: static checks, a clean build, and the
+# full test suite under the race detector.
+verify: vet build race
+
+experiments:
+	$(GO) run ./cmd/spotverse-experiments -exp all

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	spotverse-experiments [-exp all|fig2|fig3|fig4|fig7|fig8|fig9|fig10|table1|table4] [-seed N] [-csv dir]
+//	spotverse-experiments [-exp all|fig2|fig3|fig4|fig7|fig8|fig9|fig10|table1|table4|chaos] [-seed N] [-csv dir]
 //
 // Each experiment prints an ASCII rendering of the corresponding table or
 // figure; -csv additionally writes raw series files into the directory.
@@ -20,7 +20,7 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment to run: all, fig2, fig3, fig4, fig7, fig8, fig9, fig10, table1, table4, ext, trials")
+		exp    = flag.String("exp", "all", "experiment to run: all, fig2, fig3, fig4, fig7, fig8, fig9, fig10, table1, table4, ext, chaos, trials")
 		seed   = flag.Int64("seed", 42, "simulation seed")
 		csvDir = flag.String("csv", "", "directory to write raw CSV series (optional)")
 		trials = flag.Int("trials", 3, "trial count for -exp trials (the paper repeats each experiment 3x)")
@@ -50,9 +50,10 @@ func run(exp string, seed int64, csvDir string, trials int) error {
 		"table1": func() error { return runTable1(seed) },
 		"table4": func() error { return runTable4(seed) },
 		"ext":    func() error { return runExtensions(seed) },
+		"chaos":  func() error { return runChaos(seed) },
 	}
 	if exp == "all" {
-		for _, name := range []string{"table1", "fig2", "fig3", "fig4", "fig7", "fig8", "fig9", "fig10", "table4", "ext"} {
+		for _, name := range []string{"table1", "fig2", "fig3", "fig4", "fig7", "fig8", "fig9", "fig10", "table4", "ext", "chaos"} {
 			if err := runners[name](); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}
@@ -186,6 +187,16 @@ func runTable4(seed int64) error {
 		return err
 	}
 	return experiment.RenderTable4(os.Stdout, res)
+}
+
+// runChaos sweeps the fault-injection intensities over the strategy set
+// and reports completion, inflation, and the hardening counters.
+func runChaos(seed int64) error {
+	rows, err := experiment.Resilience(seed)
+	if err != nil {
+		return err
+	}
+	return experiment.RenderResilience(os.Stdout, rows)
 }
 
 // runTrials repeats the Fig. 7 standard-workload comparison across

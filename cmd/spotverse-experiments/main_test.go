@@ -101,3 +101,9 @@ func TestRunExtensions(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestRunChaos(t *testing.T) {
+	if err := run("chaos", 42, "", 3); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,91 @@
+// Package chaos is a deterministic, seeded fault injector for the
+// simulated control plane. Every internal/services/* package exposes a
+// SetFault-style interceptor; an Injector supplies those interceptors
+// from a declarative Schedule of per-service error rates, latency
+// spikes, regional brownouts, and dropped EventBridge deliveries.
+//
+// The paper's data plane already fails (spot reclaims, regional
+// outages, AMI gates); this package makes the control plane fail too,
+// the way real AWS does, so the Controller's hardening — backoff,
+// circuit breakers, the notice-loss recovery sweep, the degraded-mode
+// Optimizer — can be measured instead of assumed.
+//
+// Faults draw from dedicated simclock RNG streams (one per service), so
+// enabling injection never perturbs the draws seen by the market,
+// provider, or strategies: a run with an all-zero Schedule is
+// bit-identical to a run without the injector.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+
+	"spotverse/internal/catalog"
+)
+
+// Fault classes, usable with errors.Is against any injected error.
+var (
+	// Transient is a retryable one-off service error.
+	Transient = errors.New("chaos: transient service error")
+	// Throttle is a rate-limit rejection.
+	Throttle = errors.New("chaos: request throttled")
+	// Unavailable is a service brownout (sustained regional failure).
+	Unavailable = errors.New("chaos: service unavailable")
+)
+
+// Service names used in Schedule maps and Error values.
+const (
+	ServiceDynamo         = "dynamo"
+	ServiceS3             = "s3"
+	ServiceEFS            = "efs"
+	ServiceLambda         = "lambda"
+	ServiceEventBridge    = "eventbridge"
+	ServiceCloudWatch     = "cloudwatch"
+	ServiceStepFn         = "stepfn"
+	ServiceAMI            = "ami"
+	ServiceCloudFormation = "cloudformation"
+)
+
+// Services lists every injectable service name, sorted.
+var Services = []string{
+	ServiceAMI, ServiceCloudFormation, ServiceCloudWatch, ServiceDynamo,
+	ServiceEFS, ServiceEventBridge, ServiceLambda, ServiceS3, ServiceStepFn,
+}
+
+// Error is one injected fault. It unwraps to its Class sentinel, so
+// consumers can errors.Is(err, chaos.Unavailable) and errors.As out the
+// (service, region) pair for per-(service, region) breaker keying.
+type Error struct {
+	// Class is one of Transient, Throttle, Unavailable.
+	Class error
+	// Service names the failing service (Service* constants).
+	Service string
+	// Op is the API call that failed, e.g. "put" or "invoke:fn".
+	Op string
+	// Region is the affected region; empty for non-regional calls.
+	Region catalog.Region
+}
+
+// Error implements error.
+func (e *Error) Error() string {
+	if e.Region != "" {
+		return fmt.Sprintf("%v (%s %s in %s)", e.Class, e.Service, e.Op, e.Region)
+	}
+	return fmt.Sprintf("%v (%s %s)", e.Class, e.Service, e.Op)
+}
+
+// Unwrap exposes the class sentinel to errors.Is.
+func (e *Error) Unwrap() error { return e.Class }
+
+func className(class error) string {
+	switch class {
+	case Transient:
+		return "transient"
+	case Throttle:
+		return "throttle"
+	case Unavailable:
+		return "unavailable"
+	default:
+		return "other"
+	}
+}

@@ -1,0 +1,221 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"spotverse/internal/simclock"
+)
+
+func newTestInjector(sched Schedule) *Injector {
+	return NewInjector(simclock.NewEngine(), 7, sched)
+}
+
+func TestOffInjectsNothing(t *testing.T) {
+	inj := newTestInjector(Preset(Off, simclock.Epoch))
+	for i := 0; i < 1000; i++ {
+		if err := inj.Fault(ServiceDynamo, "put", "us-east-1"); err != nil {
+			t.Fatalf("Off schedule injected %v", err)
+		}
+	}
+	if inj.Latency("invoke:x") != 0 {
+		t.Fatal("Off schedule produced a latency spike")
+	}
+	if inj.Drop("r", "aws.ec2", "whatever") {
+		t.Fatal("Off schedule dropped a delivery")
+	}
+	if st := inj.Stats(); st.Total != 0 || st.Dropped != 0 || st.LatencySpikes != 0 {
+		t.Fatalf("Off stats = %+v", st)
+	}
+}
+
+func TestNilInjectorSafe(t *testing.T) {
+	var inj *Injector
+	if err := inj.Fault(ServiceS3, "get", ""); err != nil {
+		t.Fatal(err)
+	}
+	if inj.Latency("invoke:x") != 0 || inj.Drop("r", "s", "d") {
+		t.Fatal("nil injector must be inert")
+	}
+}
+
+func TestDeterministicSequences(t *testing.T) {
+	sched := Preset(Severe, simclock.Epoch)
+	a, b := newTestInjector(sched), newTestInjector(sched)
+	for i := 0; i < 500; i++ {
+		ea := a.Fault(ServiceDynamo, "put", "eu-west-1")
+		eb := b.Fault(ServiceDynamo, "put", "eu-west-1")
+		if (ea == nil) != (eb == nil) {
+			t.Fatalf("call %d diverged: %v vs %v", i, ea, eb)
+		}
+		if ea != nil && ea.Error() != eb.Error() {
+			t.Fatalf("call %d diverged: %v vs %v", i, ea, eb)
+		}
+	}
+	if a.Stats().Total == 0 {
+		t.Fatal("severe schedule injected nothing in 500 calls")
+	}
+}
+
+func TestStreamsIndependentAcrossServices(t *testing.T) {
+	sched := Preset(Severe, simclock.Epoch)
+	a, b := newTestInjector(sched), newTestInjector(sched)
+	// Interleave heavy S3 traffic on a only; dynamo's sequence must not
+	// shift relative to b's.
+	for i := 0; i < 200; i++ {
+		_ = a.Fault(ServiceS3, "put", "us-east-1")
+		ea := a.Fault(ServiceDynamo, "put", "eu-west-1")
+		eb := b.Fault(ServiceDynamo, "put", "eu-west-1")
+		if (ea == nil) != (eb == nil) {
+			t.Fatalf("call %d: dynamo stream perturbed by s3 traffic", i)
+		}
+	}
+}
+
+func TestTypedErrorsUnwrap(t *testing.T) {
+	sched := Schedule{
+		Intensity:  Severe,
+		ErrorRates: map[string]Rates{ServiceDynamo: {Transient: 1}},
+	}
+	inj := newTestInjector(sched)
+	err := inj.Fault(ServiceDynamo, "put", "us-east-1")
+	if err == nil {
+		t.Fatal("rate 1 must inject")
+	}
+	if !errors.Is(err, Transient) {
+		t.Fatalf("err = %v, want Is(Transient)", err)
+	}
+	// Wrapped twice, as service call sites and stepfn do.
+	wrapped := fmt.Errorf("outer: %w", fmt.Errorf("inner: %w", err))
+	var ce *Error
+	if !errors.As(wrapped, &ce) {
+		t.Fatalf("errors.As failed through wrapping: %v", wrapped)
+	}
+	if ce.Service != ServiceDynamo || ce.Op != "put" || ce.Region != "us-east-1" {
+		t.Fatalf("chaos error fields = %+v", ce)
+	}
+}
+
+func TestBrownoutWindow(t *testing.T) {
+	eng := simclock.NewEngine()
+	start := eng.Now()
+	sched := Schedule{
+		Intensity: Severe,
+		Brownouts: []Brownout{{
+			Region:   "us-east-1",
+			Services: []string{ServiceDynamo},
+			Window:   Window{From: start.Add(time.Hour), To: start.Add(2 * time.Hour)},
+		}},
+	}
+	inj := NewInjector(eng, 7, sched)
+	if err := inj.Fault(ServiceDynamo, "put", "us-east-1"); err != nil {
+		t.Fatalf("before window: %v", err)
+	}
+	eng.ScheduleAfter(90*time.Minute, "probe", func() {})
+	_ = eng.Run(time.Time{})
+	if err := inj.Fault(ServiceDynamo, "put", "us-east-1"); !errors.Is(err, Unavailable) {
+		t.Fatalf("inside window err = %v, want Unavailable", err)
+	}
+	// Non-regional calls attribute to the home region and are hit too.
+	if err := inj.Fault(ServiceDynamo, "put", ""); !errors.Is(err, Unavailable) {
+		t.Fatalf("home-attributed call err = %v, want Unavailable", err)
+	}
+	// Other regions and other services stay healthy.
+	if err := inj.Fault(ServiceDynamo, "put", "eu-west-1"); err != nil {
+		t.Fatalf("other region: %v", err)
+	}
+	if err := inj.Fault(ServiceS3, "put", "us-east-1"); err != nil {
+		t.Fatalf("other service: %v", err)
+	}
+}
+
+func TestOpOutagePrefix(t *testing.T) {
+	eng := simclock.NewEngine()
+	start := eng.Now()
+	sched := Schedule{
+		Intensity: Medium,
+		OpOutages: []OpOutage{{
+			Service:  ServiceLambda,
+			OpPrefix: "invoke:collector",
+			Window:   Window{From: start, To: start.Add(time.Hour)},
+		}},
+	}
+	inj := NewInjector(eng, 7, sched)
+	if err := inj.Fault(ServiceLambda, "invoke:collector", ""); !errors.Is(err, Unavailable) {
+		t.Fatalf("targeted op err = %v, want Unavailable", err)
+	}
+	if err := inj.Fault(ServiceLambda, "invoke:handler", ""); err != nil {
+		t.Fatalf("untargeted op: %v", err)
+	}
+}
+
+func TestDropDetailTypeFilter(t *testing.T) {
+	sched := Schedule{
+		Intensity:       Severe,
+		DropRate:        1,
+		DropDetailTypes: []string{"EC2 Spot Instance Interruption Warning"},
+	}
+	inj := newTestInjector(sched)
+	if inj.Drop("r", "aws.ec2", "Some Other Event") {
+		t.Fatal("unlisted detail type dropped")
+	}
+	if !inj.Drop("r", "aws.ec2", "EC2 Spot Instance Interruption Warning") {
+		t.Fatal("listed detail type with rate 1 not dropped")
+	}
+	if inj.Stats().Dropped != 1 {
+		t.Fatalf("dropped = %d", inj.Stats().Dropped)
+	}
+}
+
+func TestPresetsEscalate(t *testing.T) {
+	start := simclock.Epoch
+	low, med, sev := Preset(Low, start), Preset(Medium, start), Preset(Severe, start)
+	for _, svc := range []string{ServiceDynamo, ServiceS3, ServiceLambda} {
+		if !(low.ErrorRates[svc].Transient < med.ErrorRates[svc].Transient &&
+			med.ErrorRates[svc].Transient < sev.ErrorRates[svc].Transient) {
+			t.Fatalf("%s transient rates do not escalate", svc)
+		}
+	}
+	if !(low.DropRate < med.DropRate && med.DropRate < sev.DropRate) {
+		t.Fatal("drop rates do not escalate")
+	}
+	if len(med.Brownouts) == 0 || len(sev.Brownouts) == 0 {
+		t.Fatal("medium and severe presets must schedule brownouts")
+	}
+	if Preset(Off, start).Enabled() {
+		t.Fatal("off preset must be disabled")
+	}
+}
+
+func TestIntensityStrings(t *testing.T) {
+	want := map[Intensity]string{Off: "off", Low: "low", Medium: "medium", Severe: "severe", Intensity(99): "unknown"}
+	for i, s := range want {
+		if i.String() != s {
+			t.Fatalf("%d.String() = %q, want %q", i, i.String(), s)
+		}
+	}
+}
+
+func TestErrorMessage(t *testing.T) {
+	e := &Error{Class: Throttle, Service: ServiceS3, Op: "put", Region: "eu-west-1"}
+	msg := e.Error()
+	for _, part := range []string{"s3", "put", "eu-west-1"} {
+		if !contains(msg, part) {
+			t.Fatalf("message %q missing %q", msg, part)
+		}
+	}
+	if !errors.Is(e, Throttle) {
+		t.Fatal("Unwrap must surface the class")
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

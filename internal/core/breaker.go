@@ -1,0 +1,62 @@
+package core
+
+import "time"
+
+// breakerState is a circuit breaker's lifecycle position.
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// breaker is a per-(service, region) circuit breaker for the Controller's
+// migration path. Consecutive failures attributed to one key trip it
+// open; while open, migration executions are deferred to a later sweep
+// instead of burning Step Functions retries against a browned-out
+// dependency. After the cooldown the breaker half-opens and lets a trial
+// execution through: success closes it, another failure re-trips.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	state       breakerState
+	consecutive int
+	openedAt    time.Time
+	trips       int
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// allow reports whether a call may proceed, moving an open breaker to
+// half-open once its cooldown has elapsed.
+func (b *breaker) allow(now time.Time) bool {
+	if b.state == breakerOpen {
+		if now.Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = breakerHalfOpen
+	}
+	return true
+}
+
+// failure records one failed call: a half-open breaker re-trips
+// immediately, a closed one trips at the consecutive-failure threshold.
+func (b *breaker) failure(now time.Time) {
+	b.consecutive++
+	if b.state == breakerHalfOpen || b.consecutive >= b.threshold {
+		b.state = breakerOpen
+		b.openedAt = now
+		b.consecutive = 0
+		b.trips++
+	}
+}
+
+// success closes the breaker and clears the failure streak.
+func (b *breaker) success() {
+	b.state = breakerClosed
+	b.consecutive = 0
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"spotverse/internal/simclock"
+)
+
+func TestBreakerTripsAtThreshold(t *testing.T) {
+	b := newBreaker(3, 30*time.Minute)
+	now := simclock.Epoch
+	for i := 0; i < 2; i++ {
+		b.failure(now)
+		if !b.allow(now) {
+			t.Fatalf("breaker open after %d failures, threshold 3", i+1)
+		}
+	}
+	b.failure(now)
+	if b.allow(now) {
+		t.Fatal("breaker still closed at threshold")
+	}
+	if b.trips != 1 {
+		t.Fatalf("trips = %d", b.trips)
+	}
+}
+
+func TestBreakerHalfOpenAfterCooldown(t *testing.T) {
+	b := newBreaker(1, 30*time.Minute)
+	now := simclock.Epoch
+	b.failure(now)
+	if b.allow(now.Add(29 * time.Minute)) {
+		t.Fatal("breaker allowed a call before the cooldown elapsed")
+	}
+	if !b.allow(now.Add(30 * time.Minute)) {
+		t.Fatal("breaker did not half-open after the cooldown")
+	}
+	// Success in half-open closes it for good.
+	b.success()
+	if !b.allow(now.Add(31 * time.Minute)) {
+		t.Fatal("closed breaker rejected a call")
+	}
+}
+
+func TestBreakerHalfOpenReTripsImmediately(t *testing.T) {
+	b := newBreaker(3, 30*time.Minute)
+	now := simclock.Epoch
+	for i := 0; i < 3; i++ {
+		b.failure(now)
+	}
+	later := now.Add(time.Hour)
+	if !b.allow(later) {
+		t.Fatal("breaker did not half-open")
+	}
+	// A single failure re-trips a half-open breaker — no need to reach
+	// the threshold again.
+	b.failure(later)
+	if b.allow(later) {
+		t.Fatal("half-open breaker survived a trial failure")
+	}
+	if b.trips != 2 {
+		t.Fatalf("trips = %d, want 2", b.trips)
+	}
+}
+
+func TestBreakerSuccessClearsStreak(t *testing.T) {
+	b := newBreaker(3, 30*time.Minute)
+	now := simclock.Epoch
+	b.failure(now)
+	b.failure(now)
+	b.success()
+	b.failure(now)
+	b.failure(now)
+	if !b.allow(now) {
+		t.Fatal("success did not reset the consecutive-failure streak")
+	}
+}

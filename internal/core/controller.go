@@ -1,12 +1,16 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"spotverse/internal/catalog"
+	"spotverse/internal/chaos"
 	"spotverse/internal/services/eventbridge"
 	"spotverse/internal/services/lambda"
+	"spotverse/internal/simclock"
 	"spotverse/internal/strategy"
 )
 
@@ -16,43 +20,77 @@ import (
 // retries the interruption-handler Lambda, and the handler asks the
 // Optimizer for a migration target and re-provisions the workload. A
 // CloudWatch rule sweeps open spot requests every 15 minutes.
+//
+// The Controller is hardened against a faulty control plane: every
+// interruption is recorded in a pending-migration registry before the
+// (droppable) EventBridge publish, so the sweep can recover migrations
+// whose notice was lost or whose handler chain exhausted its retries;
+// retry timing uses jittered exponential backoff; and per-(service,
+// region) circuit breakers defer executions while a dependency is
+// browned out rather than burning attempts into it.
 type Controller struct {
 	cfg  Config
 	deps Deps
 	opt  *Optimizer
+	rng  *simclock.RNG
 
 	handled  int
 	failures int
 	sweeps   int
+
+	pending      map[string]*pendingMigration
+	breakers     map[string]*breaker
+	recoveries   int
+	breakerSkips int
 }
 
 const (
 	handlerFunction = "spotverse-interruption-handler"
-	// SweepInterval is the paper's periodic open-request check.
+	// SweepInterval is the paper's periodic open-request check; the
+	// hardened Controller piggybacks its pending-migration recovery pass
+	// on the same rule.
 	SweepInterval = 15 * time.Minute
+	// maxRetryDelay caps the exponential recovery backoff.
+	maxRetryDelay = time.Hour
 )
 
-// interruptionPayload travels through the bus and Lambda.
-type interruptionPayload struct {
-	workloadID string
-	region     catalog.Region
-	relaunch   strategy.RelaunchFunc
+// pendingMigration is one interrupted workload awaiting re-provisioning.
+// It is recorded before the EventBridge publish — ground truth that
+// survives a dropped delivery — and doubles as the event payload.
+type pendingMigration struct {
+	id       string
+	region   catalog.Region
+	relaunch strategy.RelaunchFunc
+	since    time.Time
+	attempts int
+	nextTry  time.Time
+	inflight bool
+	done     bool
 }
 
 func newController(cfg Config, deps Deps, opt *Optimizer) (*Controller, error) {
-	c := &Controller{cfg: cfg, deps: deps, opt: opt}
+	c := &Controller{
+		cfg:      cfg,
+		deps:     deps,
+		opt:      opt,
+		rng:      simclock.Stream(cfg.Seed, "spotverse/controller"),
+		pending:  make(map[string]*pendingMigration),
+		breakers: make(map[string]*breaker),
+	}
 	_, err := deps.Lambda.Register(handlerFunction, 128, 15*time.Minute, 2*time.Second,
 		func(raw any) error {
-			p, ok := raw.(interruptionPayload)
+			p, ok := raw.(*pendingMigration)
 			if !ok {
 				return fmt.Errorf("controller: bad payload %T", raw)
 			}
+			if p.done {
+				return nil
+			}
 			placement, err := opt.Replace(p.region)
 			if err != nil {
-				return fmt.Errorf("controller handle %s: %w", p.workloadID, err)
+				return fmt.Errorf("controller handle %s: %w", p.id, err)
 			}
-			p.relaunch(placement)
-			c.handled++
+			c.complete(p, placement)
 			return nil
 		})
 	if err != nil {
@@ -60,7 +98,7 @@ func newController(cfg Config, deps Deps, opt *Optimizer) (*Controller, error) {
 	}
 	if err := deps.Bus.AddRule("spotverse-interruption", EventSourceEC2, DetailTypeInterruption,
 		func(ev eventbridge.Event) {
-			p, ok := ev.Detail.(interruptionPayload)
+			p, ok := ev.Detail.(*pendingMigration)
 			if !ok {
 				return
 			}
@@ -68,18 +106,43 @@ func newController(cfg Config, deps Deps, opt *Optimizer) (*Controller, error) {
 		}); err != nil {
 		return nil, fmt.Errorf("controller: %w", err)
 	}
-	if err := deps.CloudWatch.Schedule("open-request-sweep", SweepInterval, func(time.Time) {
+	if err := deps.CloudWatch.Schedule("open-request-sweep", SweepInterval, func(now time.Time) {
 		c.sweeps++
 		deps.Provider.EvaluateOpenRequests()
+		c.recoverPending(now)
 	}); err != nil {
 		return nil, fmt.Errorf("controller: %w", err)
 	}
 	return c, nil
 }
 
-// execute wraps the handler Lambda in a retrying Step Functions run.
-func (c *Controller) execute(p interruptionPayload) {
-	_ = c.deps.StepFn.ExecuteAsync("interruption-"+p.workloadID,
+// complete finishes a migration exactly once: later duplicate executions
+// (a sweep retry racing a slow handler) find done set and no-op, so the
+// workload is never relaunched twice for one interruption.
+func (c *Controller) complete(p *pendingMigration, placement strategy.Placement) {
+	if p.done {
+		return
+	}
+	p.done = true
+	delete(c.pending, p.id)
+	c.handled++
+	p.relaunch(placement)
+}
+
+// execute wraps the handler Lambda in a retrying Step Functions run. It
+// reports whether an execution was actually started (breakers or an
+// already-inflight attempt may defer it).
+func (c *Controller) execute(p *pendingMigration) bool {
+	if p.done || p.inflight {
+		return false
+	}
+	if !c.cfg.DisableBreakers && c.anyBreakerOpen(c.deps.Engine.Now()) {
+		c.breakerSkips++
+		return false
+	}
+	p.inflight = true
+	p.attempts++
+	err := c.deps.StepFn.ExecuteAsync("interruption-"+p.id,
 		func(finish func(error)) {
 			err := c.deps.Lambda.Invoke(handlerFunction, p, func(res lambda.Result) {
 				finish(res.Err)
@@ -89,22 +152,140 @@ func (c *Controller) execute(p interruptionPayload) {
 			}
 		},
 		func(final error) {
-			if final != nil {
-				c.failures++
-			}
+			c.finish(p, final)
 		})
+	if err != nil {
+		// The state machine itself refused the execution (an injected
+		// Step Functions fault): no attempt ran, no callback will fire.
+		c.finish(p, err)
+		return false
+	}
+	return true
 }
 
-// HandleInterruption publishes the interruption warning onto the bus,
-// which triggers the full EventBridge → Step Functions → Lambda chain.
+// finish records the outcome of one Step Functions execution.
+func (c *Controller) finish(p *pendingMigration, final error) {
+	p.inflight = false
+	if final == nil {
+		c.noteSuccess()
+		return
+	}
+	c.failures++
+	now := c.deps.Engine.Now()
+	c.noteFailure(final, now)
+	p.nextTry = now.Add(c.retryDelay(p.attempts))
+}
+
+// retryDelay is jittered exponential backoff over the sweep's recovery
+// base: RecoveryAfter doubled per attempt, capped at maxRetryDelay, with
+// equal jitter (half deterministic, half uniform) to desynchronise the
+// retry herd after a regional brownout lifts.
+func (c *Controller) retryDelay(attempts int) time.Duration {
+	d := c.cfg.RecoveryAfter
+	for i := 1; i < attempts && d < maxRetryDelay; i++ {
+		d *= 2
+	}
+	if d > maxRetryDelay {
+		d = maxRetryDelay
+	}
+	return d/2 + time.Duration(c.rng.Float64()*float64(d/2))
+}
+
+// breakerKey attributes a failure to the faulted (service, region) when
+// the error chain carries a typed chaos fault, and to the control plane
+// at large otherwise.
+func breakerKey(err error) string {
+	var ce *chaos.Error
+	if errors.As(err, &ce) {
+		region := string(ce.Region)
+		if region == "" {
+			region = "global"
+		}
+		return ce.Service + "@" + region
+	}
+	return "control-plane@global"
+}
+
+func (c *Controller) noteFailure(err error, now time.Time) {
+	key := breakerKey(err)
+	b, ok := c.breakers[key]
+	if !ok {
+		b = newBreaker(c.cfg.BreakerFailures, c.cfg.BreakerCooldown)
+		c.breakers[key] = b
+	}
+	b.failure(now)
+}
+
+func (c *Controller) noteSuccess() {
+	for _, b := range c.breakers {
+		b.success()
+	}
+}
+
+// anyBreakerOpen polls every breaker (never short-circuiting, so the
+// open→half-open transitions are independent of map order).
+func (c *Controller) anyBreakerOpen(now time.Time) bool {
+	open := false
+	for _, b := range c.breakers {
+		if !b.allow(now) {
+			open = true
+		}
+	}
+	return open
+}
+
+// recoverPending is the notice-loss recovery pass: any migration still
+// pending after RecoveryAfter — its EventBridge delivery dropped, its
+// retries exhausted, or its executions deferred by a breaker — is
+// re-executed, subject to its backoff deadline.
+func (c *Controller) recoverPending(now time.Time) {
+	if c.cfg.DisableRecovery || len(c.pending) == 0 {
+		return
+	}
+	ids := make([]string, 0, len(c.pending))
+	for id := range c.pending {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		p := c.pending[id]
+		if p.done {
+			delete(c.pending, id)
+			continue
+		}
+		if p.inflight || now.Sub(p.since) < c.cfg.RecoveryAfter || now.Before(p.nextTry) {
+			continue
+		}
+		if c.execute(p) {
+			c.recoveries++
+		}
+	}
+}
+
+// HandleInterruption records the pending migration, then publishes the
+// interruption warning onto the bus, which triggers the full EventBridge
+// → Step Functions → Lambda chain. The registry write happens first so a
+// dropped delivery leaves the sweep something to recover.
 func (c *Controller) HandleInterruption(id string, current catalog.Region, relaunch strategy.RelaunchFunc) error {
 	if relaunch == nil {
 		return fmt.Errorf("controller: nil relaunch for %s", id)
 	}
+	now := c.deps.Engine.Now()
+	p, ok := c.pending[id]
+	if !ok || p.done {
+		p = &pendingMigration{id: id, region: current, relaunch: relaunch, since: now}
+		c.pending[id] = p
+	} else {
+		// Re-interruption while still pending: refresh the source region
+		// and relaunch closure, keep the attempt history.
+		p.region = current
+		p.relaunch = relaunch
+		p.since = now
+	}
 	c.deps.Bus.Put(eventbridge.Event{
 		Source:     EventSourceEC2,
 		DetailType: DetailTypeInterruption,
-		Detail:     interruptionPayload{workloadID: id, region: current, relaunch: relaunch},
+		Detail:     p,
 	})
 	return nil
 }
@@ -114,3 +295,17 @@ func (c *Controller) HandleInterruption(id string, current catalog.Region, relau
 func (c *Controller) Stats() (handled, failures, sweeps int) {
 	return c.handled, c.failures, c.sweeps
 }
+
+// ResilienceStats reports the hardening counters: migrations recovered
+// by the sweep, total circuit-breaker trips, and executions deferred
+// because a breaker was open.
+func (c *Controller) ResilienceStats() (recoveries, breakerTrips, breakerSkips int) {
+	trips := 0
+	for _, b := range c.breakers {
+		trips += b.trips
+	}
+	return c.recoveries, trips, c.breakerSkips
+}
+
+// Pending reports how many migrations are awaiting completion.
+func (c *Controller) Pending() int { return len(c.pending) }

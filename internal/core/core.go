@@ -37,6 +37,14 @@ const (
 	DefaultThreshold    = 5
 	DefaultMaxRegions   = 4
 	DefaultCollectEvery = time.Hour
+	// DefaultBreakerFailures is the consecutive-failure count that trips
+	// a Controller circuit breaker.
+	DefaultBreakerFailures = 4
+	// DefaultBreakerCooldown is how long a tripped breaker stays open.
+	DefaultBreakerCooldown = 30 * time.Minute
+	// DefaultRecoveryAfter is how long a pending migration may sit
+	// unresolved before the sweep retries it.
+	DefaultRecoveryAfter = 5 * time.Minute
 	// MetricsTable is the DynamoDB table the Monitor writes.
 	MetricsTable = "spotverse-metrics"
 	// DetailTypeInterruption is the EventBridge detail-type for spot
@@ -127,6 +135,32 @@ type Config struct {
 	CollectEvery time.Duration
 	// Seed feeds the random migration pick.
 	Seed int64
+
+	// BreakerFailures is the consecutive-failure count that trips a
+	// per-(service, region) circuit breaker in the Controller (default
+	// DefaultBreakerFailures).
+	BreakerFailures int
+	// BreakerCooldown is how long a tripped breaker stays open before a
+	// trial retry is allowed through (default DefaultBreakerCooldown).
+	BreakerCooldown time.Duration
+	// RecoveryAfter is how long a pending migration may sit unresolved
+	// before the 15-minute sweep retries it; it is also the base of the
+	// retry backoff (default DefaultRecoveryAfter).
+	RecoveryAfter time.Duration
+	// DisableRecovery turns off the notice-loss recovery sweep — the
+	// ablation that shows what the sweep buys under dropped EventBridge
+	// deliveries.
+	DisableRecovery bool
+	// DisableBreakers turns off the Controller's circuit breakers.
+	DisableBreakers bool
+	// StaleAfter, when positive, discounts a region's combined score by
+	// one point per StaleAfter of advisor-snapshot age beyond the first
+	// StaleAfter — the degraded-mode Optimizer trusting old data less.
+	StaleAfter time.Duration
+	// StaleCutoff, when positive, excludes regions whose advisor snapshot
+	// is older than the cutoff entirely; when every region ages out the
+	// Optimizer falls back to cheapest on-demand.
+	StaleCutoff time.Duration
 }
 
 func (c Config) normalized() Config {
@@ -147,6 +181,15 @@ func (c Config) normalized() Config {
 	}
 	if c.CollectEvery <= 0 {
 		c.CollectEvery = DefaultCollectEvery
+	}
+	if c.BreakerFailures <= 0 {
+		c.BreakerFailures = DefaultBreakerFailures
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = DefaultBreakerCooldown
+	}
+	if c.RecoveryAfter <= 0 {
+		c.RecoveryAfter = DefaultRecoveryAfter
 	}
 	return c
 }

@@ -30,7 +30,7 @@ func newDeps(seed int64) Deps {
 		Lambda:     lambda.New(eng, ledger),
 		Bus:        eventbridge.New(ledger),
 		CloudWatch: cloudwatch.New(eng, ledger),
-		StepFn:     stepfn.New(eng, ledger, stepfn.Config{}),
+		StepFn:     stepfn.MustNew(eng, ledger, stepfn.Config{}),
 	}
 }
 
@@ -313,7 +313,7 @@ func TestLambdaBillingAccrues(t *testing.T) {
 	deps.Lambda = lambda.New(deps.Engine, ledger)
 	deps.Bus = eventbridge.New(ledger)
 	deps.CloudWatch = cloudwatch.New(deps.Engine, ledger)
-	deps.StepFn = stepfn.New(deps.Engine, ledger, stepfn.Config{})
+	deps.StepFn = stepfn.MustNew(deps.Engine, ledger, stepfn.Config{})
 	sv, err := New(Config{InstanceType: catalog.M5XLarge, Seed: 99}, deps)
 	if err != nil {
 		t.Fatal(err)

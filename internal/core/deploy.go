@@ -42,7 +42,7 @@ func InfrastructureTemplate(cfg Config) *cloudformation.Template {
 			{ID: "ActivityLogs", Type: ResourceS3Bucket,
 				Properties: map[string]string{"name": activityLogBucketName, "region": "us-east-1"}},
 			{ID: "MetricsCollector", Type: ResourceLambda, DependsOn: []string{"MetricsTable"},
-				Properties: map[string]string{"name": collectorFunction, "memoryMB": "128"}},
+				Properties: map[string]string{"name": CollectorFunction, "memoryMB": "128"}},
 			{ID: "InterruptionHandler", Type: ResourceLambda, DependsOn: []string{"MetricsTable"},
 				Properties: map[string]string{"name": handlerFunction, "memoryMB": "128"}},
 			{ID: "RetryMachine", Type: ResourceStateMachine, DependsOn: []string{"InterruptionHandler"}},

@@ -22,10 +22,14 @@ type Monitor struct {
 	deps Deps
 
 	collections int
+	lastGood    []AgedEntry
 	ticker      interface{ Stop() }
 }
 
-const collectorFunction = "spotverse-metrics-collector"
+// CollectorFunction is the Lambda the Monitor's CloudWatch rule invokes;
+// exported so fault schedules can target it (starving the Optimizer of
+// fresh advisor data).
+const CollectorFunction = "spotverse-metrics-collector"
 
 func newMonitor(cfg Config, deps Deps) (*Monitor, error) {
 	m := &Monitor{cfg: cfg, deps: deps}
@@ -34,7 +38,7 @@ func newMonitor(cfg Config, deps Deps) (*Monitor, error) {
 	if err := deps.Dynamo.CreateTable(MetricsTable); err != nil && !errors.Is(err, dynamo.ErrTableExists) {
 		return nil, fmt.Errorf("monitor: %w", err)
 	}
-	_, err := deps.Lambda.Register(collectorFunction, 128, 15*time.Minute, 3*time.Second,
+	_, err := deps.Lambda.Register(CollectorFunction, 128, 15*time.Minute, 3*time.Second,
 		func(any) error { return m.collect() })
 	if err != nil {
 		return nil, fmt.Errorf("monitor: %w", err)
@@ -42,7 +46,7 @@ func newMonitor(cfg Config, deps Deps) (*Monitor, error) {
 	if err := deps.CloudWatch.Schedule("metrics-collection", cfg.CollectEvery, func(time.Time) {
 		// Errors inside the collector are surfaced through the Lambda
 		// runtime's failure counters; collection is best-effort.
-		_ = deps.Lambda.Invoke(collectorFunction, nil, nil)
+		_ = deps.Lambda.Invoke(CollectorFunction, nil, nil)
 	}); err != nil {
 		return nil, fmt.Errorf("monitor: %w", err)
 	}
@@ -89,29 +93,66 @@ func (m *Monitor) CollectNow() error { return m.collect() }
 // Collections reports how many snapshots have been stored.
 func (m *Monitor) Collections() int { return m.collections }
 
-// Latest reads the most recent advisor snapshot for the configured
-// instance type back out of DynamoDB. If nothing has been collected yet
-// it synchronously collects first, so the Optimizer never starts blind.
-func (m *Monitor) Latest() ([]market.AdvisorEntry, error) {
+// AgedEntry pairs an advisor entry with the instant its snapshot was
+// collected, letting the Optimizer discount or discard stale data.
+type AgedEntry struct {
+	market.AdvisorEntry
+	CollectedAt time.Time
+}
+
+// LatestAged reads the most recent advisor snapshot for the configured
+// instance type back out of DynamoDB, with collection timestamps. If
+// nothing has been collected yet it synchronously collects first, so the
+// Optimizer never starts blind. In degraded mode — DynamoDB unreachable
+// — it serves the last successfully read snapshot instead of failing, so
+// a control-plane brownout cannot blind an Optimizer that has ever seen
+// data.
+func (m *Monitor) LatestAged() ([]AgedEntry, error) {
 	if m.collections == 0 {
-		if err := m.collect(); err != nil {
-			return nil, err
+		if err := m.collect(); err != nil && len(m.lastGood) == 0 {
+			// First-ever collection failed with nothing cached: the Scan
+			// below may still find rows written by an earlier deployment,
+			// so only the Scan outcome is authoritative.
+			_ = err
 		}
 	}
 	items, err := m.deps.Dynamo.Scan(MetricsTable, string(m.cfg.InstanceType)+"#")
 	if err != nil {
+		if len(m.lastGood) > 0 {
+			return m.lastGood, nil
+		}
 		return nil, fmt.Errorf("monitor latest: %w", err)
 	}
 	if len(items) == 0 {
+		if len(m.lastGood) > 0 {
+			return m.lastGood, nil
+		}
 		return nil, fmt.Errorf("%w: %s", ErrNoMetrics, m.cfg.InstanceType)
 	}
-	out := make([]market.AdvisorEntry, 0, len(items))
+	out := make([]AgedEntry, 0, len(items))
 	for _, it := range items {
 		e, err := entryFromItem(it)
 		if err != nil {
 			return nil, fmt.Errorf("monitor latest: %w", err)
 		}
-		out = append(out, e)
+		// A missing or malformed timestamp parses to the zero time, i.e.
+		// infinitely stale — the conservative reading.
+		collected, _ := time.Parse(time.RFC3339, it.Attrs["collected"])
+		out = append(out, AgedEntry{AdvisorEntry: e, CollectedAt: collected})
+	}
+	m.lastGood = out
+	return out, nil
+}
+
+// Latest is LatestAged without the timestamps.
+func (m *Monitor) Latest() ([]market.AdvisorEntry, error) {
+	aged, err := m.LatestAged()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]market.AdvisorEntry, len(aged))
+	for i, e := range aged {
+		out[i] = e.AdvisorEntry
 	}
 	return out, nil
 }

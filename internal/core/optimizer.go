@@ -33,14 +33,23 @@ type RegionScore struct {
 }
 
 // ScoreRegions returns every offering region with its combined score and
-// price (Algorithm 1's ScoreRegions).
+// price (Algorithm 1's ScoreRegions). In degraded mode — the Monitor's
+// collector silenced and snapshots aging — scores are discounted by
+// snapshot age (StaleAfter) and regions past StaleCutoff are dropped
+// outright; when everything ages out, the empty result engages the
+// on-demand fallback downstream.
 func (o *Optimizer) ScoreRegions() ([]RegionScore, error) {
-	entries, err := o.mon.Latest()
+	entries, err := o.mon.LatestAged()
 	if err != nil {
 		return nil, err
 	}
+	now := o.deps.Engine.Now()
 	out := make([]RegionScore, 0, len(entries))
 	for _, e := range entries {
+		age := now.Sub(e.CollectedAt)
+		if o.cfg.StaleCutoff > 0 && age > o.cfg.StaleCutoff {
+			continue
+		}
 		score := e.CombinedScore
 		switch o.cfg.Scoring {
 		case ScoreStabilityOnly:
@@ -48,6 +57,9 @@ func (o *Optimizer) ScoreRegions() ([]RegionScore, error) {
 		case ScorePriceOnly:
 			// Every region passes any threshold; the price sort decides.
 			score = 1 << 20
+		}
+		if o.cfg.StaleAfter > 0 && age > o.cfg.StaleAfter {
+			score -= int(age / o.cfg.StaleAfter)
 		}
 		out = append(out, RegionScore{
 			Region:       e.Region,

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"fmt"
 	"strconv"
 	"time"
 
@@ -9,15 +10,24 @@ import (
 )
 
 // dynamoCheckpointItem serialises a workload's checkpoint state the way
-// the paper's NGS workload records per-file progress in DynamoDB.
-func dynamoCheckpointItem(w *workload.State, now time.Time) dynamo.Item {
+// the paper's NGS workload records per-file progress in DynamoDB. Items
+// are keyed (workload, shardsDone) so a retried write for the same
+// progress point is idempotent: PutIfAbsent either lands the record or
+// finds it already durable — a duplicated two-minute-warning path can
+// never clobber newer progress with older.
+func dynamoCheckpointItem(w *workload.State, shardsDone int, now time.Time) dynamo.Item {
 	return dynamo.Item{
-		Key: "ckpt#" + w.Spec.ID,
+		Key: checkpointKey(w.Spec.ID, shardsDone),
 		Attrs: map[string]string{
 			"workload":   w.Spec.ID,
-			"shardsDone": strconv.Itoa(w.ShardsDone),
+			"shardsDone": strconv.Itoa(shardsDone),
 			"shards":     strconv.Itoa(w.Spec.Shards),
 			"updated":    now.Format(time.RFC3339),
 		},
 	}
+}
+
+// checkpointKey is the shard-scoped DynamoDB key for one progress point.
+func checkpointKey(id string, shardsDone int) string {
+	return fmt.Sprintf("ckpt#%s#%04d", id, shardsDone)
 }

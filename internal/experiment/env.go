@@ -65,7 +65,7 @@ func NewEnvAt(seed int64, start time.Time) *Env {
 		Lambda:     lambda.New(eng, ledger),
 		Bus:        eventbridge.New(ledger),
 		CloudWatch: cloudwatch.New(eng, ledger),
-		StepFn:     stepfn.New(eng, ledger, stepfn.Config{MaxAttempts: 5, BaseBackoff: 30 * time.Second}),
+		StepFn:     stepfn.MustNew(eng, ledger, stepfn.Config{MaxAttempts: 5, BaseBackoff: 30 * time.Second}),
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"spotverse/internal/catalog"
 	"spotverse/internal/cloud"
 	"spotverse/internal/cost"
+	"spotverse/internal/services/dynamo"
 	"spotverse/internal/simclock"
 	"spotverse/internal/strategy"
 	"spotverse/internal/workload"
@@ -234,6 +235,10 @@ type driver struct {
 	completionEv map[string]*simclock.Event
 	completed    int
 	timeline     *Timeline
+	// ckptFailed marks workloads whose latest two-minute-warning
+	// checkpoint write did not become durable; their banked progress is
+	// rolled back at termination.
+	ckptFailed map[string]bool
 }
 
 func newDriver(env *Env, cfg RunConfig, byID map[string]*workload.State, res *Result) *driver {
@@ -244,6 +249,7 @@ func newDriver(env *Env, cfg RunConfig, byID map[string]*workload.State, res *Re
 		res:          res,
 		runStart:     make(map[cloud.InstanceID]time.Time),
 		completionEv: make(map[string]*simclock.Event),
+		ckptFailed:   make(map[string]bool),
 	}
 }
 
@@ -257,16 +263,18 @@ func (d *driver) setupCheckpointStores() error {
 	return d.env.S3.CreateBucket(checkpointBucket, checkpointBucketRegion)
 }
 
-// checkpointWrite persists a workload's shard slice from a region.
-func (d *driver) checkpointWrite(key string, size int64, from catalog.Region) {
+// checkpointWrite persists a workload's shard slice from a region. A
+// non-nil error means the slice is not durable.
+func (d *driver) checkpointWrite(key string, size int64, from catalog.Region) error {
 	if d.cfg.CheckpointVia == CheckpointEFS {
 		if !d.env.EFS.Mounted(checkpointBucket, from) {
-			_ = d.env.EFS.Replicate(checkpointBucket, from)
+			if err := d.env.EFS.Replicate(checkpointBucket, from); err != nil {
+				return err
+			}
 		}
-		_ = d.env.EFS.WriteSized(checkpointBucket, key, size, from)
-		return
+		return d.env.EFS.WriteSized(checkpointBucket, key, size, from)
 	}
-	_ = d.env.S3.PutSized(checkpointBucket, key, size, from)
+	return d.env.S3.PutSized(checkpointBucket, key, size, from)
 }
 
 // checkpointRead re-fetches a workload's data on resume.
@@ -367,9 +375,29 @@ func (d *driver) onNotice(inst *cloud.Instance) {
 	if !ok || w.Completed || w.Spec.Kind != workload.KindCheckpoint {
 		return
 	}
-	d.timeline.add(Event{At: d.env.Engine.Now(), Kind: EventNotice, Workload: w.Spec.ID, Instance: inst.ID, Region: inst.Region, Lifecycle: inst.Lifecycle})
-	d.checkpointWrite("ckpt/"+w.Spec.ID, w.CheckpointBytes(), inst.Region)
-	_ = d.env.Dynamo.Put(CheckpointTable, dynamoCheckpointItem(w, d.env.Engine.Now()))
+	now := d.env.Engine.Now()
+	d.timeline.add(Event{At: now, Kind: EventNotice, Workload: w.Spec.ID, Instance: inst.ID, Region: inst.Region, Lifecycle: inst.Lifecycle})
+	// Progress this checkpoint will claim once the instance dies: shards
+	// banked so far plus whole shards the current attempt has finished.
+	done := w.ShardsDone
+	if startAt, tracked := d.runStart[inst.ID]; tracked {
+		done += w.ShardsAt(now.Sub(startAt))
+	}
+	failed := false
+	if err := d.checkpointWrite("ckpt/"+w.Spec.ID, w.CheckpointBytes(), inst.Region); err != nil {
+		failed = true
+	}
+	// Idempotent write keyed (workload, shardsDone): a duplicate for the
+	// same progress point finding the item already present is success.
+	if err := d.env.Dynamo.PutIfAbsent(CheckpointTable, dynamoCheckpointItem(w, done, now)); err != nil &&
+		!errors.Is(err, dynamo.ErrConditionFailed) {
+		failed = true
+	}
+	if failed {
+		d.ckptFailed[w.Spec.ID] = true
+	} else {
+		delete(d.ckptFailed, w.Spec.ID)
+	}
 }
 
 func (d *driver) onTerminate(inst *cloud.Instance, interrupted bool) {
@@ -388,8 +416,14 @@ func (d *driver) onTerminate(inst *cloud.Instance, interrupted bool) {
 	d.res.InterruptionStamps = append(d.res.InterruptionStamps, now)
 	d.res.InterruptionsByRegion[inst.Region]++
 	d.timeline.add(Event{At: now, Kind: EventInterrupt, Workload: w.Spec.ID, Instance: inst.ID, Region: inst.Region, Lifecycle: inst.Lifecycle})
-	// Bank progress and cancel the stale completion event.
-	w.CreditProgress(now.Sub(startAt))
+	// Bank progress and cancel the stale completion event. Progress whose
+	// checkpoint write never became durable is rolled back: the next
+	// attempt must recompute those shards.
+	banked := w.CreditProgress(now.Sub(startAt))
+	if banked > 0 && d.ckptFailed[w.Spec.ID] {
+		w.DropShards(banked)
+	}
+	delete(d.ckptFailed, w.Spec.ID)
 	if ev, ok := d.completionEv[w.Spec.ID]; ok {
 		ev.Cancel()
 		delete(d.completionEv, w.Spec.ID)

@@ -19,6 +19,7 @@ package market
 import (
 	"fmt"
 	"math"
+	"sort"
 	"time"
 
 	"spotverse/internal/catalog"
@@ -106,7 +107,9 @@ type outage struct {
 // InjectOutage makes spot launches in the region fail during [from, to)
 // — a regional capacity event for failure-injection tests. Running
 // instances are unaffected (AWS outages rarely reclaim everything); only
-// new placements fail.
+// new placements fail. A window that overlaps or abuts an existing
+// outage for the same region is merged into a single union window, so
+// the outage list stays canonical however injections arrive.
 func (m *Model) InjectOutage(r catalog.Region, from, to time.Time) error {
 	if !to.After(from) {
 		return fmt.Errorf("market: outage window %s..%s inverted", from, to)
@@ -114,7 +117,22 @@ func (m *Model) InjectOutage(r catalog.Region, from, to time.Time) error {
 	if _, err := m.cat.RegionInfo(r); err != nil {
 		return err
 	}
-	m.outages = append(m.outages, outage{region: r, from: from, to: to})
+	merged := m.outages[:0]
+	for _, o := range m.outages {
+		// Same region and [from,to) touches [o.from,o.to): fold it into
+		// the window being inserted and drop the original.
+		if o.region == r && !o.to.Before(from) && !to.Before(o.from) {
+			if o.from.Before(from) {
+				from = o.from
+			}
+			if o.to.After(to) {
+				to = o.to
+			}
+			continue
+		}
+		merged = append(merged, o)
+	}
+	m.outages = append(merged, outage{region: r, from: from, to: to})
 	return nil
 }
 
@@ -126,6 +144,24 @@ func (m *Model) InOutage(r catalog.Region, at time.Time) bool {
 		}
 	}
 	return false
+}
+
+// OutageWindow is one injected outage interval, half-open [From, To).
+type OutageWindow struct {
+	From, To time.Time
+}
+
+// OutageWindows lists the region's injected outage windows sorted by
+// start time — after merging, they are pairwise disjoint.
+func (m *Model) OutageWindows(r catalog.Region) []OutageWindow {
+	var out []OutageWindow
+	for _, o := range m.outages {
+		if o.region == r {
+			out = append(out, OutageWindow{From: o.from, To: o.to})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].From.Before(out[j].From) })
+	return out
 }
 
 type azKey struct {

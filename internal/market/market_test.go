@@ -331,3 +331,89 @@ func TestUnknownRegionErrors(t *testing.T) {
 		t.Fatal("unknown type should error")
 	}
 }
+
+func TestOutageWindowsMergeOverlap(t *testing.T) {
+	m := newModel()
+	r := catalog.Region("us-east-1")
+	base := simclock.Epoch
+	if err := m.InjectOutage(r, base.Add(1*time.Hour), base.Add(3*time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.InjectOutage(r, base.Add(2*time.Hour), base.Add(5*time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	ws := m.OutageWindows(r)
+	if len(ws) != 1 {
+		t.Fatalf("windows = %d, want 1 merged", len(ws))
+	}
+	if !ws[0].From.Equal(base.Add(1*time.Hour)) || !ws[0].To.Equal(base.Add(5*time.Hour)) {
+		t.Fatalf("merged window = %v..%v", ws[0].From, ws[0].To)
+	}
+}
+
+func TestOutageWindowsMergeAbutting(t *testing.T) {
+	m := newModel()
+	r := catalog.Region("us-east-1")
+	base := simclock.Epoch
+	// Back-to-back windows: [1h,2h) then [2h,3h) — they share only the
+	// boundary instant and must still fold into one.
+	if err := m.InjectOutage(r, base.Add(1*time.Hour), base.Add(2*time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.InjectOutage(r, base.Add(2*time.Hour), base.Add(3*time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	ws := m.OutageWindows(r)
+	if len(ws) != 1 {
+		t.Fatalf("windows = %d, want 1 merged", len(ws))
+	}
+	if !ws[0].From.Equal(base.Add(1*time.Hour)) || !ws[0].To.Equal(base.Add(3*time.Hour)) {
+		t.Fatalf("merged window = %v..%v", ws[0].From, ws[0].To)
+	}
+	if !m.InOutage(r, base.Add(2*time.Hour)) {
+		t.Fatal("boundary instant must stay inside the merged window")
+	}
+}
+
+func TestOutageWindowsChainMerge(t *testing.T) {
+	m := newModel()
+	r := catalog.Region("us-east-1")
+	base := simclock.Epoch
+	// Two disjoint windows bridged by a third that overlaps both.
+	if err := m.InjectOutage(r, base.Add(1*time.Hour), base.Add(2*time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.InjectOutage(r, base.Add(4*time.Hour), base.Add(5*time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if ws := m.OutageWindows(r); len(ws) != 2 {
+		t.Fatalf("pre-bridge windows = %d, want 2 disjoint", len(ws))
+	}
+	if err := m.InjectOutage(r, base.Add(90*time.Minute), base.Add(270*time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	ws := m.OutageWindows(r)
+	if len(ws) != 1 {
+		t.Fatalf("windows = %d, want 1 after bridging", len(ws))
+	}
+	if !ws[0].From.Equal(base.Add(1*time.Hour)) || !ws[0].To.Equal(base.Add(5*time.Hour)) {
+		t.Fatalf("bridged window = %v..%v", ws[0].From, ws[0].To)
+	}
+}
+
+func TestOutageWindowsKeepDistinctRegionsSeparate(t *testing.T) {
+	m := newModel()
+	base := simclock.Epoch
+	if err := m.InjectOutage("us-east-1", base.Add(1*time.Hour), base.Add(3*time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.InjectOutage("eu-west-1", base.Add(2*time.Hour), base.Add(4*time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.OutageWindows("us-east-1")) != 1 || len(m.OutageWindows("eu-west-1")) != 1 {
+		t.Fatal("same-time windows in different regions must not merge")
+	}
+	if m.InOutage("eu-west-1", base.Add(90*time.Minute)) {
+		t.Fatal("eu-west-1 outage leaked backwards")
+	}
+}

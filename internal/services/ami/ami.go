@@ -44,12 +44,21 @@ func (img *Image) Regions() []catalog.Region {
 	return out
 }
 
+// FaultFunc decides whether one API call fails with an injected fault
+// (nil = healthy). Installed via SetFault; see internal/chaos.
+type FaultFunc func(op string, region catalog.Region) error
+
 // Registry tracks images and their regional copies.
 type Registry struct {
 	cat    *catalog.Catalog
 	ledger *cost.Ledger
 	images map[string]*Image
+	fault  FaultFunc
 }
+
+// SetFault installs a fault interceptor on Copy (and so Propagate); nil
+// (the default) disables injection.
+func (reg *Registry) SetFault(fn FaultFunc) { reg.fault = fn }
 
 // New returns an empty registry charging the ledger for copies.
 func New(cat *catalog.Catalog, ledger *cost.Ledger) *Registry {
@@ -84,6 +93,11 @@ func (reg *Registry) Image(name string) (*Image, error) {
 // Copy replicates the image into a region, charging snapshot transfer.
 // Copying to a region that already holds it is a no-op.
 func (reg *Registry) Copy(name string, to catalog.Region) error {
+	if reg.fault != nil {
+		if err := reg.fault("copy", to); err != nil {
+			return fmt.Errorf("copy %q to %s: %w", name, to, err)
+		}
+	}
 	img, err := reg.Image(name)
 	if err != nil {
 		return err

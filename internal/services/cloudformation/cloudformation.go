@@ -25,6 +25,8 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+
+	"spotverse/internal/catalog"
 )
 
 // Errors returned by the engine.
@@ -139,11 +141,20 @@ func (s *Stack) Resources() []string {
 	return out
 }
 
+// FaultFunc decides whether one API call fails with an injected fault
+// (nil = healthy). Installed via SetFault; see internal/chaos.
+type FaultFunc func(op string, region catalog.Region) error
+
 // Engine deploys stacks using registered providers.
 type Engine struct {
 	providers map[string]ResourceProvider
 	stacks    map[string]*Stack
+	fault     FaultFunc
 }
+
+// SetFault installs a fault interceptor on CreateStack; nil (the
+// default) disables injection.
+func (e *Engine) SetFault(fn FaultFunc) { e.fault = fn }
 
 // NewEngine returns an empty engine.
 func NewEngine() *Engine {
@@ -208,6 +219,11 @@ func order(resources []Resource) ([]int, error) {
 // created resources are deleted in reverse order and the error is
 // returned (rollback semantics).
 func (e *Engine) CreateStack(t *Template) (*Stack, error) {
+	if e.fault != nil {
+		if err := e.fault("create-stack", ""); err != nil {
+			return nil, fmt.Errorf("create %q: %w", t.Name, err)
+		}
+	}
 	if _, ok := e.stacks[t.Name]; ok {
 		return nil, fmt.Errorf("create %q: %w", t.Name, ErrStackExists)
 	}

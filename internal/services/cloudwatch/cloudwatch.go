@@ -10,12 +10,17 @@ import (
 	"sort"
 	"time"
 
+	"spotverse/internal/catalog"
 	"spotverse/internal/cost"
 	"spotverse/internal/simclock"
 )
 
 // ErrNilTarget is returned when scheduling without a target.
 var ErrNilTarget = errors.New("cloudwatch: nil target")
+
+// FaultFunc decides whether one API call fails with an injected fault
+// (nil = healthy). Installed via SetFault; see internal/chaos.
+type FaultFunc func(op string, region catalog.Region) error
 
 // Datapoint is one metric observation.
 type Datapoint struct {
@@ -29,6 +34,20 @@ type Service struct {
 	ledger  *cost.Ledger
 	metrics map[string][]Datapoint
 	tickers []*simclock.Ticker
+	fault   FaultFunc
+
+	missedTicks    int64
+	droppedMetrics int64
+}
+
+// SetFault installs a fault interceptor; a faulted scheduled rule skips
+// that tick (the rule keeps firing), a faulted PutMetric loses the
+// datapoint. Nil (the default) disables injection.
+func (s *Service) SetFault(fn FaultFunc) { s.fault = fn }
+
+// Faults reports ticks skipped and datapoints lost to injection.
+func (s *Service) Faults() (missedTicks, droppedMetrics int64) {
+	return s.missedTicks, s.droppedMetrics
 }
 
 // New returns a service on the engine charging the ledger.
@@ -45,7 +64,15 @@ func (s *Service) Schedule(name string, interval time.Duration, target func(now 
 	if interval <= 0 {
 		return fmt.Errorf("schedule %q: non-positive interval %v", name, interval)
 	}
-	t := s.eng.Every(interval, "cw:"+name, target)
+	t := s.eng.Every(interval, "cw:"+name, func(now time.Time) {
+		if s.fault != nil {
+			if err := s.fault("rule:"+name, ""); err != nil {
+				s.missedTicks++
+				return
+			}
+		}
+		target(now)
+	})
 	s.tickers = append(s.tickers, t)
 	return nil
 }
@@ -61,6 +88,12 @@ func (s *Service) StopAll() {
 
 // PutMetric records one observation under the metric name.
 func (s *Service) PutMetric(name string, value float64) {
+	if s.fault != nil {
+		if err := s.fault("put-metric:"+name, ""); err != nil {
+			s.droppedMetrics++
+			return
+		}
+	}
 	s.metrics[name] = append(s.metrics[name], Datapoint{Time: s.eng.Now(), Value: value})
 	s.ledger.MustAdd(cost.CategoryCloudWatch, cost.CloudWatchUSDPerMetricPut)
 }

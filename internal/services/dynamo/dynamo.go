@@ -10,8 +10,13 @@ import (
 	"sort"
 	"strings"
 
+	"spotverse/internal/catalog"
 	"spotverse/internal/cost"
 )
+
+// FaultFunc decides whether one API call fails with an injected fault
+// (nil = healthy). Installed via SetFault; see internal/chaos.
+type FaultFunc func(op string, region catalog.Region) error
 
 // Errors returned by the store.
 var (
@@ -41,6 +46,7 @@ func (it Item) clone() Item {
 type Store struct {
 	ledger *cost.Ledger
 	tables map[string]map[string]Item
+	fault  FaultFunc
 
 	reads, writes int64
 }
@@ -48,6 +54,17 @@ type Store struct {
 // New returns an empty store charging the ledger.
 func New(ledger *cost.Ledger) *Store {
 	return &Store{ledger: ledger, tables: make(map[string]map[string]Item)}
+}
+
+// SetFault installs a fault interceptor consulted at the top of every
+// data-plane call; nil (the default) disables injection.
+func (s *Store) SetFault(fn FaultFunc) { s.fault = fn }
+
+func (s *Store) injected(op string) error {
+	if s.fault == nil {
+		return nil
+	}
+	return s.fault(op, "")
 }
 
 // CreateTable creates an empty table.
@@ -81,6 +98,9 @@ func validate(it Item) error {
 
 // Put writes an item unconditionally.
 func (s *Store) Put(tableName string, it Item) error {
+	if err := s.injected("put"); err != nil {
+		return fmt.Errorf("put %s/%s: %w", tableName, it.Key, err)
+	}
 	t, err := s.table(tableName)
 	if err != nil {
 		return err
@@ -96,6 +116,9 @@ func (s *Store) Put(tableName string, it Item) error {
 
 // PutIfAbsent writes the item only if the key does not exist yet.
 func (s *Store) PutIfAbsent(tableName string, it Item) error {
+	if err := s.injected("put-if-absent"); err != nil {
+		return fmt.Errorf("put-if-absent %s/%s: %w", tableName, it.Key, err)
+	}
 	t, err := s.table(tableName)
 	if err != nil {
 		return err
@@ -115,6 +138,9 @@ func (s *Store) PutIfAbsent(tableName string, it Item) error {
 // UpdateIf writes the item only if attribute attr currently equals want.
 // A missing item never matches.
 func (s *Store) UpdateIf(tableName string, it Item, attr, want string) error {
+	if err := s.injected("update-if"); err != nil {
+		return fmt.Errorf("update-if %s/%s: %w", tableName, it.Key, err)
+	}
 	t, err := s.table(tableName)
 	if err != nil {
 		return err
@@ -134,6 +160,9 @@ func (s *Store) UpdateIf(tableName string, it Item, attr, want string) error {
 
 // Get reads an item by key.
 func (s *Store) Get(tableName, key string) (Item, error) {
+	if err := s.injected("get"); err != nil {
+		return Item{}, fmt.Errorf("get %s/%s: %w", tableName, key, err)
+	}
 	t, err := s.table(tableName)
 	if err != nil {
 		return Item{}, err
@@ -149,6 +178,9 @@ func (s *Store) Get(tableName, key string) (Item, error) {
 
 // Delete removes an item; deleting a missing key is a no-op.
 func (s *Store) Delete(tableName, key string) error {
+	if err := s.injected("delete"); err != nil {
+		return fmt.Errorf("delete %s/%s: %w", tableName, key, err)
+	}
 	t, err := s.table(tableName)
 	if err != nil {
 		return err
@@ -161,6 +193,9 @@ func (s *Store) Delete(tableName, key string) error {
 
 // Scan returns items whose keys carry the prefix, ordered by key.
 func (s *Store) Scan(tableName, keyPrefix string) ([]Item, error) {
+	if err := s.injected("scan"); err != nil {
+		return nil, fmt.Errorf("scan %s: %w", tableName, err)
+	}
 	t, err := s.table(tableName)
 	if err != nil {
 		return nil, err

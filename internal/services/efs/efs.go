@@ -34,11 +34,27 @@ type fileSystem struct {
 	files    map[string]int64 // path -> bytes
 }
 
+// FaultFunc decides whether one API call fails with an injected fault
+// (nil = healthy). Installed via SetFault; see internal/chaos.
+type FaultFunc func(op string, region catalog.Region) error
+
 // Service is the simulated EFS control plane.
 type Service struct {
 	cat    *catalog.Catalog
 	ledger *cost.Ledger
 	fss    map[string]*fileSystem
+	fault  FaultFunc
+}
+
+// SetFault installs a fault interceptor consulted at the top of the
+// data-plane calls; nil (the default) disables injection.
+func (s *Service) SetFault(fn FaultFunc) { s.fault = fn }
+
+func (s *Service) injected(op string, region catalog.Region) error {
+	if s.fault == nil {
+		return nil
+	}
+	return s.fault(op, region)
 }
 
 // New returns an empty service charging the ledger.
@@ -73,6 +89,9 @@ func (s *Service) fs(name string) (*fileSystem, error) {
 // Replicate adds a replica region, charging replication transfer for the
 // bytes already stored.
 func (s *Service) Replicate(name string, to catalog.Region) error {
+	if err := s.injected("replicate", to); err != nil {
+		return fmt.Errorf("replicate %q to %s: %w", name, to, err)
+	}
 	fs, err := s.fs(name)
 	if err != nil {
 		return err
@@ -122,6 +141,9 @@ func (s *Service) WriteSized(name, path string, size int64, from catalog.Region)
 	if size < 0 {
 		return fmt.Errorf("write %s/%s: %w", name, path, ErrNegSize)
 	}
+	if err := s.injected("write-sized", from); err != nil {
+		return fmt.Errorf("write %s/%s: %w", name, path, err)
+	}
 	fs, err := s.fs(name)
 	if err != nil {
 		return err
@@ -141,6 +163,9 @@ func (s *Service) WriteSized(name, path string, size int64, from catalog.Region)
 // ReadSized reads path from the given region (which must hold a replica),
 // charging read throughput. It returns the stored size.
 func (s *Service) ReadSized(name, path string, from catalog.Region) (int64, error) {
+	if err := s.injected("read-sized", from); err != nil {
+		return 0, fmt.Errorf("read %s/%s: %w", name, path, err)
+	}
 	fs, err := s.fs(name)
 	if err != nil {
 		return 0, err

@@ -8,8 +8,17 @@ import (
 	"errors"
 	"fmt"
 
+	"spotverse/internal/catalog"
 	"spotverse/internal/cost"
 )
+
+// FaultFunc decides whether one API call fails with an injected fault
+// (nil = healthy). Installed via SetFault; see internal/chaos.
+type FaultFunc func(op string, region catalog.Region) error
+
+// DropFunc decides whether one matched rule delivery is silently lost
+// (a lost interruption notice). Installed via SetDrop.
+type DropFunc func(rule, source, detailType string) bool
 
 // Event is a routed message.
 type Event struct {
@@ -39,10 +48,20 @@ type rule struct {
 type Bus struct {
 	ledger *cost.Ledger
 	rules  []rule
+	fault  FaultFunc
+	drop   DropFunc
 
 	published int64
 	matched   int64
+	dropped   int64
 }
+
+// SetFault installs a fault interceptor on Put; while faulted, events
+// are accepted (and billed) but delivered to no rule. Nil disables.
+func (b *Bus) SetFault(fn FaultFunc) { b.fault = fn }
+
+// SetDrop installs a per-delivery drop interceptor; nil disables.
+func (b *Bus) SetDrop(fn DropFunc) { b.drop = fn }
 
 // New returns an empty bus charging the ledger.
 func New(ledger *cost.Ledger) *Bus {
@@ -63,12 +82,24 @@ func (b *Bus) AddRule(name, source, detailType string, t Target) error {
 func (b *Bus) Put(ev Event) int {
 	b.published++
 	b.ledger.MustAdd(cost.CategoryEventBridge, cost.EventBridgeUSDPerEvent)
+	if b.fault != nil {
+		if err := b.fault("put", ""); err != nil {
+			// The bus is browned out: the event is accepted but never
+			// reaches any rule. Callers see zero matches.
+			b.dropped++
+			return 0
+		}
+	}
 	n := 0
 	for _, r := range b.rules {
 		if r.source != "" && r.source != ev.Source {
 			continue
 		}
 		if r.detailType != "" && r.detailType != ev.DetailType {
+			continue
+		}
+		if b.drop != nil && b.drop(r.name, ev.Source, ev.DetailType) {
+			b.dropped++
 			continue
 		}
 		n++
@@ -80,3 +111,6 @@ func (b *Bus) Put(ev Event) int {
 
 // Stats reports publish and match counters.
 func (b *Bus) Stats() (published, matched int64) { return b.published, b.matched }
+
+// Dropped reports deliveries lost to injected faults and drops.
+func (b *Bus) Dropped() int64 { return b.dropped }

@@ -11,9 +11,22 @@ import (
 	"fmt"
 	"time"
 
+	"spotverse/internal/catalog"
 	"spotverse/internal/cost"
 	"spotverse/internal/simclock"
 )
+
+// FaultFunc decides whether one API call fails with an injected fault
+// (nil = healthy). Installed via SetFault; see internal/chaos.
+type FaultFunc func(op string, region catalog.Region) error
+
+// LatencyFunc adds extra duration to an invocation (cold starts,
+// degraded dependencies). Installed via SetLatency.
+type LatencyFunc func(op string) time.Duration
+
+// faultedInvokeDelay is how long a rejected invocation takes to surface
+// its error (API round-trip, not function runtime).
+const faultedInvokeDelay = time.Second
 
 // Defaults matching the paper's experimental environment.
 const (
@@ -52,9 +65,11 @@ type Result struct {
 
 // Runtime hosts functions and executes invocations.
 type Runtime struct {
-	eng    *simclock.Engine
-	ledger *cost.Ledger
-	funcs  map[string]*Function
+	eng     *simclock.Engine
+	ledger  *cost.Ledger
+	funcs   map[string]*Function
+	fault   FaultFunc
+	latency LatencyFunc
 
 	invocations int64
 	errors      int64
@@ -64,6 +79,14 @@ type Runtime struct {
 func New(eng *simclock.Engine, ledger *cost.Ledger) *Runtime {
 	return &Runtime{eng: eng, ledger: ledger, funcs: make(map[string]*Function)}
 }
+
+// SetFault installs a fault interceptor consulted on every invocation;
+// nil (the default) disables injection.
+func (rt *Runtime) SetFault(fn FaultFunc) { rt.fault = fn }
+
+// SetLatency installs a latency interceptor adding extra duration to
+// invocations; nil (the default) adds none.
+func (rt *Runtime) SetLatency(fn LatencyFunc) { rt.latency = fn }
 
 // Register adds a function. Zero memory/timeout/duration take defaults
 // (128 MB, 15 min, 2 s).
@@ -101,11 +124,28 @@ func (rt *Runtime) Invoke(name string, payload any, done func(Result)) error {
 	rt.invocations++
 	rt.ledger.MustAdd(cost.CategoryLambda, cost.LambdaUSDPerRequest)
 
+	if rt.fault != nil {
+		if ferr := rt.fault("invoke:"+name, ""); ferr != nil {
+			// The invocation is rejected before the handler runs: the
+			// request is billed, the error lands after an API round-trip.
+			rt.eng.ScheduleAfter(faultedInvokeDelay, "lambda-fault:"+name, func() {
+				rt.errors++
+				if done != nil {
+					done(Result{Function: name, Started: started, Elapsed: faultedInvokeDelay, Err: fmt.Errorf("invoke %q: %w", name, ferr)})
+				}
+			})
+			return nil
+		}
+	}
+	dur := f.Duration
+	if rt.latency != nil {
+		dur += rt.latency("invoke:" + name)
+	}
 	bill := func(elapsed time.Duration) {
 		gbSeconds := float64(f.MemoryMB) / 1024 * elapsed.Seconds()
 		rt.ledger.MustAdd(cost.CategoryLambda, gbSeconds*cost.LambdaUSDPerGBSecond)
 	}
-	if f.Duration > f.Timeout {
+	if dur > f.Timeout {
 		rt.eng.ScheduleAfter(f.Timeout, "lambda-timeout:"+name, func() {
 			bill(f.Timeout)
 			rt.errors++
@@ -115,14 +155,14 @@ func (rt *Runtime) Invoke(name string, payload any, done func(Result)) error {
 		})
 		return nil
 	}
-	rt.eng.ScheduleAfter(f.Duration, "lambda:"+name, func() {
+	rt.eng.ScheduleAfter(dur, "lambda:"+name, func() {
 		err := f.handler(payload)
-		bill(f.Duration)
+		bill(dur)
 		if err != nil {
 			rt.errors++
 		}
 		if done != nil {
-			done(Result{Function: name, Started: started, Elapsed: f.Duration, Err: err})
+			done(Result{Function: name, Started: started, Elapsed: dur, Err: err})
 		}
 	})
 	return nil

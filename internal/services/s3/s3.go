@@ -47,14 +47,31 @@ type bucket struct {
 	objects map[string]*Object
 }
 
+// FaultFunc decides whether one API call fails with an injected fault
+// (nil = healthy). Installed via SetFault; see internal/chaos.
+type FaultFunc func(op string, region catalog.Region) error
+
 // Store is the simulated object store. All operations charge the ledger.
 type Store struct {
 	eng     *simclock.Engine
 	cat     *catalog.Catalog
 	ledger  *cost.Ledger
 	buckets map[string]*bucket
+	fault   FaultFunc
 
 	bytesTransferredCross int64
+}
+
+// SetFault installs a fault interceptor consulted at the top of every
+// data-plane call (the issuing region is passed where known); nil (the
+// default) disables injection.
+func (s *Store) SetFault(fn FaultFunc) { s.fault = fn }
+
+func (s *Store) injected(op string, region catalog.Region) error {
+	if s.fault == nil {
+		return nil
+	}
+	return s.fault(op, region)
 }
 
 // New returns an empty store charging the given ledger.
@@ -113,6 +130,9 @@ func (s *Store) storageCost(n int64) {
 // Put stores data under bucket/key. from is the region issuing the write
 // (the instance's region), used for transfer pricing.
 func (s *Store) Put(bucketName, key string, data []byte, from catalog.Region) error {
+	if err := s.injected("put", from); err != nil {
+		return fmt.Errorf("put %s/%s: %w", bucketName, key, err)
+	}
 	b, ok := s.buckets[bucketName]
 	if !ok {
 		return fmt.Errorf("put %s/%s: %w", bucketName, key, ErrNoSuchBucket)
@@ -132,6 +152,9 @@ func (s *Store) PutSized(bucketName, key string, size int64, from catalog.Region
 	if size < 0 {
 		return fmt.Errorf("put-sized %s/%s: negative size %d", bucketName, key, size)
 	}
+	if err := s.injected("put-sized", from); err != nil {
+		return fmt.Errorf("put-sized %s/%s: %w", bucketName, key, err)
+	}
 	b, ok := s.buckets[bucketName]
 	if !ok {
 		return fmt.Errorf("put-sized %s/%s: %w", bucketName, key, ErrNoSuchBucket)
@@ -144,6 +167,9 @@ func (s *Store) PutSized(bucketName, key string, size int64, from catalog.Region
 
 // Get fetches bucket/key; from is the reading region for transfer pricing.
 func (s *Store) Get(bucketName, key string, from catalog.Region) (*Object, error) {
+	if err := s.injected("get", from); err != nil {
+		return nil, fmt.Errorf("get %s/%s: %w", bucketName, key, err)
+	}
 	b, ok := s.buckets[bucketName]
 	if !ok {
 		return nil, fmt.Errorf("get %s/%s: %w", bucketName, key, ErrNoSuchBucket)
@@ -171,6 +197,9 @@ func (s *Store) Exists(bucketName, key string) bool {
 // Delete removes bucket/key. Deleting a missing key is a no-op (S3
 // semantics).
 func (s *Store) Delete(bucketName, key string) error {
+	if err := s.injected("delete", ""); err != nil {
+		return fmt.Errorf("delete %s/%s: %w", bucketName, key, err)
+	}
 	b, ok := s.buckets[bucketName]
 	if !ok {
 		return fmt.Errorf("delete %s/%s: %w", bucketName, key, ErrNoSuchBucket)
@@ -181,6 +210,9 @@ func (s *Store) Delete(bucketName, key string) error {
 
 // List returns keys in the bucket with the prefix, sorted.
 func (s *Store) List(bucketName, prefix string) ([]string, error) {
+	if err := s.injected("list", ""); err != nil {
+		return nil, fmt.Errorf("list %s: %w", bucketName, err)
+	}
 	b, ok := s.buckets[bucketName]
 	if !ok {
 		return nil, fmt.Errorf("list %s: %w", bucketName, ErrNoSuchBucket)

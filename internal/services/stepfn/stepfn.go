@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"time"
 
+	"spotverse/internal/catalog"
 	"spotverse/internal/cost"
 	"spotverse/internal/simclock"
 )
@@ -17,29 +18,60 @@ import (
 var (
 	ErrNilTask          = errors.New("stepfn: nil task")
 	ErrAttemptsExceeded = errors.New("stepfn: max attempts exceeded")
+	ErrBadConfig        = errors.New("stepfn: invalid config")
 )
 
 // Task is one retryable unit. It returns nil on success.
 type Task func() error
 
+// FaultFunc decides whether one API call fails with an injected fault
+// (nil = healthy). Installed via SetFault; see internal/chaos.
+type FaultFunc func(op string, region catalog.Region) error
+
 // Config controls retry behaviour.
 type Config struct {
-	// MaxAttempts caps total tries (first try included). Zero means 3.
+	// MaxAttempts caps total tries (first try included). Zero means 3;
+	// negative is rejected.
 	MaxAttempts int
-	// BaseBackoff is the wait before the second attempt. Zero means 30 s.
+	// BaseBackoff is the wait before the second attempt. Zero means 30 s;
+	// negative is rejected.
 	BaseBackoff time.Duration
-	// BackoffRate multiplies the wait per retry. Zero means 2.0.
+	// BackoffRate multiplies the wait per retry. Zero means 2.0; values
+	// in (0, 1) are rejected (the backoff must not shrink).
 	BackoffRate float64
+	// Jitter desynchronises retries: each actual wait is scaled by a
+	// uniform factor in [1-Jitter, 1], so simultaneous interruptions do
+	// not retry in lockstep. Zero (the default) keeps the pure
+	// exponential schedule; values outside [0, 1) are rejected.
+	Jitter float64
+	// Seed feeds the jitter stream (only used when Jitter > 0).
+	Seed int64
+}
+
+func (c Config) validate() error {
+	if c.MaxAttempts < 0 {
+		return fmt.Errorf("%w: MaxAttempts %d < 0", ErrBadConfig, c.MaxAttempts)
+	}
+	if c.BaseBackoff < 0 {
+		return fmt.Errorf("%w: BaseBackoff %v < 0", ErrBadConfig, c.BaseBackoff)
+	}
+	if c.BackoffRate != 0 && c.BackoffRate < 1 {
+		return fmt.Errorf("%w: BackoffRate %g < 1", ErrBadConfig, c.BackoffRate)
+	}
+	if c.Jitter < 0 || c.Jitter >= 1 {
+		return fmt.Errorf("%w: Jitter %g outside [0, 1)", ErrBadConfig, c.Jitter)
+	}
+	return nil
 }
 
 func (c Config) normalized() Config {
-	if c.MaxAttempts <= 0 {
+	if c.MaxAttempts == 0 {
 		c.MaxAttempts = 3
 	}
-	if c.BaseBackoff <= 0 {
+	if c.BaseBackoff == 0 {
 		c.BaseBackoff = 30 * time.Second
 	}
-	if c.BackoffRate <= 0 {
+	if c.BackoffRate == 0 {
 		c.BackoffRate = 2.0
 	}
 	return c
@@ -50,16 +82,39 @@ type Machine struct {
 	eng    *simclock.Engine
 	ledger *cost.Ledger
 	cfg    Config
+	jitter *simclock.RNG
+	fault  FaultFunc
 
 	executions  int64
 	transitions int64
 	exhausted   int64
 }
 
-// New returns a machine with the config (zero values take defaults).
-func New(eng *simclock.Engine, ledger *cost.Ledger, cfg Config) *Machine {
-	return &Machine{eng: eng, ledger: ledger, cfg: cfg.normalized()}
+// New validates the config (zero values take defaults) and returns a
+// machine.
+func New(eng *simclock.Engine, ledger *cost.Ledger, cfg Config) (*Machine, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	m := &Machine{eng: eng, ledger: ledger, cfg: cfg.normalized()}
+	if m.cfg.Jitter > 0 {
+		m.jitter = simclock.Stream(m.cfg.Seed, "stepfn/jitter")
+	}
+	return m, nil
 }
+
+// MustNew is New for statically-valid configs; it panics on error.
+func MustNew(eng *simclock.Engine, ledger *cost.Ledger, cfg Config) *Machine {
+	m, err := New(eng, ledger, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// SetFault installs a fault interceptor consulted when an execution
+// starts; nil (the default) disables injection.
+func (m *Machine) SetFault(fn FaultFunc) { m.fault = fn }
 
 // Execute starts an execution. done (optional) receives nil on success or
 // the final error (wrapped in ErrAttemptsExceeded) once retries are
@@ -82,6 +137,11 @@ func (m *Machine) ExecuteAsync(name string, task AsyncTask, done func(error)) er
 	if task == nil {
 		return fmt.Errorf("execute %q: %w", name, ErrNilTask)
 	}
+	if m.fault != nil {
+		if err := m.fault("execute:"+name, ""); err != nil {
+			return fmt.Errorf("execute %q: %w", name, err)
+		}
+	}
 	m.executions++
 	var attempt func(n int, wait time.Duration)
 	attempt = func(n int, wait time.Duration) {
@@ -101,7 +161,11 @@ func (m *Machine) ExecuteAsync(name string, task AsyncTask, done func(error)) er
 				}
 				return
 			}
-			m.eng.ScheduleAfter(wait, "stepfn-retry:"+name, func() {
+			sleep := wait
+			if m.jitter != nil {
+				sleep = time.Duration(float64(wait) * (1 - m.cfg.Jitter*m.jitter.Float64()))
+			}
+			m.eng.ScheduleAfter(sleep, "stepfn-retry:"+name, func() {
 				attempt(n+1, time.Duration(float64(wait)*m.cfg.BackoffRate))
 			})
 		})

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"spotverse/internal/catalog"
 	"spotverse/internal/cost"
 	"spotverse/internal/simclock"
 )
@@ -12,7 +13,7 @@ import (
 func newMachine(cfg Config) (*simclock.Engine, *Machine, *cost.Ledger) {
 	eng := simclock.NewEngine()
 	l := cost.NewLedger()
-	return eng, New(eng, l, cfg), l
+	return eng, MustNew(eng, l, cfg), l
 }
 
 func TestSuccessFirstTry(t *testing.T) {
@@ -82,6 +83,83 @@ func TestDefaultsNormalized(t *testing.T) {
 	cfg := Config{}.normalized()
 	if cfg.MaxAttempts != 3 || cfg.BaseBackoff != 30*time.Second || cfg.BackoffRate != 2.0 {
 		t.Fatalf("defaults = %+v", cfg)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	eng := simclock.NewEngine()
+	l := cost.NewLedger()
+	bad := []Config{
+		{MaxAttempts: -1},
+		{BackoffRate: 0.5},
+		{BaseBackoff: -time.Second},
+		{Jitter: -0.1},
+		{Jitter: 1},
+	}
+	for _, cfg := range bad {
+		if _, err := New(eng, l, cfg); !errors.Is(err, ErrBadConfig) {
+			t.Errorf("New(%+v) err = %v, want ErrBadConfig", cfg, err)
+		}
+	}
+	if _, err := New(eng, l, Config{MaxAttempts: 4, BackoffRate: 1.5, Jitter: 0.3}); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+func TestJitterShortensBackoff(t *testing.T) {
+	eng, m, _ := newMachine(Config{MaxAttempts: 4, BaseBackoff: time.Minute, BackoffRate: 2, Jitter: 0.5, Seed: 9})
+	var attempts []time.Time
+	_ = m.Execute("x", func() error {
+		attempts = append(attempts, eng.Now())
+		return errors.New("always")
+	}, nil)
+	_ = eng.Run(time.Time{})
+	if len(attempts) != 4 {
+		t.Fatalf("attempts = %d, want 4", len(attempts))
+	}
+	// Each actual wait is scaled into [1-Jitter, 1] of the exponential
+	// schedule, and at least one draw lands strictly below it.
+	bases := []time.Duration{time.Minute, 2 * time.Minute, 4 * time.Minute}
+	shortened := false
+	for i, base := range bases {
+		gap := attempts[i+1].Sub(attempts[i])
+		if gap > base || gap < base/2 {
+			t.Fatalf("gap %d = %v, want in [%v, %v]", i, gap, base/2, base)
+		}
+		if gap < base {
+			shortened = true
+		}
+	}
+	if !shortened {
+		t.Fatal("jitter never shortened a wait")
+	}
+}
+
+func TestJitterZeroKeepsSchedule(t *testing.T) {
+	// Jitter 0 must reproduce the pure exponential schedule exactly.
+	eng, m, _ := newMachine(Config{MaxAttempts: 3, BaseBackoff: time.Minute, BackoffRate: 2})
+	var doneAt time.Time
+	_ = m.Execute("x", func() error { return errors.New("always") }, func(error) { doneAt = eng.Now() })
+	_ = eng.Run(time.Time{})
+	if want := simclock.Epoch.Add(3 * time.Minute); !doneAt.Equal(want) {
+		t.Fatalf("done at %v, want %v", doneAt, want)
+	}
+}
+
+func TestInjectedFaultRejectsExecution(t *testing.T) {
+	_, m, _ := newMachine(Config{})
+	boom := errors.New("injected")
+	m.SetFault(func(op string, _ catalog.Region) error {
+		if op != "execute:x" {
+			t.Errorf("op = %q", op)
+		}
+		return boom
+	})
+	if err := m.Execute("x", func() error { return nil }, nil); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want injected fault", err)
+	}
+	if executions, _, _ := m.Stats(); executions != 0 {
+		t.Fatalf("executions = %d, want 0", executions)
 	}
 }
 

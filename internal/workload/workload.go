@@ -146,12 +146,12 @@ func (st *State) BeginAttempt() error {
 	return nil
 }
 
-// CreditProgress accounts an interrupted attempt that computed for
-// elapsed time (after resume overhead). Standard workloads gain nothing;
-// checkpoint workloads bank completed shards. It returns the number of
-// newly banked shards.
-func (st *State) CreditProgress(elapsed time.Duration) int {
-	st.Interruptions++
+// ShardsAt is the number of whole shards the current attempt has
+// finished after running for elapsed time (net of resume overhead on
+// resumed attempts). Standard workloads always report zero. It does not
+// mutate state — callers use it to preview what a checkpoint write at
+// this instant would bank.
+func (st *State) ShardsAt(elapsed time.Duration) int {
 	if st.Spec.Kind != KindCheckpoint || elapsed <= 0 {
 		return 0
 	}
@@ -162,12 +162,33 @@ func (st *State) CreditProgress(elapsed time.Duration) int {
 		}
 	}
 	banked := int(elapsed / st.Spec.ShardDuration())
-	maxLeft := st.Spec.Shards - st.ShardsDone
-	if banked > maxLeft {
+	if maxLeft := st.Spec.Shards - st.ShardsDone; banked > maxLeft {
 		banked = maxLeft
 	}
+	return banked
+}
+
+// CreditProgress accounts an interrupted attempt that computed for
+// elapsed time (after resume overhead). Standard workloads gain nothing;
+// checkpoint workloads bank completed shards. It returns the number of
+// newly banked shards.
+func (st *State) CreditProgress(elapsed time.Duration) int {
+	st.Interruptions++
+	banked := st.ShardsAt(elapsed)
 	st.ShardsDone += banked
 	return banked
+}
+
+// DropShards rolls back n banked shards — progress whose checkpoint
+// write never became durable, so the next attempt must recompute it.
+func (st *State) DropShards(n int) {
+	if st.Completed || n <= 0 {
+		return
+	}
+	st.ShardsDone -= n
+	if st.ShardsDone < 0 {
+		st.ShardsDone = 0
+	}
 }
 
 // MarkComplete finalises the workload.

@@ -182,3 +182,69 @@ func TestGenerateBadCount(t *testing.T) {
 		t.Fatal("want error")
 	}
 }
+
+func TestShardsAtDoesNotMutate(t *testing.T) {
+	st, err := New(ckptSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.BeginAttempt(); err != nil {
+		t.Fatal(err)
+	}
+	// 10h / 20 shards = 30m per shard; 95m of compute = 3 whole shards.
+	if got := st.ShardsAt(95 * time.Minute); got != 3 {
+		t.Fatalf("ShardsAt = %d, want 3", got)
+	}
+	if st.ShardsDone != 0 || st.Interruptions != 0 {
+		t.Fatalf("ShardsAt mutated state: done=%d interruptions=%d", st.ShardsDone, st.Interruptions)
+	}
+	// CreditProgress must bank exactly what the preview predicted.
+	if got := st.CreditProgress(95 * time.Minute); got != 3 {
+		t.Fatalf("CreditProgress = %d, want 3", got)
+	}
+	if st.ShardsDone != 3 {
+		t.Fatalf("ShardsDone = %d", st.ShardsDone)
+	}
+}
+
+func TestShardsAtDeductsResumeOverhead(t *testing.T) {
+	st, err := New(ckptSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Attempts = 2 // resumed attempt: 5m overhead comes off the top
+	if got := st.ShardsAt(35 * time.Minute); got != 1 {
+		t.Fatalf("ShardsAt = %d, want 1", got)
+	}
+	if got := st.ShardsAt(3 * time.Minute); got != 0 {
+		t.Fatalf("elapsed shorter than overhead: ShardsAt = %d, want 0", got)
+	}
+}
+
+func TestDropShards(t *testing.T) {
+	st, err := New(ckptSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.ShardsDone = 5
+	st.DropShards(2)
+	if st.ShardsDone != 3 {
+		t.Fatalf("ShardsDone = %d, want 3", st.ShardsDone)
+	}
+	st.DropShards(0)
+	st.DropShards(-4)
+	if st.ShardsDone != 3 {
+		t.Fatalf("non-positive drops must be no-ops, got %d", st.ShardsDone)
+	}
+	st.DropShards(10)
+	if st.ShardsDone != 0 {
+		t.Fatalf("DropShards must floor at 0, got %d", st.ShardsDone)
+	}
+	if err := st.MarkComplete(simclock.Epoch); err != nil {
+		t.Fatal(err)
+	}
+	st.DropShards(1)
+	if st.ShardsDone != st.Spec.Shards {
+		t.Fatal("DropShards must not touch a completed workload")
+	}
+}

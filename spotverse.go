@@ -28,6 +28,7 @@ import (
 
 	"spotverse/internal/baselines"
 	"spotverse/internal/catalog"
+	"spotverse/internal/chaos"
 	"spotverse/internal/cloud"
 	"spotverse/internal/core"
 	"spotverse/internal/experiment"
@@ -76,7 +77,29 @@ type (
 	Timeline = experiment.Timeline
 	// AdaptiveConfig tunes the learning strategy.
 	AdaptiveConfig = predict.Config
+	// ChaosSchedule declares what a chaos injector injects.
+	ChaosSchedule = chaos.Schedule
+	// ChaosIntensity grades a chaos schedule.
+	ChaosIntensity = chaos.Intensity
+	// ChaosInjector injects deterministic control-plane faults.
+	ChaosInjector = chaos.Injector
+	// ChaosStats summarises what an injector injected.
+	ChaosStats = chaos.Stats
 )
+
+// Re-exported chaos intensities for ChaosPreset.
+const (
+	ChaosOff    = chaos.Off
+	ChaosLow    = chaos.Low
+	ChaosMedium = chaos.Medium
+	ChaosSevere = chaos.Severe
+)
+
+// ChaosPreset returns the canonical fault schedule for an intensity,
+// with windowed events anchored at start.
+func ChaosPreset(i ChaosIntensity, start time.Time) ChaosSchedule {
+	return chaos.Preset(i, start)
+}
 
 // Re-exported instance types (the paper's evaluation set).
 const (
@@ -185,6 +208,17 @@ func (s *Simulation) EnableSeasonality() { s.env.Market.EnableSeasonality() }
 // — failure injection for resilience testing.
 func (s *Simulation) InjectOutage(r Region, from, to time.Time) error {
 	return s.env.Market.InjectOutage(r, from, to)
+}
+
+// InjectChaos builds a deterministic fault injector from the schedule
+// and installs it on every control-plane service in the simulation. Call
+// it before NewManager so rules registered later are covered too; an Off
+// schedule leaves runs bit-identical to an uninjected simulation. The
+// returned injector exposes Stats for post-run accounting.
+func (s *Simulation) InjectChaos(sched ChaosSchedule) *ChaosInjector {
+	inj := chaos.NewInjector(s.env.Engine, s.seed, sched)
+	experiment.ApplyChaos(s.env, inj)
+	return inj
 }
 
 // GenerateWorkloads builds a reproducible workload set.
