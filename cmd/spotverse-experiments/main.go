@@ -3,10 +3,12 @@
 //
 // Usage:
 //
-//	spotverse-experiments [-exp all|fig2|fig3|fig4|fig7|fig8|fig9|fig10|table1|table4|chaos] [-seed N] [-csv dir]
+//	spotverse-experiments [-exp all|fig2|fig3|fig4|fig7|fig8|fig9|fig10|table1|table4|ext|chaos|crash|trials] [-seed N] [-csv dir] [-intensity off|low|medium|severe]
 //
 // Each experiment prints an ASCII rendering of the corresponding table or
 // figure; -csv additionally writes raw series files into the directory.
+// -intensity sets the background-fault level for -exp crash (the chaos
+// sweep always runs the full intensity ladder).
 package main
 
 import (
@@ -15,24 +17,34 @@ import (
 	"os"
 	"path/filepath"
 
+	"spotverse/internal/chaos"
 	"spotverse/internal/experiment"
 )
 
+// usageLine is appended to flag-validation errors so a bad invocation
+// prints the accepted values without the caller digging through -h.
+const usageLine = "usage: spotverse-experiments [-exp all|fig2|fig3|fig4|fig7|fig8|fig9|fig10|table1|table4|ext|chaos|crash|trials] [-seed N] [-csv dir] [-intensity off|low|medium|severe]"
+
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment to run: all, fig2, fig3, fig4, fig7, fig8, fig9, fig10, table1, table4, ext, chaos, trials")
-		seed   = flag.Int64("seed", 42, "simulation seed")
-		csvDir = flag.String("csv", "", "directory to write raw CSV series (optional)")
-		trials = flag.Int("trials", 3, "trial count for -exp trials (the paper repeats each experiment 3x)")
+		exp       = flag.String("exp", "all", "experiment to run: all, fig2, fig3, fig4, fig7, fig8, fig9, fig10, table1, table4, ext, chaos, crash, trials")
+		seed      = flag.Int64("seed", 42, "simulation seed")
+		csvDir    = flag.String("csv", "", "directory to write raw CSV series (optional)")
+		trials    = flag.Int("trials", 3, "trial count for -exp trials (the paper repeats each experiment 3x)")
+		intensity = flag.String("intensity", "medium", "background-fault intensity for -exp crash: off, low, medium, severe")
 	)
 	flag.Parse()
-	if err := run(*exp, *seed, *csvDir, *trials); err != nil {
+	if err := run(*exp, *seed, *csvDir, *trials, *intensity); err != nil {
 		fmt.Fprintln(os.Stderr, "spotverse-experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, seed int64, csvDir string, trials int) error {
+func run(exp string, seed int64, csvDir string, trials int, intensity string) error {
+	inten, err := chaos.ParseIntensity(intensity)
+	if err != nil {
+		return fmt.Errorf("%w\n%s", err, usageLine)
+	}
 	if csvDir != "" {
 		if err := os.MkdirAll(csvDir, 0o755); err != nil {
 			return err
@@ -51,8 +63,12 @@ func run(exp string, seed int64, csvDir string, trials int) error {
 		"table4": func() error { return runTable4(seed) },
 		"ext":    func() error { return runExtensions(seed) },
 		"chaos":  func() error { return runChaos(seed) },
+		"crash":  func() error { return runCrash(seed, inten) },
 	}
 	if exp == "all" {
+		// crash is deliberately not part of "all": it schedules controller
+		// kills and object corruption, so its table is not a paper artifact
+		// and "all" output stays comparable across releases.
 		for _, name := range []string{"table1", "fig2", "fig3", "fig4", "fig7", "fig8", "fig9", "fig10", "table4", "ext", "chaos"} {
 			if err := runners[name](); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
@@ -63,7 +79,7 @@ func run(exp string, seed int64, csvDir string, trials int) error {
 	}
 	r, ok := runners[exp]
 	if !ok {
-		return fmt.Errorf("unknown experiment %q", exp)
+		return fmt.Errorf("unknown experiment %q\n%s", exp, usageLine)
 	}
 	return r()
 }
@@ -197,6 +213,17 @@ func runChaos(seed int64) error {
 		return err
 	}
 	return experiment.RenderResilience(os.Stdout, rows)
+}
+
+// runCrash runs the crash-restart sweep: controller kills, manifest
+// corruption, and bucket losses against the journaled stack and the
+// no-journal ablation.
+func runCrash(seed int64, intensity chaos.Intensity) error {
+	rows, err := experiment.Crash(seed, intensity)
+	if err != nil {
+		return err
+	}
+	return experiment.RenderCrash(os.Stdout, rows)
 }
 
 // runTrials repeats the Fig. 7 standard-workload comparison across

@@ -2,54 +2,69 @@ package main
 
 import (
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
 func TestUnknownExperimentRejected(t *testing.T) {
-	if err := run("fig99", 42, "", 3); err == nil {
+	err := run("fig99", 42, "", 3, "medium")
+	if err == nil {
 		t.Fatal("unknown experiment should error")
+	}
+	if !strings.Contains(err.Error(), "usage:") {
+		t.Fatalf("error should carry the usage line, got: %v", err)
+	}
+}
+
+func TestInvalidIntensityRejected(t *testing.T) {
+	err := run("chaos", 42, "", 3, "apocalyptic")
+	if err == nil {
+		t.Fatal("invalid intensity should error")
+	}
+	if !strings.Contains(err.Error(), "usage:") {
+		t.Fatalf("error should carry the usage line, got: %v", err)
 	}
 }
 
 func TestRunTable1(t *testing.T) {
-	if err := run("table1", 42, "", 3); err != nil {
+	if err := run("table1", 42, "", 3, "medium"); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunFig9(t *testing.T) {
-	if err := run("fig9", 42, "", 3); err != nil {
+	if err := run("fig9", 42, "", 3, "medium"); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunTrials(t *testing.T) {
-	if err := run("trials", 42, "", 1); err != nil {
+	if err := run("trials", 42, "", 1, "medium"); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunFig3(t *testing.T) {
-	if err := run("fig3", 42, "", 3); err != nil {
+	if err := run("fig3", 42, "", 3, "medium"); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunFig4(t *testing.T) {
-	if err := run("fig4", 42, "", 3); err != nil {
+	if err := run("fig4", 42, "", 3, "medium"); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunTable4(t *testing.T) {
-	if err := run("table4", 42, "", 3); err != nil {
+	if err := run("table4", 42, "", 3, "medium"); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestCSVOutput(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("fig2", 42, dir, 3); err != nil {
+	if err := run("fig2", 42, dir, 3, "medium"); err != nil {
 		t.Fatal(err)
 	}
 	matches, err := filepath.Glob(filepath.Join(dir, "fig2_prices.csv"))
@@ -60,7 +75,7 @@ func TestCSVOutput(t *testing.T) {
 
 func TestRunFig7WithCSV(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("fig7", 42, dir, 3); err != nil {
+	if err := run("fig7", 42, dir, 3, "medium"); err != nil {
 		t.Fatal(err)
 	}
 	for _, name := range []string{
@@ -75,7 +90,7 @@ func TestRunFig7WithCSV(t *testing.T) {
 
 func TestRunFig4WithCSV(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("fig4", 42, dir, 3); err != nil {
+	if err := run("fig4", 42, dir, 3, "medium"); err != nil {
 		t.Fatal(err)
 	}
 	matches, err := filepath.Glob(filepath.Join(dir, "fig4_metrics.csv"))
@@ -85,25 +100,31 @@ func TestRunFig4WithCSV(t *testing.T) {
 }
 
 func TestRunFig8(t *testing.T) {
-	if err := run("fig8", 42, "", 3); err != nil {
+	if err := run("fig8", 42, "", 3, "medium"); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunFig10(t *testing.T) {
-	if err := run("fig10", 42, "", 3); err != nil {
+	if err := run("fig10", 42, "", 3, "medium"); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunExtensions(t *testing.T) {
-	if err := run("ext", 42, "", 3); err != nil {
+	if err := run("ext", 42, "", 3, "medium"); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunChaos(t *testing.T) {
-	if err := run("chaos", 42, "", 3); err != nil {
+	if err := run("chaos", 42, "", 3, "medium"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCrash(t *testing.T) {
+	if err := run("crash", 42, "", 3, "medium"); err != nil {
 		t.Fatal(err)
 	}
 }

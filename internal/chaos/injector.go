@@ -28,6 +28,7 @@ type Injector struct {
 	total     int
 	dropped   int
 	latSpikes int
+	corrupted int
 }
 
 // NewInjector builds an injector over the engine's clock. The seed
@@ -136,6 +137,26 @@ func (inj *Injector) Latency(op string) time.Duration {
 	return 0
 }
 
+// CorruptGet decides whether one S3 Get of bucket/key returns bit-flipped
+// data, suitable for the store's SetCorrupt hook. Draws come from a
+// dedicated stream so enabling corruption never shifts the fault draws.
+func (inj *Injector) CorruptGet(bucket, key string) bool {
+	if inj == nil || !inj.sched.Enabled() || len(inj.sched.ObjectCorruptions) == 0 {
+		return false
+	}
+	now := inj.eng.Now()
+	for _, oc := range inj.sched.ObjectCorruptions {
+		if oc.Bucket != bucket || !hasPrefix(key, oc.KeyPrefix) || !oc.Contains(now) || oc.Rate <= 0 {
+			continue
+		}
+		if inj.rng(ServiceS3 + "/corrupt").Bool(oc.Rate) {
+			inj.corrupted++
+			return true
+		}
+	}
+	return false
+}
+
 // Drop decides whether one matched EventBridge rule delivery is lost,
 // suitable for the bus's SetDrop hook.
 func (inj *Injector) Drop(rule, source, detailType string) bool {
@@ -160,6 +181,8 @@ type Stats struct {
 	Dropped int
 	// LatencySpikes counts slowed Lambda invocations.
 	LatencySpikes int
+	// Corrupted counts bit-flipped S3 reads.
+	Corrupted int
 	// ByKey maps "service/class" to injected counts, for reporting.
 	ByKey map[string]int
 }
@@ -180,7 +203,7 @@ func (inj *Injector) Stats() Stats {
 	for k, v := range inj.injected {
 		by[k] = v
 	}
-	return Stats{Total: inj.total, Dropped: inj.dropped, LatencySpikes: inj.latSpikes, ByKey: by}
+	return Stats{Total: inj.total, Dropped: inj.dropped, LatencySpikes: inj.latSpikes, Corrupted: inj.corrupted, ByKey: by}
 }
 
 func containsString(xs []string, want string) bool {

@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"fmt"
 	"time"
 
 	"spotverse/internal/catalog"
@@ -35,6 +36,17 @@ func (i Intensity) String() string {
 	}
 }
 
+// ParseIntensity maps a textual intensity name ("off", "low", "medium",
+// "severe") to its Intensity, rejecting anything else.
+func ParseIntensity(s string) (Intensity, error) {
+	for _, i := range []Intensity{Off, Low, Medium, Severe} {
+		if s == i.String() {
+			return i, nil
+		}
+	}
+	return Off, fmt.Errorf("chaos: unknown intensity %q (want off, low, medium, or severe)", s)
+}
+
 // Window is a half-open time interval [From, To).
 type Window struct {
 	From, To time.Time
@@ -65,6 +77,32 @@ type OpOutage struct {
 	Service  string
 	OpPrefix string
 	Window
+}
+
+// ControllerKill schedules a control-plane crash: at At the controller's
+// in-memory registries (pending migrations, breakers, monitor caches)
+// are lost and the controller cold-starts, rebuilding state from its
+// DynamoDB journal — or from nothing, when journaling is disabled.
+type ControllerKill struct {
+	At time.Time
+}
+
+// ObjectCorruption flips a bit in objects read from Bucket under
+// KeyPrefix during the window: each Get draws independently against
+// Rate, modelling silent storage corruption surfacing on the read path.
+type ObjectCorruption struct {
+	Bucket    string
+	KeyPrefix string
+	Rate      float64
+	Window
+}
+
+// BucketLoss destroys every object in Bucket at At — a whole-bucket
+// regional data-loss event. The bucket itself stays usable afterwards,
+// so replication can repopulate it.
+type BucketLoss struct {
+	Bucket string
+	At     time.Time
 }
 
 // Rates are per-call fault probabilities for one service.
@@ -100,6 +138,14 @@ type Schedule struct {
 	// DropDetailTypes restricts DropRate to the listed detail types;
 	// empty means every delivery is at risk.
 	DropDetailTypes []string
+	// ControllerKills crash the control plane at scheduled sim times.
+	// The injector cannot reach the controller itself; harnesses (see
+	// experiment.ScheduleControllerKills) schedule the restarts.
+	ControllerKills []ControllerKill
+	// ObjectCorruptions bit-flip S3 reads matching bucket/prefix windows.
+	ObjectCorruptions []ObjectCorruption
+	// BucketLosses wipe whole buckets at scheduled sim times.
+	BucketLosses []BucketLoss
 }
 
 // Enabled reports whether the schedule can inject anything at all.

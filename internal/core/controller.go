@@ -28,6 +28,13 @@ import (
 // retry timing uses jittered exponential backoff; and per-(service,
 // region) circuit breakers defer executions while a dependency is
 // browned out rather than burning attempts into it.
+//
+// With Config.Journal set it is additionally hardened against its own
+// death: every pending-migration transition is write-ahead journaled to
+// DynamoDB before the in-memory mutation, relaunches commit through a
+// conditional write (exactly-once across restarts), and CrashRestart
+// rebuilds the registry and breakers by replaying the journal and
+// rescanning the provider.
 type Controller struct {
 	cfg  Config
 	deps Deps
@@ -42,6 +49,16 @@ type Controller struct {
 	breakers     map[string]*breaker
 	recoveries   int
 	breakerSkips int
+
+	jrnl     *journal
+	resolver func(id string) strategy.RelaunchFunc
+
+	restarts    int
+	replayed    int
+	killDropped int
+	restartAt   time.Time
+	recoverySet map[string]bool
+	recoveryDur time.Duration
 }
 
 const (
@@ -76,6 +93,13 @@ func newController(cfg Config, deps Deps, opt *Optimizer) (*Controller, error) {
 		rng:      simclock.Stream(cfg.Seed, "spotverse/controller"),
 		pending:  make(map[string]*pendingMigration),
 		breakers: make(map[string]*breaker),
+	}
+	if cfg.Journal {
+		jr, err := newJournal(cfg, deps)
+		if err != nil {
+			return nil, fmt.Errorf("controller: %w", err)
+		}
+		c.jrnl = jr
 	}
 	_, err := deps.Lambda.Register(handlerFunction, 128, 15*time.Minute, 2*time.Second,
 		func(raw any) error {
@@ -118,15 +142,42 @@ func newController(cfg Config, deps Deps, opt *Optimizer) (*Controller, error) {
 
 // complete finishes a migration exactly once: later duplicate executions
 // (a sweep retry racing a slow handler) find done set and no-op, so the
-// workload is never relaunched twice for one interruption.
+// workload is never relaunched twice for one interruption. With the
+// journal on, the in-memory flag is backed by a conditional write, so
+// the guarantee also holds across crash-restarts — an execution started
+// by a dead incarnation and the replayed entry of the live one race for
+// the same journal condition, and exactly one wins.
 func (c *Controller) complete(p *pendingMigration, placement strategy.Placement) {
 	if p.done {
+		return
+	}
+	if c.jrnl != nil && !c.jrnl.markDone(p) {
+		// Another incarnation already relaunched this migration: close it
+		// locally without actuating.
+		p.done = true
+		delete(c.pending, p.id)
+		c.noteRecovered(p.id)
 		return
 	}
 	p.done = true
 	delete(c.pending, p.id)
 	c.handled++
 	p.relaunch(placement)
+	c.noteRecovered(p.id)
+}
+
+// noteRecovered tracks crash-recovery latency: once every migration
+// replayed at the last restart has resolved, the elapsed sim time since
+// the restart is added to the recovery total.
+func (c *Controller) noteRecovered(id string) {
+	if c.recoverySet == nil || !c.recoverySet[id] {
+		return
+	}
+	delete(c.recoverySet, id)
+	if len(c.recoverySet) == 0 {
+		c.recoverySet = nil
+		c.recoveryDur += c.deps.Engine.Now().Sub(c.restartAt)
+	}
 }
 
 // execute wraps the handler Lambda in a retrying Step Functions run. It
@@ -135,6 +186,17 @@ func (c *Controller) complete(p *pendingMigration, placement strategy.Placement)
 func (c *Controller) execute(p *pendingMigration) bool {
 	if p.done || p.inflight {
 		return false
+	}
+	if p.relaunch == nil {
+		// A journal-replayed entry whose relaunch closure has not been
+		// reattached yet: nothing to actuate until the resolver can
+		// supply one (a later sweep retries).
+		if c.resolver != nil {
+			p.relaunch = c.resolver(p.id)
+		}
+		if p.relaunch == nil {
+			return false
+		}
 	}
 	if !c.cfg.DisableBreakers && c.anyBreakerOpen(c.deps.Engine.Now()) {
 		c.breakerSkips++
@@ -174,6 +236,9 @@ func (c *Controller) finish(p *pendingMigration, final error) {
 	now := c.deps.Engine.Now()
 	c.noteFailure(final, now)
 	p.nextTry = now.Add(c.retryDelay(p.attempts))
+	if c.jrnl != nil {
+		c.jrnl.update(p, journalFailed)
+	}
 }
 
 // retryDelay is jittered exponential backoff over the sweep's recovery
@@ -214,11 +279,18 @@ func (c *Controller) noteFailure(err error, now time.Time) {
 		c.breakers[key] = b
 	}
 	b.failure(now)
+	if c.jrnl != nil {
+		c.jrnl.snapshotBreaker(key, b)
+	}
 }
 
 func (c *Controller) noteSuccess() {
-	for _, b := range c.breakers {
+	for key, b := range c.breakers {
+		dirty := b.state != breakerClosed || b.consecutive != 0
 		b.success()
+		if dirty && c.jrnl != nil {
+			c.jrnl.snapshotBreaker(key, b)
+		}
 	}
 }
 
@@ -274,20 +346,117 @@ func (c *Controller) HandleInterruption(id string, current catalog.Region, relau
 	p, ok := c.pending[id]
 	if !ok || p.done {
 		p = &pendingMigration{id: id, region: current, relaunch: relaunch, since: now}
+		if c.jrnl != nil {
+			c.jrnl.record(p)
+		}
 		c.pending[id] = p
 	} else {
 		// Re-interruption while still pending: refresh the source region
-		// and relaunch closure, keep the attempt history.
-		p.region = current
-		p.relaunch = relaunch
-		p.since = now
+		// and relaunch closure, keep the attempt history. The journal sees
+		// the refreshed record before memory does (write-ahead order).
+		next := *p
+		next.region = current
+		next.relaunch = relaunch
+		next.since = now
+		if c.jrnl != nil {
+			c.jrnl.record(&next)
+		}
+		*p = next
 	}
 	c.deps.Bus.Put(eventbridge.Event{
 		Source:     EventSourceEC2,
 		DetailType: DetailTypeInterruption,
 		Detail:     p,
 	})
+	if c.jrnl != nil {
+		c.jrnl.update(p, journalPublished)
+	}
 	return nil
+}
+
+// SetRelaunchResolver installs the factory that rebuilds relaunch
+// closures for journal-replayed migrations (closures cannot be
+// persisted; the workload driver knows how to reconstruct them).
+func (c *Controller) SetRelaunchResolver(fn func(id string) strategy.RelaunchFunc) {
+	c.resolver = fn
+}
+
+// CrashRestart models the Controller process dying and cold-starting:
+// the in-memory pending registry and breakers are lost (the AWS-side
+// actors — Lambda registrations, EventBridge rules, the CloudWatch
+// sweep, in-flight Step Functions executions — survive, as they do in
+// production). With the journal on, the new incarnation replays every
+// open entry, reattaches relaunch closures through the resolver, and
+// rescans the provider so an entry whose relaunch happened but whose
+// commit write was lost is closed instead of re-executed. Without the
+// journal the pending migrations are simply gone.
+func (c *Controller) CrashRestart() {
+	now := c.deps.Engine.Now()
+	c.restarts++
+	lost := len(c.pending)
+	c.pending = make(map[string]*pendingMigration)
+	c.breakers = make(map[string]*breaker)
+	if c.jrnl == nil {
+		c.killDropped += lost
+		return
+	}
+	pend, brks := c.jrnl.replay()
+	relaunchedAfter := make(map[string]time.Time)
+	for _, inst := range c.deps.Provider.RunningInstances() {
+		if inst.Tag != "" {
+			relaunchedAfter[inst.Tag] = inst.LaunchedAt
+		}
+	}
+	for _, req := range c.deps.Provider.OpenRequests() {
+		if req.Tag != "" {
+			relaunchedAfter[req.Tag] = req.Created
+		}
+	}
+	replayedNow := 0
+	for id, p := range pend {
+		// A running instance or open request created after the entry's
+		// interruption instant means the dead incarnation's relaunch did
+		// land; close the entry instead of migrating the workload twice.
+		if at, ok := relaunchedAfter[id]; ok && at.After(p.since) {
+			c.jrnl.update(p, journalRelaunched)
+			continue
+		}
+		if c.resolver != nil {
+			p.relaunch = c.resolver(id)
+		}
+		c.pending[id] = p
+		replayedNow++
+	}
+	c.breakers = brks
+	c.replayed += replayedNow
+	if lost > replayedNow {
+		c.killDropped += lost - replayedNow
+	}
+	if replayedNow > 0 {
+		// If a previous recovery window is still open, fold it in at the
+		// restart instant before starting the new one.
+		if c.recoverySet != nil {
+			c.recoveryDur += now.Sub(c.restartAt)
+		}
+		c.restartAt = now
+		c.recoverySet = make(map[string]bool, replayedNow)
+		for id := range c.pending {
+			c.recoverySet[id] = true
+		}
+	}
+}
+
+// RecoveryStats reports crash-restart counters: restarts survived,
+// journal entries replayed into the new incarnation, pending migrations
+// dropped on a kill (nothing journaled to replay), relaunches refused
+// by the journal's exactly-once commit, journal writes lost to faults,
+// and total sim time the replayed migrations took to re-resolve.
+func (c *Controller) RecoveryStats() (restarts, replayed, dropped, refused, journalLost int, recovery time.Duration) {
+	refusedN, lostN := 0, 0
+	if c.jrnl != nil {
+		refusedN, lostN = c.jrnl.skips, c.jrnl.lost
+	}
+	return c.restarts, c.replayed, c.killDropped, refusedN, lostN, c.recoveryDur
 }
 
 // Stats reports controller counters: handled interruptions, exhausted

@@ -161,6 +161,13 @@ type Config struct {
 	// is older than the cutoff entirely; when every region ages out the
 	// Optimizer falls back to cheapest on-demand.
 	StaleCutoff time.Duration
+	// Journal enables the Controller's DynamoDB write-ahead journal:
+	// pending-migration transitions are persisted before in-memory
+	// mutations, relaunches commit through a conditional write, and
+	// CrashRestart rebuilds controller state by replay. Off by default —
+	// the journal's ledger writes change run costs, so existing
+	// experiments stay byte-identical unless a deployment opts in.
+	Journal bool
 }
 
 func (c Config) normalized() Config {
@@ -309,4 +316,23 @@ func (sv *SpotVerse) PlaceInitial(ids []string) (map[string]strategy.Placement, 
 // in the paper's AWS implementation.
 func (sv *SpotVerse) OnInterrupted(id string, current catalog.Region, relaunch strategy.RelaunchFunc) error {
 	return sv.controller.HandleInterruption(id, current, relaunch)
+}
+
+// CrashRestart models the whole control-plane process dying and
+// cold-starting at the current sim instant: the Controller loses its
+// in-memory registries (and recovers them from the journal when
+// Config.Journal is on) and the Monitor loses its snapshot cache. The
+// AWS-side actors — Lambda registrations, EventBridge rules, CloudWatch
+// schedules, DynamoDB and S3 contents — survive, as they do in
+// production.
+func (sv *SpotVerse) CrashRestart() {
+	sv.controller.CrashRestart()
+	sv.monitor.crash()
+}
+
+// SetRelaunchResolver installs the factory the Controller uses to
+// rebuild relaunch closures for journal-replayed migrations after a
+// crash-restart (closures cannot be persisted).
+func (sv *SpotVerse) SetRelaunchResolver(fn func(id string) strategy.RelaunchFunc) {
+	sv.controller.SetRelaunchResolver(fn)
 }

@@ -90,6 +90,15 @@ func (m *Monitor) collect() error {
 // scheduled tick).
 func (m *Monitor) CollectNow() error { return m.collect() }
 
+// crash drops the Monitor's in-memory state on a control-plane restart:
+// the degraded-mode cache is gone and the collection count resets, so
+// the next LatestAged call re-collects before trusting DynamoDB — a
+// cold cache, exactly what a restarted process would have.
+func (m *Monitor) crash() {
+	m.collections = 0
+	m.lastGood = nil
+}
+
 // Collections reports how many snapshots have been stored.
 func (m *Monitor) Collections() int { return m.collections }
 

@@ -1,0 +1,299 @@
+// Package durable layers an integrity-checked, cross-region-replicated
+// checkpoint-manifest store over the simulated S3 substrate. Each
+// manifest is a small CRC-checksummed record of one workload's durable
+// progress; writes land in a primary bucket and replicate asynchronously
+// to a standby bucket in another region. The verified read path detects
+// corruption and missing objects, fails over to the replica, and repairs
+// the bad copy; a periodic anti-entropy sweep re-replicates divergent
+// shards so a whole-bucket loss heals within one sweep interval.
+//
+// The blind read path exists for the ablation: it reads the primary
+// once and trusts whatever parses, the single-region unverified model
+// the paper's checkpoint store implicitly assumes.
+package durable
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"strconv"
+	"strings"
+	"time"
+
+	"spotverse/internal/catalog"
+	"spotverse/internal/services/s3"
+	"spotverse/internal/simclock"
+)
+
+// Errors returned by the store.
+var (
+	// ErrMissing means no copy of the manifest could be fetched.
+	ErrMissing = errors.New("durable: manifest missing")
+	// ErrCorrupt means every fetched copy failed its integrity check.
+	ErrCorrupt = errors.New("durable: manifest corrupt in every replica")
+)
+
+// castagnoli is the CRC-32C table used for manifest checksums.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Manifest records one workload's durable checkpoint state.
+type Manifest struct {
+	// Workload is the owning workload ID.
+	Workload string
+	// ShardsDone is the progress point this manifest certifies.
+	ShardsDone int
+	// Shards is the workload's total shard count.
+	Shards int
+	// SizeBytes is the checkpointed slice size.
+	SizeBytes int64
+	// Version orders writes to the same key (monotone per workload).
+	Version int
+	// Updated is when the manifest was written.
+	Updated time.Time
+}
+
+const manifestHeader = "spotverse-manifest/v1"
+
+// Encode serialises the manifest with a trailing CRC-32C line over the
+// payload above it.
+func (m Manifest) Encode() []byte {
+	payload := fmt.Sprintf("%s\nworkload=%s\nshardsDone=%d\nshards=%d\nsize=%d\nversion=%d\nupdated=%s\n",
+		manifestHeader, m.Workload, m.ShardsDone, m.Shards, m.SizeBytes, m.Version,
+		m.Updated.Format(time.RFC3339))
+	return []byte(fmt.Sprintf("%scrc=%08x\n", payload, crc32.Checksum([]byte(payload), castagnoli)))
+}
+
+// Decode parses an encoded manifest, reporting whether the checksum
+// verified. A parse error returns err != nil; a clean parse with a bad
+// CRC returns the parsed manifest with intact == false, which is how
+// silent bit flips in non-semantic bytes surface.
+func Decode(data []byte) (m Manifest, intact bool, err error) {
+	text := string(data)
+	crcIdx := strings.LastIndex(text, "crc=")
+	if crcIdx < 0 {
+		return Manifest{}, false, fmt.Errorf("durable: no checksum line")
+	}
+	payload, crcLine := text[:crcIdx], strings.TrimSuffix(text[crcIdx:], "\n")
+	want, perr := strconv.ParseUint(strings.TrimPrefix(crcLine, "crc="), 16, 64)
+	if perr == nil {
+		intact = crc32.Checksum([]byte(payload), castagnoli) == uint32(want)
+	}
+	fields := map[string]string{}
+	for _, line := range strings.Split(payload, "\n") {
+		if k, v, ok := strings.Cut(line, "="); ok {
+			fields[k] = v
+		}
+	}
+	if m.ShardsDone, err = strconv.Atoi(fields["shardsDone"]); err != nil {
+		return Manifest{}, false, fmt.Errorf("durable: shardsDone: %w", err)
+	}
+	if m.Shards, err = strconv.Atoi(fields["shards"]); err != nil {
+		return Manifest{}, false, fmt.Errorf("durable: shards: %w", err)
+	}
+	if m.SizeBytes, err = strconv.ParseInt(fields["size"], 10, 64); err != nil {
+		return Manifest{}, false, fmt.Errorf("durable: size: %w", err)
+	}
+	if m.Version, err = strconv.Atoi(fields["version"]); err != nil {
+		return Manifest{}, false, fmt.Errorf("durable: version: %w", err)
+	}
+	m.Workload = fields["workload"]
+	m.Updated, _ = time.Parse(time.RFC3339, fields["updated"])
+	return m, intact, nil
+}
+
+// Config parameterises a Store.
+type Config struct {
+	// Primary bucket and its home region (created if absent).
+	Primary       string
+	PrimaryRegion catalog.Region
+	// Replica bucket and region; ignored unless Replicate is set.
+	Replica       string
+	ReplicaRegion catalog.Region
+	// Replicate enables asynchronous cross-region replication, verified
+	// failover reads, and the anti-entropy sweep. Off, the store is the
+	// single-region unverified ablation.
+	Replicate bool
+	// ReplicationLag is the asynchronous replication delay (default 1m).
+	ReplicationLag time.Duration
+}
+
+// Stats counts what the durability layer did.
+type Stats struct {
+	// Writes and Replications count primary puts and replica copies.
+	Writes, Replications int
+	// CorruptDetected counts integrity-check failures on reads.
+	CorruptDetected int
+	// Failovers counts verified reads served by a non-first copy.
+	Failovers int
+	// Repairs counts bad/missing copies rewritten from a good one
+	// (read-path repairs plus anti-entropy re-replications).
+	Repairs int
+	// Unrecoverable counts verified reads where every copy was bad.
+	Unrecoverable int
+}
+
+// Store is the durability layer over one or two S3 buckets.
+type Store struct {
+	eng   *simclock.Engine
+	store *s3.Store
+	cfg   Config
+	stats Stats
+}
+
+// New builds the layer, creating any missing buckets.
+func New(eng *simclock.Engine, store *s3.Store, cfg Config) (*Store, error) {
+	if cfg.ReplicationLag <= 0 {
+		cfg.ReplicationLag = time.Minute
+	}
+	if err := store.CreateBucket(cfg.Primary, cfg.PrimaryRegion); err != nil && !errors.Is(err, s3.ErrBucketExists) {
+		return nil, fmt.Errorf("durable: %w", err)
+	}
+	if cfg.Replicate {
+		if err := store.CreateBucket(cfg.Replica, cfg.ReplicaRegion); err != nil && !errors.Is(err, s3.ErrBucketExists) {
+			return nil, fmt.Errorf("durable: %w", err)
+		}
+	}
+	return &Store{eng: eng, store: store, cfg: cfg}, nil
+}
+
+// Stats reports the durability counters.
+func (st *Store) Stats() Stats { return st.stats }
+
+// Put writes the manifest to the primary bucket and, when replication is
+// on, schedules the asynchronous replica copy.
+func (st *Store) Put(key string, m Manifest, from catalog.Region) error {
+	data := m.Encode()
+	if err := st.store.Put(st.cfg.Primary, key, data, from); err != nil {
+		return err
+	}
+	st.stats.Writes++
+	if st.cfg.Replicate {
+		st.eng.ScheduleAfter(st.cfg.ReplicationLag, "durable-replicate:"+key, func() {
+			// The captured bytes are the version that was acknowledged;
+			// a newer primary write replicates on its own schedule.
+			if err := st.store.Put(st.cfg.Replica, key, data, st.cfg.PrimaryRegion); err == nil {
+				st.stats.Replications++
+			}
+		})
+	}
+	return nil
+}
+
+// fetch reads one copy and decodes it, classifying the outcome.
+func (st *Store) fetch(bucket, key string, from catalog.Region) (Manifest, error) {
+	obj, err := st.store.Get(bucket, key, from)
+	if err != nil {
+		return Manifest{}, ErrMissing
+	}
+	m, intact, err := Decode(obj.Data)
+	if err != nil || !intact {
+		st.stats.CorruptDetected++
+		return Manifest{}, ErrCorrupt
+	}
+	return m, nil
+}
+
+// GetVerified reads the manifest with integrity checking and failover:
+// primary first, then the replica, then the primary once more (read-path
+// corruption is per-Get, so a retry can land clean). A success served by
+// a fallback copy triggers a repair write of the primary.
+func (st *Store) GetVerified(key string, from catalog.Region) (Manifest, error) {
+	type attempt struct {
+		bucket string
+	}
+	attempts := []attempt{{st.cfg.Primary}}
+	if st.cfg.Replicate {
+		attempts = append(attempts, attempt{st.cfg.Replica}, attempt{st.cfg.Primary})
+	}
+	missing := 0
+	for i, a := range attempts {
+		m, err := st.fetch(a.bucket, key, from)
+		if err != nil {
+			if errors.Is(err, ErrMissing) {
+				missing++
+			}
+			continue
+		}
+		if i > 0 {
+			st.stats.Failovers++
+			// Repair the primary from the good copy so later reads
+			// don't depend on the replica staying healthy.
+			if a.bucket != st.cfg.Primary {
+				if perr := st.store.Put(st.cfg.Primary, key, m.Encode(), st.cfg.ReplicaRegion); perr == nil {
+					st.stats.Repairs++
+				}
+			}
+		}
+		return m, nil
+	}
+	st.stats.Unrecoverable++
+	if missing == len(attempts) {
+		return Manifest{}, fmt.Errorf("durable get %s: %w", key, ErrMissing)
+	}
+	return Manifest{}, fmt.Errorf("durable get %s: %w", key, ErrCorrupt)
+}
+
+// GetBlind is the ablation's read path: one unverified primary read.
+// The returned intact flag is the checksum verdict a blind reader never
+// computes — the experiment harness uses it as the omniscient observer
+// to count undetected corruption.
+func (st *Store) GetBlind(key string, from catalog.Region) (m Manifest, intact bool, err error) {
+	obj, gerr := st.store.Get(st.cfg.Primary, key, from)
+	if gerr != nil {
+		return Manifest{}, false, fmt.Errorf("durable blind get %s: %w", key, ErrMissing)
+	}
+	m, intact, err = Decode(obj.Data)
+	if err != nil {
+		// Garbage that no longer parses: the blind reader cannot resume
+		// from it either, so it surfaces like a missing manifest.
+		return Manifest{}, false, fmt.Errorf("durable blind get %s: %w", key, ErrCorrupt)
+	}
+	return m, intact, nil
+}
+
+// SyncReplicas is the anti-entropy sweep: it walks both buckets under
+// the prefix, picks the highest-version intact copy of each manifest,
+// and rewrites any missing, corrupt, or older copy from it. It returns
+// the number of copies repaired. A no-replication store has nothing to
+// sync.
+func (st *Store) SyncReplicas(prefix string) (int, error) {
+	if !st.cfg.Replicate {
+		return 0, nil
+	}
+	pKeys, err := st.store.List(st.cfg.Primary, prefix)
+	if err != nil {
+		return 0, err
+	}
+	rKeys, err := st.store.List(st.cfg.Replica, prefix)
+	if err != nil {
+		return 0, err
+	}
+	seen := make(map[string]bool, len(pKeys)+len(rKeys))
+	keys := make([]string, 0, len(pKeys)+len(rKeys))
+	for _, k := range append(pKeys, rKeys...) {
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	repaired := 0
+	for _, key := range keys {
+		// Same-region reads: the sweep runs control-plane side, next to
+		// each bucket, so listing and auditing is transfer-free.
+		pm, perr := st.fetch(st.cfg.Primary, key, st.cfg.PrimaryRegion)
+		rm, rerr := st.fetch(st.cfg.Replica, key, st.cfg.ReplicaRegion)
+		switch {
+		case perr == nil && (rerr != nil || rm.Version < pm.Version):
+			if err := st.store.Put(st.cfg.Replica, key, pm.Encode(), st.cfg.PrimaryRegion); err == nil {
+				repaired++
+				st.stats.Repairs++
+			}
+		case rerr == nil && (perr != nil || pm.Version < rm.Version):
+			if err := st.store.Put(st.cfg.Primary, key, rm.Encode(), st.cfg.ReplicaRegion); err == nil {
+				repaired++
+				st.stats.Repairs++
+			}
+		}
+	}
+	return repaired, nil
+}

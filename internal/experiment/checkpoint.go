@@ -28,6 +28,9 @@ func dynamoCheckpointItem(w *workload.State, shardsDone int, now time.Time) dyna
 }
 
 // checkpointKey is the shard-scoped DynamoDB key for one progress point.
+// The shard count is zero-padded to eight digits so lexicographic key
+// order (what Scan returns) matches numeric progress order for any
+// realistic shard count; four digits broke ordering at 10,000+ shards.
 func checkpointKey(id string, shardsDone int) string {
-	return fmt.Sprintf("ckpt#%s#%04d", id, shardsDone)
+	return fmt.Sprintf("ckpt#%s#%08d", id, shardsDone)
 }

@@ -1,0 +1,62 @@
+package experiment
+
+import (
+	"strconv"
+	"testing"
+	"time"
+
+	"spotverse/internal/cost"
+	"spotverse/internal/services/dynamo"
+	"spotverse/internal/workload"
+)
+
+// TestCheckpointKeyScanOrder is the regression test for the key-padding
+// bug: with %04d padding, shard counts past 9999 sorted lexicographically
+// before smaller ones ("ckpt#w#10000" < "ckpt#w#9999"), so a Scan-based
+// reader could take an older progress point for the newest. Keys must
+// Scan back in numeric progress order for five-digit shard counts.
+func TestCheckpointKeyScanOrder(t *testing.T) {
+	w, err := workload.New(workload.Spec{
+		ID:           "w",
+		Kind:         workload.KindCheckpoint,
+		Duration:     10 * time.Hour,
+		Shards:       12000,
+		DatasetBytes: 1 << 30,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := dynamo.New(cost.NewLedger())
+	if err := store.CreateTable("ckpt"); err != nil {
+		t.Fatal(err)
+	}
+	now := time.Date(2023, 7, 1, 0, 0, 0, 0, time.UTC)
+	// Insert progress points out of order, straddling the 4-digit
+	// boundary where the old padding broke.
+	for _, done := range []int{10001, 7, 9999, 42, 10000, 11999, 123, 9998, 1} {
+		if err := store.Put("ckpt", dynamoCheckpointItem(w, done, now)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	items, err := store.Scan("ckpt", "ckpt#w#")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 9 {
+		t.Fatalf("scan = %d items, want 9", len(items))
+	}
+	prev := -1
+	for _, it := range items {
+		done, err := strconv.Atoi(it.Attrs["shardsDone"])
+		if err != nil {
+			t.Fatalf("item %q: %v", it.Key, err)
+		}
+		if done <= prev {
+			t.Fatalf("scan order regressed at %q: shardsDone %d after %d", it.Key, done, prev)
+		}
+		prev = done
+	}
+	if last := items[len(items)-1]; last.Attrs["shardsDone"] != "11999" {
+		t.Fatalf("newest progress point is %q, want 11999", last.Attrs["shardsDone"])
+	}
+}

@@ -71,9 +71,13 @@ type ResilienceRow struct {
 // the environment. Call it after any service swaps (e.g. replacing
 // Env.StepFn with a jittered machine) and before constructing the
 // strategy, so rules and schedules registered later are also covered.
+// Data-loss events in the schedule — bucket losses — are scheduled on
+// the engine here; controller kills need a manager reference and are
+// scheduled separately (ScheduleControllerKills).
 func ApplyChaos(env *Env, inj *chaos.Injector) {
 	env.Dynamo.SetFault(inj.ServiceFault(chaos.ServiceDynamo))
 	env.S3.SetFault(inj.ServiceFault(chaos.ServiceS3))
+	env.S3.SetCorrupt(inj.CorruptGet)
 	env.EFS.SetFault(inj.ServiceFault(chaos.ServiceEFS))
 	env.Lambda.SetFault(inj.ServiceFault(chaos.ServiceLambda))
 	env.Lambda.SetLatency(inj.Latency)
@@ -81,6 +85,37 @@ func ApplyChaos(env *Env, inj *chaos.Injector) {
 	env.Bus.SetDrop(inj.Drop)
 	env.CloudWatch.SetFault(inj.ServiceFault(chaos.ServiceCloudWatch))
 	env.StepFn.SetFault(inj.ServiceFault(chaos.ServiceStepFn))
+	if sched := inj.Schedule(); sched.Enabled() {
+		for _, bl := range sched.BucketLosses {
+			loss := bl
+			if !loss.At.After(env.Engine.Now()) {
+				continue
+			}
+			_, _ = env.Engine.ScheduleAt(loss.At, "chaos-bucket-loss:"+loss.Bucket, func() {
+				// Wiping a bucket that was never created is a no-op.
+				_ = env.S3.WipeBucket(loss.Bucket)
+			})
+		}
+	}
+}
+
+// ScheduleControllerKills schedules the schedule's controller kills
+// against one SpotVerse deployment: at each instant the control plane
+// crash-restarts (losing its in-memory state; see core.CrashRestart).
+func ScheduleControllerKills(env *Env, inj *chaos.Injector, sv *core.SpotVerse) {
+	sched := inj.Schedule()
+	if !sched.Enabled() {
+		return
+	}
+	for _, k := range sched.ControllerKills {
+		kill := k
+		if !kill.At.After(env.Engine.Now()) {
+			continue
+		}
+		_, _ = env.Engine.ScheduleAt(kill.At, "chaos-controller-kill", func() {
+			sv.CrashRestart()
+		})
+	}
 }
 
 // resilienceSchedule is the sweep's fault plan: the intensity preset,

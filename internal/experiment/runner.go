@@ -9,6 +9,7 @@ import (
 	"spotverse/internal/catalog"
 	"spotverse/internal/cloud"
 	"spotverse/internal/cost"
+	"spotverse/internal/durable"
 	"spotverse/internal/services/dynamo"
 	"spotverse/internal/simclock"
 	"spotverse/internal/strategy"
@@ -22,6 +23,14 @@ const (
 	CheckpointTable        = "spotverse-checkpoints"
 	checkpointBucket       = "spotverse-checkpoints"
 	checkpointBucketRegion = catalog.Region("us-east-1")
+	// CheckpointReplicaBucket is the standby bucket durable checkpoint
+	// manifests replicate into (DurabilityReplicated), homed on the same
+	// continent so replication transfer stays cross-region, not
+	// cross-continent.
+	CheckpointReplicaBucket  = "spotverse-checkpoints-replica"
+	checkpointReplicaRegion  = catalog.Region("us-west-2")
+	manifestPrefix           = "manifest/"
+	checkpointReplicationLag = time.Minute
 )
 
 // Errors returned by the runner.
@@ -51,9 +60,30 @@ type RunConfig struct {
 	// CheckpointVia selects the checkpoint store (default S3; EFS is the
 	// paper's future-work alternative).
 	CheckpointVia CheckpointStore
+	// Durability selects the checkpoint-manifest durability model
+	// (default DurabilityOff, which leaves existing runs byte-identical).
+	// Only meaningful with CheckpointS3.
+	Durability DurabilityMode
 	// Trace enables the structured event timeline on the Result.
 	Trace bool
 }
+
+// DurabilityMode selects how checkpoint progress manifests are stored.
+type DurabilityMode int
+
+// Durability modes.
+const (
+	// DurabilityOff writes no manifests — the pre-durability behaviour.
+	DurabilityOff DurabilityMode = iota
+	// DurabilitySingle writes CRC-checksummed manifests to the primary
+	// bucket but reads them blind (no verification, no replica) — the
+	// single-region unverified ablation.
+	DurabilitySingle
+	// DurabilityReplicated adds verification on read, failover to an
+	// asynchronously replicated standby bucket, and a 15-minute
+	// anti-entropy sweep.
+	DurabilityReplicated
+)
 
 // CheckpointStore selects where checkpoint workloads persist state.
 type CheckpointStore int
@@ -104,6 +134,22 @@ type Result struct {
 
 	// Start is the simulated start time of the run.
 	Start time.Time
+
+	// LostShards counts durably-claimed shards that could not be
+	// recovered at resume because the checkpoint manifest was corrupt or
+	// missing in every reachable copy.
+	LostShards int
+	// DuplicateRelaunches counts instances launched for a workload that
+	// already had a live instance — exactly-once violations on the
+	// interruption-recovery path.
+	DuplicateRelaunches int
+	// UndetectedCorruption counts blind manifest reads that consumed
+	// corrupt data without noticing (DurabilitySingle only; the verified
+	// read path turns these into failovers instead).
+	UndetectedCorruption int
+	// Durability carries the durability layer's counters (zero value
+	// unless a durable mode was on).
+	Durability durable.Stats
 
 	// Timeline is the structured event log (nil unless RunConfig.Trace).
 	Timeline *Timeline
@@ -157,6 +203,19 @@ func Run(env *Env, cfg RunConfig) (*Result, error) {
 	env.Provider.OnLaunch(d.onLaunch)
 	env.Provider.OnInterruptionNotice(d.onNotice)
 	env.Provider.OnTerminate(d.onTerminate)
+	if target, ok := cfg.Strategy.(RelaunchResolverTarget); ok {
+		target.SetRelaunchResolver(d.relaunchFor)
+	}
+	if d.durable != nil && cfg.Durability == DurabilityReplicated {
+		// Anti-entropy rides the same 15-minute cadence as the
+		// open-request sweep: re-replicate any manifest copy that has
+		// diverged (corrupted, wiped, or version-lagged).
+		if err := env.CloudWatch.Schedule("checkpoint-anti-entropy", DefaultSweepInterval, func(time.Time) {
+			_, _ = d.durable.SyncReplicas(manifestPrefix)
+		}); err != nil {
+			return nil, err
+		}
+	}
 
 	if !cfg.DisableSweep {
 		if err := env.CloudWatch.Schedule("harness-open-request-sweep", DefaultSweepInterval, func(time.Time) {
@@ -214,6 +273,9 @@ func Run(env *Env, cfg RunConfig) (*Result, error) {
 		}
 		res.MeanCompletionHours = sum / float64(n)
 	}
+	if d.durable != nil {
+		res.Durability = d.durable.Stats()
+	}
 	res.InstanceCostUSD = env.Provider.TotalInstanceCost()
 	res.ServiceCostUSD = env.Ledger.Total()
 	res.TotalCostUSD = res.InstanceCostUSD + res.ServiceCostUSD
@@ -239,6 +301,16 @@ type driver struct {
 	// checkpoint write did not become durable; their banked progress is
 	// rolled back at termination.
 	ckptFailed map[string]bool
+	// durable is the manifest durability layer (nil when DurabilityOff).
+	durable *durable.Store
+	// manifestVer and lastManifest track, per workload, the next manifest
+	// version to write and the shard count of the last manifest that was
+	// acknowledged durable (the value progress is clamped to).
+	manifestVer  map[string]int
+	lastManifest map[string]int
+	// activeInst maps workloads to their live instance, catching
+	// duplicate relaunches (two instances serving one workload).
+	activeInst map[string]cloud.InstanceID
 }
 
 func newDriver(env *Env, cfg RunConfig, byID map[string]*workload.State, res *Result) *driver {
@@ -250,6 +322,9 @@ func newDriver(env *Env, cfg RunConfig, byID map[string]*workload.State, res *Re
 		runStart:     make(map[cloud.InstanceID]time.Time),
 		completionEv: make(map[string]*simclock.Event),
 		ckptFailed:   make(map[string]bool),
+		manifestVer:  make(map[string]int),
+		lastManifest: make(map[string]int),
+		activeInst:   make(map[string]cloud.InstanceID),
 	}
 }
 
@@ -260,7 +335,51 @@ func (d *driver) setupCheckpointStores() error {
 	if d.cfg.CheckpointVia == CheckpointEFS {
 		return d.env.EFS.Create(checkpointBucket, checkpointBucketRegion)
 	}
-	return d.env.S3.CreateBucket(checkpointBucket, checkpointBucketRegion)
+	if err := d.env.S3.CreateBucket(checkpointBucket, checkpointBucketRegion); err != nil {
+		return err
+	}
+	if d.cfg.Durability != DurabilityOff {
+		ds, err := durable.New(d.env.Engine, d.env.S3, durable.Config{
+			Primary:        checkpointBucket,
+			PrimaryRegion:  checkpointBucketRegion,
+			Replica:        CheckpointReplicaBucket,
+			ReplicaRegion:  checkpointReplicaRegion,
+			Replicate:      d.cfg.Durability == DurabilityReplicated,
+			ReplicationLag: checkpointReplicationLag,
+		})
+		if err != nil {
+			return err
+		}
+		d.durable = ds
+	}
+	return nil
+}
+
+// manifestKey is the durable manifest's S3 key for one workload.
+func manifestKey(id string) string { return manifestPrefix + id }
+
+// relaunchFor builds the relaunch closure handed to strategies for one
+// workload — also the factory a journaled Controller uses to reattach
+// closures to replayed migrations after a crash-restart.
+func (d *driver) relaunchFor(id string) strategy.RelaunchFunc {
+	w, ok := d.byID[id]
+	if !ok {
+		return nil
+	}
+	return func(p strategy.Placement) {
+		if w.Completed {
+			return
+		}
+		d.timeline.add(Event{At: d.env.Engine.Now(), Kind: EventRelaunch, Workload: id, Region: p.Region, Lifecycle: p.Lifecycle})
+		_ = d.provision(id, p)
+	}
+}
+
+// RelaunchResolverTarget is implemented by strategies that can rebuild
+// relaunch closures after a crash-restart (core.SpotVerse with the
+// journal on). The harness wires its relaunch factory in when present.
+type RelaunchResolverTarget interface {
+	SetRelaunchResolver(fn func(id string) strategy.RelaunchFunc)
 }
 
 // checkpointWrite persists a workload's shard slice from a region. A
@@ -321,10 +440,22 @@ func (d *driver) onLaunch(inst *cloud.Instance) {
 		_ = d.env.Provider.Terminate(inst.ID)
 		return
 	}
+	if prev, live := d.activeInst[w.Spec.ID]; live {
+		if pi, err := d.env.Provider.Instance(prev); err == nil && pi.State == cloud.StateRunning {
+			// A second instance for a workload that already has a live
+			// one: an exactly-once violation on the recovery path. Count
+			// it and kill the duplicate.
+			d.res.DuplicateRelaunches++
+			_ = d.env.Provider.Terminate(inst.ID)
+			return
+		}
+		delete(d.activeInst, w.Spec.ID)
+	}
 	if err := w.BeginAttempt(); err != nil {
 		_ = d.env.Provider.Terminate(inst.ID)
 		return
 	}
+	d.activeInst[w.Spec.ID] = inst.ID
 	d.res.LaunchesByRegion[inst.Region]++
 	if inst.Lifecycle == cloud.LifecycleOnDemand {
 		d.res.OnDemandLaunches++
@@ -332,9 +463,12 @@ func (d *driver) onLaunch(inst *cloud.Instance) {
 	d.runStart[inst.ID] = d.env.Engine.Now()
 	d.timeline.add(Event{At: d.env.Engine.Now(), Kind: EventLaunch, Workload: w.Spec.ID, Instance: inst.ID, Region: inst.Region, Lifecycle: inst.Lifecycle})
 	// Resumed checkpoint attempts re-download their dataset slice from
-	// the checkpoint bucket (cross-region transfer bills apply).
+	// the checkpoint bucket (cross-region transfer bills apply), and in
+	// durable modes verify the progress manifest before trusting their
+	// banked shards — unrecoverable shards are recomputed instead.
 	if w.Spec.Kind == workload.KindCheckpoint && w.Attempts > 1 && w.ShardsDone > 0 {
 		d.checkpointRead("ckpt/"+w.Spec.ID, inst.Region)
+		d.verifyResume(w, inst.Region)
 	}
 	need := w.AttemptDuration()
 	instID := inst.ID
@@ -393,6 +527,28 @@ func (d *driver) onNotice(inst *cloud.Instance) {
 		!errors.Is(err, dynamo.ErrConditionFailed) {
 		failed = true
 	}
+	if d.durable != nil {
+		// Durable modes additionally write a checksummed progress
+		// manifest; only an acknowledged manifest raises the progress
+		// ceiling the termination path clamps to.
+		ver := d.manifestVer[w.Spec.ID] + 1
+		m := durable.Manifest{
+			Workload:   w.Spec.ID,
+			ShardsDone: done,
+			Shards:     w.Spec.Shards,
+			SizeBytes:  w.CheckpointBytes(),
+			Version:    ver,
+			Updated:    now,
+		}
+		if err := d.durable.Put(manifestKey(w.Spec.ID), m, inst.Region); err != nil {
+			failed = true
+		} else {
+			d.manifestVer[w.Spec.ID] = ver
+			if done > d.lastManifest[w.Spec.ID] {
+				d.lastManifest[w.Spec.ID] = done
+			}
+		}
+	}
 	if failed {
 		d.ckptFailed[w.Spec.ID] = true
 	} else {
@@ -400,10 +556,55 @@ func (d *driver) onNotice(inst *cloud.Instance) {
 	}
 }
 
+// verifyResume checks the durable manifest before a resumed attempt
+// trusts its banked shards. The replicated mode reads verified with
+// failover; shards the store cannot certify are dropped and counted
+// lost. The single-bucket ablation reads blind: an unreadable manifest
+// loses everything, and a corrupt-but-parsable one is consumed without
+// notice.
+func (d *driver) verifyResume(w *workload.State, from catalog.Region) {
+	if d.durable == nil {
+		return
+	}
+	key := manifestKey(w.Spec.ID)
+	switch d.cfg.Durability {
+	case DurabilityReplicated:
+		m, err := d.durable.GetVerified(key, from)
+		recoverable := 0
+		if err == nil {
+			recoverable = m.ShardsDone
+		}
+		if lost := w.ShardsDone - recoverable; lost > 0 {
+			w.DropShards(lost)
+			d.res.LostShards += lost
+		}
+	case DurabilitySingle:
+		m, intact, err := d.durable.GetBlind(key, from)
+		if err != nil {
+			lost := w.ShardsDone
+			w.DropShards(lost)
+			d.res.LostShards += lost
+			return
+		}
+		if !intact {
+			d.res.UndetectedCorruption++
+		}
+		// The blind reader trusts whatever it parsed — including a
+		// corrupt progress value — and resumes from there.
+		if lost := w.ShardsDone - m.ShardsDone; lost > 0 {
+			w.DropShards(lost)
+			d.res.LostShards += lost
+		}
+	}
+}
+
 func (d *driver) onTerminate(inst *cloud.Instance, interrupted bool) {
 	w, ok := d.byID[inst.Tag]
 	if !ok {
 		return
+	}
+	if d.activeInst[w.Spec.ID] == inst.ID {
+		delete(d.activeInst, w.Spec.ID)
 	}
 	startAt, tracked := d.runStart[inst.ID]
 	delete(d.runStart, inst.ID)
@@ -420,7 +621,14 @@ func (d *driver) onTerminate(inst *cloud.Instance, interrupted bool) {
 	// checkpoint write never became durable is rolled back: the next
 	// attempt must recompute those shards.
 	banked := w.CreditProgress(now.Sub(startAt))
-	if banked > 0 && d.ckptFailed[w.Spec.ID] {
+	if d.durable != nil {
+		// Durable modes trust only the last acknowledged manifest: a
+		// shard finished inside the warning window, or banked past a
+		// failed manifest write, is recomputed next attempt.
+		if ceiling := d.lastManifest[w.Spec.ID]; w.ShardsDone > ceiling {
+			w.DropShards(w.ShardsDone - ceiling)
+		}
+	} else if banked > 0 && d.ckptFailed[w.Spec.ID] {
 		w.DropShards(banked)
 	}
 	delete(d.ckptFailed, w.Spec.ID)
@@ -430,13 +638,7 @@ func (d *driver) onTerminate(inst *cloud.Instance, interrupted bool) {
 	}
 	// Ask the strategy where to go next.
 	id := w.Spec.ID
-	err := d.cfg.Strategy.OnInterrupted(id, inst.Region, func(p strategy.Placement) {
-		if w.Completed {
-			return
-		}
-		d.timeline.add(Event{At: d.env.Engine.Now(), Kind: EventRelaunch, Workload: id, Region: p.Region, Lifecycle: p.Lifecycle})
-		_ = d.provision(id, p)
-	})
+	err := d.cfg.Strategy.OnInterrupted(id, inst.Region, d.relaunchFor(id))
 	if err != nil {
 		// A strategy that cannot place leaves the workload stranded; the
 		// run will hit the horizon and report it.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"testing"
 
+	"spotverse/internal/catalog"
 	"spotverse/internal/cost"
 )
 
@@ -135,6 +136,88 @@ func TestDeleteIdempotentAndBilled(t *testing.T) {
 	}
 	if l.Of(cost.CategoryDynamoDB) <= before {
 		t.Fatal("deletes not billed")
+	}
+}
+
+// flaky fails the first n data-plane calls with a transient error, then
+// heals — the shape of a chaos brownout a journal write retries through.
+// Faults inject before any mutation, so a failed call leaves no trace.
+func flaky(n int) FaultFunc {
+	return func(op string, _ catalog.Region) error {
+		if n > 0 {
+			n--
+			return errTransient
+		}
+		return nil
+	}
+}
+
+var errTransient = errors.New("injected transient fault")
+
+// retry mirrors the journal's bounded-retry loop: call fn until it
+// stops returning the transient error, up to attempts times.
+func retry(attempts int, fn func() error) error {
+	var err error
+	for i := 0; i < attempts; i++ {
+		if err = fn(); !errors.Is(err, errTransient) {
+			return err
+		}
+	}
+	return err
+}
+
+func TestPutIfAbsentRetryIdempotent(t *testing.T) {
+	s, _ := newStore()
+	_ = s.CreateTable("t")
+	s.SetFault(flaky(2))
+	it := Item{Key: "jrnl#w1", Attrs: map[string]string{"status": "recorded", "open": "1"}}
+	if err := retry(3, func() error { return s.PutIfAbsent("t", it) }); err != nil {
+		t.Fatalf("retried PutIfAbsent = %v, want success", err)
+	}
+	// The two faulted attempts must not have landed half-writes: exactly
+	// one item exists and a fresh conditional insert still finds it.
+	items, _ := s.Scan("t", "jrnl#")
+	if len(items) != 1 {
+		t.Fatalf("scan = %d items, want 1", len(items))
+	}
+	if err := s.PutIfAbsent("t", it); !errors.Is(err, ErrConditionFailed) {
+		t.Fatalf("re-insert err = %v, want ErrConditionFailed", err)
+	}
+}
+
+func TestUpdateIfRetryIdempotent(t *testing.T) {
+	s, _ := newStore()
+	_ = s.CreateTable("t")
+	_ = s.Put("t", Item{Key: "k", Attrs: map[string]string{"status": "recorded", "open": "1"}})
+	s.SetFault(flaky(2))
+	commit := Item{Key: "k", Attrs: map[string]string{"status": "relaunched", "open": "0"}}
+	if err := retry(3, func() error { return s.UpdateIf("t", commit, "open", "1") }); err != nil {
+		t.Fatalf("retried UpdateIf = %v, want success", err)
+	}
+	got, _ := s.Get("t", "k")
+	if got.Attrs["status"] != "relaunched" || got.Attrs["open"] != "0" {
+		t.Fatalf("item = %+v after retried commit", got.Attrs)
+	}
+	// A duplicate commit — a second incarnation racing the same
+	// transition — must lose the conditional, not double-apply.
+	if err := s.UpdateIf("t", commit, "open", "1"); !errors.Is(err, ErrConditionFailed) {
+		t.Fatalf("duplicate commit err = %v, want ErrConditionFailed", err)
+	}
+}
+
+func TestRetryExhaustionSurfacesFault(t *testing.T) {
+	s, _ := newStore()
+	_ = s.CreateTable("t")
+	s.SetFault(flaky(10))
+	err := retry(3, func() error { return s.PutIfAbsent("t", Item{Key: "k"}) })
+	if !errors.Is(err, errTransient) {
+		t.Fatalf("exhausted retries err = %v, want the injected fault", err)
+	}
+	// Faults inject before the mutation, so three failed attempts must
+	// leave no trace of the key.
+	s.SetFault(nil)
+	if _, err := s.Get("t", "k"); !errors.Is(err, ErrItemNotFound) {
+		t.Fatalf("faulted writes leaked state: %v", err)
 	}
 }
 

@@ -51,6 +51,11 @@ type bucket struct {
 // (nil = healthy). Installed via SetFault; see internal/chaos.
 type FaultFunc func(op string, region catalog.Region) error
 
+// CorruptFunc decides whether one Get returns bit-flipped data
+// (silent storage corruption surfacing on the read path). Installed via
+// SetCorrupt; see internal/chaos.
+type CorruptFunc func(bucket, key string) bool
+
 // Store is the simulated object store. All operations charge the ledger.
 type Store struct {
 	eng     *simclock.Engine
@@ -58,14 +63,20 @@ type Store struct {
 	ledger  *cost.Ledger
 	buckets map[string]*bucket
 	fault   FaultFunc
+	corrupt CorruptFunc
 
 	bytesTransferredCross int64
+	corruptedReads        int64
 }
 
 // SetFault installs a fault interceptor consulted at the top of every
 // data-plane call (the issuing region is passed where known); nil (the
 // default) disables injection.
 func (s *Store) SetFault(fn FaultFunc) { s.fault = fn }
+
+// SetCorrupt installs a read-corruption interceptor consulted on every
+// successful Get; nil (the default) disables corruption.
+func (s *Store) SetCorrupt(fn CorruptFunc) { s.corrupt = fn }
 
 func (s *Store) injected(op string, region catalog.Region) error {
 	if s.fault == nil {
@@ -181,6 +192,12 @@ func (s *Store) Get(bucketName, key string, from catalog.Region) (*Object, error
 	s.transferCost(from, b, obj.Size())
 	cp := make([]byte, len(obj.Data))
 	copy(cp, obj.Data)
+	// Read-path corruption: the stored object is untouched, but this
+	// read's copy comes back with one bit flipped mid-payload.
+	if s.corrupt != nil && len(cp) > 0 && s.corrupt(bucketName, key) {
+		cp[len(cp)/2] ^= 0x01
+		s.corruptedReads++
+	}
 	return &Object{Key: obj.Key, Data: cp, PutAt: obj.PutAt, Metadata: obj.Metadata, SyntheticSize: obj.SyntheticSize}, nil
 }
 
@@ -226,6 +243,34 @@ func (s *Store) List(bucketName, prefix string) ([]string, error) {
 	sort.Strings(keys)
 	return keys, nil
 }
+
+// WipeBucket destroys every object in the bucket — a whole-bucket
+// data-loss event. The bucket itself survives, so later writes (or a
+// replication repair pass) can repopulate it.
+func (s *Store) WipeBucket(name string) error {
+	b, ok := s.buckets[name]
+	if !ok {
+		return fmt.Errorf("wipe %s: %w", name, ErrNoSuchBucket)
+	}
+	b.objects = make(map[string]*Object)
+	return nil
+}
+
+// LoseRegion wipes every bucket homed in the region, returning how many
+// buckets lost their objects — a regional data-loss event.
+func (s *Store) LoseRegion(r catalog.Region) int {
+	n := 0
+	for _, b := range s.buckets {
+		if b.region == r {
+			b.objects = make(map[string]*Object)
+			n++
+		}
+	}
+	return n
+}
+
+// CorruptedReads reports how many Gets returned bit-flipped data.
+func (s *Store) CorruptedReads() int64 { return s.corruptedReads }
 
 // CrossRegionBytes reports total bytes moved across regions so far.
 func (s *Store) CrossRegionBytes() int64 { return s.bytesTransferredCross }

@@ -97,6 +97,9 @@ type State struct {
 	Attempts int
 	// Interruptions counts provider-initiated terminations suffered.
 	Interruptions int
+	// Recomputed counts shards rolled back by DropShards — work redone
+	// because its checkpoint never became durable or was later lost.
+	Recomputed int
 	// Completed and CompletedAt record success.
 	Completed   bool
 	CompletedAt time.Time
@@ -185,10 +188,11 @@ func (st *State) DropShards(n int) {
 	if st.Completed || n <= 0 {
 		return
 	}
-	st.ShardsDone -= n
-	if st.ShardsDone < 0 {
-		st.ShardsDone = 0
+	if n > st.ShardsDone {
+		n = st.ShardsDone
 	}
+	st.ShardsDone -= n
+	st.Recomputed += n
 }
 
 // MarkComplete finalises the workload.

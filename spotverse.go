@@ -31,6 +31,7 @@ import (
 	"spotverse/internal/chaos"
 	"spotverse/internal/cloud"
 	"spotverse/internal/core"
+	"spotverse/internal/durable"
 	"spotverse/internal/experiment"
 	"spotverse/internal/market"
 	"spotverse/internal/predict"
@@ -85,6 +86,16 @@ type (
 	ChaosInjector = chaos.Injector
 	// ChaosStats summarises what an injector injected.
 	ChaosStats = chaos.Stats
+	// ControllerKill schedules a control-plane crash-restart.
+	ControllerKill = chaos.ControllerKill
+	// ObjectCorruption bit-flips S3 reads under a key prefix.
+	ObjectCorruption = chaos.ObjectCorruption
+	// BucketLoss wipes a whole S3 bucket at an instant.
+	BucketLoss = chaos.BucketLoss
+	// DurabilityMode selects how runs persist checkpoint manifests.
+	DurabilityMode = experiment.DurabilityMode
+	// DurabilityStats summarises the durable store's activity.
+	DurabilityStats = durable.Stats
 )
 
 // Re-exported chaos intensities for ChaosPreset.
@@ -125,6 +136,20 @@ const (
 	SelectAtLeast = core.SelectAtLeast
 	// SelectBucket keeps regions scoring == threshold (threshold study).
 	SelectBucket = core.SelectBucket
+)
+
+// Re-exported durability modes for RunConfig.Durability. Durability is
+// off by default: manifest writes change the rendered cost totals, so
+// runs opt in (pair DurabilityReplicated with ManagerConfig.Journal for
+// the full crash-tolerant stack).
+const (
+	// DurabilityOff keeps the seed's legacy checkpoint accounting.
+	DurabilityOff = experiment.DurabilityOff
+	// DurabilitySingle writes unverified single-bucket manifests.
+	DurabilitySingle = experiment.DurabilitySingle
+	// DurabilityReplicated writes CRC-checked manifests with async
+	// cross-region replication, read-path failover, and anti-entropy.
+	DurabilityReplicated = experiment.DurabilityReplicated
 )
 
 // Simulation is one deterministic simulated cloud plus the services
@@ -219,6 +244,15 @@ func (s *Simulation) InjectChaos(sched ChaosSchedule) *ChaosInjector {
 	inj := chaos.NewInjector(s.env.Engine, s.seed, sched)
 	experiment.ApplyChaos(s.env, inj)
 	return inj
+}
+
+// ScheduleControllerKills arms the schedule's controller kills against
+// a deployed manager: at each instant the control plane crash-restarts,
+// losing all in-memory pending-migration and breaker state. A manager
+// built with ManagerConfig.Journal replays its DynamoDB write-ahead
+// journal on restart; one without starts cold.
+func (s *Simulation) ScheduleControllerKills(inj *ChaosInjector, mgr *Manager) {
+	experiment.ScheduleControllerKills(s.env, inj, mgr)
 }
 
 // GenerateWorkloads builds a reproducible workload set.
