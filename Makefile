@@ -1,6 +1,9 @@
 GO ?= go
 
-.PHONY: build test race vet verify experiments
+# PR counter for benchmark snapshots (BENCH_$(PR).json).
+PR ?= 3
+
+.PHONY: build test race vet verify experiments bench profile
 
 build:
 	$(GO) build ./...
@@ -20,3 +23,16 @@ verify: vet build race
 
 experiments:
 	$(GO) run ./cmd/spotverse-experiments -exp all
+
+# bench snapshots the root-package benchmark suite (experiment drivers,
+# market hot paths, worker-pool scaling) into BENCH_$(PR).json. The
+# format is plain `go test -bench` text, which benchstat consumes
+# directly: `benchstat BENCH_2.json BENCH_3.json`.
+bench:
+	$(GO) test -run='^$$' -bench=. -benchmem -count=3 . | tee BENCH_$(PR).json
+
+# profile captures pprof CPU and heap profiles of the full experiment
+# sweep; inspect with `go tool pprof cpu.pprof`.
+profile:
+	$(GO) run ./cmd/spotverse-experiments -exp all -cpuprofile cpu.pprof -memprofile mem.pprof > /dev/null
+	@echo "wrote cpu.pprof and mem.pprof"

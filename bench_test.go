@@ -322,6 +322,84 @@ func BenchmarkAblationRegionFanout(b *testing.B) {
 	}
 }
 
+// --- Hot-path benches (PR 3: market caching + parallel harness) ---
+
+// BenchmarkMarketAveragePrice hammers the query Table 1 and every
+// baseline-region probe is built from: time-averaged regional spot price
+// over a multi-week window. With the prefix-sum cache warm this is O(1)
+// per call instead of a rescan of every price step across every AZ.
+func BenchmarkMarketAveragePrice(b *testing.B) {
+	sim := NewSimulation(benchSeed)
+	m := sim.Market()
+	regions := sim.Catalog().OfferedRegions(M5XLarge)
+	from := sim.Now()
+	to := from.Add(28 * 24 * time.Hour)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, r := range regions {
+			if _, err := m.AveragePrice(M5XLarge, r, from, to); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkMarketCheapestSpotRegion measures the memoized Table 1
+// ranking: first call builds the per-region averages, the rest hit the
+// (type, window) memo.
+func BenchmarkMarketCheapestSpotRegion(b *testing.B) {
+	sim := NewSimulation(benchSeed)
+	m := sim.Market()
+	from := sim.Now()
+	to := from.Add(14 * 24 * time.Hour)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := m.CheapestSpotRegion(M5XLarge, from, to); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMarketPriceHistory measures the preallocated 90-day series
+// the Fig. 2 CSV export reads.
+func BenchmarkMarketPriceHistory(b *testing.B) {
+	sim := NewSimulation(benchSeed)
+	m := sim.Market()
+	az := sim.Catalog().Zones("us-east-1")[0]
+	from := sim.Now()
+	to := from.Add(90 * 24 * time.Hour)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.PriceHistory(M5XLarge, az, from, to, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTrialsWorkers runs the three-trial Fig. 7 protocol at
+// several worker-pool bounds. On a multi-core host the 4- and 8-worker
+// rows shrink toward the slowest single trial; the rendered statistics
+// are identical at every setting.
+func BenchmarkTrialsWorkers(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			prev := SetParallelism(workers)
+			defer SetParallelism(prev)
+			var summary *experiment.TrialSummary
+			for i := 0; i < b.N; i++ {
+				var err error
+				summary, err = experiment.Trials(3, benchSeed, experiment.Fig7TrialSpotVerse)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(summary.TotalCostUSD.Mean, "mean_cost_usd")
+		})
+	}
+}
+
 func renderToString(render func(io.Writer) error) string {
 	var sb stringsBuilder
 	if err := render(&sb); err != nil {

@@ -3,19 +3,30 @@
 //
 // Usage:
 //
-//	spotverse-experiments [-exp all|fig2|fig3|fig4|fig7|fig8|fig9|fig10|table1|table4|ext|chaos|crash|trials] [-seed N] [-csv dir] [-intensity off|low|medium|severe]
+//	spotverse-experiments [-exp all|fig2|fig3|fig4|fig7|fig8|fig9|fig10|table1|table4|ext|chaos|crash|trials] [-seed N] [-csv dir] [-intensity off|low|medium|severe] [-parallel N] [-cpuprofile file] [-memprofile file]
 //
 // Each experiment prints an ASCII rendering of the corresponding table or
 // figure; -csv additionally writes raw series files into the directory.
 // -intensity sets the background-fault level for -exp crash (the chaos
 // sweep always runs the full intensity ladder).
+//
+// -parallel bounds the experiment worker pool (default GOMAXPROCS). The
+// sweep fans out across independent simulations and renders results in a
+// fixed order, so the output is byte-identical for every worker count;
+// -parallel 1 forces the fully sequential reference path. -cpuprofile and
+// -memprofile write pprof profiles for performance work (see `make
+// profile`).
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 
 	"spotverse/internal/chaos"
 	"spotverse/internal/experiment"
@@ -23,65 +34,133 @@ import (
 
 // usageLine is appended to flag-validation errors so a bad invocation
 // prints the accepted values without the caller digging through -h.
-const usageLine = "usage: spotverse-experiments [-exp all|fig2|fig3|fig4|fig7|fig8|fig9|fig10|table1|table4|ext|chaos|crash|trials] [-seed N] [-csv dir] [-intensity off|low|medium|severe]"
+const usageLine = "usage: spotverse-experiments [-exp all|fig2|fig3|fig4|fig7|fig8|fig9|fig10|table1|table4|ext|chaos|crash|trials] [-seed N] [-csv dir] [-intensity off|low|medium|severe] [-parallel N] [-cpuprofile file] [-memprofile file]"
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment to run: all, fig2, fig3, fig4, fig7, fig8, fig9, fig10, table1, table4, ext, chaos, crash, trials")
-		seed      = flag.Int64("seed", 42, "simulation seed")
-		csvDir    = flag.String("csv", "", "directory to write raw CSV series (optional)")
-		trials    = flag.Int("trials", 3, "trial count for -exp trials (the paper repeats each experiment 3x)")
-		intensity = flag.String("intensity", "medium", "background-fault intensity for -exp crash: off, low, medium, severe")
+		exp        = flag.String("exp", "all", "experiment to run: all, fig2, fig3, fig4, fig7, fig8, fig9, fig10, table1, table4, ext, chaos, crash, trials")
+		seed       = flag.Int64("seed", 42, "simulation seed")
+		csvDir     = flag.String("csv", "", "directory to write raw CSV series (optional)")
+		trials     = flag.Int("trials", 3, "trial count for -exp trials (the paper repeats each experiment 3x)")
+		intensity  = flag.String("intensity", "medium", "background-fault intensity for -exp crash: off, low, medium, severe")
+		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool bound for the experiment harness (1 = sequential; output is byte-identical either way)")
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file")
 	)
 	flag.Parse()
-	if err := run(*exp, *seed, *csvDir, *trials, *intensity); err != nil {
+	if err := profiled(*cpuprofile, *memprofile, func() error {
+		return run(os.Stdout, *exp, *seed, *csvDir, *trials, *parallel, *intensity)
+	}); err != nil {
 		fmt.Fprintln(os.Stderr, "spotverse-experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, seed int64, csvDir string, trials int, intensity string) error {
+// profiled wraps fn with optional CPU and heap profiling.
+func profiled(cpuPath, memPath string, fn func() error) error {
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if err := fn(); err != nil {
+		return err
+	}
+	if memPath != "" {
+		f, err := os.Create(memPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC() // settle allocations so the heap profile reflects live data
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func run(w io.Writer, exp string, seed int64, csvDir string, trials, parallel int, intensity string) error {
 	inten, err := chaos.ParseIntensity(intensity)
 	if err != nil {
 		return fmt.Errorf("%w\n%s", err, usageLine)
 	}
+	if parallel < 1 {
+		return fmt.Errorf("invalid -parallel %d (must be >= 1)\n%s", parallel, usageLine)
+	}
+	prev := experiment.SetWorkers(parallel)
+	defer experiment.SetWorkers(prev)
 	if csvDir != "" {
 		if err := os.MkdirAll(csvDir, 0o755); err != nil {
 			return err
 		}
 	}
-	runners := map[string]func() error{
-		"trials": func() error { return runTrials(seed, trials) },
-		"fig2":   func() error { return runFig2(seed, csvDir) },
-		"fig3":   func() error { return runFig3(seed) },
-		"fig4":   func() error { return runFig4(seed, csvDir) },
-		"fig7":   func() error { return runFig7(seed, csvDir) },
-		"fig8":   func() error { return runFig8(seed) },
-		"fig9":   func() error { return runFig9(seed) },
-		"fig10":  func() error { return runFig10(seed) },
-		"table1": func() error { return runTable1(seed) },
-		"table4": func() error { return runTable4(seed) },
-		"ext":    func() error { return runExtensions(seed) },
-		"chaos":  func() error { return runChaos(seed) },
-		"crash":  func() error { return runCrash(seed, inten) },
+	runners := map[string]func(w io.Writer) error{
+		"trials": func(w io.Writer) error { return runTrials(w, seed, trials) },
+		"fig2":   func(w io.Writer) error { return runFig2(w, seed, csvDir) },
+		"fig3":   func(w io.Writer) error { return runFig3(w, seed) },
+		"fig4":   func(w io.Writer) error { return runFig4(w, seed, csvDir) },
+		"fig7":   func(w io.Writer) error { return runFig7(w, seed, csvDir) },
+		"fig8":   func(w io.Writer) error { return runFig8(w, seed) },
+		"fig9":   func(w io.Writer) error { return runFig9(w, seed) },
+		"fig10":  func(w io.Writer) error { return runFig10(w, seed) },
+		"table1": func(w io.Writer) error { return runTable1(w, seed) },
+		"table4": func(w io.Writer) error { return runTable4(w, seed) },
+		"ext":    func(w io.Writer) error { return runExtensions(w, seed) },
+		"chaos":  func(w io.Writer) error { return runChaos(w, seed) },
+		"crash":  func(w io.Writer) error { return runCrash(w, seed, inten) },
 	}
 	if exp == "all" {
 		// crash is deliberately not part of "all": it schedules controller
 		// kills and object corruption, so its table is not a paper artifact
 		// and "all" output stays comparable across releases.
-		for _, name := range []string{"table1", "fig2", "fig3", "fig4", "fig7", "fig8", "fig9", "fig10", "table4", "ext", "chaos"} {
-			if err := runners[name](); err != nil {
-				return fmt.Errorf("%s: %w", name, err)
-			}
-			fmt.Println()
-		}
-		return nil
+		return runAll(w, []string{"table1", "fig2", "fig3", "fig4", "fig7", "fig8", "fig9", "fig10", "table4", "ext", "chaos"}, runners)
 	}
 	r, ok := runners[exp]
 	if !ok {
 		return fmt.Errorf("unknown experiment %q\n%s", exp, usageLine)
 	}
-	return r()
+	return r(w)
+}
+
+// runAll executes the sweep's experiments. With one worker each
+// experiment streams straight to w; with more, experiments run
+// concurrently (on top of their own internal fan-out), each rendering
+// into its own buffer, and the buffers are flushed in the fixed sweep
+// order — so the bytes written are identical for every worker count.
+func runAll(w io.Writer, names []string, runners map[string]func(io.Writer) error) error {
+	if experiment.Workers() <= 1 {
+		for _, name := range names {
+			if err := runners[name](w); err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+			fmt.Fprintln(w)
+		}
+		return nil
+	}
+	bufs, err := experiment.Gather(len(names), func(i int) (*bytes.Buffer, error) {
+		var buf bytes.Buffer
+		if err := runners[names[i]](&buf); err != nil {
+			return nil, fmt.Errorf("%s: %w", names[i], err)
+		}
+		fmt.Fprintln(&buf)
+		return &buf, nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, buf := range bufs {
+		if _, err := w.Write(buf.Bytes()); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func writeCSV(dir, name string, write func(f *os.File) error) error {
@@ -96,12 +175,12 @@ func writeCSV(dir, name string, write func(f *os.File) error) error {
 	return write(f)
 }
 
-func runFig2(seed int64, csvDir string) error {
+func runFig2(w io.Writer, seed int64, csvDir string) error {
 	series, err := experiment.Fig2(seed, 90)
 	if err != nil {
 		return err
 	}
-	if err := experiment.RenderFig2(os.Stdout, series); err != nil {
+	if err := experiment.RenderFig2(w, series); err != nil {
 		return err
 	}
 	return writeCSV(csvDir, "fig2_prices.csv", func(f *os.File) error {
@@ -109,20 +188,20 @@ func runFig2(seed int64, csvDir string) error {
 	})
 }
 
-func runFig3(seed int64) error {
+func runFig3(w io.Writer, seed int64) error {
 	results, err := experiment.Fig3(seed)
 	if err != nil {
 		return err
 	}
-	return experiment.RenderFig3(os.Stdout, results)
+	return experiment.RenderFig3(w, results)
 }
 
-func runFig4(seed int64, csvDir string) error {
+func runFig4(w io.Writer, seed int64, csvDir string) error {
 	heat, avgs, err := experiment.Fig4(seed, 180)
 	if err != nil {
 		return err
 	}
-	if err := experiment.RenderFig4(os.Stdout, heat, avgs); err != nil {
+	if err := experiment.RenderFig4(w, heat, avgs); err != nil {
 		return err
 	}
 	return writeCSV(csvDir, "fig4_metrics.csv", func(f *os.File) error {
@@ -130,12 +209,12 @@ func runFig4(seed int64, csvDir string) error {
 	})
 }
 
-func runFig7(seed int64, csvDir string) error {
+func runFig7(w io.Writer, seed int64, csvDir string) error {
 	results, err := experiment.Fig7(seed)
 	if err != nil {
 		return err
 	}
-	if err := experiment.RenderFig7(os.Stdout, results); err != nil {
+	if err := experiment.RenderFig7(w, results); err != nil {
 		return err
 	}
 	for _, r := range results {
@@ -154,30 +233,30 @@ func runFig7(seed int64, csvDir string) error {
 	return nil
 }
 
-func runFig8(seed int64) error {
+func runFig8(w io.Writer, seed int64) error {
 	types, err := experiment.Fig8(seed, experiment.Fig8TypeSet)
 	if err != nil {
 		return err
 	}
-	if err := experiment.RenderFig8(os.Stdout, "Figure 8a/8b — instance types (standard general workload)", types); err != nil {
+	if err := experiment.RenderFig8(w, "Figure 8a/8b — instance types (standard general workload)", types); err != nil {
 		return err
 	}
 	sizes, err := experiment.Fig8(seed, experiment.Fig8SizeSet)
 	if err != nil {
 		return err
 	}
-	return experiment.RenderFig8(os.Stdout, "Figure 8c/8d — m5 family sizes (standard general workload)", sizes)
+	return experiment.RenderFig8(w, "Figure 8c/8d — m5 family sizes (standard general workload)", sizes)
 }
 
-func runFig9(seed int64) error {
+func runFig9(w io.Writer, seed int64) error {
 	results, err := experiment.Fig9(seed)
 	if err != nil {
 		return err
 	}
-	return experiment.RenderFig9(os.Stdout, results)
+	return experiment.RenderFig9(w, results)
 }
 
-func runFig10(seed int64) error {
+func runFig10(w io.Writer, seed int64) error {
 	cells, err := experiment.Fig10(seed)
 	if err != nil {
 		return err
@@ -186,78 +265,28 @@ func runFig10(seed int64) error {
 	if err != nil {
 		return err
 	}
-	return experiment.RenderFig10(os.Stdout, cells, selection)
+	return experiment.RenderFig10(w, cells, selection)
 }
 
-func runTable1(seed int64) error {
+func runTable1(w io.Writer, seed int64) error {
 	rows, err := experiment.Table1(seed)
 	if err != nil {
 		return err
 	}
-	return experiment.RenderTable1(os.Stdout, rows)
+	return experiment.RenderTable1(w, rows)
 }
 
-func runTable4(seed int64) error {
+func runTable4(w io.Writer, seed int64) error {
 	res, err := experiment.Table4(seed)
 	if err != nil {
 		return err
 	}
-	return experiment.RenderTable4(os.Stdout, res)
+	return experiment.RenderTable4(w, res)
 }
 
-// runChaos sweeps the fault-injection intensities over the strategy set
-// and reports completion, inflation, and the hardening counters.
-func runChaos(seed int64) error {
-	rows, err := experiment.Resilience(seed)
-	if err != nil {
-		return err
-	}
-	return experiment.RenderResilience(os.Stdout, rows)
-}
-
-// runCrash runs the crash-restart sweep: controller kills, manifest
-// corruption, and bucket losses against the journaled stack and the
-// no-journal ablation.
-func runCrash(seed int64, intensity chaos.Intensity) error {
-	rows, err := experiment.Crash(seed, intensity)
-	if err != nil {
-		return err
-	}
-	return experiment.RenderCrash(os.Stdout, rows)
-}
-
-// runTrials repeats the Fig. 7 standard-workload comparison across
-// seeds and prints mean ± std, the paper's three-trial protocol.
-func runTrials(seed int64, n int) error {
-	type strategyRun struct {
-		name string
-		fn   func(trialSeed int64) (*experiment.Result, error)
-	}
-	runs := []strategyRun{
-		{"single-region", func(s int64) (*experiment.Result, error) {
-			return experiment.Fig7TrialSingle(s)
-		}},
-		{"spotverse", func(s int64) (*experiment.Result, error) {
-			return experiment.Fig7TrialSpotVerse(s)
-		}},
-	}
-	fmt.Printf("## Fig. 7 standard workload over %d trials (seeds %d..%d)\n", n, seed, seed+int64(n)-1)
-	fmt.Printf("%-14s %22s %22s %22s\n", "strategy", "interruptions", "makespan_h", "cost_usd")
-	for _, r := range runs {
-		summary, err := experiment.Trials(n, seed, r.fn)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("%-14s %13.1f ± %6.1f %13.1f ± %6.1f %13.2f ± %6.2f\n",
-			r.name,
-			summary.Interruptions.Mean, summary.Interruptions.Std,
-			summary.MakespanHours.Mean, summary.MakespanHours.Std,
-			summary.TotalCostUSD.Mean, summary.TotalCostUSD.Std)
-	}
-	return nil
-}
-
-func runExtensions(seed int64) error {
+// runExtensions runs the Section 7 future-work experiments: predictive
+// placement, checkpoint-store comparison, and degraded scoring modes.
+func runExtensions(w io.Writer, seed int64) error {
 	pred, err := experiment.ExtPredictive(seed, 24)
 	if err != nil {
 		return err
@@ -270,5 +299,57 @@ func runExtensions(seed int64) error {
 	if err != nil {
 		return err
 	}
-	return experiment.RenderExtensions(os.Stdout, pred, ckpt, scoring)
+	return experiment.RenderExtensions(w, pred, ckpt, scoring)
+}
+
+// runChaos sweeps the fault-injection intensities over the strategy set
+// and reports completion, inflation, and the hardening counters.
+func runChaos(w io.Writer, seed int64) error {
+	rows, err := experiment.Resilience(seed)
+	if err != nil {
+		return err
+	}
+	return experiment.RenderResilience(w, rows)
+}
+
+// runCrash runs the crash-restart sweep: controller kills, manifest
+// corruption, and bucket losses against the journaled stack and the
+// no-journal ablation.
+func runCrash(w io.Writer, seed int64, intensity chaos.Intensity) error {
+	rows, err := experiment.Crash(seed, intensity)
+	if err != nil {
+		return err
+	}
+	return experiment.RenderCrash(w, rows)
+}
+
+// runTrials repeats the Fig. 7 standard-workload comparison across
+// seeds and prints mean ± std, the paper's three-trial protocol.
+func runTrials(w io.Writer, seed int64, n int) error {
+	type strategyRun struct {
+		name string
+		fn   func(trialSeed int64) (*experiment.Result, error)
+	}
+	runs := []strategyRun{
+		{"single-region", func(s int64) (*experiment.Result, error) {
+			return experiment.Fig7TrialSingle(s)
+		}},
+		{"spotverse", func(s int64) (*experiment.Result, error) {
+			return experiment.Fig7TrialSpotVerse(s)
+		}},
+	}
+	fmt.Fprintf(w, "## Fig. 7 standard workload over %d trials (seeds %d..%d)\n", n, seed, seed+int64(n)-1)
+	fmt.Fprintf(w, "%-14s %22s %22s %22s\n", "strategy", "interruptions", "makespan_h", "cost_usd")
+	for _, r := range runs {
+		summary, err := experiment.Trials(n, seed, r.fn)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-14s %13.1f ± %6.1f %13.1f ± %6.1f %13.2f ± %6.2f\n",
+			r.name,
+			summary.Interruptions.Mean, summary.Interruptions.Std,
+			summary.MakespanHours.Mean, summary.MakespanHours.Std,
+			summary.TotalCostUSD.Mean, summary.TotalCostUSD.Std)
+	}
+	return nil
 }

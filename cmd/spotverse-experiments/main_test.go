@@ -1,13 +1,15 @@
 package main
 
 import (
+	"bytes"
+	"io"
 	"path/filepath"
 	"strings"
 	"testing"
 )
 
 func TestUnknownExperimentRejected(t *testing.T) {
-	err := run("fig99", 42, "", 3, "medium")
+	err := run(io.Discard, "fig99", 42, "", 3, 1, "medium")
 	if err == nil {
 		t.Fatal("unknown experiment should error")
 	}
@@ -17,7 +19,7 @@ func TestUnknownExperimentRejected(t *testing.T) {
 }
 
 func TestInvalidIntensityRejected(t *testing.T) {
-	err := run("chaos", 42, "", 3, "apocalyptic")
+	err := run(io.Discard, "chaos", 42, "", 3, 1, "apocalyptic")
 	if err == nil {
 		t.Fatal("invalid intensity should error")
 	}
@@ -26,45 +28,55 @@ func TestInvalidIntensityRejected(t *testing.T) {
 	}
 }
 
+func TestInvalidParallelRejected(t *testing.T) {
+	err := run(io.Discard, "table1", 42, "", 3, 0, "medium")
+	if err == nil {
+		t.Fatal("non-positive -parallel should error")
+	}
+	if !strings.Contains(err.Error(), "usage:") {
+		t.Fatalf("error should carry the usage line, got: %v", err)
+	}
+}
+
 func TestRunTable1(t *testing.T) {
-	if err := run("table1", 42, "", 3, "medium"); err != nil {
+	if err := run(io.Discard, "table1", 42, "", 3, 1, "medium"); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunFig9(t *testing.T) {
-	if err := run("fig9", 42, "", 3, "medium"); err != nil {
+	if err := run(io.Discard, "fig9", 42, "", 3, 1, "medium"); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunTrials(t *testing.T) {
-	if err := run("trials", 42, "", 1, "medium"); err != nil {
+	if err := run(io.Discard, "trials", 42, "", 1, 1, "medium"); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunFig3(t *testing.T) {
-	if err := run("fig3", 42, "", 3, "medium"); err != nil {
+	if err := run(io.Discard, "fig3", 42, "", 3, 1, "medium"); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunFig4(t *testing.T) {
-	if err := run("fig4", 42, "", 3, "medium"); err != nil {
+	if err := run(io.Discard, "fig4", 42, "", 3, 1, "medium"); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunTable4(t *testing.T) {
-	if err := run("table4", 42, "", 3, "medium"); err != nil {
+	if err := run(io.Discard, "table4", 42, "", 3, 1, "medium"); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestCSVOutput(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("fig2", 42, dir, 3, "medium"); err != nil {
+	if err := run(io.Discard, "fig2", 42, dir, 3, 1, "medium"); err != nil {
 		t.Fatal(err)
 	}
 	matches, err := filepath.Glob(filepath.Join(dir, "fig2_prices.csv"))
@@ -75,7 +87,7 @@ func TestCSVOutput(t *testing.T) {
 
 func TestRunFig7WithCSV(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("fig7", 42, dir, 3, "medium"); err != nil {
+	if err := run(io.Discard, "fig7", 42, dir, 3, 1, "medium"); err != nil {
 		t.Fatal(err)
 	}
 	for _, name := range []string{
@@ -90,7 +102,7 @@ func TestRunFig7WithCSV(t *testing.T) {
 
 func TestRunFig4WithCSV(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("fig4", 42, dir, 3, "medium"); err != nil {
+	if err := run(io.Discard, "fig4", 42, dir, 3, 1, "medium"); err != nil {
 		t.Fatal(err)
 	}
 	matches, err := filepath.Glob(filepath.Join(dir, "fig4_metrics.csv"))
@@ -100,31 +112,60 @@ func TestRunFig4WithCSV(t *testing.T) {
 }
 
 func TestRunFig8(t *testing.T) {
-	if err := run("fig8", 42, "", 3, "medium"); err != nil {
+	if err := run(io.Discard, "fig8", 42, "", 3, 1, "medium"); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunFig10(t *testing.T) {
-	if err := run("fig10", 42, "", 3, "medium"); err != nil {
+	if err := run(io.Discard, "fig10", 42, "", 3, 1, "medium"); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunExtensions(t *testing.T) {
-	if err := run("ext", 42, "", 3, "medium"); err != nil {
+	if err := run(io.Discard, "ext", 42, "", 3, 1, "medium"); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunChaos(t *testing.T) {
-	if err := run("chaos", 42, "", 3, "medium"); err != nil {
+	if err := run(io.Discard, "chaos", 42, "", 3, 1, "medium"); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunCrash(t *testing.T) {
-	if err := run("crash", 42, "", 3, "medium"); err != nil {
+	if err := run(io.Discard, "crash", 42, "", 3, 1, "medium"); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestAllParallelByteIdentical is the harness's determinism contract:
+// the full -exp all sweep must render the same bytes whether it runs
+// on one worker (the sequential reference path) or fans out across 4
+// or 8. A single experiment (table1) is additionally checked so the
+// single-runner path is covered too.
+func TestAllParallelByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep is too slow for -short")
+	}
+	render := func(exp string, parallel int) string {
+		var buf bytes.Buffer
+		if err := run(&buf, exp, 42, "", 3, parallel, "medium"); err != nil {
+			t.Fatalf("%s with -parallel %d: %v", exp, parallel, err)
+		}
+		return buf.String()
+	}
+	for _, exp := range []string{"table1", "all"} {
+		want := render(exp, 1)
+		if want == "" {
+			t.Fatalf("%s rendered no output", exp)
+		}
+		for _, parallel := range []int{4, 8} {
+			if got := render(exp, parallel); got != want {
+				t.Fatalf("%s output with -parallel %d differs from -parallel 1", exp, parallel)
+			}
+		}
 	}
 }

@@ -184,14 +184,17 @@ func crashCell(name string, seed int64, intensity chaos.Intensity, n int) (*Cras
 
 // Crash runs the crash sweep at the given background-fault intensity:
 // the journaled stack and the no-journal ablation through the same
-// kill/corruption/loss schedule.
+// kill/corruption/loss schedule. The two cells are independent runs and
+// fan out across the worker pool.
 func Crash(seed int64, intensity chaos.Intensity) ([]CrashRow, error) {
-	out := make([]CrashRow, 0, len(CrashStrategies))
-	for _, name := range CrashStrategies {
-		row, err := crashCell(name, seed, intensity, CrashWorkloads)
-		if err != nil {
-			return nil, err
-		}
+	cells, err := Gather(len(CrashStrategies), func(i int) (*CrashRow, error) {
+		return crashCell(CrashStrategies[i], seed, intensity, CrashWorkloads)
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]CrashRow, 0, len(cells))
+	for _, row := range cells {
 		out = append(out, *row)
 	}
 	return out, nil

@@ -44,37 +44,43 @@ func ExtPredictive(seed int64, n int) (*ExtPredictiveResult, error) {
 		return Run(env, cfg)
 	}
 
-	sv, err := runOne(func(env *Env) (RunConfig, error) {
-		mgr, err := newSpotVerse(env, core.Config{InstanceType: catalog.M5XLarge, Threshold: 6, Seed: seed})
+	contenders := []struct {
+		label string
+		build func(env *Env) (RunConfig, error)
+	}{
+		{"spotverse", func(env *Env) (RunConfig, error) {
+			mgr, err := newSpotVerse(env, core.Config{InstanceType: catalog.M5XLarge, Threshold: 6, Seed: seed})
+			if err != nil {
+				return RunConfig{}, err
+			}
+			return RunConfig{Strategy: mgr, DisableSweep: true}, nil
+		}},
+		{"adaptive", func(env *Env) (RunConfig, error) {
+			a, err := predict.NewAdaptive(env.Engine, env.Market, catalog.M5XLarge, predict.Config{Seed: seed})
+			if err != nil {
+				return RunConfig{}, err
+			}
+			return RunConfig{Strategy: a}, nil
+		}},
+		{"skypilot", func(env *Env) (RunConfig, error) {
+			s, err := baselines.NewSkyPilotLike(env.Engine, env.Market, catalog.M5XLarge)
+			if err != nil {
+				return RunConfig{}, err
+			}
+			return RunConfig{Strategy: s}, nil
+		}},
+	}
+	results, err := Gather(len(contenders), func(i int) (*Result, error) {
+		res, err := runOne(contenders[i].build)
 		if err != nil {
-			return RunConfig{}, err
+			return nil, fmt.Errorf("ext-predictive %s: %w", contenders[i].label, err)
 		}
-		return RunConfig{Strategy: mgr, DisableSweep: true}, nil
+		return res, nil
 	})
 	if err != nil {
-		return nil, fmt.Errorf("ext-predictive spotverse: %w", err)
+		return nil, err
 	}
-	pred, err := runOne(func(env *Env) (RunConfig, error) {
-		a, err := predict.NewAdaptive(env.Engine, env.Market, catalog.M5XLarge, predict.Config{Seed: seed})
-		if err != nil {
-			return RunConfig{}, err
-		}
-		return RunConfig{Strategy: a}, nil
-	})
-	if err != nil {
-		return nil, fmt.Errorf("ext-predictive adaptive: %w", err)
-	}
-	sky, err := runOne(func(env *Env) (RunConfig, error) {
-		s, err := baselines.NewSkyPilotLike(env.Engine, env.Market, catalog.M5XLarge)
-		if err != nil {
-			return RunConfig{}, err
-		}
-		return RunConfig{Strategy: s}, nil
-	})
-	if err != nil {
-		return nil, fmt.Errorf("ext-predictive skypilot: %w", err)
-	}
-	return &ExtPredictiveResult{SpotVerse: sv, Predictive: pred, SkyPilot: sky}, nil
+	return &ExtPredictiveResult{SpotVerse: results[0], Predictive: results[1], SkyPilot: results[2]}, nil
 }
 
 // ExtCheckpointStoresResult compares S3 and EFS checkpoint storage for
@@ -113,15 +119,21 @@ func ExtCheckpointStores(seed int64, n int) (*ExtCheckpointStoresResult, error) 
 			CheckpointVia: store,
 		})
 	}
-	s3res, err := runOne(CheckpointS3)
+	stores := []struct {
+		label string
+		store CheckpointStore
+	}{{"s3", CheckpointS3}, {"efs", CheckpointEFS}}
+	results, err := Gather(len(stores), func(i int) (*Result, error) {
+		res, err := runOne(stores[i].store)
+		if err != nil {
+			return nil, fmt.Errorf("ext-checkpoint %s: %w", stores[i].label, err)
+		}
+		return res, nil
+	})
 	if err != nil {
-		return nil, fmt.Errorf("ext-checkpoint s3: %w", err)
+		return nil, err
 	}
-	efsres, err := runOne(CheckpointEFS)
-	if err != nil {
-		return nil, fmt.Errorf("ext-checkpoint efs: %w", err)
-	}
-	return &ExtCheckpointStoresResult{S3: s3res, EFS: efsres}, nil
+	return &ExtCheckpointStoresResult{S3: results[0], EFS: results[1]}, nil
 }
 
 // ExtScoringModesResult holds one run per scoring degradation.
@@ -155,17 +167,24 @@ func ExtScoringModes(seed int64, n int) (*ExtScoringModesResult, error) {
 		}
 		return Run(env, RunConfig{Workloads: ws, Strategy: mgr, InstanceType: catalog.M5XLarge, DisableSweep: true})
 	}
-	combined, err := runOne(core.ScoreCombined, 6)
-	if err != nil {
-		return nil, fmt.Errorf("ext-scoring combined: %w", err)
+	modes := []struct {
+		label     string
+		mode      core.ScoringMode
+		threshold int
+	}{
+		{"combined", core.ScoreCombined, 6},
+		{"stability-only", core.ScoreStabilityOnly, 3},
+		{"price-only", core.ScorePriceOnly, 1},
 	}
-	stability, err := runOne(core.ScoreStabilityOnly, 3)
+	results, err := Gather(len(modes), func(i int) (*Result, error) {
+		res, err := runOne(modes[i].mode, modes[i].threshold)
+		if err != nil {
+			return nil, fmt.Errorf("ext-scoring %s: %w", modes[i].label, err)
+		}
+		return res, nil
+	})
 	if err != nil {
-		return nil, fmt.Errorf("ext-scoring stability-only: %w", err)
+		return nil, err
 	}
-	price, err := runOne(core.ScorePriceOnly, 1)
-	if err != nil {
-		return nil, fmt.Errorf("ext-scoring price-only: %w", err)
-	}
-	return &ExtScoringModesResult{Combined: combined, StabilityOnly: stability, PriceOnly: price}, nil
+	return &ExtScoringModesResult{Combined: results[0], StabilityOnly: results[1], PriceOnly: results[2]}, nil
 }

@@ -135,11 +135,13 @@ type Fig3Result struct {
 
 // Fig3 runs the motivational experiment: 42 m5.xlarge workloads,
 // single-region ca-central-1 vs naive multi-region over the fixed
-// three-region set, for standard and checkpoint workloads.
+// three-region set, for standard and checkpoint workloads. The two kinds
+// run on the worker pool (each builds its own envs) and are collected in
+// the original order.
 func Fig3(seed int64) ([]Fig3Result, error) {
 	kinds := []workload.Kind{workload.KindStandard, workload.KindCheckpoint}
-	out := make([]Fig3Result, 0, len(kinds))
-	for _, kind := range kinds {
+	return Gather(len(kinds), func(i int) (Fig3Result, error) {
+		kind := kinds[i]
 		gen := func(s int64) ([]*workload.State, error) {
 			if kind == workload.KindCheckpoint {
 				return genCheckpoint(s, MotivationInstances)
@@ -149,39 +151,38 @@ func Fig3(seed int64) ([]Fig3Result, error) {
 		envS := NewEnv(seed)
 		single, err := baselines.NewSingleRegion(envS.Catalog(), catalog.M5XLarge, BaselineRegionM5XLarge)
 		if err != nil {
-			return nil, err
+			return Fig3Result{}, err
 		}
 		wsS, err := gen(seed)
 		if err != nil {
-			return nil, err
+			return Fig3Result{}, err
 		}
 		resS, err := Run(envS, RunConfig{Workloads: wsS, Strategy: single, InstanceType: catalog.M5XLarge})
 		if err != nil {
-			return nil, fmt.Errorf("fig3 single %s: %w", kind, err)
+			return Fig3Result{}, fmt.Errorf("fig3 single %s: %w", kind, err)
 		}
 		envM := NewEnv(seed)
 		multi, err := baselines.NewNaiveMultiRegion(envM.Catalog(), catalog.M5XLarge, MotivationRegions, seed)
 		if err != nil {
-			return nil, err
+			return Fig3Result{}, err
 		}
 		wsM, err := gen(seed)
 		if err != nil {
-			return nil, err
+			return Fig3Result{}, err
 		}
 		resM, err := Run(envM, RunConfig{Workloads: wsM, Strategy: multi, InstanceType: catalog.M5XLarge})
 		if err != nil {
-			return nil, fmt.Errorf("fig3 multi %s: %w", kind, err)
+			return Fig3Result{}, fmt.Errorf("fig3 multi %s: %w", kind, err)
 		}
-		out = append(out, Fig3Result{
+		return Fig3Result{
 			Kind:          kind,
 			Single:        resS,
 			Multi:         resM,
 			CostSaving:    1 - resM.TotalCostUSD/resS.TotalCostUSD,
 			TimeSaving:    1 - resM.MakespanHours/resS.MakespanHours,
 			InterruptDrop: 1 - float64(resM.Interruptions)/float64(max(resS.Interruptions, 1)),
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // ---------------------------------------------------------------------
@@ -276,8 +277,8 @@ type Fig7Result struct {
 // standard and checkpoint workloads, plus the on-demand cost comparator.
 func Fig7(seed int64) ([]Fig7Result, error) {
 	kinds := []workload.Kind{workload.KindStandard, workload.KindCheckpoint}
-	out := make([]Fig7Result, 0, len(kinds))
-	for _, kind := range kinds {
+	return Gather(len(kinds), func(i int) (Fig7Result, error) {
+		kind := kinds[i]
 		gen := func(s int64) ([]*workload.State, error) {
 			if kind == workload.KindCheckpoint {
 				return genCheckpoint(s, EvalInstances)
@@ -287,15 +288,15 @@ func Fig7(seed int64) ([]Fig7Result, error) {
 		envS := NewEnv(seed)
 		single, err := baselines.NewSingleRegion(envS.Catalog(), catalog.M5XLarge, BaselineRegionM5XLarge)
 		if err != nil {
-			return nil, err
+			return Fig7Result{}, err
 		}
 		wsS, err := gen(seed)
 		if err != nil {
-			return nil, err
+			return Fig7Result{}, err
 		}
 		resS, err := Run(envS, RunConfig{Workloads: wsS, Strategy: single, InstanceType: catalog.M5XLarge})
 		if err != nil {
-			return nil, fmt.Errorf("fig7 single %s: %w", kind, err)
+			return Fig7Result{}, fmt.Errorf("fig7 single %s: %w", kind, err)
 		}
 
 		envV := NewEnv(seed)
@@ -306,24 +307,23 @@ func Fig7(seed int64) ([]Fig7Result, error) {
 			Seed:             seed,
 		})
 		if err != nil {
-			return nil, err
+			return Fig7Result{}, err
 		}
 		wsV, err := gen(seed)
 		if err != nil {
-			return nil, err
+			return Fig7Result{}, err
 		}
 		resV, err := Run(envV, RunConfig{Workloads: wsV, Strategy: sv, InstanceType: catalog.M5XLarge, DisableSweep: true})
 		if err != nil {
-			return nil, fmt.Errorf("fig7 spotverse %s: %w", kind, err)
+			return Fig7Result{}, fmt.Errorf("fig7 spotverse %s: %w", kind, err)
 		}
 
 		odCost, err := onDemandComparatorCost(seed, gen)
 		if err != nil {
-			return nil, err
+			return Fig7Result{}, err
 		}
-		out = append(out, Fig7Result{Kind: kind, Single: resS, SpotVerse: resV, OnDemandCostUSD: odCost})
-	}
-	return out, nil
+		return Fig7Result{Kind: kind, Single: resS, SpotVerse: resV, OnDemandCostUSD: odCost}, nil
+	})
 }
 
 // Fig7TrialSingle runs one single-region trial of the Fig. 7 standard
@@ -401,30 +401,31 @@ var Fig8TypeSet = []catalog.InstanceType{catalog.M52XLarge, catalog.C52XLarge, c
 var Fig8SizeSet = []catalog.InstanceType{catalog.M5Large, catalog.M5XLarge, catalog.M52XLarge}
 
 // Fig8 runs the standard general workload over the given instance types,
-// each starting in its Table 1 baseline region.
+// each starting in its Table 1 baseline region. Types fan out across the
+// worker pool; rows come back in the input order.
 func Fig8(seed int64, types []catalog.InstanceType) ([]Fig8Row, error) {
-	out := make([]Fig8Row, 0, len(types))
-	for _, t := range types {
+	return Gather(len(types), func(i int) (Fig8Row, error) {
+		t := types[i]
 		// Table 1: the baseline region is the cheapest spot region over
 		// the opening weeks.
 		probe := NewEnv(seed)
 		baseRegion, _, err := probe.Market.CheapestSpotRegion(t, probe.Engine.Now(), probe.Engine.Now().Add(14*24*time.Hour))
 		if err != nil {
-			return nil, err
+			return Fig8Row{}, err
 		}
 
 		envS := NewEnv(seed)
 		single, err := baselines.NewSingleRegion(envS.Catalog(), t, baseRegion)
 		if err != nil {
-			return nil, err
+			return Fig8Row{}, err
 		}
 		wsS, err := genStandard(seed, EvalInstances)
 		if err != nil {
-			return nil, err
+			return Fig8Row{}, err
 		}
 		resS, err := Run(envS, RunConfig{Workloads: wsS, Strategy: single, InstanceType: t})
 		if err != nil {
-			return nil, fmt.Errorf("fig8 single %s: %w", t, err)
+			return Fig8Row{}, fmt.Errorf("fig8 single %s: %w", t, err)
 		}
 
 		envV := NewEnv(seed)
@@ -435,39 +436,38 @@ func Fig8(seed int64, types []catalog.InstanceType) ([]Fig8Row, error) {
 			Seed:             seed,
 		})
 		if err != nil {
-			return nil, err
+			return Fig8Row{}, err
 		}
 		wsV, err := genStandard(seed, EvalInstances)
 		if err != nil {
-			return nil, err
+			return Fig8Row{}, err
 		}
 		resV, err := Run(envV, RunConfig{Workloads: wsV, Strategy: sv, InstanceType: t, DisableSweep: true})
 		if err != nil {
-			return nil, fmt.Errorf("fig8 spotverse %s: %w", t, err)
+			return Fig8Row{}, fmt.Errorf("fig8 spotverse %s: %w", t, err)
 		}
 
 		envO := NewEnv(seed)
 		od, err := baselines.NewOnDemand(envO.Catalog(), t)
 		if err != nil {
-			return nil, err
+			return Fig8Row{}, err
 		}
 		wsO, err := genStandard(seed, EvalInstances)
 		if err != nil {
-			return nil, err
+			return Fig8Row{}, err
 		}
 		resO, err := Run(envO, RunConfig{Workloads: wsO, Strategy: od, InstanceType: t})
 		if err != nil {
-			return nil, err
+			return Fig8Row{}, err
 		}
-		out = append(out, Fig8Row{
+		return Fig8Row{
 			Type:            t,
 			BaselineRegion:  baseRegion,
 			Single:          resS,
 			SpotVerse:       resV,
 			OnDemandCostUSD: resO.TotalCostUSD,
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // ---------------------------------------------------------------------
@@ -488,8 +488,8 @@ type Fig9Result struct {
 // (threshold 6: us-west-1, ap-northeast-3, eu-west-1, eu-north-1).
 func Fig9(seed int64) ([]Fig9Result, error) {
 	kinds := []workload.Kind{workload.KindStandard, workload.KindCheckpoint}
-	out := make([]Fig9Result, 0, len(kinds))
-	for _, kind := range kinds {
+	return Gather(len(kinds), func(i int) (Fig9Result, error) {
+		kind := kinds[i]
 		gen := func(s int64) ([]*workload.State, error) {
 			if kind == workload.KindCheckpoint {
 				return genCheckpoint(s, EvalInstances)
@@ -515,7 +515,7 @@ func Fig9(seed int64) ([]Fig9Result, error) {
 			Seed:             seed,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("fig9 fixed %s: %w", kind, err)
+			return Fig9Result{}, fmt.Errorf("fig9 fixed %s: %w", kind, err)
 		}
 		spread, err := run(core.Config{
 			InstanceType: catalog.M5XLarge,
@@ -523,11 +523,10 @@ func Fig9(seed int64) ([]Fig9Result, error) {
 			Seed:         seed,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("fig9 spread %s: %w", kind, err)
+			return Fig9Result{}, fmt.Errorf("fig9 spread %s: %w", kind, err)
 		}
-		out = append(out, Fig9Result{Kind: kind, FixedStart: fixed, Spread: spread})
-	}
-	return out, nil
+		return Fig9Result{Kind: kind, FixedStart: fixed, Spread: spread}, nil
+	})
 }
 
 // ---------------------------------------------------------------------
@@ -554,69 +553,76 @@ var (
 
 // Fig10 sweeps score thresholds and workload durations with the bucket
 // selection the paper's Table 3 grouping implies, reporting cost
-// normalized against cheapest on-demand.
+// normalized against cheapest on-demand. The (threshold, duration) cells
+// are the sweep's heaviest independent units — threshold-4 cells simulate
+// 90-day horizons — so they all fan out across the worker pool and come
+// back in sweep order.
 func Fig10(seed int64) ([]Fig10Cell, error) {
-	var out []Fig10Cell
+	type comb struct{ threshold, hours int }
+	var combs []comb
 	for _, threshold := range Fig10Thresholds {
 		for _, hours := range Fig10Durations {
-			gen := func(s int64) ([]*workload.State, error) {
-				return workload.Generate(simclock.Stream(s, "wl-fig10"), workload.GenOptions{
-					Kind:        workload.KindStandard,
-					Count:       EvalInstances,
-					MinDuration: time.Duration(hours) * time.Hour,
-					MaxDuration: time.Duration(hours) * time.Hour,
-				})
-			}
-			env := NewEnv(seed)
-			sv, err := newSpotVerse(env, core.Config{
-				InstanceType: catalog.M5XLarge,
-				Threshold:    threshold,
-				Selection:    core.SelectBucket,
-				Seed:         seed,
-			})
-			if err != nil {
-				return nil, err
-			}
-			ws, err := gen(seed)
-			if err != nil {
-				return nil, err
-			}
-			res, err := Run(env, RunConfig{
-				Workloads:    ws,
-				Strategy:     sv,
-				InstanceType: catalog.M5XLarge,
-				DisableSweep: true,
-				// Threshold-4 cells restart long workloads in unstable
-				// regions many times over; give the geometric tail room.
-				Horizon: 90 * 24 * time.Hour,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("fig10 T=%d D=%dh: %w", threshold, hours, err)
-			}
-
-			envO := NewEnv(seed)
-			od, err := baselines.NewOnDemand(envO.Catalog(), catalog.M5XLarge)
-			if err != nil {
-				return nil, err
-			}
-			wsO, err := gen(seed)
-			if err != nil {
-				return nil, err
-			}
-			resO, err := Run(envO, RunConfig{Workloads: wsO, Strategy: od, InstanceType: catalog.M5XLarge})
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, Fig10Cell{
-				Threshold:       threshold,
-				DurationHours:   hours,
-				SpotVerse:       res,
-				OnDemandCostUSD: resO.TotalCostUSD,
-				NormalizedCost:  res.TotalCostUSD / resO.TotalCostUSD,
-			})
+			combs = append(combs, comb{threshold, hours})
 		}
 	}
-	return out, nil
+	return Gather(len(combs), func(i int) (Fig10Cell, error) {
+		threshold, hours := combs[i].threshold, combs[i].hours
+		gen := func(s int64) ([]*workload.State, error) {
+			return workload.Generate(simclock.Stream(s, "wl-fig10"), workload.GenOptions{
+				Kind:        workload.KindStandard,
+				Count:       EvalInstances,
+				MinDuration: time.Duration(hours) * time.Hour,
+				MaxDuration: time.Duration(hours) * time.Hour,
+			})
+		}
+		env := NewEnv(seed)
+		sv, err := newSpotVerse(env, core.Config{
+			InstanceType: catalog.M5XLarge,
+			Threshold:    threshold,
+			Selection:    core.SelectBucket,
+			Seed:         seed,
+		})
+		if err != nil {
+			return Fig10Cell{}, err
+		}
+		ws, err := gen(seed)
+		if err != nil {
+			return Fig10Cell{}, err
+		}
+		res, err := Run(env, RunConfig{
+			Workloads:    ws,
+			Strategy:     sv,
+			InstanceType: catalog.M5XLarge,
+			DisableSweep: true,
+			// Threshold-4 cells restart long workloads in unstable
+			// regions many times over; give the geometric tail room.
+			Horizon: 90 * 24 * time.Hour,
+		})
+		if err != nil {
+			return Fig10Cell{}, fmt.Errorf("fig10 T=%d D=%dh: %w", threshold, hours, err)
+		}
+
+		envO := NewEnv(seed)
+		od, err := baselines.NewOnDemand(envO.Catalog(), catalog.M5XLarge)
+		if err != nil {
+			return Fig10Cell{}, err
+		}
+		wsO, err := gen(seed)
+		if err != nil {
+			return Fig10Cell{}, err
+		}
+		resO, err := Run(envO, RunConfig{Workloads: wsO, Strategy: od, InstanceType: catalog.M5XLarge})
+		if err != nil {
+			return Fig10Cell{}, err
+		}
+		return Fig10Cell{
+			Threshold:       threshold,
+			DurationHours:   hours,
+			SpotVerse:       res,
+			OnDemandCostUSD: resO.TotalCostUSD,
+			NormalizedCost:  res.TotalCostUSD / resO.TotalCostUSD,
+		}, nil
+	})
 }
 
 // Table3Selection reports the regions the optimizer selects per
@@ -689,39 +695,51 @@ type Table4Result struct {
 
 // Table4 runs 40 standard general workloads under SpotVerse (spread
 // start, threshold 6) and under the SkyPilot-style cheapest-price broker.
+// The two contenders run concurrently on separate environments.
 func Table4(seed int64) (*Table4Result, error) {
-	envV := NewEnv(seed)
-	sv, err := newSpotVerse(envV, core.Config{
-		InstanceType: catalog.M5XLarge,
-		Threshold:    6,
-		Seed:         seed,
-	})
+	contenders := []func() (*Result, error){
+		func() (*Result, error) {
+			envV := NewEnv(seed)
+			sv, err := newSpotVerse(envV, core.Config{
+				InstanceType: catalog.M5XLarge,
+				Threshold:    6,
+				Seed:         seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			wsV, err := genStandard(seed, EvalInstances)
+			if err != nil {
+				return nil, err
+			}
+			res, err := Run(envV, RunConfig{Workloads: wsV, Strategy: sv, InstanceType: catalog.M5XLarge, DisableSweep: true})
+			if err != nil {
+				return nil, fmt.Errorf("table4 spotverse: %w", err)
+			}
+			return res, nil
+		},
+		func() (*Result, error) {
+			envP := NewEnv(seed)
+			sky, err := baselines.NewSkyPilotLike(envP.Engine, envP.Market, catalog.M5XLarge)
+			if err != nil {
+				return nil, err
+			}
+			wsP, err := genStandard(seed, EvalInstances)
+			if err != nil {
+				return nil, err
+			}
+			res, err := Run(envP, RunConfig{Workloads: wsP, Strategy: sky, InstanceType: catalog.M5XLarge})
+			if err != nil {
+				return nil, fmt.Errorf("table4 skypilot: %w", err)
+			}
+			return res, nil
+		},
+	}
+	results, err := Gather(len(contenders), func(i int) (*Result, error) { return contenders[i]() })
 	if err != nil {
 		return nil, err
 	}
-	wsV, err := genStandard(seed, EvalInstances)
-	if err != nil {
-		return nil, err
-	}
-	resV, err := Run(envV, RunConfig{Workloads: wsV, Strategy: sv, InstanceType: catalog.M5XLarge, DisableSweep: true})
-	if err != nil {
-		return nil, fmt.Errorf("table4 spotverse: %w", err)
-	}
-
-	envP := NewEnv(seed)
-	sky, err := baselines.NewSkyPilotLike(envP.Engine, envP.Market, catalog.M5XLarge)
-	if err != nil {
-		return nil, err
-	}
-	wsP, err := genStandard(seed, EvalInstances)
-	if err != nil {
-		return nil, err
-	}
-	resP, err := Run(envP, RunConfig{Workloads: wsP, Strategy: sky, InstanceType: catalog.M5XLarge})
-	if err != nil {
-		return nil, fmt.Errorf("table4 skypilot: %w", err)
-	}
-	return &Table4Result{SpotVerse: resV, SkyPilot: resP}, nil
+	return &Table4Result{SpotVerse: results[0], SkyPilot: results[1]}, nil
 }
 
 func max(a, b int) int {

@@ -1,0 +1,119 @@
+package experiment
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the harness's parallel runner. The paper's evaluation is a
+// large sweep — every table and figure re-simulates 16 regions × many
+// instance types, repeated over seeds — and every unit of that sweep is
+// independent by construction: each trial, figure cell, and resilience
+// cell builds its own Env (engine, market, provider, ledger) from its own
+// seed and never touches another unit's state. That makes the sweep
+// embarrassingly parallel, and it makes determinism easy to preserve:
+// workers write results into index-addressed slots, callers render in the
+// original order, and the rendered bytes are identical whether one worker
+// ran or sixteen.
+//
+// The pool is bounded (default GOMAXPROCS) and nesting-tolerant: a ForEach
+// inside a ForEach caps its own fan-out rather than drawing from a global
+// semaphore, so nested use can mildly oversubscribe the CPUs but can never
+// deadlock. With the worker count set to 1 every call degenerates to the
+// exact sequential loop, including its early-exit-on-error behaviour.
+
+// workerCount is the process-wide worker bound. Zero and negative values
+// are normalised to 1 on read; the default is GOMAXPROCS.
+var workerCount atomic.Int64
+
+func init() { workerCount.Store(int64(runtime.GOMAXPROCS(0))) }
+
+// Workers reports the current parallel worker bound (>= 1).
+func Workers() int {
+	n := int(workerCount.Load())
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+// SetWorkers sets the worker bound used by ForEach and Gather and returns
+// the previous value. n <= 1 forces fully sequential execution (the
+// byte-identical reference path); the default is GOMAXPROCS.
+func SetWorkers(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	return int(workerCount.Swap(int64(n)))
+}
+
+// ForEach runs fn(0), fn(1), … fn(n-1), fanning out across at most
+// Workers() goroutines. Results must be written by fn into index-addressed
+// storage; ForEach guarantees nothing about execution order, only that
+// every index ran when it returns nil.
+//
+// Error semantics are deterministic: with one worker the loop stops at the
+// first failing index exactly like the sequential code it replaces; with
+// several workers every index runs and the error of the lowest failing
+// index is returned, so the reported failure does not depend on goroutine
+// scheduling.
+func ForEach(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	w := Workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Gather is ForEach with collection: it runs fn for every index and
+// returns the results in index order, so a caller that renders the slice
+// sequentially produces output independent of the worker count.
+func Gather[T any](n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(n, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,131 @@
+package experiment
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func withWorkers(t *testing.T, n int) {
+	t.Helper()
+	prev := SetWorkers(n)
+	t.Cleanup(func() { SetWorkers(prev) })
+}
+
+func TestSetWorkersClampsAndRestores(t *testing.T) {
+	prev := SetWorkers(5)
+	defer SetWorkers(prev)
+	if got := Workers(); got != 5 {
+		t.Fatalf("Workers() = %d, want 5", got)
+	}
+	if got := SetWorkers(0); got != 5 {
+		t.Fatalf("SetWorkers(0) returned previous %d, want 5", got)
+	}
+	// Non-positive requests mean "sequential", never zero workers.
+	if got := Workers(); got != 1 {
+		t.Fatalf("Workers() after SetWorkers(0) = %d, want 1", got)
+	}
+}
+
+func TestForEachRunsEveryIndex(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		withWorkers(t, workers)
+		var hits [17]atomic.Int32
+		if err := ForEach(len(hits), func(i int) error {
+			hits[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachReturnsLowestIndexError(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		withWorkers(t, workers)
+		err := ForEach(10, func(i int) error {
+			if i%3 == 1 { // indices 1, 4, 7 fail
+				return fmt.Errorf("boom %d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "boom 1" {
+			t.Fatalf("workers=%d: err = %v, want boom 1", workers, err)
+		}
+	}
+}
+
+func TestForEachZeroItems(t *testing.T) {
+	withWorkers(t, 4)
+	if err := ForEach(0, func(int) error { return errors.New("must not run") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGatherPreservesOrder(t *testing.T) {
+	for _, workers := range []int{1, 4, 16} {
+		withWorkers(t, workers)
+		got, err := Gather(50, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != 50 {
+			t.Fatalf("workers=%d: len = %d", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: got[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestGatherErrorDiscardsResults(t *testing.T) {
+	withWorkers(t, 4)
+	sentinel := errors.New("sentinel")
+	res, err := Gather(8, func(i int) (int, error) {
+		if i >= 6 {
+			return 0, sentinel
+		}
+		return i, nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+	if res != nil {
+		t.Fatalf("results should be nil on error, got %v", res)
+	}
+}
+
+// TestNestedForEach exercises the shape runAll creates: a Gather over
+// experiments whose bodies themselves Gather over seeds. The pool is
+// per-call, so nesting must complete rather than deadlock.
+func TestNestedForEach(t *testing.T) {
+	withWorkers(t, 4)
+	outer, err := Gather(6, func(i int) (int, error) {
+		inner, err := Gather(6, func(j int) (int, error) { return i*10 + j, nil })
+		if err != nil {
+			return 0, err
+		}
+		sum := 0
+		for _, v := range inner {
+			sum += v
+		}
+		return sum, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, got := range outer {
+		want := i*60 + 15
+		if got != want {
+			t.Fatalf("outer[%d] = %d, want %d", i, got, want)
+		}
+	}
+}

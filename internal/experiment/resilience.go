@@ -223,17 +223,26 @@ func resilienceCell(name string, seed int64, intensity chaos.Intensity, n int) (
 
 // ResilienceMatrix runs the sweep over the given strategies and
 // intensities (both in order), filling per-strategy inflation ratios
-// against each strategy's intensity-0 cell.
+// against each strategy's intensity-0 cell. Every (strategy, intensity)
+// cell builds its own environment, so all cells fan out across the worker
+// pool at once; the inflation ratios are filled in a sequential second
+// pass over the ordered rows, keeping the table independent of worker
+// count.
 func ResilienceMatrix(seed int64, strategies []string, intensities []chaos.Intensity, n int) ([]ResilienceRow, error) {
-	out := make([]ResilienceRow, 0, len(strategies)*len(intensities))
-	for _, name := range strategies {
+	cells, err := Gather(len(strategies)*len(intensities), func(idx int) (*ResilienceRow, error) {
+		name := strategies[idx/len(intensities)]
+		intensity := intensities[idx%len(intensities)]
+		return resilienceCell(name, seed, intensity, n)
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ResilienceRow, 0, len(cells))
+	for si := range strategies {
 		var base *ResilienceRow
-		for _, i := range intensities {
-			row, err := resilienceCell(name, seed, i, n)
-			if err != nil {
-				return nil, err
-			}
-			if i == chaos.Off {
+		for ii, intensity := range intensities {
+			row := cells[si*len(intensities)+ii]
+			if intensity == chaos.Off {
 				base = row
 			}
 			if base != nil {

@@ -55,21 +55,28 @@ type TrialSummary struct {
 }
 
 // Trials runs fn for seeds base, base+1, … base+n-1 and aggregates.
+// Trials fan out across the worker pool (each trial builds its own Env
+// from its own seed); results land in seed order regardless of worker
+// count, so the summary is byte-for-byte the sequential one.
 func Trials(n int, base int64, fn func(seed int64) (*Result, error)) (*TrialSummary, error) {
 	if n <= 0 {
 		return nil, ErrNoTrials
 	}
-	var (
-		intr, mk, cost []float64
-		results        []*Result
-	)
-	for i := 0; i < n; i++ {
+	results, err := Gather(n, func(i int) (*Result, error) {
 		seed := base + int64(i)
 		res, err := fn(seed)
 		if err != nil {
 			return nil, fmt.Errorf("trial seed %d: %w", seed, err)
 		}
-		results = append(results, res)
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	intr := make([]float64, 0, n)
+	mk := make([]float64, 0, n)
+	cost := make([]float64, 0, n)
+	for _, res := range results {
 		intr = append(intr, float64(res.Interruptions))
 		mk = append(mk, res.MakespanHours)
 		cost = append(cost, res.TotalCostUSD)

@@ -1,0 +1,150 @@
+package market
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"spotverse/internal/catalog"
+	"spotverse/internal/simclock"
+)
+
+// naiveAveragePrice recomputes AveragePrice the pre-cache way: walk the
+// window step by step and take the min over AZ spot prices at each
+// step. Both paths read the same walks, so this pins the prefix-sum
+// implementation to the original semantics.
+func naiveAveragePrice(t *testing.T, m *Model, it catalog.InstanceType, r catalog.Region, from, to time.Time) float64 {
+	t.Helper()
+	azs := m.Catalog().Zones(r)
+	n := int(to.Sub(from)/PriceStep) + 1
+	var sum float64
+	for ts, i := from, 0; i < n; ts, i = ts.Add(PriceStep), i+1 {
+		best := math.Inf(1)
+		for _, az := range azs {
+			p, err := m.SpotPrice(it, az, ts)
+			if err != nil {
+				t.Fatalf("SpotPrice(%s, %s): %v", it, az, err)
+			}
+			if p < best {
+				best = p
+			}
+		}
+		sum += best
+	}
+	return sum / float64(n)
+}
+
+func TestAveragePriceMatchesNaiveScan(t *testing.T) {
+	m := newModel()
+	rng := rand.New(rand.NewSource(7))
+	regions := m.Catalog().OfferedRegions(catalog.M5XLarge)
+	for i := 0; i < 40; i++ {
+		r := regions[rng.Intn(len(regions))]
+		from := simclock.Epoch.Add(time.Duration(rng.Intn(200)) * PriceStep)
+		to := from.Add(time.Duration(rng.Intn(120)) * PriceStep)
+		got, err := m.AveragePrice(catalog.M5XLarge, r, from, to)
+		if err != nil {
+			t.Fatalf("AveragePrice(%s, %s..%s): %v", r, from, to, err)
+		}
+		want := naiveAveragePrice(t, m, catalog.M5XLarge, r, from, to)
+		if diff := math.Abs(got-want) / want; diff > 1e-12 {
+			t.Fatalf("window %d: AveragePrice(%s) = %.15f, naive scan = %.15f (rel diff %.3g)",
+				i, r, got, want, diff)
+		}
+	}
+}
+
+func TestAveragePriceWindowAtStartIsExact(t *testing.T) {
+	m := newModel()
+	for _, r := range m.Catalog().OfferedRegions(catalog.M5XLarge) {
+		from := simclock.Epoch
+		to := from.Add(60 * PriceStep)
+		got, err := m.AveragePrice(catalog.M5XLarge, r, from, to)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := naiveAveragePrice(t, m, catalog.M5XLarge, r, from, to); got != want {
+			t.Fatalf("start-anchored window must be bit-identical: got %.17g, want %.17g in %s", got, want, r)
+		}
+	}
+}
+
+func TestAveragePricePreStartWindowClamps(t *testing.T) {
+	m := newModel()
+	r := m.Catalog().OfferedRegions(catalog.M5XLarge)[0]
+	from := simclock.Epoch.Add(-3 * PriceStep) // clamps to step 0
+	to := simclock.Epoch.Add(10 * PriceStep)
+	got, err := m.AveragePrice(catalog.M5XLarge, r, from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := naiveAveragePrice(t, m, catalog.M5XLarge, r, from, to)
+	if diff := math.Abs(got - want); diff > 1e-12 {
+		t.Fatalf("pre-start window: got %.15f, want %.15f", got, want)
+	}
+}
+
+func TestAveragePriceReversedWindowRejected(t *testing.T) {
+	m := newModel()
+	r := m.Catalog().OfferedRegions(catalog.M5XLarge)[0]
+	from := simclock.Epoch.Add(24 * time.Hour)
+	if _, err := m.AveragePrice(catalog.M5XLarge, r, from, from.Add(-time.Hour)); err == nil {
+		t.Fatal("reversed window should error")
+	}
+}
+
+func TestRegionSpotPriceMatchesScan(t *testing.T) {
+	m := newModel()
+	for _, r := range m.Catalog().OfferedRegions(catalog.M5XLarge) {
+		for step := 0; step < 50; step += 7 {
+			at := simclock.Epoch.Add(time.Duration(step) * PriceStep)
+			price, az, err := m.RegionSpotPrice(catalog.M5XLarge, r, at)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Mirror the original scan, first-strict-min tie-break included.
+			var wantPrice float64
+			var wantAZ catalog.AZ
+			for i, zone := range m.Catalog().Zones(r) {
+				p, err := m.SpotPrice(catalog.M5XLarge, zone, at)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if i == 0 || p < wantPrice {
+					wantPrice, wantAZ = p, zone
+				}
+			}
+			if price != wantPrice || az != wantAZ {
+				t.Fatalf("RegionSpotPrice(%s@%d) = (%.6f, %s), scan says (%.6f, %s)",
+					r, step, price, az, wantPrice, wantAZ)
+			}
+		}
+	}
+}
+
+func TestCheapestSpotRegionMemoized(t *testing.T) {
+	m := newModel()
+	from := simclock.Epoch
+	to := from.Add(14 * 24 * time.Hour)
+	r1, p1, err := m.CheapestSpotRegion(catalog.M5XLarge, from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, p2, err := m.CheapestSpotRegion(catalog.M5XLarge, from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 || p1 != p2 {
+		t.Fatalf("memoized call diverged: (%s, %f) then (%s, %f)", r1, p1, r2, p2)
+	}
+	// A fresh model must agree — the memo is a cache, not a state change.
+	fresh := newModel()
+	r3, p3, err := fresh.CheapestSpotRegion(catalog.M5XLarge, from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r3 || p1 != p3 {
+		t.Fatalf("fresh model disagrees: (%s, %f) vs (%s, %f)", r1, p1, r3, p3)
+	}
+}

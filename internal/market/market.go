@@ -14,6 +14,14 @@
 //
 // All processes are deterministic for a given seed and are generated
 // lazily but sequentially, so query order never changes the series.
+//
+// Hot-path queries are cached: each (type, region) keeps a per-step
+// cheapest-AZ series with prefix sums, so AveragePrice answers in O(1)
+// after the window is materialised and RegionSpotPrice in O(1) per step,
+// and CheapestSpotRegion rankings are memoized per (type, window). The
+// caches never invalidate — walks are append-only, so a materialised step
+// can never change. A Model is not safe for concurrent use; the parallel
+// experiment harness gives every worker its own Model.
 package market
 
 import (
@@ -91,6 +99,13 @@ type Model struct {
 	prices map[azKey]*walk
 	freq   map[Key]*walk
 	sps    map[Key]*walk
+
+	// regionMin caches, per (type, region), the per-step cheapest-AZ
+	// price series with prefix sums (the AveragePrice/RegionSpotPrice
+	// hot path). Walks are append-only so entries never invalidate.
+	regionMin map[Key]*minSeries
+	// cheapest memoizes CheapestSpotRegion rankings per (type, window).
+	cheapest map[cheapKey]cheapEntry
 
 	// seasonal enables hour-of-week hazard modulation (seasonality.go).
 	seasonal bool
@@ -173,12 +188,14 @@ type azKey struct {
 // with series starting at start.
 func New(cat *catalog.Catalog, seed int64, start time.Time) *Model {
 	return &Model{
-		cat:    cat,
-		seed:   seed,
-		start:  start,
-		prices: make(map[azKey]*walk),
-		freq:   make(map[Key]*walk),
-		sps:    make(map[Key]*walk),
+		cat:       cat,
+		seed:      seed,
+		start:     start,
+		prices:    make(map[azKey]*walk),
+		freq:      make(map[Key]*walk),
+		sps:       make(map[Key]*walk),
+		regionMin: make(map[Key]*minSeries),
+		cheapest:  make(map[cheapKey]cheapEntry),
 	}
 }
 
@@ -224,12 +241,28 @@ func (w *walk) at(k int) float64 {
 	if k < 0 {
 		k = 0
 	}
+	w.extendTo(k)
+	return w.samples[k]
+}
+
+// extendTo materialises the series through step k. The backing array is
+// grown to its final size in one allocation instead of append-doubling;
+// samples are still generated strictly sequentially so the values are
+// identical whatever the query order.
+func (w *walk) extendTo(k int) {
+	if len(w.samples) > k {
+		return
+	}
+	if cap(w.samples) <= k {
+		grown := make([]float64, len(w.samples), k+1)
+		copy(grown, w.samples)
+		w.samples = grown
+	}
 	for len(w.samples) <= k {
 		prev := w.samples[len(w.samples)-1]
 		next := prev + w.revert*(w.base-prev) + w.rng.Normal(0, w.sigma)
 		w.samples = append(w.samples, clamp(next, w.lo, w.hi))
 	}
-	return w.samples[k]
 }
 
 func (m *Model) stepIndex(at time.Time, step time.Duration) int {
@@ -377,29 +410,94 @@ func (m *Model) SpotPrice(t catalog.InstanceType, az catalog.AZ, at time.Time) (
 	return w.at(m.stepIndex(at, PriceStep)), nil
 }
 
+// minSeries is the cached per-step cheapest-AZ price series for one
+// (type, region): the regional spot price AveragePrice integrates and
+// RegionSpotPrice reports. prefix carries running sums (prefix[0] = 0,
+// prefix[k+1] = prefix[k] + min[k]) so any window sum starting at the
+// model start is a single subtraction — and a window anchored at step 0
+// reproduces the naive left-to-right summation bit for bit.
+type minSeries struct {
+	azs    []catalog.AZ
+	walks  []*walk
+	min    []float64
+	argAZ  []int32
+	prefix []float64
+}
+
+// extendTo materialises the min series through step k, extending every
+// AZ walk on the way. Each walk draws from its own RNG stream, so the
+// values are independent of extension interleaving.
+func (s *minSeries) extendTo(k int) {
+	if len(s.min) > k {
+		return
+	}
+	if cap(s.min) <= k {
+		grownMin := make([]float64, len(s.min), k+1)
+		copy(grownMin, s.min)
+		s.min = grownMin
+		grownArg := make([]int32, len(s.argAZ), k+1)
+		copy(grownArg, s.argAZ)
+		s.argAZ = grownArg
+		grownPre := make([]float64, len(s.prefix), k+2)
+		copy(grownPre, s.prefix)
+		s.prefix = grownPre
+	}
+	for _, w := range s.walks {
+		w.extendTo(k)
+	}
+	for i := len(s.min); i <= k; i++ {
+		// Same tie-break as the scan it replaces: first AZ in zone order
+		// with the strictly lowest price.
+		best, arg := s.walks[0].samples[i], 0
+		for j := 1; j < len(s.walks); j++ {
+			if v := s.walks[j].samples[i]; v < best {
+				best, arg = v, j
+			}
+		}
+		s.min = append(s.min, best)
+		s.argAZ = append(s.argAZ, int32(arg))
+		s.prefix = append(s.prefix, s.prefix[len(s.prefix)-1]+best)
+	}
+}
+
+// regionSeries returns (building on first use) the cached cheapest-AZ
+// series for (t, r).
+func (m *Model) regionSeries(t catalog.InstanceType, r catalog.Region) (*minSeries, error) {
+	k := Key{Region: r, Type: t}
+	if s, ok := m.regionMin[k]; ok {
+		return s, nil
+	}
+	if !m.cat.Offered(t, r) {
+		return nil, fmt.Errorf("market: %s not offered in %s", t, r)
+	}
+	azs := m.cat.Zones(r)
+	if len(azs) == 0 {
+		return nil, fmt.Errorf("market: region %s has no zones", r)
+	}
+	s := &minSeries{azs: azs, walks: make([]*walk, 0, len(azs)), prefix: []float64{0}}
+	for _, az := range azs {
+		w, err := m.priceWalk(t, az)
+		if err != nil {
+			return nil, err
+		}
+		s.walks = append(s.walks, w)
+	}
+	m.regionMin[k] = s
+	return s, nil
+}
+
 // RegionSpotPrice returns the cheapest AZ spot price of t in r, and the AZ.
 func (m *Model) RegionSpotPrice(t catalog.InstanceType, r catalog.Region, at time.Time) (float64, catalog.AZ, error) {
 	if !m.cat.Offered(t, r) {
 		return 0, "", fmt.Errorf("market: %s not offered in %s", t, r)
 	}
-	var (
-		best   float64
-		bestAZ catalog.AZ
-		found  bool
-	)
-	for _, az := range m.cat.Zones(r) {
-		p, err := m.SpotPrice(t, az, at)
-		if err != nil {
-			return 0, "", err
-		}
-		if !found || p < best {
-			best, bestAZ, found = p, az, true
-		}
+	s, err := m.regionSeries(t, r)
+	if err != nil {
+		return 0, "", err
 	}
-	if !found {
-		return 0, "", fmt.Errorf("market: region %s has no zones", r)
-	}
-	return best, bestAZ, nil
+	k := m.stepIndex(at, PriceStep)
+	s.extendTo(k)
+	return s.min[k], s.azs[s.argAZ[k]], nil
 }
 
 // PriceHistory returns the price series of t in az on [from, to] sampled
@@ -411,13 +509,18 @@ func (m *Model) PriceHistory(t catalog.InstanceType, az catalog.AZ, from, to tim
 	if to.Before(from) {
 		return nil, fmt.Errorf("market: history to %s before from %s", to, from)
 	}
-	var out []PricePoint
+	w, err := m.priceWalk(t, az)
+	if err != nil {
+		return nil, err
+	}
+	// One allocation for the whole series, and the walk is materialised
+	// through the last step up front so the loop is pure array indexing
+	// instead of per-sample map lookups and growth.
+	n := int(to.Sub(from)/step) + 1
+	w.extendTo(m.stepIndex(from.Add(time.Duration(n-1)*step), PriceStep))
+	out := make([]PricePoint, 0, n)
 	for ts := from; !ts.After(to); ts = ts.Add(step) {
-		p, err := m.SpotPrice(t, az, ts)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, PricePoint{Time: ts, USDPerHour: p})
+		out = append(out, PricePoint{Time: ts, USDPerHour: w.samples[m.stepIndex(ts, PriceStep)]})
 	}
 	return out, nil
 }
@@ -569,30 +672,60 @@ func (m *Model) AdvisorSnapshot(t catalog.InstanceType, at time.Time) ([]Advisor
 
 // AveragePrice returns the time-averaged regional spot price of t in r
 // over [from, to], used for stable "cheapest region" rankings (Table 1).
+//
+// The average reads the cached cheapest-AZ prefix sums: after the window
+// is materialised the answer is one subtraction instead of a rescan of
+// every price step across every AZ. A window whose first step lands on
+// the model start reproduces the naive left-to-right summation exactly;
+// other alignments agree to float64 rounding (~1e-12 relative).
 func (m *Model) AveragePrice(t catalog.InstanceType, r catalog.Region, from, to time.Time) (float64, error) {
 	if !m.cat.Offered(t, r) {
 		return 0, fmt.Errorf("market: %s not offered in %s", t, r)
 	}
-	var sum float64
-	var n int
-	for ts := from; !ts.After(to); ts = ts.Add(PriceStep) {
-		p, _, err := m.RegionSpotPrice(t, r, ts)
-		if err != nil {
-			return 0, err
-		}
-		sum += p
-		n++
-	}
-	if n == 0 {
+	if to.Before(from) {
 		return 0, fmt.Errorf("market: empty averaging window")
 	}
-	return sum / float64(n), nil
+	s, err := m.regionSeries(t, r)
+	if err != nil {
+		return 0, err
+	}
+	n := int(to.Sub(from)/PriceStep) + 1
+	last := m.stepIndex(from.Add(time.Duration(n-1)*PriceStep), PriceStep)
+	s.extendTo(last)
+	if from.Before(m.start) {
+		// Pre-start samples clamp to step 0, so the window's step indices
+		// are not contiguous; sum term by term (still cached, no rescans).
+		var sum float64
+		for ts, i := from, 0; i < n; ts, i = ts.Add(PriceStep), i+1 {
+			sum += s.min[m.stepIndex(ts, PriceStep)]
+		}
+		return sum / float64(n), nil
+	}
+	k0 := m.stepIndex(from, PriceStep)
+	return (s.prefix[last+1] - s.prefix[k0]) / float64(n), nil
+}
+
+// cheapKey addresses one memoized CheapestSpotRegion ranking.
+type cheapKey struct {
+	t        catalog.InstanceType
+	from, to int64
+}
+
+type cheapEntry struct {
+	region catalog.Region
+	price  float64
 }
 
 // CheapestSpotRegion returns the region with the lowest time-averaged spot
 // price for t over the window — the paper's per-type "baseline region"
-// (Table 1).
+// (Table 1). Rankings are memoized per (type, window): Table 1, Fig. 8 and
+// every baseline-region probe ask for the same opening-weeks window over
+// and over.
 func (m *Model) CheapestSpotRegion(t catalog.InstanceType, from, to time.Time) (catalog.Region, float64, error) {
+	ck := cheapKey{t: t, from: from.UnixNano(), to: to.UnixNano()}
+	if e, ok := m.cheapest[ck]; ok {
+		return e.region, e.price, nil
+	}
 	var (
 		best      catalog.Region
 		bestPrice float64
@@ -610,5 +743,6 @@ func (m *Model) CheapestSpotRegion(t catalog.InstanceType, from, to time.Time) (
 	if !found {
 		return "", 0, fmt.Errorf("market: %s offered nowhere", t)
 	}
+	m.cheapest[ck] = cheapEntry{region: best, price: bestPrice}
 	return best, bestPrice, nil
 }

@@ -152,6 +152,16 @@ const (
 	DurabilityReplicated = experiment.DurabilityReplicated
 )
 
+// SetParallelism bounds the experiment harness's worker pool: how many
+// independent simulations (trial seeds, figure cells, sweep cells) run
+// concurrently. n <= 1 forces fully sequential execution. Results are
+// collected in input order, so rendered output is byte-identical for
+// every setting. Returns the previous bound.
+func SetParallelism(n int) int { return experiment.SetWorkers(n) }
+
+// Parallelism reports the current worker-pool bound (always >= 1).
+func Parallelism() int { return experiment.Workers() }
+
 // Simulation is one deterministic simulated cloud plus the services
 // SpotVerse deploys onto.
 type Simulation struct {
