@@ -3,7 +3,7 @@ GO ?= go
 # PR counter for benchmark snapshots (BENCH_$(PR).json).
 PR ?= 3
 
-.PHONY: build test race vet verify experiments bench profile
+.PHONY: build test race vet vet-determinism lint verify experiments bench profile
 
 build:
 	$(GO) build ./...
@@ -17,9 +17,23 @@ race:
 vet:
 	$(GO) vet ./...
 
-# verify is the pre-merge gate: static checks, a clean build, and the
-# full test suite under the race detector.
-verify: vet build race
+# vet-determinism runs the two built-in vet passes closest to the
+# determinism suite — copylocks and loopclosure — explicitly, so the
+# built-in and custom analyzers share the verify entry point.
+vet-determinism:
+	$(GO) vet -copylocks -loopclosure ./...
+
+# lint builds and runs the spotverse-lint multichecker: the custom
+# determinism analyzers (detrand, mapiter, seedflow, errdrop, locks)
+# over every package. Violations fail the build; see DESIGN.md "Static
+# analysis & determinism invariants".
+lint:
+	$(GO) run ./cmd/spotverse-lint ./...
+
+# verify is the pre-merge gate: static checks (vet, the determinism
+# lint suite), a clean build, and the full test suite under the race
+# detector.
+verify: vet vet-determinism lint build race
 
 experiments:
 	$(GO) run ./cmd/spotverse-experiments -exp all

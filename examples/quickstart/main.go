@@ -7,6 +7,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"sort"
 
 	"spotverse"
 )
@@ -72,8 +73,13 @@ func run() error {
 		100*(1-managed.MakespanHours/baseline.MakespanHours),
 		100*(1-managed.TotalCostUSD/baseline.TotalCostUSD))
 	fmt.Println("\nSpotVerse launches by region:")
-	for region, launches := range managed.LaunchesByRegion {
-		fmt.Printf("  %-16s %d\n", region, launches)
+	regions := make([]spotverse.Region, 0, len(managed.LaunchesByRegion))
+	for r := range managed.LaunchesByRegion {
+		regions = append(regions, r)
+	}
+	sort.Slice(regions, func(i, j int) bool { return regions[i] < regions[j] })
+	for _, region := range regions {
+		fmt.Printf("  %-16s %d\n", region, managed.LaunchesByRegion[region])
 	}
 	return nil
 }

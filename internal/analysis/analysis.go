@@ -1,0 +1,165 @@
+// Package analysis is the determinism lint suite behind spotverse-lint.
+//
+// Every reproducibility guarantee this repository makes — byte-identical
+// `-exp all` output at any -parallel level, exactly-once journal replay,
+// reproducible chaos sweeps — rests on three conventions: all randomness
+// flows through internal/simclock, all time comes from the simulated
+// clock, and no output path depends on Go's randomized map iteration
+// order. This package turns those conventions into machine-checked
+// invariants.
+//
+// The API deliberately mirrors golang.org/x/tools/go/analysis (Analyzer,
+// Pass, Diagnostic, Reportf) so the analyzers port mechanically if that
+// module ever becomes available here. The build environment for this
+// repository is fully offline — no module proxy — so the framework is a
+// self-contained reimplementation on the standard library: packages are
+// loaded with `go list -export` and type-checked through
+// go/importer.ForCompiler export-data lookup (see load.go).
+//
+// Findings can be suppressed, one line at a time, with a directive
+// comment on the line above (or trailing on the same line as) the
+// finding:
+//
+//	//spotverse:allow <analyzer> <reason>
+//
+// The reason is mandatory; a directive without one, or one naming an
+// unknown analyzer, is itself reported as a finding.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one named static check. It mirrors the x/tools type of the
+// same name: Run inspects a fully type-checked package through its Pass
+// and reports findings via pass.Reportf.
+type Analyzer struct {
+	// Name identifies the analyzer in output, in -only selections, and
+	// in //spotverse:allow directives. It must be a single lowercase
+	// word.
+	Name string
+	// Doc is a one-paragraph description shown by `spotverse-lint -list`.
+	Doc string
+	// Run performs the check over one package.
+	Run func(*Pass) error
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      pos,
+		Position: p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of expr, or nil if unknown.
+func (p *Pass) TypeOf(expr ast.Expr) types.Type {
+	return p.TypesInfo.TypeOf(expr)
+}
+
+// ObjectOf returns the object an identifier denotes (definition or use),
+// or nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if obj := p.TypesInfo.Defs[id]; obj != nil {
+		return obj
+	}
+	return p.TypesInfo.Uses[id]
+}
+
+// Diagnostic is one finding, resolved to a file position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Pos
+	Position token.Position
+	Message  string
+}
+
+// String renders the canonical file:line:col form consumed by editors.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s",
+		d.Position.Filename, d.Position.Line, d.Position.Column, d.Analyzer, d.Message)
+}
+
+// Run applies each analyzer to each loaded package and returns the
+// surviving findings: suppressed ones are dropped, malformed suppression
+// directives are added (see suppress.go), and the result is sorted by
+// position for stable output.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				diags:     &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
+			}
+		}
+	}
+	// Directives may name any suite analyzer, not just the ones running
+	// (e.g. a single-analyzer fixture run still accepts cross-analyzer
+	// suppressions).
+	known := map[string]bool{}
+	for _, a := range Suite() {
+		known[a.Name] = true
+	}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		out = append(out, filterSuppressed(pkg.Fset, pkg.Files, diagsInPkg(diags, pkg), known)...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Position, out[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out, nil
+}
+
+// diagsInPkg selects the diagnostics whose position falls in one of the
+// package's files.
+func diagsInPkg(diags []Diagnostic, pkg *Package) []Diagnostic {
+	files := make(map[string]bool, len(pkg.Files))
+	for _, f := range pkg.Files {
+		files[pkg.Fset.Position(f.Pos()).Filename] = true
+	}
+	var out []Diagnostic
+	for _, d := range diags {
+		if files[d.Position.Filename] {
+			out = append(out, d)
+		}
+	}
+	return out
+}

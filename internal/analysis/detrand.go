@@ -1,0 +1,118 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DetRand forbids ambient sources of nondeterminism: wall-clock reads
+// and the process-global math/rand stream. Simulation code must take
+// time from simclock.Engine and randomness from named simclock streams,
+// or every seed-reproducible experiment guarantee dissolves.
+//
+// Findings:
+//   - time.Now / time.Since / time.Until and the wall-clock wait family
+//     (Sleep, After, AfterFunc, Tick, NewTimer, NewTicker)
+//   - any global math/rand function (rand.Intn, rand.Float64, rand.Seed,
+//     …) — these share one process-wide, order-sensitive stream
+//   - rand.NewSource with a non-constant seed, and rand.New over it —
+//     a fresh generator whose seed is not pinned by the build
+//
+// Allowlist: internal/simclock (the one sanctioned wrapper) and cmd/
+// (CLIs legitimately measure wall-clock for profiling and UX).
+var DetRand = &Analyzer{
+	Name: "detrand",
+	Doc: "forbid wall-clock time and global math/rand outside internal/simclock and cmd/; " +
+		"simulation code draws time from the engine and randomness from named simclock streams",
+	Run: runDetRand,
+}
+
+// detrandAllowedPrefixes root the package subtrees exempt from detrand.
+var detrandAllowedPrefixes = []string{
+	simclockPath,
+	modulePath + "/cmd",
+}
+
+// forbiddenTimeFuncs are the package-level time functions that read or
+// wait on the wall clock.
+var forbiddenTimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true, "NewTimer": true, "NewTicker": true,
+}
+
+func runDetRand(pass *Pass) error {
+	for _, prefix := range detrandAllowedPrefixes {
+		if hasPathPrefix(pass.Pkg.Path(), prefix) {
+			return nil
+		}
+	}
+	// NewSource calls already reported as part of an enclosing rand.New
+	// finding (visited first in the walk) are not reported twice.
+	claimed := map[ast.Node]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name, ok := pkgCall(pass, call, timePath); ok && forbiddenTimeFuncs[name] {
+				pass.Reportf(call.Pos(), "time.%s reads the wall clock; use the simclock.Engine", name)
+				return true
+			}
+			name, ok := pkgCall(pass, call, mathRandPath)
+			if !ok {
+				return true
+			}
+			switch name {
+			case "New":
+				if len(call.Args) == 1 && !constantSource(pass, call.Args[0]) {
+					pass.Reportf(call.Pos(), "rand.New with a non-constant seed; derive streams via simclock.Stream")
+					if inner, ok := ast.Unparen(call.Args[0]).(*ast.CallExpr); ok {
+						claimed[inner] = true
+					}
+				}
+			case "NewSource":
+				if len(call.Args) == 1 && !isConstExpr(pass, call.Args[0]) && !claimed[call] {
+					pass.Reportf(call.Pos(), "rand.NewSource with a non-constant seed; derive streams via simclock.Stream")
+				}
+			default:
+				// Only functions share the global stream; referencing
+				// types (rand.Rand, rand.Source) is fine.
+				if fn, ok := pass.ObjectOf(selIdent(call)).(*types.Func); ok && fn.Type().(*types.Signature).Recv() == nil {
+					pass.Reportf(call.Pos(), "global math/rand.%s uses the process-wide stream; use a named simclock stream", name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// selIdent returns the selected identifier of a pkg.Name call, or nil.
+func selIdent(call *ast.CallExpr) *ast.Ident {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		return sel.Sel
+	}
+	return nil
+}
+
+// constantSource reports whether expr is rand.NewSource(<constant>): the
+// one rand.New shape whose output is pinned at build time.
+func constantSource(pass *Pass, expr ast.Expr) bool {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	name, ok := pkgCall(pass, call, mathRandPath)
+	if !ok || name != "NewSource" || len(call.Args) != 1 {
+		return false
+	}
+	return isConstExpr(pass, call.Args[0])
+}
+
+// isConstExpr reports whether the type checker evaluated expr to a
+// constant.
+func isConstExpr(pass *Pass, expr ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[ast.Unparen(expr)]
+	return ok && tv.Value != nil
+}

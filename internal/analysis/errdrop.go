@@ -1,0 +1,143 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrDrop forbids discarding errors returned by the durability layer:
+// functions and methods of internal/durable, and methods on types whose
+// name involves Journal, Checkpoint, or Manifest. These errors are the
+// only signal that exactly-once replay or a checkpoint write went wrong;
+// swallowing one converts a recoverable fault into silent data loss
+// three experiments later.
+//
+// A finding is a bare call statement, a `go`/`defer` of such a call, or
+// an assignment that puts `_` in an error position.
+var ErrDrop = &Analyzer{
+	Name: "errdrop",
+	Doc: "errors from journal, checkpoint, and durable-manifest methods must be handled, " +
+		"not assigned to _ or dropped in a bare call",
+	Run: runErrDrop,
+}
+
+const durablePath = modulePath + "/internal/durable"
+
+// durableReceiverNames mark receiver or package-level types whose
+// methods guard durability even outside internal/durable.
+var durableReceiverNames = []string{"Journal", "Checkpoint", "Manifest"}
+
+func runErrDrop(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.ExprStmt:
+				reportDroppedCall(pass, stmt.X, "result of durable call discarded")
+			case *ast.GoStmt:
+				reportDroppedCall(pass, stmt.Call, "result of durable call discarded by go statement")
+			case *ast.DeferStmt:
+				reportDroppedCall(pass, stmt.Call, "result of durable call discarded by defer")
+			case *ast.AssignStmt:
+				checkAssign(pass, stmt)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// reportDroppedCall flags expr when it is a durable call returning an
+// error whose results are not consumed at all.
+func reportDroppedCall(pass *Pass, expr ast.Expr, msg string) {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	if isDurableCall(pass, call) && returnsError(pass, call) {
+		pass.Reportf(call.Pos(), "%s; handle the error", msg)
+	}
+}
+
+// checkAssign flags `_`-discarded error positions of durable calls:
+// `_, _ = store.SyncReplicas(p)` or `_ = j.Commit()`.
+func checkAssign(pass *Pass, as *ast.AssignStmt) {
+	if len(as.Rhs) != 1 {
+		return
+	}
+	call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok || !isDurableCall(pass, call) {
+		return
+	}
+	sig := callSignature(pass, call)
+	if sig == nil {
+		return
+	}
+	results := sig.Results()
+	for i, lhs := range as.Lhs {
+		if i >= results.Len() {
+			break
+		}
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok || id.Name != "_" {
+			continue
+		}
+		if isErrorType(results.At(i).Type()) {
+			pass.Reportf(id.Pos(), "error from durable call assigned to _; handle it")
+		}
+	}
+}
+
+// isDurableCall reports whether the call targets the durability layer.
+func isDurableCall(pass *Pass, call *ast.CallExpr) bool {
+	obj := calleeObject(pass, call)
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	if fn.Pkg().Path() == durablePath {
+		return true
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	named := namedType(recv.Type())
+	if named == nil {
+		return false
+	}
+	name := named.Obj().Name()
+	for _, marker := range durableReceiverNames {
+		if strings.Contains(strings.ToLower(name), strings.ToLower(marker)) {
+			return true
+		}
+	}
+	return false
+}
+
+// callSignature resolves the signature of the called function, or nil.
+func callSignature(pass *Pass, call *ast.CallExpr) *types.Signature {
+	if fn, ok := calleeObject(pass, call).(*types.Func); ok {
+		return fn.Type().(*types.Signature)
+	}
+	return nil
+}
+
+// returnsError reports whether any result of the call has type error.
+func returnsError(pass *Pass, call *ast.CallExpr) bool {
+	sig := callSignature(pass, call)
+	if sig == nil {
+		return false
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if isErrorType(sig.Results().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}

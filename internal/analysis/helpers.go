@@ -1,0 +1,162 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Import paths the analyzers reason about.
+const (
+	modulePath   = "spotverse"
+	simclockPath = "spotverse/internal/simclock"
+	mathRandPath = "math/rand"
+	timePath     = "time"
+)
+
+// pkgPathOf returns the import path of the package an identifier names
+// (via an import), or "" if the identifier is not a package name.
+func pkgPathOf(pass *Pass, id *ast.Ident) string {
+	if pn, ok := pass.ObjectOf(id).(*types.PkgName); ok {
+		return pn.Imported().Path()
+	}
+	return ""
+}
+
+// pkgCall reports whether call invokes a package-level name of the
+// package imported from path (e.g. time.Now, sort.Strings), returning
+// the name.
+func pkgCall(pass *Pass, call *ast.CallExpr, path string) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok || pkgPathOf(pass, id) != path {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// calleeObject resolves the function or method object a call invokes,
+// or nil for calls through function values, conversions, and builtins.
+func calleeObject(pass *Pass, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return pass.ObjectOf(fun)
+	case *ast.SelectorExpr:
+		return pass.ObjectOf(fun.Sel)
+	}
+	return nil
+}
+
+// calleePkgPath returns the import path of the package defining the
+// called function or method, or "".
+func calleePkgPath(pass *Pass, call *ast.CallExpr) string {
+	obj := calleeObject(pass, call)
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	return obj.Pkg().Path()
+}
+
+// isAppendTo reports whether call is `append(target, ...)` for the given
+// variable object.
+func isAppendTo(pass *Pass, call *ast.CallExpr, target types.Object) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" || len(call.Args) == 0 {
+		return false
+	}
+	if b, ok := pass.ObjectOf(id).(*types.Builtin); !ok || b.Name() != "append" {
+		return false
+	}
+	argID, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	return ok && pass.ObjectOf(argID) == target
+}
+
+// usesObject reports whether the subtree references obj.
+func usesObject(pass *Pass, n ast.Node, obj types.Object) bool {
+	if n == nil || obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && pass.ObjectOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// namedType unwraps pointers and aliases down to a named type, or nil.
+func namedType(t types.Type) *types.Named {
+	for {
+		switch tt := t.(type) {
+		case *types.Pointer:
+			t = tt.Elem()
+		case *types.Alias:
+			t = types.Unalias(tt)
+		case *types.Named:
+			return tt
+		default:
+			return nil
+		}
+	}
+}
+
+// isNamed reports whether t is (a pointer to) the named type
+// pkgPath.name.
+func isNamed(t types.Type, pkgPath, name string) bool {
+	n := namedType(t)
+	if n == nil {
+		return false
+	}
+	obj := n.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// inModule reports whether path belongs to this module.
+func inModule(path string) bool {
+	return path == modulePath || strings.HasPrefix(path, modulePath+"/")
+}
+
+// hasPathPrefix reports whether path equals prefix or sits beneath it.
+func hasPathPrefix(path, prefix string) bool {
+	return path == prefix || strings.HasPrefix(path, prefix+"/")
+}
+
+// funcScopes walks a file and calls fn once per function body —
+// declarations and literals — with the body's statements. Analyzers use
+// this so loop/return reasoning stays confined to the innermost
+// function.
+func funcScopes(f *ast.File, fn func(body *ast.BlockStmt)) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch d := n.(type) {
+		case *ast.FuncDecl:
+			if d.Body != nil {
+				fn(d.Body)
+			}
+		case *ast.FuncLit:
+			if d.Body != nil {
+				fn(d.Body)
+			}
+		}
+		return true
+	})
+}
+
+// inspectShallow walks the subtree rooted at n but does not descend into
+// nested function literals: their statements belong to a different
+// function scope.
+func inspectShallow(n ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n != nil {
+			return false
+		}
+		return fn(n)
+	})
+}

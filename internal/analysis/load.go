@@ -1,0 +1,182 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// Package is one loaded, parsed, and type-checked package ready for
+// analysis.
+type Package struct {
+	PkgPath string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// stdExtras are standard-library packages the fixture harness
+// (analysistest) may import even though the module proper might not.
+// Listing them here keeps one export-data table serving both the
+// multichecker and the fixture tests.
+var stdExtras = []string{
+	"fmt", "io", "os", "sort", "strings", "strconv", "time", "math/rand", "sync", "bytes",
+}
+
+// listEntry is the subset of `go list -json` output the loader needs.
+type listEntry struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+	Standard   bool
+	Error      *struct{ Err string }
+}
+
+// ExportTable maps import paths to compiled export-data files, the raw
+// material go/importer needs to type-check against pre-built
+// dependencies without golang.org/x/tools.
+type ExportTable map[string]string
+
+// Lookup adapts the table to the shape importer.ForCompiler expects.
+func (t ExportTable) Lookup(path string) (io.ReadCloser, error) {
+	f, ok := t[path]
+	if !ok {
+		return nil, fmt.Errorf("analysis: no export data for %q", path)
+	}
+	return os.Open(f)
+}
+
+// Importer returns a fresh export-data importer over the table. Each
+// type-check should get its own importer so packages are re-resolved
+// against one consistent FileSet.
+func (t ExportTable) Importer() types.Importer {
+	return importer.ForCompiler(token.NewFileSet(), "gc", t.Lookup)
+}
+
+// goList runs `go list -export -deps` in dir over the patterns plus the
+// std extras, returning every entry. Compilation happens through the
+// ordinary build cache, so this works fully offline.
+func goList(dir string, patterns []string) ([]listEntry, error) {
+	args := []string{"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Dir,Export,GoFiles,DepOnly,Standard,Error"}
+	args = append(args, patterns...)
+	args = append(args, stdExtras...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	var entries []listEntry
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var e listEntry
+		if err := dec.Decode(&e); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return nil, fmt.Errorf("analysis: decoding go list output: %w", err)
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+// Exports builds the export-data table for the module rooted at (or
+// containing) dir, covering the given patterns, their transitive deps,
+// and the std extras.
+func Exports(dir string, patterns ...string) (ExportTable, error) {
+	entries, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	table := ExportTable{}
+	for _, e := range entries {
+		if e.Export != "" {
+			table[e.ImportPath] = e.Export
+		}
+	}
+	return table, nil
+}
+
+// Load lists, parses, and type-checks the packages matching patterns,
+// rooted at dir. Only non-standard-library packages named by the
+// patterns themselves become analysis targets; dependencies contribute
+// export data only. Test files are not loaded — the invariants this
+// suite enforces are about simulation code, and tests legitimately
+// measure wall-clock time.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	entries, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	table := ExportTable{}
+	var targets []listEntry
+	for _, e := range entries {
+		if e.Error != nil {
+			return nil, fmt.Errorf("analysis: %s: %s", e.ImportPath, e.Error.Err)
+		}
+		if e.Export != "" {
+			table[e.ImportPath] = e.Export
+		}
+		if !e.DepOnly && !e.Standard {
+			targets = append(targets, e)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	var pkgs []*Package
+	for _, t := range targets {
+		var files []*ast.File
+		for _, name := range t.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("analysis: parse %s: %w", name, err)
+			}
+			files = append(files, f)
+		}
+		pkg, err := TypeCheck(fset, t.ImportPath, files, table)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// TypeCheck type-checks already-parsed files as the package at pkgPath,
+// resolving imports through the export table. It is shared by Load and
+// by the analysistest fixture harness.
+func TypeCheck(fset *token.FileSet, pkgPath string, files []*ast.File, table ExportTable) (*Package, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: table.Importer()}
+	tpkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-check %s: %w", pkgPath, err)
+	}
+	return &Package{PkgPath: pkgPath, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}

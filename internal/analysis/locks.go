@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// Locks extends vet's copylocks to declaration sites: a function or
+// method must not take a lock-holding struct by value — receiver or
+// parameter — because every call then copies the lock, and the copy
+// guards nothing. vet flags the copies it can see at assignment sites;
+// this analyzer flags the signature that invites them.
+//
+// A type holds a lock if it is, embeds, or transitively contains a field
+// of a sync struct type (Mutex, RWMutex, WaitGroup, Once, Cond, Pool,
+// Map), including through arrays.
+var Locks = &Analyzer{
+	Name: "locks",
+	Doc: "functions and methods must take lock-holding structs by pointer; " +
+		"a by-value receiver or parameter copies the lock at every call",
+	Run: runLocks,
+}
+
+func runLocks(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			decl, ok := n.(*ast.FuncDecl)
+			if !ok {
+				return true
+			}
+			check := func(fl *ast.FieldList, kind string) {
+				if fl == nil {
+					return
+				}
+				for _, field := range fl.List {
+					t := pass.TypeOf(field.Type)
+					if t == nil {
+						continue
+					}
+					if path := lockPath(t, nil); path != "" {
+						pass.Reportf(field.Pos(), "%s of %s passes lock by value: %s", kind, decl.Name.Name, path)
+					}
+				}
+			}
+			check(decl.Recv, "receiver")
+			check(decl.Type.Params, "parameter")
+			return true
+		})
+	}
+	return nil
+}
+
+// syncLockTypes are the sync structs that must never be copied.
+var syncLockTypes = map[string]bool{
+	"Mutex": true, "RWMutex": true, "WaitGroup": true,
+	"Once": true, "Cond": true, "Pool": true, "Map": true,
+}
+
+// lockPath returns a human-readable path to the first lock found inside
+// t ("Config contains sync.Mutex" style), or "" if t holds no lock. A
+// pointer stops the search: pointed-to locks are shared, not copied.
+func lockPath(t types.Type, seen []*types.Named) string {
+	switch tt := t.(type) {
+	case *types.Named:
+		obj := tt.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" && syncLockTypes[obj.Name()] {
+			return "sync." + obj.Name()
+		}
+		for _, s := range seen {
+			if s == tt {
+				return ""
+			}
+		}
+		if inner := lockPath(tt.Underlying(), append(seen, tt)); inner != "" {
+			return fmt.Sprintf("%s contains %s", obj.Name(), inner)
+		}
+		return ""
+	case *types.Alias:
+		return lockPath(types.Unalias(tt), seen)
+	case *types.Struct:
+		for i := 0; i < tt.NumFields(); i++ {
+			f := tt.Field(i)
+			if inner := lockPath(f.Type(), seen); inner != "" {
+				if f.Embedded() {
+					return inner
+				}
+				return fmt.Sprintf("field %s is %s", f.Name(), inner)
+			}
+		}
+		return ""
+	case *types.Array:
+		return lockPath(tt.Elem(), seen)
+	default:
+		return ""
+	}
+}

@@ -1,0 +1,204 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapIter flags `range` over a map when the loop body leaks iteration
+// order into something observable. Go randomizes map order per run, so
+// any of these turns into flaky output or flaky control flow:
+//
+//   - writing inside the body to an io.Writer or builder (Write*,
+//     fmt.Fprint*), or feeding fmt print/format functions
+//   - accumulating into an ordered sink (method names like Add,
+//     MustAddRow) — e.g. appending datasets to a history in map order
+//   - returning a value that mentions the iteration variables (the
+//     "first match wins" pattern — which match wins depends on the run)
+//   - collecting keys/values into a slice that is used after the loop
+//     without an intervening sort.* / slices.Sort* call
+//
+// The canonical fix — collect keys, sort, then iterate the sorted
+// slice — is recognized and exempt.
+var MapIter = &Analyzer{
+	Name: "mapiter",
+	Doc: "flag map iteration whose order leaks into output, returned values, or unsorted collected slices; " +
+		"collect-and-sort before rendering or selecting",
+	Run: runMapIter,
+}
+
+// orderedSinkMethods are method names that accumulate into an ordered
+// structure, where call order is observable.
+var orderedSinkMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Print": true, "Printf": true, "Println": true,
+	"Add": true, "MustAdd": true, "AddRow": true, "MustAddRow": true,
+}
+
+// fmtPrintFuncs are the fmt package functions whose output depends on
+// call order (Errorf excluded: constructing an error value inside a loop
+// is not itself ordered output; returning it is caught by the
+// return-of-range-variable rule).
+var fmtPrintFuncs = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Sprint": true, "Sprintf": true, "Sprintln": true,
+}
+
+func runMapIter(pass *Pass) error {
+	for _, f := range pass.Files {
+		funcScopes(f, func(body *ast.BlockStmt) {
+			inspectShallow(body, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				if t := pass.TypeOf(rs.X); t == nil {
+					return true
+				} else if _, isMap := t.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				checkMapRange(pass, body, rs)
+				return true
+			})
+		})
+	}
+	return nil
+}
+
+func checkMapRange(pass *Pass, funcBody *ast.BlockStmt, rs *ast.RangeStmt) {
+	keyObj := rangeVarObj(pass, rs.Key)
+	valObj := rangeVarObj(pass, rs.Value)
+
+	// Slices the body appends to, and whether each is sorted after the
+	// loop. A sorted collection exempts its own appends; the other sink
+	// rules still apply to the rest of the body.
+	appended := map[types.Object]*ast.Ident{}
+	inspectShallow(rs.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		lhs, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.ObjectOf(lhs)
+		if obj == nil {
+			return true
+		}
+		if call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr); ok && isAppendTo(pass, call, obj) {
+			appended[obj] = lhs
+		}
+		return true
+	})
+
+	inspectShallow(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if name, ok := pkgCall(pass, n, "fmt"); ok && fmtPrintFuncs[name] {
+				pass.Reportf(n.Pos(), "fmt.%s inside map iteration emits in map order; collect and sort keys first", name)
+				return true
+			}
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && orderedSinkMethods[sel.Sel.Name] && isMethodCall(pass, sel) {
+				pass.Reportf(n.Pos(), "%s inside map iteration accumulates in map order; collect and sort keys first", sel.Sel.Name)
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if usesObject(pass, res, keyObj) || usesObject(pass, res, valObj) {
+					pass.Reportf(n.Pos(), "returning a map iteration variable selects an arbitrary entry; iterate sorted keys")
+					return true
+				}
+			}
+		}
+		return true
+	})
+
+	for obj, id := range appended {
+		if sortedAfter(pass, funcBody, rs, obj) {
+			continue
+		}
+		if usedAfter(pass, funcBody, rs, obj) {
+			pass.Reportf(id.Pos(), "%s collects map entries but is used without sort.* after the loop", obj.Name())
+		}
+	}
+}
+
+// rangeVarObj resolves a range clause variable to its object, skipping
+// the blank identifier.
+func rangeVarObj(pass *Pass, expr ast.Expr) types.Object {
+	id, ok := ast.Unparen(expr).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	return pass.ObjectOf(id)
+}
+
+// isMethodCall reports whether sel selects a method (not a package
+// function or a field of function type on a package name).
+func isMethodCall(pass *Pass, sel *ast.SelectorExpr) bool {
+	if id, ok := sel.X.(*ast.Ident); ok && pkgPathOf(pass, id) != "" {
+		return false
+	}
+	return true
+}
+
+// sortedAfter reports whether obj appears, after the loop, inside a call
+// into package sort or slices (sort.Strings(keys),
+// sort.Sort(sort.Reverse(sort.IntSlice(keys))), slices.Sort(keys), …).
+func sortedAfter(pass *Pass, funcBody *ast.BlockStmt, rs *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	afterLoop(funcBody, rs, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		path := calleePkgPath(pass, call)
+		if path != "sort" && path != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if usesObject(pass, arg, obj) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// usedAfter reports whether obj is referenced after the loop at all.
+func usedAfter(pass *Pass, funcBody *ast.BlockStmt, rs *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	afterLoop(funcBody, rs, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && pass.ObjectOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// afterLoop walks the nodes of the enclosing function positioned after
+// the range statement ends.
+func afterLoop(funcBody *ast.BlockStmt, rs *ast.RangeStmt, fn func(ast.Node) bool) {
+	end := rs.End()
+	ast.Inspect(funcBody, func(n ast.Node) bool {
+		switch {
+		case n == nil:
+			return false
+		case n.End() <= end:
+			return false // entirely before or inside the loop
+		case n.Pos() > end:
+			return fn(n) // entirely after the loop
+		default:
+			return true // spans the loop (e.g. the function body): descend
+		}
+	})
+}

@@ -1,0 +1,257 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SeedFlow checks, at every call site in the experiment, market, and
+// cloud packages, that arguments of type *simclock.RNG or *rand.Rand
+// flow from the simclock seed hierarchy. A constructor handed an RNG
+// conjured any other way (a fresh rand.New, a package-level generator)
+// silently forks the experiment off the master seed: runs still look
+// deterministic in isolation but stop being reproducible from the
+// recorded seed.
+//
+// Derivation is traced structurally: direct simclock calls
+// (simclock.Stream, simclock.NewRNG, methods on simclock types),
+// rand.New over a derived source, local variables assigned from derived
+// expressions, and same-package helper functions whose returns are
+// derived. Function parameters, struct fields, and calls into other
+// module packages are trusted — their own call or assignment sites are
+// the places to check, and the in-scope ones are.
+var SeedFlow = &Analyzer{
+	Name: "seedflow",
+	Doc: "RNG arguments in experiment/market/cloud must derive from the simclock seed hierarchy " +
+		"(simclock.Stream / simclock.NewRNG), not from ad-hoc rand constructors",
+	Run: runSeedFlow,
+}
+
+// seedflowScope roots the package subtrees whose call sites are checked.
+var seedflowScope = []string{
+	modulePath + "/internal/experiment",
+	modulePath + "/internal/market",
+	modulePath + "/internal/cloud",
+}
+
+const seedflowTraceDepth = 4
+
+func runSeedFlow(pass *Pass) error {
+	inScope := false
+	for _, prefix := range seedflowScope {
+		if hasPathPrefix(pass.Pkg.Path(), prefix) {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, arg := range call.Args {
+				if !isRNGType(pass.TypeOf(arg)) {
+					continue
+				}
+				if !derivedFromSimclock(pass, arg, seedflowTraceDepth) {
+					pass.Reportf(arg.Pos(), "RNG argument does not derive from the simclock seed hierarchy; use simclock.Stream")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isRNGType reports whether t is *simclock.RNG or *math/rand.Rand.
+func isRNGType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return isNamed(t, simclockPath, "RNG") || isNamed(t, mathRandPath, "Rand")
+}
+
+// derivedFromSimclock traces expr back toward a simclock constructor.
+func derivedFromSimclock(pass *Pass, expr ast.Expr, depth int) bool {
+	if depth <= 0 {
+		return false
+	}
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		if e.Name == "nil" {
+			return true
+		}
+		obj := pass.ObjectOf(e)
+		v, ok := obj.(*types.Var)
+		if !ok {
+			return false
+		}
+		if v.IsField() {
+			return true // field reads are trusted; check where the field is set
+		}
+		if isParam(pass, v) {
+			return true // parameters are trusted; their call sites are checked
+		}
+		return assignmentsDerived(pass, v, depth-1)
+	case *ast.SelectorExpr:
+		// Field selector (inst.rng, cfg.RNG): trusted, as above.
+		if sel, ok := pass.TypesInfo.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			return true
+		}
+		if v, ok := pass.ObjectOf(e.Sel).(*types.Var); ok && v.IsField() {
+			return true
+		}
+		return false
+	case *ast.CallExpr:
+		if obj := calleeObject(pass, e); obj != nil && obj.Pkg() != nil {
+			path := obj.Pkg().Path()
+			if path == simclockPath {
+				return true
+			}
+			if name, ok := pkgCall(pass, e, mathRandPath); ok && name == "New" && len(e.Args) == 1 {
+				return derivedFromSimclock(pass, e.Args[0], depth-1)
+			}
+			if path == pass.Pkg.Path() {
+				return returnsDerived(pass, obj, depth-1)
+			}
+			if inModule(path) {
+				return true // other module packages are linted on their own
+			}
+		}
+		return false
+	case *ast.IndexExpr:
+		// Indexing a registry of streams: trust the registry.
+		return true
+	default:
+		return false
+	}
+}
+
+// isParam reports whether v is a parameter (or receiver) of some
+// function signature.
+func isParam(pass *Pass, v *types.Var) bool {
+	for _, f := range pass.Files {
+		found := false
+		ast.Inspect(f, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			var ft *ast.FuncType
+			var recv *ast.FieldList
+			switch d := n.(type) {
+			case *ast.FuncDecl:
+				ft, recv = d.Type, d.Recv
+			case *ast.FuncLit:
+				ft = d.Type
+			default:
+				return true
+			}
+			for _, fl := range []*ast.FieldList{ft.Params, recv} {
+				if fl == nil {
+					continue
+				}
+				for _, field := range fl.List {
+					for _, name := range field.Names {
+						if pass.ObjectOf(name) == v {
+							found = true
+						}
+					}
+				}
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// assignmentsDerived reports whether every assignment to v in the
+// package derives from simclock. A variable with no visible assignment
+// (package-level, or assigned only via pointer) is not derived.
+func assignmentsDerived(pass *Pass, v *types.Var, depth int) bool {
+	sawAssign := false
+	derived := true
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range stmt.Lhs {
+					id, ok := ast.Unparen(lhs).(*ast.Ident)
+					if !ok || pass.ObjectOf(id) != v {
+						continue
+					}
+					sawAssign = true
+					if i < len(stmt.Rhs) && len(stmt.Lhs) == len(stmt.Rhs) {
+						if !derivedFromSimclock(pass, stmt.Rhs[i], depth) {
+							derived = false
+						}
+					} else {
+						derived = false // multi-value unpacking: opaque
+					}
+				}
+			case *ast.ValueSpec:
+				for i, name := range stmt.Names {
+					if pass.ObjectOf(name) != v {
+						continue
+					}
+					sawAssign = true
+					if i < len(stmt.Values) {
+						if !derivedFromSimclock(pass, stmt.Values[i], depth) {
+							derived = false
+						}
+					} else if len(stmt.Values) > 0 {
+						derived = false
+					}
+					// A bare `var g *simclock.RNG` declaration is nil
+					// until assigned; the assignments decide.
+				}
+			}
+			return true
+		})
+	}
+	return sawAssign && derived
+}
+
+// returnsDerived reports whether every return of RNG type from the
+// same-package function obj derives from simclock.
+func returnsDerived(pass *Pass, obj types.Object, depth int) bool {
+	if depth <= 0 {
+		return false
+	}
+	var decl *ast.FuncDecl
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && pass.ObjectOf(fd.Name) == obj {
+				decl = fd
+			}
+		}
+	}
+	if decl == nil || decl.Body == nil {
+		return false
+	}
+	derived := true
+	sawReturn := false
+	inspectShallow(decl.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			if !isRNGType(pass.TypeOf(res)) {
+				continue
+			}
+			sawReturn = true
+			if !derivedFromSimclock(pass, res, depth) {
+				derived = false
+			}
+		}
+		return true
+	})
+	return sawReturn && derived
+}

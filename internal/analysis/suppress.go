@@ -1,0 +1,113 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// suppressPrefix introduces a suppression directive comment. Grammar:
+//
+//	//spotverse:allow <analyzer> <reason...>
+//
+// placed either on the line immediately above the finding or trailing on
+// the finding's own line. <analyzer> is one suite analyzer name or
+// "all"; <reason> is mandatory free text explaining why the invariant is
+// intentionally waived at this site.
+const suppressPrefix = "//spotverse:allow"
+
+// directive is one parsed //spotverse:allow comment.
+type directive struct {
+	analyzer string
+	reason   string
+	pos      token.Pos
+	line     int
+	file     string
+}
+
+// parseDirectives scans a file's comments for suppression directives.
+// Malformed ones (missing analyzer, missing reason, or unknown analyzer
+// name) are reported as "directive" findings so they cannot silently
+// fail to suppress.
+func parseDirectives(fset *token.FileSet, f *ast.File, known map[string]bool) (ok []directive, bad []Diagnostic) {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, suppressPrefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(c.Text, suppressPrefix)
+			if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+				continue // e.g. //spotverse:allowed — not ours
+			}
+			// The reason ends at an embedded "//" so fixture `// want`
+			// markers can share the comment.
+			if i := strings.Index(rest, "//"); i >= 0 {
+				rest = rest[:i]
+			}
+			fields := strings.Fields(rest)
+			pos := fset.Position(c.Pos())
+			malformed := func(msg string) {
+				bad = append(bad, Diagnostic{
+					Analyzer: "directive",
+					Pos:      c.Pos(),
+					Position: pos,
+					Message:  msg,
+				})
+			}
+			if len(fields) == 0 {
+				malformed("spotverse:allow needs an analyzer name and a reason")
+				continue
+			}
+			name := fields[0]
+			if name != "all" && !known[name] {
+				malformed("spotverse:allow names unknown analyzer " + strconv.Quote(name))
+				continue
+			}
+			if len(fields) < 2 {
+				malformed("spotverse:allow " + name + " needs a reason")
+				continue
+			}
+			ok = append(ok, directive{
+				analyzer: name,
+				reason:   strings.Join(fields[1:], " "),
+				pos:      c.Pos(),
+				line:     pos.Line,
+				file:     pos.Filename,
+			})
+		}
+	}
+	return ok, bad
+}
+
+// filterSuppressed drops findings covered by a well-formed directive on
+// the same or the preceding line, and appends findings for malformed
+// directives. known is the set of valid analyzer names.
+func filterSuppressed(fset *token.FileSet, files []*ast.File, diags []Diagnostic, known map[string]bool) []Diagnostic {
+	type key struct {
+		file     string
+		line     int
+		analyzer string
+	}
+	allow := map[key]bool{}
+	var out []Diagnostic
+	for _, f := range files {
+		dirs, bad := parseDirectives(fset, f, known)
+		out = append(out, bad...)
+		for _, d := range dirs {
+			// A directive covers its own line (trailing comment) and
+			// the next line (comment above the finding).
+			allow[key{d.file, d.line, d.analyzer}] = true
+			allow[key{d.file, d.line + 1, d.analyzer}] = true
+		}
+	}
+	for _, d := range diags {
+		if d.Analyzer != "directive" &&
+			(allow[key{d.Position.Filename, d.Position.Line, d.Analyzer}] ||
+				allow[key{d.Position.Filename, d.Position.Line, "all"}]) {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}

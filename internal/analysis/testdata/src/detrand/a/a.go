@@ -1,0 +1,54 @@
+// Fixture: detrand findings and suppressions in a non-allowlisted
+// package.
+package a
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() time.Duration {
+	start := time.Now()          // want `time\.Now reads the wall clock`
+	time.Sleep(time.Millisecond) // want `time\.Sleep reads the wall clock`
+	return time.Since(start)     // want `time\.Since reads the wall clock`
+}
+
+func globalStream() int {
+	rand.Seed(42)      // want `global math/rand\.Seed`
+	x := rand.Intn(10) // want `global math/rand\.Intn`
+	_ = rand.Float64() // want `global math/rand\.Float64`
+	return x
+}
+
+func freshGenerators(seed int64) {
+	_ = rand.New(rand.NewSource(seed)) // want `rand\.New with a non-constant seed`
+	_ = rand.NewSource(seed)           // want `rand\.NewSource with a non-constant seed`
+	_ = rand.New(rand.NewSource(42))   // constant seed: pinned at build time, allowed
+}
+
+const fixedSeed = 7
+
+func constSeedIdent() *rand.Rand {
+	return rand.New(rand.NewSource(fixedSeed)) // constant-typed ident: allowed
+}
+
+func suppressed() time.Time {
+	//spotverse:allow detrand fixture proves the directive-above form suppresses
+	t := time.Now()
+	u := time.Now() //spotverse:allow detrand fixture proves the trailing form suppresses
+	_ = u
+	return t
+}
+
+func typeRefsAllowed(r *rand.Rand, s rand.Source) (int64, bool) {
+	// Referencing math/rand types and using an injected generator is
+	// fine; only the package-global stream and fresh seeds are banned.
+	return r.Int63(), s == nil
+}
+
+func badDirectives() {
+	//spotverse:allow detrand // want `needs a reason`
+	_ = time.Now() // want `time\.Now reads the wall clock`
+	//spotverse:allow nosuchanalyzer because reasons // want `unknown analyzer`
+	_ = time.Now() // want `time\.Now reads the wall clock`
+}

@@ -1,0 +1,58 @@
+// Fixture: errdrop guards the durability layer — the real
+// internal/durable package and any method on a Journal / Checkpoint /
+// Manifest-named receiver.
+package a
+
+import (
+	"fmt"
+
+	"spotverse/internal/durable"
+)
+
+type WalJournal struct{ entries int }
+
+func (j *WalJournal) Commit() error            { j.entries++; return nil }
+func (j *WalJournal) Replay() (int, error)     { return j.entries, nil }
+func (j *WalJournal) Size() int                { return j.entries }
+func checkpointWrite(m durable.Manifest) error { _, _, err := durable.Decode(m.Encode()); return err }
+
+func dropsBareCall(j *WalJournal) {
+	j.Commit() // want `result of durable call discarded`
+}
+
+func dropsWithBlank(j *WalJournal) {
+	_ = j.Commit() // want `error from durable call assigned to _`
+}
+
+func dropsSecondResult(j *WalJournal) int {
+	n, _ := j.Replay() // want `error from durable call assigned to _`
+	return n
+}
+
+func dropsInDefer(j *WalJournal) {
+	defer j.Commit() // want `result of durable call discarded by defer`
+}
+
+func dropsRealDurable(st *durable.Store, m durable.Manifest) {
+	st.Put("key", m, "us-east-1") // want `result of durable call discarded`
+}
+
+func handled(j *WalJournal, st *durable.Store, m durable.Manifest) error {
+	if err := j.Commit(); err != nil {
+		return err
+	}
+	if err := st.Put("key", m, "us-east-1"); err != nil {
+		return fmt.Errorf("put: %w", err)
+	}
+	return checkpointWrite(m)
+}
+
+func nonErrorMethodOK(j *WalJournal) {
+	j.Size() // no error result: not a finding
+	_ = j.Size()
+}
+
+func suppressedDrop(j *WalJournal) {
+	//spotverse:allow errdrop fixture proves errdrop suppression
+	j.Commit()
+}

@@ -1,0 +1,56 @@
+// Fixture: locks flags by-value receivers and parameters of
+// lock-holding structs, including transitive containment.
+package a
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+type registry struct {
+	counters map[string]*counter
+	c        counter // transitively holds the lock
+}
+
+type embedder struct {
+	sync.RWMutex
+	name string
+}
+
+func (c counter) Get() int { // want `receiver of Get passes lock by value`
+	return c.n
+}
+
+func (c *counter) Inc() { // pointer receiver: fine
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func snapshot(r registry) int { // want `parameter of snapshot passes lock by value`
+	return len(r.counters)
+}
+
+func rename(e embedder, name string) { // want `parameter of rename passes lock by value`
+	e.name = name
+}
+
+func wait(wg sync.WaitGroup) { // want `parameter of wait passes lock by value`
+	wg.Wait()
+}
+
+func byPointer(r *registry, wg *sync.WaitGroup) { // pointers share, not copy: fine
+	_ = r
+	wg.Wait()
+}
+
+func plainStruct(s struct{ a, b int }) int { // no lock: fine
+	return s.a + s.b
+}
+
+//spotverse:allow locks fixture proves locks suppression
+func suppressedCopy(c counter) int {
+	return c.n
+}

@@ -1,0 +1,92 @@
+// Fixture: mapiter findings and the collect-and-sort exemption.
+package a
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+func printsInMapOrder(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want `fmt\.Printf inside map iteration`
+	}
+}
+
+func writesInMapOrder(w io.Writer, m map[string]int) {
+	var sb strings.Builder
+	for k := range m {
+		sb.WriteString(k) // want `WriteString inside map iteration`
+	}
+	_, _ = io.WriteString(w, sb.String())
+}
+
+type history struct{ names []string }
+
+func (h *history) Add(name string) { h.names = append(h.names, name) }
+
+func accumulatesInMapOrder(h *history, m map[string]int) {
+	for k := range m {
+		h.Add(k) // want `Add inside map iteration`
+	}
+}
+
+func firstMatchWins(m map[string]string, want string) string {
+	for k, v := range m {
+		if v == want {
+			return k // want `returning a map iteration variable`
+		}
+	}
+	return ""
+}
+
+func collectedButNeverSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `keys collects map entries but is used without sort`
+	}
+	return keys
+}
+
+func collectAndSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func collectAndSortReverse(m map[int]string) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(keys)))
+	return keys
+}
+
+func pureAggregation(m map[string]int) int {
+	// Order-independent folds over a map are fine.
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func mapToMapCopy(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func suppressedSink(m map[string]int) {
+	for k := range m {
+		//spotverse:allow mapiter fixture proves suppression of a sink finding
+		fmt.Println(k)
+	}
+}

@@ -1,0 +1,12 @@
+// Fixture: a package outside the experiment/market/cloud subtrees is
+// not in seedflow's scope — the same ad-hoc RNG wiring produces no
+// findings here.
+package outofscope
+
+import "math/rand"
+
+func consume(r *rand.Rand) int64 { return r.Int63() }
+
+func adHoc(seed int64) int64 {
+	return consume(rand.New(rand.NewSource(seed)))
+}

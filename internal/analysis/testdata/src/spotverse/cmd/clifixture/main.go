@@ -1,0 +1,13 @@
+// Fixture: packages under spotverse/cmd/ are allowlisted for detrand —
+// CLIs legitimately measure wall-clock time. No findings expected.
+package main
+
+import (
+	"fmt"
+	"time"
+)
+
+func main() {
+	start := time.Now()
+	fmt.Println(time.Since(start))
+}

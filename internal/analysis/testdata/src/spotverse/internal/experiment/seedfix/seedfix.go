@@ -1,0 +1,57 @@
+// Fixture: seedflow checks RNG arguments at call sites in the
+// experiment/market/cloud subtrees. The fixture's import path places it
+// inside spotverse/internal/experiment, so the analyzer is in scope.
+package seedfix
+
+import (
+	"math/rand"
+
+	"spotverse/internal/simclock"
+)
+
+type market struct{ rng *simclock.RNG }
+
+func newMarket(rng *simclock.RNG) *market { return &market{rng: rng} }
+
+func consume(r *rand.Rand) int64 { return r.Int63() }
+
+func wiredFromStream(seed int64) *market {
+	return newMarket(simclock.Stream(seed, "market")) // direct simclock call: derived
+}
+
+func wiredFromLocal(seed int64) *market {
+	rng := simclock.Stream(seed, "market")
+	return newMarket(rng) // local assigned from simclock: derived
+}
+
+func wiredFromHelper(seed int64) *market {
+	return newMarket(namedStream(seed)) // same-package helper returning derived: ok
+}
+
+func namedStream(seed int64) *simclock.RNG {
+	return simclock.Stream(seed, "helper")
+}
+
+func wiredFromParam(rng *simclock.RNG) *market {
+	return newMarket(rng) // parameters are trusted; the caller is checked
+}
+
+type env struct{ rng *simclock.RNG }
+
+func wiredFromField(e *env) *market {
+	return newMarket(e.rng) // field reads are trusted
+}
+
+func adHocGenerator(seed int64) int64 {
+	r := rand.New(rand.NewSource(seed))
+	return consume(r) // want `RNG argument does not derive from the simclock seed hierarchy`
+}
+
+func inlineAdHoc() int64 {
+	return consume(rand.New(rand.NewSource(99))) // want `RNG argument does not derive from the simclock seed hierarchy`
+}
+
+func suppressedAdHoc() int64 {
+	//spotverse:allow seedflow fixture proves seedflow suppression
+	return consume(rand.New(rand.NewSource(3)))
+}

@@ -117,6 +117,7 @@ func (l *Ledger) Merge(other *Ledger) {
 		return
 	}
 	for c, v := range other.amounts {
+		//spotverse:allow mapiter MustAdd accumulates into a map keyed by category; one add per distinct key is order-independent
 		l.MustAdd(c, v)
 	}
 }

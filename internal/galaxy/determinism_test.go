@@ -1,0 +1,130 @@
+package galaxy
+
+import (
+	"testing"
+	"time"
+
+	"spotverse/internal/simclock"
+)
+
+// Regression tests for map-iteration-order leaks found by spotverse-lint
+// (mapiter): step outputs and history dataset order used to follow Go's
+// randomized map range, so the same workflow produced differently
+// ordered invocations across runs. They are pinned to sorted order here
+// so a reintroduced map range fails deterministically, not one run in N.
+
+// fanOutTool emits several outputs whose sorted order differs from any
+// likely insertion order, making ordering mistakes visible.
+func fanOutTool() Tool {
+	return Tool{
+		ID:          "fan-out",
+		Description: "emits zeta/alpha/mid from one input",
+		Run: func(inputs map[string]Dataset, _ map[string]string) (map[string]Dataset, error) {
+			in := inputs["reads"]
+			return map[string]Dataset{
+				"zeta":  {Name: "zeta", Format: "txt", Data: in.Data},
+				"alpha": {Name: "alpha", Format: "txt", Data: in.Data},
+				"mid":   {Name: "mid", Format: "txt", Data: in.Data},
+			}, nil
+		},
+	}
+}
+
+func fanOutWorkflow() *Workflow {
+	return &Workflow{
+		Name: "fan-out",
+		Steps: []Step{{
+			ID:     "s1",
+			Tool:   "fan-out",
+			Inputs: map[string]InputRef{"reads": {Workflow: "reads"}},
+		}},
+	}
+}
+
+func checkFanOutInvocation(t *testing.T, inv *Invocation) {
+	t.Helper()
+	if len(inv.Results) != 1 {
+		t.Fatalf("results = %d, want 1", len(inv.Results))
+	}
+	wantOutputs := []string{"alpha", "mid", "zeta"}
+	got := inv.Results[0].Outputs
+	if len(got) != len(wantOutputs) {
+		t.Fatalf("Outputs = %v, want %v", got, wantOutputs)
+	}
+	for i, name := range wantOutputs {
+		if got[i] != name {
+			t.Fatalf("Outputs = %v, want %v", got, wantOutputs)
+		}
+	}
+	wantDatasets := []string{"s1/alpha", "s1/mid", "s1/zeta"}
+	ds := inv.History.Datasets()
+	if len(ds) != len(wantDatasets) {
+		t.Fatalf("Datasets = %v, want %v", ds, wantDatasets)
+	}
+	for i, name := range wantDatasets {
+		if ds[i] != name {
+			t.Fatalf("Datasets = %v, want %v", ds, wantDatasets)
+		}
+	}
+}
+
+func TestRunWorkflowOutputsSorted(t *testing.T) {
+	g := New(Config{AdminUsers: []string{adminUser}})
+	if err := g.InstallTool(adminUser, fanOutTool()); err != nil {
+		t.Fatal(err)
+	}
+	inputs := map[string]Dataset{"reads": {Name: "reads", Format: "txt", Data: []byte("acgt")}}
+	for run := 0; run < 5; run++ {
+		inv, err := g.RunWorkflow(fanOutWorkflow(), inputs, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkFanOutInvocation(t, inv)
+	}
+}
+
+func TestJobRunnerOutputsSorted(t *testing.T) {
+	inputs := map[string]Dataset{"reads": {Name: "reads", Format: "txt", Data: []byte("acgt")}}
+	for run := 0; run < 5; run++ {
+		eng := simclock.NewEngine()
+		g := New(Config{AdminUsers: []string{adminUser}})
+		if err := g.InstallTool(adminUser, fanOutTool()); err != nil {
+			t.Fatal(err)
+		}
+		jr := NewJobRunner(eng, g, JobOptions{})
+		h, err := jr.Start(fanOutWorkflow(), inputs, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.Run(time.Time{}); err != nil {
+			t.Fatal(err)
+		}
+		inv, err := h.Result()
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkFanOutInvocation(t, inv)
+	}
+}
+
+// A key shared by two users must resolve to the lexicographically
+// smallest user every time; the unsorted map range used to return
+// whichever user the iteration happened to visit first.
+func TestAuthenticateDuplicateKeyDeterministic(t *testing.T) {
+	g := New(Config{
+		APIKeys: map[string]string{
+			"zed@example.org":  "shared-key",
+			"ann@example.org":  "shared-key",
+			"mona@example.org": "other-key",
+		},
+	})
+	for run := 0; run < 10; run++ {
+		user, err := g.Authenticate("shared-key")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if user != "ann@example.org" {
+			t.Fatalf("Authenticate resolved shared key to %q, want ann@example.org", user)
+		}
+	}
+}

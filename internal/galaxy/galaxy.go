@@ -98,14 +98,27 @@ func (g *Instance) IsAdmin(user string) bool {
 	return false
 }
 
-// Authenticate maps an API key back to its user.
+// Authenticate maps an API key back to its user. Users are tried in
+// sorted order so a key accidentally shared by two users resolves to the
+// same one on every run.
 func (g *Instance) Authenticate(apiKey string) (string, error) {
-	for user, key := range g.cfg.APIKeys {
-		if key == apiKey && key != "" {
+	for _, user := range sortedKeys(g.cfg.APIKeys) {
+		if key := g.cfg.APIKeys[user]; key == apiKey && key != "" {
 			return user, nil
 		}
 	}
 	return "", ErrBadAPIKey
+}
+
+// sortedKeys returns the map's keys sorted, for deterministic iteration
+// wherever order can leak into results, errors, or histories.
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // InstallTool installs a tool into the shed; only admins may install
@@ -218,7 +231,8 @@ func (w *Workflow) Validate() ([]int, error) {
 	adj := make([][]int, len(w.Steps))
 	indeg := make([]int, len(w.Steps))
 	for i, s := range w.Steps {
-		for input, ref := range s.Inputs {
+		for _, input := range sortedKeys(s.Inputs) {
+			ref := s.Inputs[input]
 			if ref.Workflow != "" {
 				continue
 			}
@@ -295,7 +309,8 @@ func (g *Instance) RunWorkflow(w *Workflow, inputs map[string]Dataset, hook Step
 	for _, i := range order {
 		s := w.Steps[i]
 		in := make(map[string]Dataset, len(s.Inputs))
-		for name, ref := range s.Inputs {
+		for _, name := range sortedKeys(s.Inputs) {
+			ref := s.Inputs[name]
 			if ref.Workflow != "" {
 				d, ok := inputs[ref.Workflow]
 				if !ok {
@@ -322,12 +337,13 @@ func (g *Instance) RunWorkflow(w *Workflow, inputs map[string]Dataset, hook Step
 			return inv, fmt.Errorf("step %q (%s): %w", s.ID, s.Tool, err)
 		}
 		produced[s.ID] = outs
-		names := make([]string, 0, len(outs))
-		for name, d := range outs {
-			names = append(names, name)
+		// Sorted so the invocation history records datasets in the same
+		// order every run regardless of map iteration.
+		names := sortedKeys(outs)
+		for _, name := range names {
+			d := outs[name]
 			inv.History.Add(Dataset{Name: s.ID + "/" + name, Format: d.Format, Data: d.Data})
 		}
-		sort.Strings(names)
 		res.Outputs = names
 		inv.Results = append(inv.Results, res)
 		if hook != nil {

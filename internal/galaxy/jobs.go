@@ -202,9 +202,12 @@ func (jr *JobRunner) Start(w *Workflow, inputs map[string]Dataset, done func(*Jo
 				return
 			}
 			produced[s.ID] = outs
-			names := make([]string, 0, len(outs))
-			for name, d := range outs {
-				names = append(names, name)
+			// Sorted so StepResult.Outputs and the history dataset
+			// order are identical on every run; the unsorted map range
+			// here previously leaked iteration order into both.
+			names := sortedKeys(outs)
+			for _, name := range names {
+				d := outs[name]
 				inv.History.Add(Dataset{Name: s.ID + "/" + name, Format: d.Format, Data: d.Data})
 			}
 			inv.Results = append(inv.Results, StepResult{StepID: s.ID, Tool: s.Tool, Outputs: names})
@@ -229,7 +232,8 @@ func (h *JobHandle) fail(err error) {
 func (jr *JobRunner) gatherInputs(s Step, inputs map[string]Dataset, produced map[string]map[string]Dataset) (map[string]Dataset, int64, error) {
 	in := make(map[string]Dataset, len(s.Inputs))
 	var size int64
-	for name, ref := range s.Inputs {
+	for _, name := range sortedKeys(s.Inputs) {
+		ref := s.Inputs[name]
 		if ref.Workflow != "" {
 			d, ok := inputs[ref.Workflow]
 			if !ok {

@@ -1,0 +1,34 @@
+package dynamo
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// Regression test for a mapiter finding: when an item carries several
+// reserved attributes, validate used to report whichever one the map
+// range visited first. It must name the lexicographically smallest
+// attribute on every run so error text is stable across retries and log
+// diffs.
+func TestValidateReportsSmallestReservedAttr(t *testing.T) {
+	s, _ := newStore()
+	if err := s.CreateTable("t"); err != nil {
+		t.Fatal(err)
+	}
+	it := Item{Key: "k", Attrs: map[string]string{
+		"_zeta":  "1",
+		"_alpha": "2",
+		"_mid":   "3",
+		"ok":     "4",
+	}}
+	for run := 0; run < 10; run++ {
+		err := s.Put("t", it)
+		if !errors.Is(err, ErrReservedAttrPrefix) {
+			t.Fatalf("err = %v, want ErrReservedAttrPrefix", err)
+		}
+		if !strings.Contains(err.Error(), `"_alpha"`) {
+			t.Fatalf("err = %v, want it to name \"_alpha\"", err)
+		}
+	}
+}

@@ -88,7 +88,14 @@ func validate(it Item) error {
 	if it.Key == "" {
 		return ErrEmptyPartitionKey
 	}
+	// Checked in sorted order so an item with several reserved
+	// attributes reports the same one on every run.
+	names := make([]string, 0, len(it.Attrs))
 	for k := range it.Attrs {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
 		if strings.HasPrefix(k, "_") {
 			return fmt.Errorf("attribute %q: %w", k, ErrReservedAttrPrefix)
 		}
