@@ -1,9 +1,9 @@
 GO ?= go
 
 # PR counter for benchmark snapshots (BENCH_$(PR).json).
-PR ?= 3
+PR ?= 5
 
-.PHONY: build test race vet vet-determinism lint verify experiments bench profile
+.PHONY: build test race vet vet-determinism lint verify experiments bench bench-compare profile
 
 build:
 	$(GO) build ./...
@@ -44,6 +44,28 @@ experiments:
 # directly: `benchstat BENCH_2.json BENCH_3.json`.
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem -count=3 . | tee BENCH_$(PR).json
+
+# bench-compare diffs the current benchmark snapshot against the PR 3
+# baseline (override OLD/NEW for other pairs). benchstat gives the full
+# statistical treatment when installed; otherwise an awk fallback
+# prints mean ns/op per benchmark side by side.
+OLD ?= BENCH_3.json
+NEW ?= BENCH_$(PR).json
+
+bench-compare:
+	@if command -v benchstat >/dev/null 2>&1; then \
+		benchstat $(OLD) $(NEW); \
+	else \
+		echo "benchstat not found; mean ns/op fallback ($(OLD) -> $(NEW))"; \
+		awk 'FNR == 1 { file++ } \
+			/^Benchmark/ { key = file "/" $$1; sum[key] += $$3; n[key]++; \
+				if (file == 2 && !($$1 in seen)) { seen[$$1]; order[++k] = $$1 } } \
+			END { for (i = 1; i <= k; i++) { name = order[i]; o = "1/" name; w = "2/" name; \
+				if (o in sum) printf "%-55s %14.0f -> %14.0f ns/op (%+.1f%%)\n", \
+					name, sum[o]/n[o], sum[w]/n[w], 100*(sum[w]/n[w] - sum[o]/n[o])/(sum[o]/n[o]); \
+				else printf "%-55s %14s -> %14.0f ns/op (new)\n", name, "-", sum[w]/n[w]; } }' \
+			$(OLD) $(NEW); \
+	fi
 
 # profile captures pprof CPU and heap profiles of the full experiment
 # sweep; inspect with `go tool pprof cpu.pprof`.

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	spotverse-experiments [-exp all|fig2|fig3|fig4|fig7|fig8|fig9|fig10|table1|table4|ext|chaos|crash|trials] [-seed N] [-csv dir] [-intensity off|low|medium|severe] [-parallel N] [-cpuprofile file] [-memprofile file]
+//	spotverse-experiments [-exp all|fig2|fig3|fig4|fig7|fig8|fig9|fig10|table1|table4|ext|chaos|crash|trials] [-seed N] [-csv dir] [-intensity off|low|medium|severe] [-parallel N] [-mktcache N] [-cpuprofile file] [-memprofile file]
 //
 // Each experiment prints an ASCII rendering of the corresponding table or
 // figure; -csv additionally writes raw series files into the directory.
@@ -13,13 +13,22 @@
 // -parallel bounds the experiment worker pool (default GOMAXPROCS). The
 // sweep fans out across independent simulations and renders results in a
 // fixed order, so the output is byte-identical for every worker count;
-// -parallel 1 forces the fully sequential reference path. -cpuprofile and
-// -memprofile write pprof profiles for performance work (see `make
-// profile`).
+// -parallel 1 forces the fully sequential reference path.
+//
+// -mktcache sizes the shared market-snapshot store in 2 KiB segments
+// (default 8192 ≈ 16 MiB): every strategy arm and worker simulating the
+// same (seed, start) reads one materialisation of the market instead of
+// regenerating it. 0 disables sharing; the output is byte-identical
+// either way.
+//
+// -cpuprofile and -memprofile write pprof profiles for performance work
+// (see `make profile`); samples carry experiment/seed/arm pprof labels,
+// so `go tool pprof -tagfocus` isolates one experiment or strategy arm.
 package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -27,6 +36,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 
 	"spotverse/internal/chaos"
 	"spotverse/internal/experiment"
@@ -34,7 +44,7 @@ import (
 
 // usageLine is appended to flag-validation errors so a bad invocation
 // prints the accepted values without the caller digging through -h.
-const usageLine = "usage: spotverse-experiments [-exp all|fig2|fig3|fig4|fig7|fig8|fig9|fig10|table1|table4|ext|chaos|crash|trials] [-seed N] [-csv dir] [-intensity off|low|medium|severe] [-parallel N] [-cpuprofile file] [-memprofile file]"
+const usageLine = "usage: spotverse-experiments [-exp all|fig2|fig3|fig4|fig7|fig8|fig9|fig10|table1|table4|ext|chaos|crash|trials] [-seed N] [-csv dir] [-intensity off|low|medium|severe] [-parallel N] [-mktcache N] [-cpuprofile file] [-memprofile file]"
 
 func main() {
 	var (
@@ -44,12 +54,13 @@ func main() {
 		trials     = flag.Int("trials", 3, "trial count for -exp trials (the paper repeats each experiment 3x)")
 		intensity  = flag.String("intensity", "medium", "background-fault intensity for -exp crash: off, low, medium, severe")
 		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool bound for the experiment harness (1 = sequential; output is byte-identical either way)")
+		mktcache   = flag.String("mktcache", strconv.Itoa(experiment.DefaultMarketCacheSegments), "market-snapshot store size in 2KiB segments (0 disables sharing; output is byte-identical either way)")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file")
 	)
 	flag.Parse()
 	if err := profiled(*cpuprofile, *memprofile, func() error {
-		return run(os.Stdout, *exp, *seed, *csvDir, *trials, *parallel, *intensity)
+		return run(os.Stdout, *exp, *seed, *csvDir, *trials, *parallel, *intensity, *mktcache)
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "spotverse-experiments:", err)
 		os.Exit(1)
@@ -86,7 +97,7 @@ func profiled(cpuPath, memPath string, fn func() error) error {
 	return nil
 }
 
-func run(w io.Writer, exp string, seed int64, csvDir string, trials, parallel int, intensity string) error {
+func run(w io.Writer, exp string, seed int64, csvDir string, trials, parallel int, intensity, mktcache string) error {
 	inten, err := chaos.ParseIntensity(intensity)
 	if err != nil {
 		return fmt.Errorf("%w\n%s", err, usageLine)
@@ -94,8 +105,17 @@ func run(w io.Writer, exp string, seed int64, csvDir string, trials, parallel in
 	if parallel < 1 {
 		return fmt.Errorf("invalid -parallel %d (must be >= 1)\n%s", parallel, usageLine)
 	}
+	// -mktcache is parsed here (not via flag.Int) so a non-integer value
+	// gets the same one-line usage error as the other flags instead of
+	// the flag package's multi-line dump.
+	segments, err := strconv.Atoi(mktcache)
+	if err != nil || segments < 0 {
+		return fmt.Errorf("invalid -mktcache %q (must be a non-negative integer segment count)\n%s", mktcache, usageLine)
+	}
 	prev := experiment.SetWorkers(parallel)
 	defer experiment.SetWorkers(prev)
+	prevCache := experiment.SetMarketCache(segments)
+	defer experiment.SetMarketCache(prevCache)
 	if csvDir != "" {
 		if err := os.MkdirAll(csvDir, 0o755); err != nil {
 			return err
@@ -126,7 +146,18 @@ func run(w io.Writer, exp string, seed int64, csvDir string, trials, parallel in
 	if !ok {
 		return fmt.Errorf("unknown experiment %q\n%s", exp, usageLine)
 	}
-	return r(w)
+	return labeled(exp, func() error { return r(w) })
+}
+
+// labeled runs fn under a pprof "experiment" label, so -cpuprofile
+// samples attribute to the experiment that burned them (the seed and
+// strategy-arm labels nest inside).
+func labeled(name string, fn func() error) error {
+	var err error
+	pprof.Do(context.Background(), pprof.Labels("experiment", name), func(context.Context) {
+		err = fn()
+	})
+	return err
 }
 
 // runAll executes the sweep's experiments. With one worker each
@@ -137,7 +168,7 @@ func run(w io.Writer, exp string, seed int64, csvDir string, trials, parallel in
 func runAll(w io.Writer, names []string, runners map[string]func(io.Writer) error) error {
 	if experiment.Workers() <= 1 {
 		for _, name := range names {
-			if err := runners[name](w); err != nil {
+			if err := labeled(name, func() error { return runners[name](w) }); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}
 			fmt.Fprintln(w)
@@ -146,7 +177,7 @@ func runAll(w io.Writer, names []string, runners map[string]func(io.Writer) erro
 	}
 	bufs, err := experiment.Gather(len(names), func(i int) (*bytes.Buffer, error) {
 		var buf bytes.Buffer
-		if err := runners[names[i]](&buf); err != nil {
+		if err := labeled(names[i], func() error { return runners[names[i]](&buf) }); err != nil {
 			return nil, fmt.Errorf("%s: %w", names[i], err)
 		}
 		fmt.Fprintln(&buf)

@@ -9,7 +9,7 @@ import (
 )
 
 func TestUnknownExperimentRejected(t *testing.T) {
-	err := run(io.Discard, "fig99", 42, "", 3, 1, "medium")
+	err := run(io.Discard, "fig99", 42, "", 3, 1, "medium", "8192")
 	if err == nil {
 		t.Fatal("unknown experiment should error")
 	}
@@ -19,7 +19,7 @@ func TestUnknownExperimentRejected(t *testing.T) {
 }
 
 func TestInvalidIntensityRejected(t *testing.T) {
-	err := run(io.Discard, "chaos", 42, "", 3, 1, "apocalyptic")
+	err := run(io.Discard, "chaos", 42, "", 3, 1, "apocalyptic", "8192")
 	if err == nil {
 		t.Fatal("invalid intensity should error")
 	}
@@ -29,7 +29,7 @@ func TestInvalidIntensityRejected(t *testing.T) {
 }
 
 func TestInvalidParallelRejected(t *testing.T) {
-	err := run(io.Discard, "table1", 42, "", 3, 0, "medium")
+	err := run(io.Discard, "table1", 42, "", 3, 0, "medium", "8192")
 	if err == nil {
 		t.Fatal("non-positive -parallel should error")
 	}
@@ -38,45 +38,81 @@ func TestInvalidParallelRejected(t *testing.T) {
 	}
 }
 
+func TestInvalidMktCacheRejected(t *testing.T) {
+	for _, bad := range []string{"lots", "12.5", "", "-1"} {
+		err := run(io.Discard, "table1", 42, "", 3, 1, "medium", bad)
+		if err == nil {
+			t.Fatalf("-mktcache %q should error", bad)
+		}
+		if !strings.Contains(err.Error(), "usage:") {
+			t.Fatalf("error should carry the usage line, got: %v", err)
+		}
+	}
+}
+
+// TestMktCacheByteIdentical pins the snapshot-sharing contract at the
+// CLI surface: fig3 runs the same seed under two strategies (a shared
+// snapshot with the cache on), and its bytes must not depend on the
+// cache being on, off, or absurdly small (which forces store eviction
+// and segment replay mid-run).
+func TestMktCacheByteIdentical(t *testing.T) {
+	render := func(mktcache string) string {
+		var buf bytes.Buffer
+		if err := run(&buf, "fig3", 42, "", 3, 2, "medium", mktcache); err != nil {
+			t.Fatalf("fig3 with -mktcache %s: %v", mktcache, err)
+		}
+		return buf.String()
+	}
+	want := render("0")
+	if want == "" {
+		t.Fatal("fig3 rendered no output")
+	}
+	for _, mktcache := range []string{"8192", "8"} {
+		if got := render(mktcache); got != want {
+			t.Fatalf("fig3 output with -mktcache %s differs from -mktcache 0", mktcache)
+		}
+	}
+}
+
 func TestRunTable1(t *testing.T) {
-	if err := run(io.Discard, "table1", 42, "", 3, 1, "medium"); err != nil {
+	if err := run(io.Discard, "table1", 42, "", 3, 1, "medium", "8192"); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunFig9(t *testing.T) {
-	if err := run(io.Discard, "fig9", 42, "", 3, 1, "medium"); err != nil {
+	if err := run(io.Discard, "fig9", 42, "", 3, 1, "medium", "8192"); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunTrials(t *testing.T) {
-	if err := run(io.Discard, "trials", 42, "", 1, 1, "medium"); err != nil {
+	if err := run(io.Discard, "trials", 42, "", 1, 1, "medium", "8192"); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunFig3(t *testing.T) {
-	if err := run(io.Discard, "fig3", 42, "", 3, 1, "medium"); err != nil {
+	if err := run(io.Discard, "fig3", 42, "", 3, 1, "medium", "8192"); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunFig4(t *testing.T) {
-	if err := run(io.Discard, "fig4", 42, "", 3, 1, "medium"); err != nil {
+	if err := run(io.Discard, "fig4", 42, "", 3, 1, "medium", "8192"); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunTable4(t *testing.T) {
-	if err := run(io.Discard, "table4", 42, "", 3, 1, "medium"); err != nil {
+	if err := run(io.Discard, "table4", 42, "", 3, 1, "medium", "8192"); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestCSVOutput(t *testing.T) {
 	dir := t.TempDir()
-	if err := run(io.Discard, "fig2", 42, dir, 3, 1, "medium"); err != nil {
+	if err := run(io.Discard, "fig2", 42, dir, 3, 1, "medium", "8192"); err != nil {
 		t.Fatal(err)
 	}
 	matches, err := filepath.Glob(filepath.Join(dir, "fig2_prices.csv"))
@@ -87,7 +123,7 @@ func TestCSVOutput(t *testing.T) {
 
 func TestRunFig7WithCSV(t *testing.T) {
 	dir := t.TempDir()
-	if err := run(io.Discard, "fig7", 42, dir, 3, 1, "medium"); err != nil {
+	if err := run(io.Discard, "fig7", 42, dir, 3, 1, "medium", "8192"); err != nil {
 		t.Fatal(err)
 	}
 	for _, name := range []string{
@@ -102,7 +138,7 @@ func TestRunFig7WithCSV(t *testing.T) {
 
 func TestRunFig4WithCSV(t *testing.T) {
 	dir := t.TempDir()
-	if err := run(io.Discard, "fig4", 42, dir, 3, 1, "medium"); err != nil {
+	if err := run(io.Discard, "fig4", 42, dir, 3, 1, "medium", "8192"); err != nil {
 		t.Fatal(err)
 	}
 	matches, err := filepath.Glob(filepath.Join(dir, "fig4_metrics.csv"))
@@ -112,31 +148,31 @@ func TestRunFig4WithCSV(t *testing.T) {
 }
 
 func TestRunFig8(t *testing.T) {
-	if err := run(io.Discard, "fig8", 42, "", 3, 1, "medium"); err != nil {
+	if err := run(io.Discard, "fig8", 42, "", 3, 1, "medium", "8192"); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunFig10(t *testing.T) {
-	if err := run(io.Discard, "fig10", 42, "", 3, 1, "medium"); err != nil {
+	if err := run(io.Discard, "fig10", 42, "", 3, 1, "medium", "8192"); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunExtensions(t *testing.T) {
-	if err := run(io.Discard, "ext", 42, "", 3, 1, "medium"); err != nil {
+	if err := run(io.Discard, "ext", 42, "", 3, 1, "medium", "8192"); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunChaos(t *testing.T) {
-	if err := run(io.Discard, "chaos", 42, "", 3, 1, "medium"); err != nil {
+	if err := run(io.Discard, "chaos", 42, "", 3, 1, "medium", "8192"); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunCrash(t *testing.T) {
-	if err := run(io.Discard, "crash", 42, "", 3, 1, "medium"); err != nil {
+	if err := run(io.Discard, "crash", 42, "", 3, 1, "medium", "8192"); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -152,7 +188,7 @@ func TestAllParallelByteIdentical(t *testing.T) {
 	}
 	render := func(exp string, parallel int) string {
 		var buf bytes.Buffer
-		if err := run(&buf, exp, 42, "", 3, parallel, "medium"); err != nil {
+		if err := run(&buf, exp, 42, "", 3, parallel, "medium", "8192"); err != nil {
 			t.Fatalf("%s with -parallel %d: %v", exp, parallel, err)
 		}
 		return buf.String()

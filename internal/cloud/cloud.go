@@ -358,12 +358,14 @@ func (p *Provider) schedulePriceInterruption(inst *Instance) {
 	}
 	const horizon = 60 * 24 * time.Hour
 	now := p.eng.Now()
+	// One walk resolution for the whole scan (up to 240 steps) instead
+	// of a map lookup per step; the samples are the same SpotPrice ones.
+	series, err := p.mkt.PriceSeries(inst.Type, inst.AZ)
+	if err != nil {
+		return
+	}
 	for at := now.Truncate(market.PriceStep).Add(market.PriceStep); at.Before(now.Add(horizon)); at = at.Add(market.PriceStep) {
-		price, err := p.mkt.SpotPrice(inst.Type, inst.AZ, at)
-		if err != nil {
-			return
-		}
-		if price <= inst.BidUSD {
+		if series.At(at) <= inst.BidUSD {
 			continue
 		}
 		noticeAt := at.Add(-NoticeWindow)
@@ -481,17 +483,17 @@ func (p *Provider) costBetween(inst *Instance, from, to time.Time) float64 {
 		}
 		return od * to.Sub(from).Hours()
 	}
+	series, err := p.mkt.PriceSeries(inst.Type, inst.AZ)
+	if err != nil {
+		return 0
+	}
 	var cost float64
 	for seg := from; seg.Before(to); {
 		segEnd := seg.Truncate(market.PriceStep).Add(market.PriceStep)
 		if segEnd.After(to) {
 			segEnd = to
 		}
-		price, err := p.mkt.SpotPrice(inst.Type, inst.AZ, seg)
-		if err != nil {
-			return cost
-		}
-		cost += price * segEnd.Sub(seg).Hours()
+		cost += series.At(seg) * segEnd.Sub(seg).Hours()
 		seg = segEnd
 	}
 	return cost

@@ -47,11 +47,13 @@ func NewEnv(seed int64) *Env {
 }
 
 // NewEnvAt assembles an environment whose clock and market start at the
-// given instant.
+// given instant. The market is a view over the shared per-(seed, start)
+// snapshot when the market cache is enabled (see SetMarketCache); the
+// values it serves are byte-identical either way.
 func NewEnvAt(seed int64, start time.Time) *Env {
 	eng := simclock.NewEngineAt(start)
-	cat := catalog.Default()
-	mkt := market.New(cat, seed, start)
+	mkt := acquireMarket(seed, start)
+	cat := mkt.Catalog()
 	ledger := cost.NewLedger()
 	return &Env{
 		Seed:       seed,

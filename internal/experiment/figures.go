@@ -596,7 +596,8 @@ func Fig10(seed int64) ([]Fig10Cell, error) {
 			DisableSweep: true,
 			// Threshold-4 cells restart long workloads in unstable
 			// regions many times over; give the geometric tail room.
-			Horizon: 90 * 24 * time.Hour,
+			Horizon:   90 * 24 * time.Hour,
+			ProfLabel: fmt.Sprintf("spotverse T=%d D=%dh", threshold, hours),
 		})
 		if err != nil {
 			return Fig10Cell{}, fmt.Errorf("fig10 T=%d D=%dh: %w", threshold, hours, err)

@@ -1,8 +1,10 @@
 package experiment
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime/pprof"
 	"sort"
 	"time"
 
@@ -66,6 +68,11 @@ type RunConfig struct {
 	Durability DurabilityMode
 	// Trace enables the structured event timeline on the Result.
 	Trace bool
+	// ProfLabel names this run's strategy arm in pprof profiles (the
+	// "arm" label); empty defaults to the strategy name. Figures with
+	// several configurations of one strategy (Fig. 10's threshold grid)
+	// set it so -cpuprofile samples attribute per cell.
+	ProfLabel string
 }
 
 // DurabilityMode selects how checkpoint progress manifests are stored.
@@ -157,8 +164,25 @@ type Result struct {
 
 // Run executes the experiment on the environment. The environment must
 // be fresh (one Run per Env): strategies register rules and schedules on
-// it.
+// it. The whole run executes under a pprof "arm" label (see
+// RunConfig.ProfLabel) so CPU profiles attribute samples per strategy
+// arm.
 func Run(env *Env, cfg RunConfig) (*Result, error) {
+	label := cfg.ProfLabel
+	if label == "" && cfg.Strategy != nil {
+		label = cfg.Strategy.Name()
+	}
+	var (
+		res *Result
+		err error
+	)
+	pprof.Do(context.Background(), pprof.Labels("arm", label), func(context.Context) {
+		res, err = run(env, cfg)
+	})
+	return res, err
+}
+
+func run(env *Env, cfg RunConfig) (*Result, error) {
 	if len(cfg.Workloads) == 0 {
 		return nil, ErrNoWorkloads
 	}

@@ -1,9 +1,12 @@
 package experiment
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
+	"runtime/pprof"
+	"strconv"
 )
 
 // The paper repeats each experiment three times "to account for
@@ -64,9 +67,18 @@ func Trials(n int, base int64, fn func(seed int64) (*Result, error)) (*TrialSumm
 	}
 	results, err := Gather(n, func(i int) (*Result, error) {
 		seed := base + int64(i)
-		res, err := fn(seed)
-		if err != nil {
-			return nil, fmt.Errorf("trial seed %d: %w", seed, err)
+		var (
+			res  *Result
+			ferr error
+		)
+		// The seed label nests inside the CLI's experiment label and the
+		// runner's arm label, so -cpuprofile attributes samples per
+		// (experiment, seed, arm).
+		pprof.Do(context.Background(), pprof.Labels("seed", strconv.FormatInt(seed, 10)), func(context.Context) {
+			res, ferr = fn(seed)
+		})
+		if ferr != nil {
+			return nil, fmt.Errorf("trial seed %d: %w", seed, ferr)
 		}
 		return res, nil
 	})

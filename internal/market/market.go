@@ -15,13 +15,23 @@
 // All processes are deterministic for a given seed and are generated
 // lazily but sequentially, so query order never changes the series.
 //
-// Hot-path queries are cached: each (type, region) keeps a per-step
-// cheapest-AZ series with prefix sums, so AveragePrice answers in O(1)
-// after the window is materialised and RegionSpotPrice in O(1) per step,
-// and CheapestSpotRegion rankings are memoized per (type, window). The
-// caches never invalidate — walks are append-only, so a materialised step
-// can never change. A Model is not safe for concurrent use; the parallel
-// experiment harness gives every worker its own Model.
+// The package is split into a deterministic generator and an immutable,
+// concurrency-safe Snapshot (snapshot.go): every series for one
+// (catalog, seed, start) triple lives on the Snapshot, materialised in
+// fixed-size segments published by atomic pointer swap, so one snapshot
+// per seed can back every strategy arm and every parallel worker at
+// once with byte-identical values. A Model is a thin per-environment
+// view over a snapshot — it carries only the mutable state a single
+// experiment owns (injected outages, seasonality) and is still not safe
+// for concurrent use itself; sharing happens at the Snapshot level (see
+// SnapshotStore in store.go).
+//
+// Hot-path queries are cached on the snapshot: each (type, region)
+// keeps a per-step cheapest-AZ series with prefix sums, so AveragePrice
+// answers in O(1) after the window is materialised and RegionSpotPrice
+// in O(1) per step, and CheapestSpotRegion rankings are memoized per
+// (type, window). The caches never invalidate — walks are append-only,
+// so a materialised step can never change.
 package market
 
 import (
@@ -31,7 +41,6 @@ import (
 	"time"
 
 	"spotverse/internal/catalog"
-	"spotverse/internal/simclock"
 )
 
 // Granularities of the underlying processes.
@@ -90,22 +99,11 @@ type AdvisorEntry struct {
 	CombinedScore int
 }
 
-// Model is the deterministic multi-region spot market.
+// Model is the deterministic multi-region spot market as one
+// environment sees it: a view over an immutable Snapshot plus the
+// mutable state a single experiment owns.
 type Model struct {
-	cat   *catalog.Catalog
-	seed  int64
-	start time.Time
-
-	prices map[azKey]*walk
-	freq   map[Key]*walk
-	sps    map[Key]*walk
-
-	// regionMin caches, per (type, region), the per-step cheapest-AZ
-	// price series with prefix sums (the AveragePrice/RegionSpotPrice
-	// hot path). Walks are append-only so entries never invalidate.
-	regionMin map[Key]*minSeries
-	// cheapest memoizes CheapestSpotRegion rankings per (type, window).
-	cheapest map[cheapKey]cheapEntry
+	snap *Snapshot
 
 	// seasonal enables hour-of-week hazard modulation (seasonality.go).
 	seasonal bool
@@ -129,7 +127,7 @@ func (m *Model) InjectOutage(r catalog.Region, from, to time.Time) error {
 	if !to.After(from) {
 		return fmt.Errorf("market: outage window %s..%s inverted", from, to)
 	}
-	if _, err := m.cat.RegionInfo(r); err != nil {
+	if _, err := m.snap.cat.RegionInfo(r); err != nil {
 		return err
 	}
 	merged := m.outages[:0]
@@ -185,45 +183,28 @@ type azKey struct {
 }
 
 // New returns a market model over the catalog, seeded for determinism,
-// with series starting at start.
+// with series starting at start. The model owns a private snapshot; use
+// FromSnapshot to share one across environments.
 func New(cat *catalog.Catalog, seed int64, start time.Time) *Model {
-	return &Model{
-		cat:       cat,
-		seed:      seed,
-		start:     start,
-		prices:    make(map[azKey]*walk),
-		freq:      make(map[Key]*walk),
-		sps:       make(map[Key]*walk),
-		regionMin: make(map[Key]*minSeries),
-		cheapest:  make(map[cheapKey]cheapEntry),
-	}
+	return &Model{snap: NewSnapshot(cat, seed, start)}
 }
+
+// FromSnapshot returns a model view over a shared snapshot. Any number
+// of models (one per environment) can read the same snapshot
+// concurrently; only the per-model mutable state — injected outages and
+// seasonality — is private to each view.
+func FromSnapshot(snap *Snapshot) *Model {
+	return &Model{snap: snap}
+}
+
+// Snapshot exposes the model's underlying immutable market realization.
+func (m *Model) Snapshot() *Snapshot { return m.snap }
 
 // Catalog exposes the underlying inventory.
-func (m *Model) Catalog() *catalog.Catalog { return m.cat }
+func (m *Model) Catalog() *catalog.Catalog { return m.snap.cat }
 
 // Start reports the first instant the model has data for.
-func (m *Model) Start() time.Time { return m.start }
-
-// walk is a bounded, mean-reverting random walk generated lazily but
-// strictly sequentially so that random access is deterministic.
-type walk struct {
-	rng     *simclock.RNG
-	base    float64
-	sigma   float64
-	revert  float64
-	lo, hi  float64
-	samples []float64
-}
-
-func newWalk(rng *simclock.RNG, base, sigma, revert, lo, hi float64) *walk {
-	w := &walk{rng: rng, base: base, sigma: sigma, revert: revert, lo: lo, hi: hi}
-	// First sample starts near base with a small perturbation so distinct
-	// markets don't all begin at their exact tier midpoint.
-	v := clamp(base+rng.Normal(0, sigma), lo, hi)
-	w.samples = []float64{v}
-	return w
-}
+func (m *Model) Start() time.Time { return m.snap.start }
 
 func clamp(v, lo, hi float64) float64 {
 	if v < lo {
@@ -233,61 +214,6 @@ func clamp(v, lo, hi float64) float64 {
 		return hi
 	}
 	return v
-}
-
-// at returns the walk value at step k (k >= 0), extending the series as
-// needed.
-func (w *walk) at(k int) float64 {
-	if k < 0 {
-		k = 0
-	}
-	w.extendTo(k)
-	return w.samples[k]
-}
-
-// extendTo materialises the series through step k. The backing array is
-// grown to its final size in one allocation instead of append-doubling;
-// samples are still generated strictly sequentially so the values are
-// identical whatever the query order.
-func (w *walk) extendTo(k int) {
-	if len(w.samples) > k {
-		return
-	}
-	if cap(w.samples) <= k {
-		grown := make([]float64, len(w.samples), k+1)
-		copy(grown, w.samples)
-		w.samples = grown
-	}
-	for len(w.samples) <= k {
-		prev := w.samples[len(w.samples)-1]
-		next := prev + w.revert*(w.base-prev) + w.rng.Normal(0, w.sigma)
-		w.samples = append(w.samples, clamp(next, w.lo, w.hi))
-	}
-}
-
-func (m *Model) stepIndex(at time.Time, step time.Duration) int {
-	d := at.Sub(m.start)
-	if d < 0 {
-		return 0
-	}
-	return int(d / step)
-}
-
-func (m *Model) priceWalk(t catalog.InstanceType, az catalog.AZ) (*walk, error) {
-	k := azKey{az: az, t: t}
-	if w, ok := m.prices[k]; ok {
-		return w, nil
-	}
-	base, err := m.cat.BaselineSpotPrice(t, az.Region())
-	if err != nil {
-		return nil, err
-	}
-	rng := simclock.Stream(m.seed, "price/"+string(t)+"/"+string(az))
-	// Post-2017 spot prices: smooth, ±12% band around the baseline, slow
-	// reversion. Sigma is proportional to the price level.
-	w := newWalk(rng, base, base*0.015, 0.05, base*0.88, base*1.12)
-	m.prices[k] = w
-	return w, nil
 }
 
 // reliability parameters per tier: latent monthly interruption fraction.
@@ -345,194 +271,36 @@ func caCentralTrapped(t catalog.InstanceType) bool {
 	return f == "m5" || f == "r5"
 }
 
-func (m *Model) freqWalk(t catalog.InstanceType, r catalog.Region) (*walk, error) {
-	k := Key{Region: r, Type: t}
-	if w, ok := m.freq[k]; ok {
-		return w, nil
-	}
-	info, err := m.cat.RegionInfo(r)
-	if err != nil {
-		return nil, err
-	}
-	if !m.cat.Offered(t, r) {
-		return nil, fmt.Errorf("market: %s not offered in %s", t, r)
-	}
-	base := tierFrequency(info.Tier)
-	if r == caCentral && caCentralTrapped(t) {
-		base = caCentralFrequency
-	}
-	sigma := tierFreqSigma(info.Tier)
-	if t.Family() == "p3" {
-		// GPU capacity is scarce and reclaimed in bursts: interruption
-		// frequency swings harder for p3 (Fig. 4 observation).
-		sigma = 0.028
-	}
-	rng := simclock.Stream(m.seed, "freq/"+string(t)+"/"+string(r))
-	w := newWalk(rng, base, sigma, 0.30, 0.005, 0.35)
-	m.freq[k] = w
-	return w, nil
-}
-
-func (m *Model) spsWalk(t catalog.InstanceType, r catalog.Region) (*walk, error) {
-	k := Key{Region: r, Type: t}
-	if w, ok := m.sps[k]; ok {
-		return w, nil
-	}
-	info, err := m.cat.RegionInfo(r)
-	if err != nil {
-		return nil, err
-	}
-	if !m.cat.Offered(t, r) {
-		return nil, fmt.Errorf("market: %s not offered in %s", t, r)
-	}
-	base := tierSPS(info.Tier)
-	if r == caCentral && caCentralTrapped(t) {
-		base = caCentralSPSLatent
-	}
-	sigma := 0.06
-	if t.Family() == "p3" {
-		// p3's placement score is near-constant across regions (Fig. 4c).
-		sigma = 0.02
-		base = 3.30
-	}
-	rng := simclock.Stream(m.seed, "sps/"+string(t)+"/"+string(r))
-	w := newWalk(rng, base, sigma, 0.35, 1, 10)
-	m.sps[k] = w
-	return w, nil
-}
-
 // SpotPrice returns the spot price of t in az at the given instant.
 func (m *Model) SpotPrice(t catalog.InstanceType, az catalog.AZ, at time.Time) (float64, error) {
-	w, err := m.priceWalk(t, az)
+	return m.snap.spotPrice(t, az, at)
+}
+
+// PriceSeries returns a reusable handle on the (t, az) price walk; see
+// the type's doc for the hot path it serves.
+func (m *Model) PriceSeries(t catalog.InstanceType, az catalog.AZ) (PriceSeries, error) {
+	w, err := m.snap.priceWalk(t, az)
 	if err != nil {
-		return 0, err
+		return PriceSeries{}, err
 	}
-	return w.at(m.stepIndex(at, PriceStep)), nil
-}
-
-// minSeries is the cached per-step cheapest-AZ price series for one
-// (type, region): the regional spot price AveragePrice integrates and
-// RegionSpotPrice reports. prefix carries running sums (prefix[0] = 0,
-// prefix[k+1] = prefix[k] + min[k]) so any window sum starting at the
-// model start is a single subtraction — and a window anchored at step 0
-// reproduces the naive left-to-right summation bit for bit.
-type minSeries struct {
-	azs    []catalog.AZ
-	walks  []*walk
-	min    []float64
-	argAZ  []int32
-	prefix []float64
-}
-
-// extendTo materialises the min series through step k, extending every
-// AZ walk on the way. Each walk draws from its own RNG stream, so the
-// values are independent of extension interleaving.
-func (s *minSeries) extendTo(k int) {
-	if len(s.min) > k {
-		return
-	}
-	if cap(s.min) <= k {
-		grownMin := make([]float64, len(s.min), k+1)
-		copy(grownMin, s.min)
-		s.min = grownMin
-		grownArg := make([]int32, len(s.argAZ), k+1)
-		copy(grownArg, s.argAZ)
-		s.argAZ = grownArg
-		grownPre := make([]float64, len(s.prefix), k+2)
-		copy(grownPre, s.prefix)
-		s.prefix = grownPre
-	}
-	for _, w := range s.walks {
-		w.extendTo(k)
-	}
-	for i := len(s.min); i <= k; i++ {
-		// Same tie-break as the scan it replaces: first AZ in zone order
-		// with the strictly lowest price.
-		best, arg := s.walks[0].samples[i], 0
-		for j := 1; j < len(s.walks); j++ {
-			if v := s.walks[j].samples[i]; v < best {
-				best, arg = v, j
-			}
-		}
-		s.min = append(s.min, best)
-		s.argAZ = append(s.argAZ, int32(arg))
-		s.prefix = append(s.prefix, s.prefix[len(s.prefix)-1]+best)
-	}
-}
-
-// regionSeries returns (building on first use) the cached cheapest-AZ
-// series for (t, r).
-func (m *Model) regionSeries(t catalog.InstanceType, r catalog.Region) (*minSeries, error) {
-	k := Key{Region: r, Type: t}
-	if s, ok := m.regionMin[k]; ok {
-		return s, nil
-	}
-	if !m.cat.Offered(t, r) {
-		return nil, fmt.Errorf("market: %s not offered in %s", t, r)
-	}
-	azs := m.cat.Zones(r)
-	if len(azs) == 0 {
-		return nil, fmt.Errorf("market: region %s has no zones", r)
-	}
-	s := &minSeries{azs: azs, walks: make([]*walk, 0, len(azs)), prefix: []float64{0}}
-	for _, az := range azs {
-		w, err := m.priceWalk(t, az)
-		if err != nil {
-			return nil, err
-		}
-		s.walks = append(s.walks, w)
-	}
-	m.regionMin[k] = s
-	return s, nil
+	return PriceSeries{w: w, start: m.snap.start}, nil
 }
 
 // RegionSpotPrice returns the cheapest AZ spot price of t in r, and the AZ.
 func (m *Model) RegionSpotPrice(t catalog.InstanceType, r catalog.Region, at time.Time) (float64, catalog.AZ, error) {
-	if !m.cat.Offered(t, r) {
-		return 0, "", fmt.Errorf("market: %s not offered in %s", t, r)
-	}
-	s, err := m.regionSeries(t, r)
-	if err != nil {
-		return 0, "", err
-	}
-	k := m.stepIndex(at, PriceStep)
-	s.extendTo(k)
-	return s.min[k], s.azs[s.argAZ[k]], nil
+	return m.snap.regionSpotPrice(t, r, at)
 }
 
 // PriceHistory returns the price series of t in az on [from, to] sampled
 // every step. It mimics DescribeSpotPriceHistory.
 func (m *Model) PriceHistory(t catalog.InstanceType, az catalog.AZ, from, to time.Time, step time.Duration) ([]PricePoint, error) {
-	if step <= 0 {
-		step = PriceStep
-	}
-	if to.Before(from) {
-		return nil, fmt.Errorf("market: history to %s before from %s", to, from)
-	}
-	w, err := m.priceWalk(t, az)
-	if err != nil {
-		return nil, err
-	}
-	// One allocation for the whole series, and the walk is materialised
-	// through the last step up front so the loop is pure array indexing
-	// instead of per-sample map lookups and growth.
-	n := int(to.Sub(from)/step) + 1
-	w.extendTo(m.stepIndex(from.Add(time.Duration(n-1)*step), PriceStep))
-	out := make([]PricePoint, 0, n)
-	for ts := from; !ts.After(to); ts = ts.Add(step) {
-		out = append(out, PricePoint{Time: ts, USDPerHour: w.samples[m.stepIndex(ts, PriceStep)]})
-	}
-	return out, nil
+	return m.snap.priceHistory(t, az, from, to, step)
 }
 
 // InterruptionFrequency returns the latent monthly interruption fraction
 // for t in r at the given instant (the advisor's underlying quantity).
 func (m *Model) InterruptionFrequency(t catalog.InstanceType, r catalog.Region, at time.Time) (float64, error) {
-	w, err := m.freqWalk(t, r)
-	if err != nil {
-		return 0, err
-	}
-	return w.at(m.stepIndex(at, MetricStep)), nil
+	return m.snap.interruptionFrequency(t, r, at)
 }
 
 // StabilityScore maps the interruption frequency into the paper's 1-3
@@ -577,11 +345,7 @@ func (m *Model) PlacementScore(t catalog.InstanceType, r catalog.Region, at time
 // PlacementScoreLatent returns the continuous SPS process value, used for
 // the Fig. 4 time-series plots.
 func (m *Model) PlacementScoreLatent(t catalog.InstanceType, r catalog.Region, at time.Time) (float64, error) {
-	w, err := m.spsWalk(t, r)
-	if err != nil {
-		return 0, err
-	}
-	return w.at(m.stepIndex(at, MetricStep)), nil
+	return m.snap.placementScoreLatent(t, r, at)
 }
 
 // CombinedScore is PlacementScore + StabilityScore — the quantity the
@@ -629,7 +393,7 @@ func (m *Model) Advisor(t catalog.InstanceType, r catalog.Region, at time.Time) 
 	if err != nil {
 		return AdvisorEntry{}, err
 	}
-	od, err := m.cat.OnDemandPrice(t, r)
+	od, err := m.snap.cat.OnDemandPrice(t, r)
 	if err != nil {
 		return AdvisorEntry{}, err
 	}
@@ -658,7 +422,7 @@ func (m *Model) Advisor(t catalog.InstanceType, r catalog.Region, at time.Time) 
 // AdvisorSnapshot returns advisor rows for t across all offering regions,
 // ordered by region name.
 func (m *Model) AdvisorSnapshot(t catalog.InstanceType, at time.Time) ([]AdvisorEntry, error) {
-	regions := m.cat.OfferedRegions(t)
+	regions := m.snap.cat.OfferedRegions(t)
 	out := make([]AdvisorEntry, 0, len(regions))
 	for _, r := range regions {
 		e, err := m.Advisor(t, r, at)
@@ -679,30 +443,7 @@ func (m *Model) AdvisorSnapshot(t catalog.InstanceType, at time.Time) ([]Advisor
 // the model start reproduces the naive left-to-right summation exactly;
 // other alignments agree to float64 rounding (~1e-12 relative).
 func (m *Model) AveragePrice(t catalog.InstanceType, r catalog.Region, from, to time.Time) (float64, error) {
-	if !m.cat.Offered(t, r) {
-		return 0, fmt.Errorf("market: %s not offered in %s", t, r)
-	}
-	if to.Before(from) {
-		return 0, fmt.Errorf("market: empty averaging window")
-	}
-	s, err := m.regionSeries(t, r)
-	if err != nil {
-		return 0, err
-	}
-	n := int(to.Sub(from)/PriceStep) + 1
-	last := m.stepIndex(from.Add(time.Duration(n-1)*PriceStep), PriceStep)
-	s.extendTo(last)
-	if from.Before(m.start) {
-		// Pre-start samples clamp to step 0, so the window's step indices
-		// are not contiguous; sum term by term (still cached, no rescans).
-		var sum float64
-		for ts, i := from, 0; i < n; ts, i = ts.Add(PriceStep), i+1 {
-			sum += s.min[m.stepIndex(ts, PriceStep)]
-		}
-		return sum / float64(n), nil
-	}
-	k0 := m.stepIndex(from, PriceStep)
-	return (s.prefix[last+1] - s.prefix[k0]) / float64(n), nil
+	return m.snap.averagePrice(t, r, from, to)
 }
 
 // cheapKey addresses one memoized CheapestSpotRegion ranking.
@@ -722,27 +463,5 @@ type cheapEntry struct {
 // every baseline-region probe ask for the same opening-weeks window over
 // and over.
 func (m *Model) CheapestSpotRegion(t catalog.InstanceType, from, to time.Time) (catalog.Region, float64, error) {
-	ck := cheapKey{t: t, from: from.UnixNano(), to: to.UnixNano()}
-	if e, ok := m.cheapest[ck]; ok {
-		return e.region, e.price, nil
-	}
-	var (
-		best      catalog.Region
-		bestPrice float64
-		found     bool
-	)
-	for _, r := range m.cat.OfferedRegions(t) {
-		p, err := m.AveragePrice(t, r, from, to)
-		if err != nil {
-			return "", 0, err
-		}
-		if !found || p < bestPrice {
-			best, bestPrice, found = r, p, true
-		}
-	}
-	if !found {
-		return "", 0, fmt.Errorf("market: %s offered nowhere", t)
-	}
-	m.cheapest[ck] = cheapEntry{region: best, price: bestPrice}
-	return best, bestPrice, nil
+	return m.snap.cheapestSpotRegion(t, from, to)
 }

@@ -1,0 +1,128 @@
+package market
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"spotverse/internal/catalog"
+)
+
+// SnapshotStore shares market snapshots across environments: every Env
+// built for the same (seed, start) reads the same Snapshot, so a
+// multi-arm figure materialises each seed's market once instead of once
+// per arm. The store bounds resident memory by counting published
+// segments across all snapshots and evicting least-recently-acquired
+// snapshots when the total crosses the high-water mark.
+type SnapshotStore struct {
+	cat   *catalog.Catalog
+	limit int64 // high-water mark in segments; <= 0 means unbounded
+
+	mu    sync.Mutex
+	clock int64
+	byKey map[storeKey]*Snapshot
+	all   []*Snapshot // insertion order, so eviction never iterates a map
+}
+
+type storeKey struct {
+	seed  int64
+	start int64 // start.UnixNano()
+}
+
+// NewSnapshotStore returns a store over the catalog. limitSegments
+// bounds resident memory (each segment is 256 float64 samples, 2 KiB):
+// when the total published segment count exceeds it, whole snapshots
+// are evicted oldest-acquired first. The just-acquired snapshot is
+// flushed only as a last resort, so the bound is a high-water mark —
+// one active snapshot's working set may exceed it between acquires.
+// limitSegments <= 0 disables eviction.
+func NewSnapshotStore(cat *catalog.Catalog, limitSegments int) *SnapshotStore {
+	return &SnapshotStore{
+		cat:   cat,
+		limit: int64(limitSegments),
+		byKey: make(map[storeKey]*Snapshot),
+	}
+}
+
+// Catalog exposes the store's inventory (shared by every snapshot).
+func (st *SnapshotStore) Catalog() *catalog.Catalog { return st.cat }
+
+// LimitSegments reports the configured high-water mark (<= 0 means
+// unbounded).
+func (st *SnapshotStore) LimitSegments() int { return int(st.limit) }
+
+// Len reports how many snapshots the store tracks (resident or not).
+func (st *SnapshotStore) Len() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.all)
+}
+
+// ResidentSegments reports the total published segments across all
+// snapshots.
+func (st *SnapshotStore) ResidentSegments() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	var n int64
+	for _, s := range st.all {
+		n += s.resident.Load()
+	}
+	return int(n)
+}
+
+// Acquire returns the shared snapshot for (seed, start), building it on
+// first use. Safe for concurrent use: every caller with the same key
+// gets the same *Snapshot, and values read through it are byte-
+// identical to a private market.New regardless of sharing, eviction, or
+// goroutine interleaving.
+func (st *SnapshotStore) Acquire(seed int64, start time.Time) *Snapshot {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	k := storeKey{seed: seed, start: start.UnixNano()}
+	s := st.byKey[k]
+	if s == nil {
+		s = NewSnapshot(st.cat, seed, start)
+		st.byKey[k] = s
+		st.all = append(st.all, s)
+	}
+	st.clock++
+	s.lastUse.Store(st.clock)
+	st.evictLocked(s)
+	return s
+}
+
+// evictLocked enforces the high-water mark, least-recently-acquired
+// first. keep (the snapshot being handed out) is flushed only if every
+// other snapshot's segments were not enough.
+func (st *SnapshotStore) evictLocked(keep *Snapshot) {
+	if st.limit <= 0 {
+		return
+	}
+	var total int64
+	for _, s := range st.all {
+		total += s.resident.Load()
+	}
+	if total <= st.limit {
+		return
+	}
+	victims := make([]*Snapshot, 0, len(st.all))
+	for _, s := range st.all {
+		if s != keep {
+			victims = append(victims, s)
+		}
+	}
+	// lastUse values are distinct (the clock is strictly increasing
+	// under mu), so this order is deterministic.
+	sort.Slice(victims, func(i, j int) bool {
+		return victims[i].lastUse.Load() < victims[j].lastUse.Load()
+	})
+	for _, s := range victims {
+		if total <= st.limit {
+			return
+		}
+		total -= int64(s.Evict())
+	}
+	if total > st.limit {
+		keep.Evict()
+	}
+}
