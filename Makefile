@@ -1,9 +1,9 @@
 GO ?= go
 
 # PR counter for benchmark snapshots (BENCH_$(PR).json).
-PR ?= 5
+PR ?= 6
 
-.PHONY: build test race vet vet-determinism lint verify experiments bench bench-compare profile
+.PHONY: build test race vet vet-determinism lint verify experiments serve-smoke bench bench-compare profile
 
 build:
 	$(GO) build ./...
@@ -38,6 +38,13 @@ verify: vet vet-determinism lint build race
 experiments:
 	$(GO) run ./cmd/spotverse-experiments -exp all
 
+# serve-smoke exercises cmd/spotverse-serve end to end: deterministic
+# trace replay (byte-identical across runs), an overload burst that
+# must shed without errors, and a live SIGTERM drain that must exit 0
+# with a flushed, replayable recorded trace.
+serve-smoke:
+	sh scripts/serve_smoke.sh
+
 # bench snapshots the root-package benchmark suite (experiment drivers,
 # market hot paths, worker-pool scaling) into BENCH_$(PR).json. The
 # format is plain `go test -bench` text, which benchstat consumes
@@ -45,11 +52,11 @@ experiments:
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem -count=3 . | tee BENCH_$(PR).json
 
-# bench-compare diffs the current benchmark snapshot against the PR 3
+# bench-compare diffs the current benchmark snapshot against the PR 5
 # baseline (override OLD/NEW for other pairs). benchstat gives the full
 # statistical treatment when installed; otherwise an awk fallback
 # prints mean ns/op per benchmark side by side.
-OLD ?= BENCH_3.json
+OLD ?= BENCH_5.json
 NEW ?= BENCH_$(PR).json
 
 bench-compare:

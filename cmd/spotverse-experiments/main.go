@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	spotverse-experiments [-exp all|fig2|fig3|fig4|fig7|fig8|fig9|fig10|table1|table4|ext|chaos|crash|trials] [-seed N] [-csv dir] [-intensity off|low|medium|severe] [-parallel N] [-mktcache N] [-cpuprofile file] [-memprofile file]
+//	spotverse-experiments [-exp all|list|fig2|fig3|fig4|fig7|fig8|fig9|fig10|table1|table4|ext|chaos|crash|trials] [-seed N] [-csv dir] [-intensity off|low|medium|severe] [-parallel N] [-mktcache N] [-cpuprofile file] [-memprofile file]
 //
 // Each experiment prints an ASCII rendering of the corresponding table or
 // figure; -csv additionally writes raw series files into the directory.
@@ -24,19 +24,28 @@
 // -cpuprofile and -memprofile write pprof profiles for performance work
 // (see `make profile`); samples carry experiment/seed/arm pprof labels,
 // so `go tool pprof -tagfocus` isolates one experiment or strategy arm.
+//
+// SIGINT/SIGTERM mid-sweep flush both profiles and any partial output
+// before exiting with the conventional 128+signum code, so an
+// interrupted long run still yields a usable profile.
 package main
 
 import (
 	"bytes"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strconv"
+	"sync"
+	"syscall"
 
 	"spotverse/internal/chaos"
 	"spotverse/internal/experiment"
@@ -44,11 +53,11 @@ import (
 
 // usageLine is appended to flag-validation errors so a bad invocation
 // prints the accepted values without the caller digging through -h.
-const usageLine = "usage: spotverse-experiments [-exp all|fig2|fig3|fig4|fig7|fig8|fig9|fig10|table1|table4|ext|chaos|crash|trials] [-seed N] [-csv dir] [-intensity off|low|medium|severe] [-parallel N] [-mktcache N] [-cpuprofile file] [-memprofile file]"
+const usageLine = "usage: spotverse-experiments [-exp all|list|fig2|fig3|fig4|fig7|fig8|fig9|fig10|table1|table4|ext|chaos|crash|trials] [-seed N] [-csv dir] [-intensity off|low|medium|severe] [-parallel N] [-mktcache N] [-cpuprofile file] [-memprofile file]"
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment to run: all, fig2, fig3, fig4, fig7, fig8, fig9, fig10, table1, table4, ext, chaos, crash, trials")
+		exp        = flag.String("exp", "all", "experiment to run: all, list, fig2, fig3, fig4, fig7, fig8, fig9, fig10, table1, table4, ext, chaos, crash, trials")
 		seed       = flag.Int64("seed", 42, "simulation seed")
 		csvDir     = flag.String("csv", "", "directory to write raw CSV series (optional)")
 		trials     = flag.Int("trials", 3, "trial count for -exp trials (the paper repeats each experiment 3x)")
@@ -59,42 +68,99 @@ func main() {
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file")
 	)
 	flag.Parse()
-	if err := profiled(*cpuprofile, *memprofile, func() error {
-		return run(os.Stdout, *exp, *seed, *csvDir, *trials, *parallel, *intensity, *mktcache)
-	}); err != nil {
+	prof, err := startProfiler(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spotverse-experiments:", err)
+		os.Exit(1)
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	go handleSignals(sig, prof, os.Stderr, os.Exit)
+	err = run(os.Stdout, *exp, *seed, *csvDir, *trials, *parallel, *intensity, *mktcache)
+	if ferr := prof.Flush(); err == nil {
+		err = ferr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "spotverse-experiments:", err)
 		os.Exit(1)
 	}
 }
 
-// profiled wraps fn with optional CPU and heap profiling.
-func profiled(cpuPath, memPath string, fn func() error) error {
+// profiler owns the optional pprof outputs. Flush is idempotent and
+// safe to race between the normal exit path and the signal handler:
+// whichever runs first writes the files, the other becomes a no-op.
+type profiler struct {
+	mu      sync.Mutex
+	cpu     *os.File
+	memPath string
+	done    bool
+}
+
+// startProfiler begins CPU profiling (when requested) and remembers
+// where the heap profile should land on Flush.
+func startProfiler(cpuPath, memPath string) (*profiler, error) {
+	p := &profiler{memPath: memPath}
 	if cpuPath != "" {
 		f, err := os.Create(cpuPath)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		defer f.Close()
 		if err := pprof.StartCPUProfile(f); err != nil {
-			return err
+			f.Close()
+			return nil, err
 		}
-		defer pprof.StopCPUProfile()
+		p.cpu = f
 	}
-	if err := fn(); err != nil {
-		return err
+	return p, nil
+}
+
+// Flush stops the CPU profile and writes the heap profile. The first
+// call does the work; later calls return nil immediately.
+func (p *profiler) Flush() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.done {
+		return nil
 	}
-	if memPath != "" {
-		f, err := os.Create(memPath)
+	p.done = true
+	var errs []error
+	if p.cpu != nil {
+		pprof.StopCPUProfile()
+		errs = append(errs, p.cpu.Close())
+	}
+	if p.memPath != "" {
+		f, err := os.Create(p.memPath)
 		if err != nil {
-			return err
-		}
-		defer f.Close()
-		runtime.GC() // settle allocations so the heap profile reflects live data
-		if err := pprof.WriteHeapProfile(f); err != nil {
-			return err
+			errs = append(errs, err)
+		} else {
+			runtime.GC() // settle allocations so the heap profile reflects live data
+			errs = append(errs, pprof.WriteHeapProfile(f), f.Close())
 		}
 	}
-	return nil
+	return errors.Join(errs...)
+}
+
+// handleSignals turns the first SIGINT/SIGTERM into a profile + output
+// flush and an exit with the conventional 128+signum code, so an
+// interrupted sweep still leaves usable artifacts behind. exit is
+// injected for tests.
+func handleSignals(sig <-chan os.Signal, prof *profiler, stderr io.Writer, exit func(int)) {
+	s, ok := <-sig
+	if !ok {
+		return
+	}
+	fmt.Fprintf(stderr, "spotverse-experiments: received %v, flushing profiles before exit\n", s)
+	if err := prof.Flush(); err != nil {
+		fmt.Fprintln(stderr, "spotverse-experiments: profile flush:", err)
+	}
+	// Partial experiment output went straight to stdout; sync pushes it
+	// through any OS buffering before the process dies.
+	os.Stdout.Sync()
+	code := 128
+	if n, ok := s.(syscall.Signal); ok {
+		code = 128 + int(n)
+	}
+	exit(code)
 }
 
 func run(w io.Writer, exp string, seed int64, csvDir string, trials, parallel int, intensity, mktcache string) error {
@@ -136,17 +202,37 @@ func run(w io.Writer, exp string, seed int64, csvDir string, trials, parallel in
 		"chaos":  func(w io.Writer) error { return runChaos(w, seed) },
 		"crash":  func(w io.Writer) error { return runCrash(w, seed, inten) },
 	}
-	if exp == "all" {
+	switch exp {
+	case "all":
 		// crash is deliberately not part of "all": it schedules controller
 		// kills and object corruption, so its table is not a paper artifact
 		// and "all" output stays comparable across releases.
 		return runAll(w, []string{"table1", "fig2", "fig3", "fig4", "fig7", "fig8", "fig9", "fig10", "table4", "ext", "chaos"}, runners)
+	case "list":
+		return runList(w, runners)
 	}
 	r, ok := runners[exp]
 	if !ok {
 		return fmt.Errorf("unknown experiment %q\n%s", exp, usageLine)
 	}
 	return labeled(exp, func() error { return r(w) })
+}
+
+// runList prints every accepted -exp value, one per line, in sorted
+// order — a stable surface for scripts and shell completion.
+func runList(w io.Writer, runners map[string]func(io.Writer) error) error {
+	names := make([]string, 0, len(runners)+2)
+	for name := range runners {
+		names = append(names, name)
+	}
+	names = append(names, "all", "list")
+	sort.Strings(names)
+	for _, name := range names {
+		if _, err := fmt.Fprintln(w, name); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // labeled runs fn under a pprof "experiment" label, so -cpuprofile

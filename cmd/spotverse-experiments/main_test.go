@@ -3,9 +3,13 @@ package main
 import (
 	"bytes"
 	"io"
+	"os"
 	"path/filepath"
+	"sort"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
 )
 
 func TestUnknownExperimentRejected(t *testing.T) {
@@ -204,4 +208,98 @@ func TestAllParallelByteIdentical(t *testing.T) {
 			}
 		}
 	}
+}
+
+func TestExpListDeterministicAndComplete(t *testing.T) {
+	render := func() string {
+		var buf bytes.Buffer
+		if err := run(&buf, "list", 42, "", 3, 1, "medium", "8192"); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	a, b := render(), render()
+	if a != b {
+		t.Fatal("-exp list output is not deterministic")
+	}
+	lines := strings.Split(strings.TrimSpace(a), "\n")
+	for _, want := range []string{"all", "list", "fig2", "fig10", "table1", "table4", "ext", "chaos", "crash", "trials"} {
+		found := false
+		for _, l := range lines {
+			if l == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("-exp list missing %q:\n%s", want, a)
+		}
+	}
+	if !sort.StringsAreSorted(lines) {
+		t.Fatalf("-exp list output not sorted:\n%s", a)
+	}
+}
+
+func TestProfilerFlushIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	p, err := startProfiler(cpu, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Flush(); err != nil {
+		t.Fatalf("first flush: %v", err)
+	}
+	if err := p.Flush(); err != nil {
+		t.Fatalf("second flush should be a no-op, got %v", err)
+	}
+	for _, path := range []string{cpu, mem} {
+		info, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("profile %s not written: %v", path, err)
+		}
+		if info.Size() == 0 {
+			t.Fatalf("profile %s is empty", path)
+		}
+	}
+}
+
+func TestHandleSignalsFlushesAndExits(t *testing.T) {
+	dir := t.TempDir()
+	mem := filepath.Join(dir, "mem.pprof")
+	p, err := startProfiler("", mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig := make(chan os.Signal, 1)
+	codes := make(chan int, 1)
+	var stderr bytes.Buffer
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		handleSignals(sig, p, &stderr, func(code int) { codes <- code })
+	}()
+	sig <- syscall.SIGTERM
+	select {
+	case code := <-codes:
+		if code != 143 { // 128 + SIGTERM(15)
+			t.Fatalf("exit code %d, want 143", code)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("signal handler never exited")
+	}
+	<-done
+	if info, err := os.Stat(mem); err != nil || info.Size() == 0 {
+		t.Fatalf("heap profile not flushed on signal: %v", err)
+	}
+	if !strings.Contains(stderr.String(), "flushing profiles") {
+		t.Fatalf("no flush notice on stderr: %q", stderr.String())
+	}
+	// A closed channel (signal.Stop on normal exit) must not flush again
+	// or exit.
+	p2, _ := startProfiler("", "")
+	sig2 := make(chan os.Signal)
+	close(sig2)
+	handleSignals(sig2, p2, &stderr, func(int) { t.Fatal("exit called for closed signal channel") })
 }

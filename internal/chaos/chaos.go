@@ -44,12 +44,17 @@ const (
 	ServiceStepFn         = "stepfn"
 	ServiceAMI            = "ami"
 	ServiceCloudFormation = "cloudformation"
+	// ServiceServe is the placement service's backend path
+	// (internal/serve.SimBackend), so brownouts and error rates can hit
+	// the serving daemon directly and exercise its degraded mode.
+	ServiceServe = "serve"
 )
 
 // Services lists every injectable service name, sorted.
 var Services = []string{
 	ServiceAMI, ServiceCloudFormation, ServiceCloudWatch, ServiceDynamo,
-	ServiceEFS, ServiceEventBridge, ServiceLambda, ServiceS3, ServiceStepFn,
+	ServiceEFS, ServiceEventBridge, ServiceLambda, ServiceS3, ServiceServe,
+	ServiceStepFn,
 }
 
 // Error is one injected fault. It unwraps to its Class sentinel, so

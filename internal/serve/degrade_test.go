@@ -1,0 +1,204 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func trippedBreaker(threshold int, cooldown time.Duration, at time.Time) *Breaker {
+	b := NewBreaker(threshold, cooldown)
+	for i := 0; i < threshold; i++ {
+		b.Failure(at)
+	}
+	return b
+}
+
+func TestServeBreakerTripsAtThreshold(t *testing.T) {
+	b := NewBreaker(3, time.Minute)
+	b.Failure(t0)
+	b.Failure(t0)
+	if !b.Allow(t0) {
+		t.Fatal("breaker opened below threshold")
+	}
+	b.Failure(t0)
+	if b.Allow(t0) {
+		t.Fatal("breaker closed at threshold")
+	}
+	if b.Trips() != 1 {
+		t.Fatalf("trips = %d, want 1", b.Trips())
+	}
+}
+
+func TestServeBreakerSuccessResetsStreak(t *testing.T) {
+	b := NewBreaker(3, time.Minute)
+	b.Failure(t0)
+	b.Failure(t0)
+	b.Success()
+	b.Failure(t0)
+	b.Failure(t0)
+	if !b.Allow(t0) {
+		t.Fatal("streak should have reset on success")
+	}
+}
+
+func TestServeBreakerHalfOpenProbeCloses(t *testing.T) {
+	b := trippedBreaker(2, time.Minute, t0)
+	if b.Allow(t0.Add(30 * time.Second)) {
+		t.Fatal("breaker allowed inside cooldown")
+	}
+	later := t0.Add(2 * time.Minute)
+	if !b.Allow(later) {
+		t.Fatal("half-open probe refused after cooldown")
+	}
+	// While the probe is out, everyone else keeps degrading.
+	if b.Allow(later) {
+		t.Fatal("second concurrent probe allowed")
+	}
+	b.Success()
+	if !b.Allow(later) || !b.Allow(later) {
+		t.Fatal("breaker should be fully closed after probe success")
+	}
+}
+
+func TestServeBreakerHalfOpenProbeReTrips(t *testing.T) {
+	b := trippedBreaker(2, time.Minute, t0)
+	later := t0.Add(2 * time.Minute)
+	if !b.Allow(later) {
+		t.Fatal("probe refused")
+	}
+	b.Failure(later)
+	if b.Allow(later.Add(30 * time.Second)) {
+		t.Fatal("breaker should re-trip immediately on probe failure")
+	}
+	if b.Trips() != 2 {
+		t.Fatalf("trips = %d, want 2", b.Trips())
+	}
+	// And the second cooldown admits a new probe.
+	if !b.Allow(later.Add(2 * time.Minute)) {
+		t.Fatal("second probe refused after second cooldown")
+	}
+}
+
+func TestServeBreakerSingleProbeUnderConcurrency(t *testing.T) {
+	// After the cooldown, exactly one of N concurrent callers may probe;
+	// run with -race to also check the locking.
+	b := trippedBreaker(2, time.Minute, t0)
+	later := t0.Add(2 * time.Minute)
+	var allowed atomic.Int64
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			if b.Allow(later) {
+				allowed.Add(1)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if got := allowed.Load(); got != 1 {
+		t.Fatalf("%d concurrent probes allowed, want exactly 1", got)
+	}
+
+	// Concurrent probe resolutions and new Allow calls must stay
+	// race-free and end in a consistent state.
+	var wg2 sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		i := i
+		wg2.Add(1)
+		go func() {
+			defer wg2.Done()
+			at := later.Add(time.Duration(i) * time.Second)
+			if b.Allow(at) {
+				if i%2 == 0 {
+					b.Success()
+				} else {
+					b.Failure(at)
+				}
+			}
+		}()
+	}
+	wg2.Wait()
+}
+
+func cachedAdvisor() *AdvisorResponse {
+	return &AdvisorResponse{
+		CollectedAt: t0,
+		Entries:     []AdvisorEntry{{Region: "eu-north-1"}, {Region: "us-east-1"}},
+		Ranking:     []string{"eu-north-1", "us-east-1", "ca-central-1"},
+	}
+}
+
+func TestAdvisorCacheSnapshotAge(t *testing.T) {
+	var c advisorCache
+	if _, _, ok := c.snapshot(t0); ok {
+		t.Fatal("empty cache reported a snapshot")
+	}
+	c.store(cachedAdvisor(), t0)
+	resp, age, ok := c.snapshot(t0.Add(3 * time.Second))
+	if !ok || resp == nil {
+		t.Fatal("cached snapshot missing")
+	}
+	if age != 3*time.Second {
+		t.Fatalf("age = %v, want 3s", age)
+	}
+}
+
+func TestAdvisorCacheStoreCopies(t *testing.T) {
+	var c advisorCache
+	src := cachedAdvisor()
+	c.store(src, t0)
+	src.Ranking[0] = "mutated"
+	src.Entries[0].Region = "mutated"
+	resp, _, _ := c.snapshot(t0)
+	if resp.Ranking[0] != "eu-north-1" || resp.Entries[0].Region != "eu-north-1" {
+		t.Fatal("cache aliases the caller's slices")
+	}
+}
+
+func TestAdvisorCacheBestEffortRoundRobin(t *testing.T) {
+	var c advisorCache
+	c.store(cachedAdvisor(), t0)
+	var resp PlaceResponse
+	if !c.bestEffort(&PlaceRequest{Count: 3}, &resp) {
+		t.Fatal("bestEffort failed with a populated cache")
+	}
+	if !resp.Degraded {
+		t.Fatal("degraded placement not marked degraded")
+	}
+	got := []string{resp.Placements[0].Region, resp.Placements[1].Region, resp.Placements[2].Region}
+	want := []string{"eu-north-1", "us-east-1", "ca-central-1"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("round-robin order %v, want %v", got, want)
+		}
+	}
+	// Next single placement continues the rotation.
+	var next PlaceResponse
+	c.bestEffort(&PlaceRequest{}, &next)
+	if next.Placements[0].Region != "eu-north-1" {
+		t.Fatalf("rotation did not wrap: got %s", next.Placements[0].Region)
+	}
+}
+
+func TestAdvisorCacheBestEffortHonorsExclude(t *testing.T) {
+	var c advisorCache
+	c.store(cachedAdvisor(), t0)
+	var resp PlaceResponse
+	if !c.bestEffort(&PlaceRequest{Count: 2, Exclude: []string{"eu-north-1"}}, &resp) {
+		t.Fatal("bestEffort failed with non-excluded regions available")
+	}
+	for _, p := range resp.Placements {
+		if p.Region == "eu-north-1" {
+			t.Fatal("excluded region placed")
+		}
+	}
+	if c.bestEffort(&PlaceRequest{Exclude: []string{"eu-north-1", "us-east-1", "ca-central-1"}}, &resp) {
+		t.Fatal("bestEffort succeeded with everything excluded")
+	}
+}

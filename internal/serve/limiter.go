@@ -1,0 +1,67 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// TokenBucket is a thread-safe token-bucket rate limiter over an
+// injected clock. Tokens refill continuously at rate per second up to
+// burst; a request consuming cost tokens is allowed when the bucket
+// holds at least that many. Denials report how long until the bucket
+// would hold enough, so callers can emit an honest Retry-After.
+type TokenBucket struct {
+	mu     sync.Mutex
+	rate   float64
+	burst  float64
+	tokens float64
+	last   time.Time
+
+	allowed uint64
+	denied  uint64
+}
+
+// NewTokenBucket builds a full bucket anchored at now.
+func NewTokenBucket(rate, burst float64, now time.Time) *TokenBucket {
+	if rate <= 0 {
+		rate = 1
+	}
+	if burst < rate {
+		burst = rate
+	}
+	return &TokenBucket{rate: rate, burst: burst, tokens: burst, last: now}
+}
+
+// Allow consumes cost tokens if available. When denied it returns the
+// duration until the bucket refills enough for this cost — never
+// negative, and at least one millisecond so Retry-After rounds up to
+// something a client can act on.
+func (tb *TokenBucket) Allow(now time.Time, cost float64) (ok bool, retryAfter time.Duration) {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	if elapsed := now.Sub(tb.last); elapsed > 0 {
+		tb.tokens += elapsed.Seconds() * tb.rate
+		if tb.tokens > tb.burst {
+			tb.tokens = tb.burst
+		}
+		tb.last = now
+	}
+	if tb.tokens >= cost {
+		tb.tokens -= cost
+		tb.allowed++
+		return true, 0
+	}
+	tb.denied++
+	wait := time.Duration((cost - tb.tokens) / tb.rate * float64(time.Second))
+	if wait < time.Millisecond {
+		wait = time.Millisecond
+	}
+	return false, wait
+}
+
+// Stats reports how many requests the bucket allowed and denied.
+func (tb *TokenBucket) Stats() (allowed, denied uint64) {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	return tb.allowed, tb.denied
+}

@@ -1,0 +1,76 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2024, 3, 4, 0, 0, 0, 0, time.UTC)
+
+func TestTokenBucketBurstThenDeny(t *testing.T) {
+	tb := NewTokenBucket(2, 5, t0)
+	for i := 0; i < 5; i++ {
+		if ok, _ := tb.Allow(t0, 1); !ok {
+			t.Fatalf("request %d inside burst denied", i)
+		}
+	}
+	ok, retry := tb.Allow(t0, 1)
+	if ok {
+		t.Fatal("request past burst allowed")
+	}
+	if retry < time.Millisecond {
+		t.Fatalf("retryAfter %v below 1ms floor", retry)
+	}
+	// At 2 tokens/s one token takes 500ms.
+	if retry > 600*time.Millisecond {
+		t.Fatalf("retryAfter %v too large for one token at 2/s", retry)
+	}
+}
+
+func TestTokenBucketRefills(t *testing.T) {
+	tb := NewTokenBucket(10, 10, t0)
+	for i := 0; i < 10; i++ {
+		tb.Allow(t0, 1)
+	}
+	if ok, _ := tb.Allow(t0, 1); ok {
+		t.Fatal("empty bucket allowed")
+	}
+	// 200ms at 10/s refills 2 tokens.
+	later := t0.Add(200 * time.Millisecond)
+	if ok, _ := tb.Allow(later, 2); !ok {
+		t.Fatal("refilled tokens not granted")
+	}
+	if ok, _ := tb.Allow(later, 0.5); ok {
+		t.Fatal("bucket should be empty again")
+	}
+}
+
+func TestTokenBucketCapsAtBurst(t *testing.T) {
+	tb := NewTokenBucket(2, 5, t0)
+	// A long idle period must not accumulate more than burst.
+	later := t0.Add(time.Hour)
+	for i := 0; i < 5; i++ {
+		if ok, _ := tb.Allow(later, 1); !ok {
+			t.Fatalf("token %d of burst missing after idle", i)
+		}
+	}
+	if ok, _ := tb.Allow(later, 1); ok {
+		t.Fatal("bucket exceeded burst capacity")
+	}
+}
+
+func TestTokenBucketFractionalCost(t *testing.T) {
+	tb := NewTokenBucket(1, 1, t0)
+	for i := 0; i < 4; i++ {
+		if ok, _ := tb.Allow(t0, 0.25); !ok {
+			t.Fatalf("fractional request %d denied", i)
+		}
+	}
+	if ok, _ := tb.Allow(t0, 0.25); ok {
+		t.Fatal("fifth quarter-cost request should be denied")
+	}
+	allowed, denied := tb.Stats()
+	if allowed != 4 || denied != 1 {
+		t.Fatalf("stats = (%d, %d), want (4, 1)", allowed, denied)
+	}
+}

@@ -1,0 +1,98 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// task is one unit of queued work: run is invoked by exactly one
+// worker, with the request's context.
+type task struct {
+	ctx context.Context
+	run func(ctx context.Context)
+}
+
+// Pool is a bounded worker pool: a fixed number of workers draining a
+// fixed-capacity FIFO. Submission is non-blocking — a full queue is a
+// refusal, never a stalled producer — and each task runs under panic
+// isolation so one poisoned request cannot take a worker down.
+type Pool struct {
+	tasks chan task
+	wg    sync.WaitGroup
+	// closeMu serialises submission against Close so a late TrySubmit
+	// can never send on a closed channel: submitters hold the read
+	// side, Close holds the write side while closing.
+	closeMu sync.RWMutex
+	closed  bool
+	panics  atomic.Uint64
+	started atomic.Uint64
+}
+
+// NewPool starts workers goroutines over a queue of the given depth.
+func NewPool(workers, depth int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	p := &Pool{tasks: make(chan task, depth)}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for t := range p.tasks {
+		p.started.Add(1)
+		p.safeRun(t)
+	}
+}
+
+// safeRun isolates one task's panic: the worker records it and moves
+// on. The task's run func is responsible for replying to its caller on
+// every path, including panic (see Server.execute's recover).
+func (p *Pool) safeRun(t task) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.panics.Add(1)
+		}
+	}()
+	t.run(t.ctx)
+}
+
+// TrySubmit enqueues a task without blocking; it reports false when the
+// queue is full or the pool closed.
+func (p *Pool) TrySubmit(t task) bool {
+	p.closeMu.RLock()
+	defer p.closeMu.RUnlock()
+	if p.closed {
+		return false
+	}
+	select {
+	case p.tasks <- t:
+		return true
+	default:
+		return false
+	}
+}
+
+// Close stops the pool: no new tasks are accepted, queued tasks still
+// run, and Close returns once every worker exited.
+func (p *Pool) Close() {
+	p.closeMu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.tasks)
+	}
+	p.closeMu.Unlock()
+	p.wg.Wait()
+}
+
+// Panics reports how many tasks panicked (each isolated to its own
+// request).
+func (p *Pool) Panics() uint64 { return p.panics.Load() }

@@ -1,0 +1,84 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolRunsTasks(t *testing.T) {
+	p := NewPool(2, 4)
+	var ran atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		for !p.TrySubmit(task{ctx: context.Background(), run: func(context.Context) {
+			ran.Add(1)
+			wg.Done()
+		}}) {
+		}
+	}
+	wg.Wait()
+	p.Close()
+	if got := ran.Load(); got != 8 {
+		t.Fatalf("ran %d tasks, want 8", got)
+	}
+}
+
+func TestPoolSubmitNeverBlocks(t *testing.T) {
+	p := NewPool(1, 1)
+	block := make(chan struct{})
+	// Occupy the worker, then fill the queue.
+	p.TrySubmit(task{ctx: context.Background(), run: func(context.Context) { <-block }})
+	for p.TrySubmit(task{ctx: context.Background(), run: func(context.Context) {}}) {
+	}
+	// Queue full: the refusal must be immediate (reaching here proves it
+	// did not block).
+	if p.TrySubmit(task{ctx: context.Background(), run: func(context.Context) {}}) {
+		t.Fatal("submit into a full queue succeeded")
+	}
+	close(block)
+	p.Close()
+}
+
+func TestPoolPanicIsolation(t *testing.T) {
+	p := NewPool(1, 2)
+	var after atomic.Bool
+	done := make(chan struct{})
+	p.TrySubmit(task{ctx: context.Background(), run: func(context.Context) { panic("poisoned request") }})
+	p.TrySubmit(task{ctx: context.Background(), run: func(context.Context) {
+		after.Store(true)
+		close(done)
+	}})
+	<-done
+	p.Close()
+	if !after.Load() {
+		t.Fatal("worker did not survive the panic")
+	}
+	if got := p.Panics(); got != 1 {
+		t.Fatalf("panics = %d, want 1", got)
+	}
+}
+
+func TestPoolSubmitCloseRace(t *testing.T) {
+	// Submitters racing Close must never panic (send on closed channel);
+	// they either enqueue or are refused. Run with -race.
+	p := NewPool(2, 8)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				p.TrySubmit(task{ctx: context.Background(), run: func(context.Context) {}})
+			}
+		}()
+	}
+	p.Close()
+	wg.Wait()
+	if !p.TrySubmit(task{ctx: context.Background(), run: func(context.Context) {}}) {
+		return // closed pool refuses: correct
+	}
+	t.Fatal("submit after close succeeded")
+}

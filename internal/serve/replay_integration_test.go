@@ -1,0 +1,174 @@
+package serve_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"spotverse/internal/chaos"
+	"spotverse/internal/experiment"
+	"spotverse/internal/serve"
+)
+
+// soakConfig is the shared overload-replay configuration: 4 workers at
+// 25ms per cost unit sustain ~160 cost units/s; the generated place-
+// heavy trace at 600 QPS arrives at roughly 4x that, so the admission
+// controller must shed hard while the chaos brownouts force the
+// degraded path. Deadline is generous and MaxEstimatedWait small, so
+// admitted requests always start inside their deadline: every outcome
+// is OK, degraded, or shed.
+func soakConfig(eng serve.Clock) serve.Config {
+	return serve.Config{
+		Workers:          4,
+		QueueDepth:       32,
+		RatePerSec:       100000, // limiter out of the way: admission is under test
+		Deadline:         5 * time.Second,
+		MaxEstimatedWait: 500 * time.Millisecond,
+		ServiceTime:      25 * time.Millisecond,
+		BreakerFailures:  4,
+		BreakerCooldown:  2 * time.Second,
+		Clock:            eng,
+	}
+}
+
+// runSoak builds a fresh chaotic environment and replays the same
+// generated trace through it, returning the rendered verbose output and
+// the summary.
+func runSoak(t *testing.T, seed int64, n int, qps float64, intensity chaos.Intensity) (string, *serve.ReplaySummary, serve.Stats) {
+	t.Helper()
+	sim, err := experiment.NewServeSim(seed, intensity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := serve.New(soakConfig(sim.Env.Engine), sim.Backend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Warm(srv, 20); err != nil {
+		t.Fatal(err)
+	}
+	trace := experiment.GenerateServeTrace(seed, n, qps)
+	var buf bytes.Buffer
+	sum, err := srv.Replay(sim.Env.Engine, trace, serve.ReplayOptions{Out: &buf, Verbose: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf.String(), sum, srv.Stats()
+}
+
+func TestReplayByteStable(t *testing.T) {
+	a, _, _ := runSoak(t, 7, 2000, 600, chaos.Medium)
+	b, _, _ := runSoak(t, 7, 2000, 600, chaos.Medium)
+	if a != b {
+		t.Fatal("two replays of the same trace in fresh environments diverged")
+	}
+	c, _, _ := runSoak(t, 8, 2000, 600, chaos.Medium)
+	if a == c {
+		t.Fatal("different seeds produced identical replay output (suspicious)")
+	}
+}
+
+func TestChaosSoakInvariants(t *testing.T) {
+	// The acceptance soak: >=10k requests at ~4x the admission-
+	// controlled service rate, brownouts included. Every request gets
+	// exactly one outcome from {OK, degraded, shed}; the queue never
+	// passes its cap; nothing panics.
+	const n = 10000
+	out, sum, stats := runSoak(t, 11, n, 600, chaos.Severe)
+	if sum.Requests != n {
+		t.Fatalf("requests = %d, want %d", sum.Requests, n)
+	}
+	if got := sum.OK + sum.Degraded + sum.Shed + sum.Deadline + sum.Errors; got != n {
+		t.Fatalf("outcomes sum to %d, want %d (every request exactly one outcome)", got, n)
+	}
+	if sum.Deadline != 0 || sum.Errors != 0 {
+		t.Fatalf("soak produced deadline=%d errors=%d, want outcomes only in {ok, degraded, shed}\n%s",
+			sum.Deadline, sum.Errors, tail(out, 20))
+	}
+	if sum.OK == 0 || sum.Shed == 0 {
+		t.Fatalf("degenerate soak: ok=%d shed=%d (overload should shed, survivors should answer)", sum.OK, sum.Shed)
+	}
+	if sum.Degraded == 0 {
+		t.Fatal("severe brownouts produced no degraded responses: chaos is not reaching the backend")
+	}
+	if sum.QueueHW > sum.QueueCap {
+		t.Fatalf("queue high-water %d exceeded cap %d", sum.QueueHW, sum.QueueCap)
+	}
+	if stats.Panics != 0 {
+		t.Fatalf("panics = %d, want 0", stats.Panics)
+	}
+	// The server's own counters agree with the replay summary.
+	if stats.Requests != uint64(n) || stats.OK != uint64(sum.OK) ||
+		stats.Degraded != uint64(sum.Degraded) || stats.Shed != uint64(sum.Shed) {
+		t.Fatalf("server stats %+v disagree with summary %+v", stats, sum)
+	}
+	if sum.Breakers == 0 {
+		t.Fatal("severe soak never tripped the serve breaker")
+	}
+}
+
+func TestChaosSoakRepeatable(t *testing.T) {
+	_, a, _ := runSoak(t, 11, 3000, 600, chaos.Severe)
+	_, b, _ := runSoak(t, 11, 3000, 600, chaos.Severe)
+	if *a != *b {
+		t.Fatalf("soak summaries diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestReplayDeadlineInQueue(t *testing.T) {
+	// With a deadline shorter than the admission wait budget, queued
+	// requests can expire before a worker reaches them; they must be
+	// answered 504 without touching the backend, and still counted.
+	sim, err := experiment.NewServeSim(3, chaos.Off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := soakConfig(sim.Env.Engine)
+	cfg.Deadline = 40 * time.Millisecond
+	cfg.MaxEstimatedWait = 2 * time.Second // admission budget deliberately looser than the deadline
+	srv, err := serve.New(cfg, sim.Backend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Warm(srv, 20); err != nil {
+		t.Fatal(err)
+	}
+	trace := experiment.GenerateServeTrace(3, 2000, 800)
+	sum, err := srv.Replay(sim.Env.Engine, trace, serve.ReplayOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Deadline == 0 {
+		t.Fatal("no queued request expired despite deadline << queue wait")
+	}
+	if got := sum.OK + sum.Degraded + sum.Shed + sum.Deadline + sum.Errors; got != sum.Requests {
+		t.Fatalf("outcomes sum to %d, want %d", got, sum.Requests)
+	}
+}
+
+func TestReplayRequiresEngineClock(t *testing.T) {
+	sim, err := experiment.NewServeSim(1, chaos.Off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := serve.New(serve.Config{Clock: fixedClock{}}, sim.Backend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Replay(sim.Env.Engine, nil, serve.ReplayOptions{}); err == nil {
+		t.Fatal("replay accepted a server whose clock is not the engine")
+	}
+}
+
+type fixedClock struct{}
+
+func (fixedClock) Now() time.Time { return time.Date(2024, 3, 4, 0, 0, 0, 0, time.UTC) }
+
+// tail returns the last n lines of s for failure messages.
+func tail(s string, n int) string {
+	lines := bytes.Split([]byte(s), []byte("\n"))
+	if len(lines) > n {
+		lines = lines[len(lines)-n:]
+	}
+	return string(bytes.Join(lines, []byte("\n")))
+}

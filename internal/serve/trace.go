@@ -1,0 +1,90 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// TraceEntry is one recorded request arrival. Traces are JSONL: one
+// entry per line, ordered by AtMS (milliseconds since trace start), so
+// a trace replays on the simulation clock without any wall-clock
+// anchor.
+type TraceEntry struct {
+	// AtMS is the arrival offset in milliseconds from trace start.
+	AtMS int64 `json:"at_ms"`
+	// Endpoint is place, advisor, or migrations.
+	Endpoint string `json:"endpoint"`
+	// WorkloadID labels place requests.
+	WorkloadID string `json:"workload_id,omitempty"`
+	// Count is the requested placement count (default 1).
+	Count int `json:"count,omitempty"`
+	// Exclude lists refused regions.
+	Exclude []string `json:"exclude,omitempty"`
+}
+
+// TraceSink receives request arrivals as they happen; the recorder in
+// internal/experiment implements it over a JSONL file.
+type TraceSink interface {
+	Record(e TraceEntry)
+}
+
+// validEndpoint reports whether the entry names a replayable endpoint.
+func validEndpoint(endpoint string) bool {
+	switch endpoint {
+	case EndpointPlace, EndpointAdvisor, EndpointMigrations:
+		return true
+	}
+	return false
+}
+
+// WriteTrace writes entries as JSONL.
+func WriteTrace(w io.Writer, entries []TraceEntry) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range entries {
+		if err := enc.Encode(&entries[i]); err != nil {
+			return fmt.Errorf("serve: write trace entry %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace parses a JSONL trace, validating endpoints and arrival
+// order (entries must be sorted by AtMS: replay cannot rewind the
+// simulation clock).
+func ReadTrace(r io.Reader) ([]TraceEntry, error) {
+	var out []TraceEntry
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	line := 0
+	prev := int64(-1)
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		var e TraceEntry
+		if err := json.Unmarshal([]byte(text), &e); err != nil {
+			return nil, fmt.Errorf("serve: trace line %d: %w", line, err)
+		}
+		if !validEndpoint(e.Endpoint) {
+			return nil, fmt.Errorf("serve: trace line %d: unknown endpoint %q", line, e.Endpoint)
+		}
+		if e.AtMS < 0 {
+			return nil, fmt.Errorf("serve: trace line %d: negative at_ms %d", line, e.AtMS)
+		}
+		if e.AtMS < prev {
+			return nil, fmt.Errorf("serve: trace line %d: at_ms %d before previous %d (trace must be time-sorted)", line, e.AtMS, prev)
+		}
+		prev = e.AtMS
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("serve: read trace: %w", err)
+	}
+	return out, nil
+}

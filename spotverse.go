@@ -35,6 +35,7 @@ import (
 	"spotverse/internal/experiment"
 	"spotverse/internal/market"
 	"spotverse/internal/predict"
+	"spotverse/internal/serve"
 	"spotverse/internal/simclock"
 	"spotverse/internal/strategy"
 	"spotverse/internal/workload"
@@ -96,6 +97,19 @@ type (
 	DurabilityMode = experiment.DurabilityMode
 	// DurabilityStats summarises the durable store's activity.
 	DurabilityStats = durable.Stats
+	// Server is the always-on placement service (cmd/spotverse-serve).
+	Server = serve.Server
+	// ServeConfig parameterises a Server: worker pool, admission
+	// control, rate limit, deadlines, drain, breaker, clock.
+	ServeConfig = serve.Config
+	// ServeStats snapshots a Server's outcome counters.
+	ServeStats = serve.Stats
+	// ServeTraceEntry is one recorded request arrival (JSONL traces).
+	ServeTraceEntry = serve.TraceEntry
+	// ServeReplayOptions tunes trace replay output.
+	ServeReplayOptions = serve.ReplayOptions
+	// ServeReplaySummary aggregates a deterministic trace replay.
+	ServeReplaySummary = serve.ReplaySummary
 )
 
 // Re-exported chaos intensities for ChaosPreset.
@@ -276,6 +290,35 @@ func (s *Simulation) InjectChaos(sched ChaosSchedule) *ChaosInjector {
 // journal on restart; one without starts cold.
 func (s *Simulation) ScheduleControllerKills(inj *ChaosInjector, mgr *Manager) {
 	experiment.ScheduleControllerKills(s.env, inj, mgr)
+}
+
+// Serve deploys the always-on placement service over a deployed
+// manager: /v1/place, /v1/advisor, /v1/migrations behind admission
+// control, rate limiting, per-request deadlines, a serve-level circuit
+// breaker with cached-snapshot degradation, and graceful drain. When
+// cfg.Clock is nil the simulation engine is used, which is what replay
+// and tests want; a live daemon injects a wall clock instead (see
+// cmd/spotverse-serve).
+func (s *Simulation) Serve(mgr *Manager, cfg ServeConfig) (*Server, error) {
+	if cfg.Clock == nil {
+		cfg.Clock = s.env.Engine
+	}
+	return serve.New(cfg, serve.NewSimBackend(s.env.Engine, mgr))
+}
+
+// GenerateServeTrace synthesizes a deterministic serving request trace
+// (Poisson arrivals at qps, place-heavy endpoint mix) for Server
+// replay; same (simulation seed, n, qps) → identical trace.
+func (s *Simulation) GenerateServeTrace(n int, qps float64) []ServeTraceEntry {
+	return experiment.GenerateServeTrace(s.seed, n, qps)
+}
+
+// ReplayServe drives a trace through srv's full gate pipeline on the
+// simulation clock. srv must have been built by Serve with a nil
+// Clock (i.e. on this simulation's engine); same (simulation, trace,
+// config) → byte-identical output and summary.
+func (s *Simulation) ReplayServe(srv *Server, entries []ServeTraceEntry, opts ServeReplayOptions) (*ServeReplaySummary, error) {
+	return srv.Replay(s.env.Engine, entries, opts)
 }
 
 // GenerateWorkloads builds a reproducible workload set.

@@ -1,0 +1,62 @@
+package spotverse
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+)
+
+// serveFacadeRun deploys a manager and server through the public facade
+// and replays a generated trace, returning the rendered output and
+// summary.
+func serveFacadeRun(t *testing.T, seed int64) (string, *ServeReplaySummary) {
+	t.Helper()
+	sim := NewSimulation(seed)
+	mgr, err := sim.NewManager(ManagerConfig{InstanceType: M5XLarge, Threshold: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := sim.Serve(mgr, ServeConfig{
+		Workers:     2,
+		QueueDepth:  8,
+		RatePerSec:  100000,
+		Deadline:    2 * time.Second,
+		ServiceTime: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Warm(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	trace := sim.GenerateServeTrace(400, 300)
+	var buf bytes.Buffer
+	sum, err := sim.ReplayServe(srv, trace, ServeReplayOptions{Out: &buf, Verbose: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf.String(), sum
+}
+
+func TestServeFacadeReplayDeterministic(t *testing.T) {
+	a, sa := serveFacadeRun(t, 42)
+	b, sb := serveFacadeRun(t, 42)
+	if a != b || *sa != *sb {
+		t.Fatal("facade serve replay is not deterministic")
+	}
+	if sa.Requests != 400 {
+		t.Fatalf("requests = %d, want 400", sa.Requests)
+	}
+	if got := sa.OK + sa.Degraded + sa.Shed + sa.Deadline + sa.Errors; got != sa.Requests {
+		t.Fatalf("outcomes sum to %d, want %d", got, sa.Requests)
+	}
+	if sa.OK == 0 {
+		t.Fatal("no request succeeded through the facade server")
+	}
+	// 300 QPS of mostly-place traffic against 2 workers at 20ms/unit
+	// (~100 units/s) must shed.
+	if sa.Shed == 0 {
+		t.Fatal("overload trace shed nothing")
+	}
+}
