@@ -3,7 +3,7 @@ GO ?= go
 # PR counter for benchmark snapshots (BENCH_$(PR).json).
 PR ?= 6
 
-.PHONY: build test race vet vet-determinism lint verify experiments serve-smoke bench bench-compare profile
+.PHONY: build test race vet vet-determinism lint verify experiments serve-smoke fuzz fuzz-soak bench bench-compare profile
 
 build:
 	$(GO) build ./...
@@ -44,6 +44,19 @@ experiments:
 # with a flushed, replayable recorded trace.
 serve-smoke:
 	sh scripts/serve_smoke.sh
+
+# fuzz runs the PR-gate fault-space campaign: 50 fixed-seed composite
+# chaos plans through the full stack with every invariant checked. Any
+# violation shrinks to a replayable fuzz-repro-<seed>.json and fails
+# the target.
+fuzz:
+	$(GO) run ./cmd/spotverse-fuzz -seeds 50
+
+# fuzz-soak is the nightly-depth campaign: 1000 seeds, verbose
+# per-seed progress. Same determinism guarantees — a soak failure
+# reproduces byte-identically from its repro file.
+fuzz-soak:
+	$(GO) run ./cmd/spotverse-fuzz -seeds 1000 -v
 
 # bench snapshots the root-package benchmark suite (experiment drivers,
 # market hot paths, worker-pool scaling) into BENCH_$(PR).json. The

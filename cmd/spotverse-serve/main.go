@@ -202,14 +202,21 @@ func runReplay(o *options, stdout io.Writer) error {
 	if o.replayPath != "-" {
 		f, err := os.Open(o.replayPath)
 		if err != nil {
-			return err
+			return fmt.Errorf("replay: cannot open trace: %w", err)
 		}
 		defer f.Close()
 		in = f
 	}
 	entries, err := serve.ReadTrace(in)
 	if err != nil {
-		return err
+		return fmt.Errorf("replay: %s: %w", o.replayPath, err)
+	}
+	if len(entries) == 0 {
+		// ReadTrace tolerates blank lines and comments, so a file of
+		// nothing but those (or zero bytes) parses to an empty trace —
+		// replaying it would print an all-zero summary and exit 0, hiding
+		// a truncated or wrong -replay argument.
+		return fmt.Errorf("replay: %s: trace contains no requests", o.replayPath)
 	}
 	sim, srv, err := buildSim(o, nil, o.serveConfig())
 	if err != nil {

@@ -238,6 +238,48 @@ func TestRealMainGenTrace(t *testing.T) {
 	}
 }
 
+// TestReplayBadTraceFiles covers the three ways a -replay argument can
+// be wrong — missing, empty, corrupt — and requires each to fail with a
+// single usage-style error line and a nonzero exit, never a silent
+// all-zero summary.
+func TestReplayBadTraceFiles(t *testing.T) {
+	dir := t.TempDir()
+	empty := filepath.Join(dir, "empty.jsonl")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	blank := filepath.Join(dir, "blank.jsonl")
+	if err := os.WriteFile(blank, []byte("# comment only\n\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	corrupt := filepath.Join(dir, "corrupt.jsonl")
+	if err := os.WriteFile(corrupt, []byte(`{"at_ms":0,"endpoint":"place"}`+"\n{broken"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for name, path := range map[string]string{
+		"missing": filepath.Join(dir, "nope.jsonl"),
+		"empty":   empty,
+		"blank":   blank,
+		"corrupt": corrupt,
+	} {
+		var out, errb bytes.Buffer
+		code := realMain([]string{"-replay", path}, &out, &errb)
+		if code != 1 {
+			t.Fatalf("%s: exit %d, want 1 (stderr %q)", name, code, errb.String())
+		}
+		msg := strings.TrimSpace(errb.String())
+		if msg == "" || strings.Count(msg, "\n") != 0 {
+			t.Fatalf("%s: want exactly one error line, got:\n%s", name, errb.String())
+		}
+		if !strings.HasPrefix(msg, "spotverse-serve: replay:") {
+			t.Fatalf("%s: error not usage-style: %q", name, msg)
+		}
+		if out.Len() != 0 {
+			t.Fatalf("%s: wrote a summary despite the bad trace:\n%s", name, out.String())
+		}
+	}
+}
+
 func TestRealMainBadFlag(t *testing.T) {
 	var out, errb bytes.Buffer
 	if code := realMain([]string{"-no-such-flag"}, &out, &errb); code != 2 {

@@ -31,6 +31,12 @@ var (
 	Throttle = errors.New("chaos: request throttled")
 	// Unavailable is a service brownout (sustained regional failure).
 	Unavailable = errors.New("chaos: service unavailable")
+	// Partitioned is a regional network partition: the caller cannot
+	// reach the service at all. Distinct from Unavailable so consumers
+	// can tell "the service is down" from "the network between us is
+	// cut" — a partitioned control plane may still be serving the other
+	// side of the partition (the split-brain scenario).
+	Partitioned = errors.New("chaos: network partitioned")
 )
 
 // Service names used in Schedule maps and Error values.
@@ -61,7 +67,7 @@ var Services = []string{
 // consumers can errors.Is(err, chaos.Unavailable) and errors.As out the
 // (service, region) pair for per-(service, region) breaker keying.
 type Error struct {
-	// Class is one of Transient, Throttle, Unavailable.
+	// Class is one of Transient, Throttle, Unavailable, Partitioned.
 	Class error
 	// Service names the failing service (Service* constants).
 	Service string
@@ -90,6 +96,8 @@ func className(class error) string {
 		return "throttle"
 	case Unavailable:
 		return "unavailable"
+	case Partitioned:
+		return "partitioned"
 	default:
 		return "other"
 	}

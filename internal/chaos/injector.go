@@ -96,6 +96,18 @@ func (inj *Injector) Fault(service, op string, region catalog.Region) error {
 		}
 		return inj.fail(service, op, region, Unavailable)
 	}
+	for _, p := range inj.sched.Partitions {
+		if !p.Contains(now) {
+			continue
+		}
+		if len(p.Regions) > 0 && !containsRegion(p.Regions, target) {
+			continue
+		}
+		if len(p.Services) > 0 && !containsString(p.Services, service) {
+			continue
+		}
+		return inj.fail(service, op, region, Partitioned)
+	}
 	for _, o := range inj.sched.OpOutages {
 		if o.Service == service && hasPrefix(op, o.OpPrefix) && o.Contains(now) {
 			return inj.fail(service, op, region, Unavailable)
@@ -204,6 +216,15 @@ func (inj *Injector) Stats() Stats {
 		by[k] = v
 	}
 	return Stats{Total: inj.total, Dropped: inj.dropped, LatencySpikes: inj.latSpikes, Corrupted: inj.corrupted, ByKey: by}
+}
+
+func containsRegion(xs []catalog.Region, want catalog.Region) bool {
+	for _, x := range xs {
+		if x == want {
+			return true
+		}
+	}
+	return false
 }
 
 func containsString(xs []string, want string) bool {

@@ -70,6 +70,30 @@ type Brownout struct {
 	Window
 }
 
+// Partition is a regional network partition: every call to the listed
+// services that touches one of the named regions fails Partitioned for
+// the window's duration. Unlike a Brownout — where the service itself
+// is down — a partition models the network between the caller and the
+// region being cut while the region keeps running, which is the
+// precondition for split-brain control planes.
+type Partition struct {
+	// Regions cut off by the partition; empty means every region.
+	Regions []catalog.Region
+	// Services affected (Service* names); empty means all services.
+	Services []string
+	Window
+}
+
+// SplitBrain is a double-controller fault: for the window's duration a
+// rival controller incarnation runs concurrently with the primary,
+// both subscribed to interruption events and both sweeping the same
+// journal. The injector cannot spawn controllers itself; harnesses
+// (see experiment.ScheduleSplitBrains) actuate the windows. Surviving
+// one requires the lease-fenced commit path (core.Config.Lease).
+type SplitBrain struct {
+	Window
+}
+
 // OpOutage fails every call whose op starts with OpPrefix on one
 // service during the window — e.g. silencing the Monitor's collector
 // Lambda so advisor snapshots age out.
@@ -129,6 +153,14 @@ type Schedule struct {
 	LatencySpike time.Duration
 	// Brownouts are sustained regional service-family failures.
 	Brownouts []Brownout
+	// Partitions cut the network to whole regions for a window; affected
+	// calls fail Partitioned. Checked after Brownouts, before error
+	// rates — like brownouts they are deterministic and draw no
+	// randomness, so adding partitions never shifts the rate streams.
+	Partitions []Partition
+	// SplitBrains run a rival controller incarnation for each window
+	// (actuated by harnesses, not the injector; see SplitBrain).
+	SplitBrains []SplitBrain
 	// OpOutages fail specific ops for a window (e.g. the metrics
 	// collector, to starve the Optimizer of fresh advisor data).
 	OpOutages []OpOutage

@@ -51,7 +51,19 @@ type Controller struct {
 	breakerSkips int
 
 	jrnl     *journal
+	lease    *lease
 	resolver func(id string) strategy.RelaunchFunc
+
+	// fn is this incarnation's handler Lambda name; rival incarnations
+	// namespace it (Lambda rejects duplicate registrations).
+	fn string
+	// rival marks a split-brain incarnation: it adopts interruption
+	// events into its own pending copies instead of sharing the
+	// primary's, and never re-records entries the primary journaled.
+	rival bool
+	// stopped gates every entry point once the incarnation is retired;
+	// CloudWatch has no per-schedule stop, so the sweep checks it too.
+	stopped bool
 
 	restarts    int
 	replayed    int
@@ -85,14 +97,20 @@ type pendingMigration struct {
 	done     bool
 }
 
-func newController(cfg Config, deps Deps, opt *Optimizer) (*Controller, error) {
+// newController deploys one Controller incarnation. suffix namespaces
+// its AWS-side resources (handler Lambda, EventBridge rule, sweep
+// schedule) so a rival incarnation can coexist with the primary; the
+// primary uses the empty suffix and the exact historical names.
+func newController(cfg Config, deps Deps, opt *Optimizer, suffix string, rival bool) (*Controller, error) {
 	c := &Controller{
 		cfg:      cfg,
 		deps:     deps,
 		opt:      opt,
-		rng:      simclock.Stream(cfg.Seed, "spotverse/controller"),
+		rng:      simclock.Stream(cfg.Seed, "spotverse/controller"+suffix),
 		pending:  make(map[string]*pendingMigration),
 		breakers: make(map[string]*breaker),
+		fn:       handlerFunction + suffix,
+		rival:    rival,
 	}
 	if cfg.Journal {
 		jr, err := newJournal(cfg, deps)
@@ -100,14 +118,18 @@ func newController(cfg Config, deps Deps, opt *Optimizer) (*Controller, error) {
 			return nil, fmt.Errorf("controller: %w", err)
 		}
 		c.jrnl = jr
+		if cfg.Lease {
+			c.lease = newLease(cfg, deps)
+			jr.fence = c.lease
+		}
 	}
-	_, err := deps.Lambda.Register(handlerFunction, 128, 15*time.Minute, 2*time.Second,
+	_, err := deps.Lambda.Register(c.fn, 128, 15*time.Minute, 2*time.Second,
 		func(raw any) error {
 			p, ok := raw.(*pendingMigration)
 			if !ok {
 				return fmt.Errorf("controller: bad payload %T", raw)
 			}
-			if p.done {
+			if p.done || c.stopped {
 				return nil
 			}
 			placement, err := opt.Replace(p.region)
@@ -120,18 +142,33 @@ func newController(cfg Config, deps Deps, opt *Optimizer) (*Controller, error) {
 	if err != nil {
 		return nil, fmt.Errorf("controller: %w", err)
 	}
-	if err := deps.Bus.AddRule("spotverse-interruption", EventSourceEC2, DetailTypeInterruption,
+	if err := deps.Bus.AddRule("spotverse-interruption"+suffix, EventSourceEC2, DetailTypeInterruption,
 		func(ev eventbridge.Event) {
 			p, ok := ev.Detail.(*pendingMigration)
-			if !ok {
+			if !ok || c.stopped {
 				return
+			}
+			if c.rival {
+				// The payload is the publishing incarnation's registry
+				// entry; a rival adopts a private copy so the two
+				// incarnations genuinely race on the journal, not on
+				// shared memory.
+				p = c.adopt(p)
 			}
 			c.execute(p)
 		}); err != nil {
 		return nil, fmt.Errorf("controller: %w", err)
 	}
-	if err := deps.CloudWatch.Schedule("open-request-sweep", SweepInterval, func(now time.Time) {
+	if err := deps.CloudWatch.Schedule("open-request-sweep"+suffix, SweepInterval, func(now time.Time) {
+		if c.stopped {
+			return
+		}
 		c.sweeps++
+		if c.lease != nil {
+			// Keep the lease warm on the sweep cadence; failure is fine —
+			// commits re-check, and a later sweep re-acquires.
+			c.lease.ensure(now)
+		}
 		deps.Provider.EvaluateOpenRequests()
 		c.recoverPending(now)
 	}); err != nil {
@@ -139,6 +176,27 @@ func newController(cfg Config, deps Deps, opt *Optimizer) (*Controller, error) {
 	}
 	return c, nil
 }
+
+// adopt registers a private copy of another incarnation's pending
+// migration under this (rival) incarnation, refreshing an existing copy
+// in place. The journal entry already exists — the publisher recorded
+// it — so no journal write happens here.
+func (c *Controller) adopt(p *pendingMigration) *pendingMigration {
+	if mine, ok := c.pending[p.id]; ok && !mine.done {
+		mine.region = p.region
+		mine.relaunch = p.relaunch
+		mine.since = p.since
+		return mine
+	}
+	cp := &pendingMigration{id: p.id, region: p.region, relaunch: p.relaunch, since: p.since}
+	c.pending[cp.id] = cp
+	return cp
+}
+
+// Stop retires this incarnation: handlers, sweeps, and executions
+// become no-ops. The lease (if held) is not released — a real deposed
+// controller dies without cleanup; expiry hands the token over.
+func (c *Controller) Stop() { c.stopped = true }
 
 // complete finishes a migration exactly once: later duplicate executions
 // (a sweep retry racing a slow handler) find done set and no-op, so the
@@ -151,13 +209,20 @@ func (c *Controller) complete(p *pendingMigration, placement strategy.Placement)
 	if p.done {
 		return
 	}
-	if c.jrnl != nil && !c.jrnl.markDone(p) {
-		// Another incarnation already relaunched this migration: close it
-		// locally without actuating.
-		p.done = true
-		delete(c.pending, p.id)
-		c.noteRecovered(p.id)
-		return
+	if c.jrnl != nil {
+		switch c.jrnl.markDone(p) {
+		case commitSkip:
+			// Another incarnation already relaunched this migration: close
+			// it locally without actuating.
+			p.done = true
+			delete(c.pending, p.id)
+			c.noteRecovered(p.id)
+			return
+		case commitDefer:
+			// Fenced out or journal unreachable: leave the entry pending so
+			// a later sweep retries once the lease or journal heals.
+			return
+		}
 	}
 	p.done = true
 	delete(c.pending, p.id)
@@ -206,7 +271,7 @@ func (c *Controller) execute(p *pendingMigration) bool {
 	p.attempts++
 	err := c.deps.StepFn.ExecuteAsync("interruption-"+p.id,
 		func(finish func(error)) {
-			err := c.deps.Lambda.Invoke(handlerFunction, p, func(res lambda.Result) {
+			err := c.deps.Lambda.Invoke(c.fn, p, func(res lambda.Result) {
 				finish(res.Err)
 			})
 			if err != nil {
@@ -278,16 +343,21 @@ func (c *Controller) noteFailure(err error, now time.Time) {
 		b = newBreaker(c.cfg.BreakerFailures, c.cfg.BreakerCooldown)
 		c.breakers[key] = b
 	}
+	before, trips := b.state, b.trips
 	b.failure(now)
+	c.observeBreaker(key, before, trips, b)
 	if c.jrnl != nil {
 		c.jrnl.snapshotBreaker(key, b)
 	}
 }
 
 func (c *Controller) noteSuccess() {
-	for key, b := range c.breakers {
+	for _, key := range c.breakerKeys() {
+		b := c.breakers[key]
 		dirty := b.state != breakerClosed || b.consecutive != 0
+		before, trips := b.state, b.trips
 		b.success()
+		c.observeBreaker(key, before, trips, b)
 		if dirty && c.jrnl != nil {
 			c.jrnl.snapshotBreaker(key, b)
 		}
@@ -298,12 +368,51 @@ func (c *Controller) noteSuccess() {
 // open→half-open transitions are independent of map order).
 func (c *Controller) anyBreakerOpen(now time.Time) bool {
 	open := false
-	for _, b := range c.breakers {
+	for _, key := range c.breakerKeys() {
+		b := c.breakers[key]
+		before, trips := b.state, b.trips
 		if !b.allow(now) {
 			open = true
 		}
+		c.observeBreaker(key, before, trips, b)
 	}
 	return open
+}
+
+// breakerKeys returns the breaker registry's keys in sorted order, so
+// every observer callback sequence is deterministic. The breaker logic
+// itself is order-independent (no short-circuits), so sorting changes
+// nothing behaviourally.
+func (c *Controller) breakerKeys() []string {
+	keys := make([]string, 0, len(c.breakers))
+	for key := range c.breakers {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func breakerStateName(s breakerState) string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// observeBreaker feeds the configured BreakerObserver with one breaker
+// transition, suppressing no-op polls (state and trip count unchanged).
+// The key is prefixed with this incarnation's ControllerID so a
+// split-brain rival's independent breaker counters never interleave
+// with the primary's under one key.
+func (c *Controller) observeBreaker(key string, before breakerState, beforeTrips int, b *breaker) {
+	if c.cfg.BreakerObserver == nil || (b.state == before && b.trips == beforeTrips) {
+		return
+	}
+	c.cfg.BreakerObserver(c.cfg.ControllerID+"/"+key, breakerStateName(before), breakerStateName(b.state), b.trips)
 }
 
 // recoverPending is the notice-loss recovery pass: any migration still
@@ -393,6 +502,13 @@ func (c *Controller) SetRelaunchResolver(fn func(id string) strategy.RelaunchFun
 func (c *Controller) CrashRestart() {
 	now := c.deps.Engine.Now()
 	c.restarts++
+	if c.cfg.BreakerObserver != nil {
+		// Restart marker: the breaker registry is about to be replaced
+		// (possibly with older journal snapshots whose trip counts are
+		// lower), so downstream per-key sequence checks must reset this
+		// incarnation's per-key sequences here.
+		c.cfg.BreakerObserver(c.cfg.ControllerID+"/", "restart", "restart", c.restarts)
+	}
 	lost := len(c.pending)
 	c.pending = make(map[string]*pendingMigration)
 	c.breakers = make(map[string]*breaker)
@@ -457,6 +573,18 @@ func (c *Controller) RecoveryStats() (restarts, replayed, dropped, refused, jour
 		refusedN, lostN = c.jrnl.skips, c.jrnl.lost
 	}
 	return c.restarts, c.replayed, c.killDropped, refusedN, lostN, c.recoveryDur
+}
+
+// LeaseStats reports the fencing lease's counters: fresh acquisitions,
+// renewals, expired-lease takeovers, commits refused by the fencing
+// gate, lease operations abandoned to injected faults, and relaunch
+// commits deferred back to the sweep. All zero when Config.Lease is off.
+func (c *Controller) LeaseStats() (acquires, renewals, takeovers, fenced, lost, deferrals int) {
+	if c.lease == nil {
+		return 0, 0, 0, 0, 0, 0
+	}
+	return c.lease.acquires, c.lease.renewals, c.lease.takeovers,
+		c.lease.fenced, c.lease.lost, c.jrnl.deferrals
 }
 
 // Stats reports controller counters: handled interruptions, exhausted

@@ -45,6 +45,13 @@ const (
 	// DefaultRecoveryAfter is how long a pending migration may sit
 	// unresolved before the sweep retries it.
 	DefaultRecoveryAfter = 5 * time.Minute
+	// DefaultLeaseTTL is how long a controller lease lives without
+	// renewal. Three sweep intervals: a healthy controller renews every
+	// 15 minutes, so takeover needs a sustained outage, not one missed
+	// tick.
+	DefaultLeaseTTL = 3 * SweepInterval
+	// DefaultControllerID is the primary incarnation's lease identity.
+	DefaultControllerID = "primary"
 	// MetricsTable is the DynamoDB table the Monitor writes.
 	MetricsTable = "spotverse-metrics"
 	// DetailTypeInterruption is the EventBridge detail-type for spot
@@ -168,6 +175,38 @@ type Config struct {
 	// the journal's ledger writes change run costs, so existing
 	// experiments stay byte-identical unless a deployment opts in.
 	Journal bool
+	// Lease enables the Controller's lease-fenced commit path (requires
+	// Journal): the Controller holds a lease item in the journal table
+	// with a monotonically increasing fencing token, acquired and
+	// renewed through conditional writes, and every relaunch commit
+	// first proves tokenship with a conditional renew — so a deposed
+	// incarnation (a split-brain rival, or a primary that lost its lease
+	// during a partition) has its relaunches rejected instead of
+	// duplicated. Off by default: the lease's reads and writes change
+	// run costs, so existing experiments stay byte-identical.
+	Lease bool
+	// ControllerID names this Controller incarnation as the lease
+	// holder (default "primary"). Rival incarnations (split-brain
+	// harnesses) must use distinct IDs.
+	ControllerID string
+	// LeaseTTL is how long a held lease lives without renewal before a
+	// rival may take over, bumping the fencing token (default
+	// DefaultLeaseTTL). Renewals ride the sweep and every commit.
+	LeaseTTL time.Duration
+	// DisableFencing is a test hook: the lease is still acquired and
+	// renewed, but the commit path skips the fencing check and restores
+	// the proceed-on-unreachable-journal behaviour — the exact hole the
+	// fencing closes. The fault-space fuzzer uses it as the deliberately
+	// broken build its split-brain invariant must catch.
+	DisableFencing bool
+	// BreakerObserver, when set, is called on every circuit-breaker
+	// state transition with "<controllerID>/<breakerKey>", the state
+	// names before and after, and the cumulative trip count — the feed
+	// for the fuzzer's breaker-monotonicity invariant. On a crash-restart
+	// it is called once with key "<controllerID>/" and states
+	// "restart"/"restart" so observers can segment that incarnation's
+	// per-key sequences across journal-replay state resets.
+	BreakerObserver func(key, from, to string, trips int)
 }
 
 func (c Config) normalized() Config {
@@ -197,6 +236,12 @@ func (c Config) normalized() Config {
 	}
 	if c.RecoveryAfter <= 0 {
 		c.RecoveryAfter = DefaultRecoveryAfter
+	}
+	if c.ControllerID == "" {
+		c.ControllerID = DefaultControllerID
+	}
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = DefaultLeaseTTL
 	}
 	return c
 }
@@ -248,6 +293,9 @@ func New(cfg Config, deps Deps) (*SpotVerse, error) {
 		return nil, err
 	}
 	cfg = cfg.normalized()
+	if cfg.Lease && !cfg.Journal {
+		return nil, errors.New("core: Config.Lease requires Config.Journal (the lease lives in the journal table)")
+	}
 	if _, err := deps.Market.Catalog().Spec(cfg.InstanceType); err != nil {
 		return nil, err
 	}
@@ -262,12 +310,47 @@ func New(cfg Config, deps Deps) (*SpotVerse, error) {
 	}
 	sv.monitor = mon
 	sv.optimizer = newOptimizer(cfg, deps, mon, sv.rng)
-	ctl, err := newController(cfg, deps, sv.optimizer)
+	ctl, err := newController(cfg, deps, sv.optimizer, "", false)
 	if err != nil {
 		return nil, err
 	}
 	sv.controller = ctl
 	return sv, nil
+}
+
+// NewRival deploys a second, split-brain Controller incarnation against
+// the same dependencies: a network-partitioned ex-primary that still
+// believes it is in charge, or an over-eager failover replacement. The
+// rival shares the primary's Optimizer, journal table, and lease item
+// but namespaces its AWS-side resources (handler Lambda, EventBridge
+// rule, sweep schedule) under id, subscribes to the same interruption
+// events, and races the primary for every relaunch commit — the fencing
+// lease (Config.Lease) is what keeps that race exactly-once. The rival
+// inherits the primary's relaunch resolver and replays the journal's
+// open entries so it starts with the same view of pending work. Retire
+// it with its Stop method.
+func (sv *SpotVerse) NewRival(id string) (*Controller, error) {
+	if id == "" || id == sv.cfg.ControllerID {
+		return nil, errors.New("core: rival needs a distinct non-empty ControllerID")
+	}
+	cfg := sv.cfg
+	cfg.ControllerID = id
+	rival, err := newController(cfg, sv.deps, sv.optimizer, "-"+id, true)
+	if err != nil {
+		return nil, err
+	}
+	rival.resolver = sv.controller.resolver
+	if rival.jrnl != nil {
+		pend, brks := rival.jrnl.replay()
+		for wid, p := range pend {
+			if rival.resolver != nil {
+				p.relaunch = rival.resolver(wid)
+			}
+			rival.pending[wid] = p
+		}
+		rival.breakers = brks
+	}
+	return rival, nil
 }
 
 // Name implements strategy.Strategy.

@@ -48,9 +48,17 @@ type journal struct {
 	cfg  Config
 	deps Deps
 
-	writes int
-	lost   int // journal writes abandoned to injected faults
-	skips  int // relaunches refused by the conditional commit
+	// fence is the controller's lease when Config.Lease is on (nil
+	// otherwise): markDone proves fencing-token ownership through it
+	// before committing, and an unreachable journal refuses the commit
+	// instead of proceeding blind. Config.DisableFencing bypasses both
+	// checks — the deliberately broken build the fuzzer must catch.
+	fence *lease
+
+	writes    int
+	lost      int // journal writes abandoned to injected faults
+	skips     int // relaunches refused by the conditional commit
+	deferrals int // commits deferred by fencing or an unreachable journal
 }
 
 func newJournal(cfg Config, deps Deps) (*journal, error) {
@@ -112,13 +120,47 @@ func (j *journal) update(p *pendingMigration, status string) {
 	j.note(err)
 }
 
+// fencing reports whether the lease-fenced commit path is active.
+func (j *journal) fencing() bool {
+	return j.fence != nil && !j.cfg.DisableFencing
+}
+
+// commitVerdict is markDone's three-way outcome.
+type commitVerdict int
+
+const (
+	// commitProceed: the entry is closed under this incarnation's
+	// fencing token (or the unfenced fallback applies) — actuate.
+	commitProceed commitVerdict = iota
+	// commitSkip: another incarnation already relaunched this migration
+	// — close the local entry without actuating.
+	commitSkip
+	// commitDefer: exactly-once could not be proved (this incarnation is
+	// fenced out, or the journal is unreachable in fenced mode) — keep
+	// the entry pending and let a later sweep retry.
+	commitDefer
+)
+
 // markDone is the exactly-once commit point consulted before a relaunch
 // actuates. It closes the entry with a conditional write on open="1";
 // losing the condition means another incarnation of the Controller
 // already relaunched this migration, so the caller must not. A missing
 // entry (its record write was lost to a fault) falls back to the
 // caller's in-memory dedupe and proceeds.
-func (j *journal) markDone(p *pendingMigration) (proceed bool) {
+//
+// Without a lease, an unreachable journal proceeds — an availability
+// choice that is safe with a single incarnation (the in-memory done
+// flag dedupes) but is exactly the split-brain hole: two incarnations
+// that both cannot read the journal both proceed. With the lease on,
+// the commit first proves fencing-token ownership through the lease's
+// conditional renew, and any residual journal unreachability defers the
+// commit — the entry stays pending and a later sweep retries once the
+// journal heals.
+func (j *journal) markDone(p *pendingMigration) commitVerdict {
+	if j.fencing() && !j.fence.commitCheck(j.deps.Engine.Now()) {
+		j.deferrals++
+		return commitDefer
+	}
 	var err error
 	var cur dynamo.Item
 	for i := 0; i < journalRetries; i++ {
@@ -128,11 +170,18 @@ func (j *journal) markDone(p *pendingMigration) (proceed bool) {
 		}
 	}
 	if errors.Is(err, dynamo.ErrItemNotFound) {
-		return true
+		return commitProceed
 	}
 	if err == nil && cur.Attrs["open"] != "1" {
 		j.skips++
-		return false
+		return commitSkip
+	}
+	if err != nil && j.fencing() {
+		// Fenced mode never commits blind: the read never succeeded, so
+		// this incarnation cannot know whether the entry is still open.
+		j.lost++
+		j.deferrals++
+		return commitDefer
 	}
 	it := journalItem(p, journalRelaunched)
 	for i := 0; i < journalRetries; i++ {
@@ -143,10 +192,17 @@ func (j *journal) markDone(p *pendingMigration) (proceed bool) {
 	}
 	if errors.Is(err, dynamo.ErrConditionFailed) {
 		j.skips++
-		return false
+		return commitSkip
+	}
+	if err != nil && j.fencing() {
+		// The conditional close itself never landed: defer rather than
+		// actuate a relaunch the journal cannot prove exactly-once.
+		j.lost++
+		j.deferrals++
+		return commitDefer
 	}
 	j.note(err)
-	return true
+	return commitProceed
 }
 
 func breakerItem(key string, b *breaker) dynamo.Item {

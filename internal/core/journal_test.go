@@ -82,19 +82,19 @@ func TestJournalMarkDoneExactlyOnce(t *testing.T) {
 	c := sv.Controller()
 	p := &pendingMigration{id: "w9", region: testRegion, since: deps.Engine.Now()}
 	c.jrnl.record(p)
-	if !c.jrnl.markDone(p) {
-		t.Fatal("first commit refused")
+	if v := c.jrnl.markDone(p); v != commitProceed {
+		t.Fatalf("first commit verdict = %d, want commitProceed", v)
 	}
 	// The same migration committed again — the race a crash leaves
 	// between a stale in-flight execution and a replayed entry — must
 	// lose the open="1" conditional.
-	if c.jrnl.markDone(&pendingMigration{id: "w9", region: testRegion, since: p.since}) {
-		t.Fatal("second commit won; duplicate relaunch possible")
+	if v := c.jrnl.markDone(&pendingMigration{id: "w9", region: testRegion, since: p.since}); v != commitSkip {
+		t.Fatalf("second commit verdict = %d, want commitSkip", v)
 	}
 	// A migration the journal never saw falls back to in-memory
 	// dedupe rather than refusing the relaunch outright.
-	if !c.jrnl.markDone(&pendingMigration{id: "unjournaled", region: testRegion}) {
-		t.Fatal("unjournaled migration refused")
+	if v := c.jrnl.markDone(&pendingMigration{id: "unjournaled", region: testRegion}); v != commitProceed {
+		t.Fatalf("unjournaled commit verdict = %d, want commitProceed", v)
 	}
 }
 

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"spotverse/internal/catalog"
+	"spotverse/internal/simclock"
+	"spotverse/internal/strategy"
+)
+
+// failEverything is a dynamo fault that rejects every data-plane call —
+// the journal fully unreachable.
+func failEverything(string, catalog.Region) error { return errTestFault }
+
+// leasePair builds two lease handles with distinct holder IDs over one
+// shared journal table — the raw material of a split-brain race.
+func leasePair(t *testing.T, seed int64) (a, b *lease, deps Deps) {
+	t.Helper()
+	deps = newDeps(seed)
+	if err := deps.Dynamo.CreateTable(JournalTable); err != nil {
+		t.Fatal(err)
+	}
+	a = &lease{deps: deps, holder: "a", ttl: time.Hour}
+	b = &lease{deps: deps, holder: "b", ttl: time.Hour}
+	return a, b, deps
+}
+
+func TestLeaseAcquireRenewAndLiveExclusion(t *testing.T) {
+	a, b, deps := leasePair(t, 1)
+	now := deps.Engine.Now()
+	if !a.ensure(now) {
+		t.Fatal("fresh acquire failed")
+	}
+	if a.token != 1 || a.acquires != 1 {
+		t.Fatalf("token=%d acquires=%d after fresh acquire", a.token, a.acquires)
+	}
+	// A live foreign lease excludes the rival.
+	if b.ensure(now) {
+		t.Fatal("rival acquired over a live lease")
+	}
+	// The holder renews at the same token.
+	if !a.ensure(now.Add(30*time.Minute)) || a.token != 1 || a.renewals != 1 {
+		t.Fatalf("renew failed: token=%d renewals=%d", a.token, a.renewals)
+	}
+	if !a.commitCheck(now.Add(31 * time.Minute)) {
+		t.Fatal("holder's commit check refused")
+	}
+}
+
+func TestLeaseTakeoverBumpsTokenAndFencesDeposed(t *testing.T) {
+	a, b, deps := leasePair(t, 2)
+	now := deps.Engine.Now()
+	if !a.ensure(now) {
+		t.Fatal("acquire failed")
+	}
+	// Past a's TTL the rival takes over, bumping the fencing token.
+	later := now.Add(2 * time.Hour)
+	if !b.ensure(later) {
+		t.Fatal("takeover of expired lease failed")
+	}
+	if b.token != 2 || b.takeovers != 1 {
+		t.Fatalf("token=%d takeovers=%d after takeover", b.token, b.takeovers)
+	}
+	// The deposed holder still believes it holds token 1: its commit
+	// check must lose the conditional write, not refresh the lease.
+	if a.commitCheck(later.Add(time.Minute)) {
+		t.Fatal("deposed holder's stale-token commit accepted")
+	}
+	if a.fenced != 1 || a.held {
+		t.Fatalf("fenced=%d held=%v after deposition", a.fenced, a.held)
+	}
+	// And the winner keeps committing.
+	if !b.commitCheck(later.Add(2 * time.Minute)) {
+		t.Fatal("live holder's commit refused")
+	}
+}
+
+func TestLeaseUnreachableJournalFailsSafe(t *testing.T) {
+	a, _, deps := leasePair(t, 3)
+	now := deps.Engine.Now()
+	if !a.ensure(now) {
+		t.Fatal("acquire failed")
+	}
+	deps.Dynamo.SetFault(failEverything)
+	if a.commitCheck(now.Add(time.Minute)) {
+		t.Fatal("commit accepted with the journal unreachable")
+	}
+	if a.fenced != 1 || a.lost != 1 {
+		t.Fatalf("fenced=%d lost=%d after unreachable renew, want 1/1", a.fenced, a.lost)
+	}
+	deps.Dynamo.SetFault(nil)
+	if !a.commitCheck(now.Add(2 * time.Minute)) {
+		t.Fatal("commit refused after the journal healed")
+	}
+}
+
+// splitBrain runs the full two-incarnation race: interruptions fired
+// while the journal is unreachable (so neither incarnation can record or
+// commit), both controllers' sweeps retrying after it heals. It returns
+// the relaunch count per workload.
+func splitBrain(t *testing.T, disableFencing bool, seed int64) map[string]int {
+	t.Helper()
+	sv, deps := newSpotVerse(t, Config{
+		Journal:        true,
+		Lease:          true,
+		DisableFencing: disableFencing,
+		Seed:           seed,
+	})
+	relaunches := make(map[string]int)
+	resolver := func(id string) strategy.RelaunchFunc {
+		return func(strategy.Placement) { relaunches[id]++ }
+	}
+	sv.SetRelaunchResolver(resolver)
+	if _, err := sv.NewRival(""); err == nil {
+		t.Fatal("empty rival ID accepted")
+	}
+	rival, err := sv.NewRival("rival")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rival.Stop()
+	// The journal goes dark before the interruptions land: records are
+	// lost and neither incarnation can prove anything at commit time.
+	deps.Dynamo.SetFault(failEverything)
+	for _, id := range []string{"w1", "w2", "w3"} {
+		if err := sv.OnInterrupted(id, testRegion, resolver(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := deps.Engine.Run(simclock.Epoch.Add(10 * time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	// Journal heals; sweeps on both incarnations retry the pending work.
+	deps.Dynamo.SetFault(nil)
+	if err := deps.Engine.Run(simclock.Epoch.Add(6 * time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	return relaunches
+}
+
+func TestSplitBrainFencedExactlyOneRelaunch(t *testing.T) {
+	relaunches := splitBrain(t, false, 910)
+	for _, id := range []string{"w1", "w2", "w3"} {
+		if relaunches[id] != 1 {
+			t.Fatalf("workload %s relaunched %d times, want exactly 1 (got %v)", id, relaunches[id], relaunches)
+		}
+	}
+}
+
+func TestSplitBrainUnfencedDuplicatesRelaunches(t *testing.T) {
+	relaunches := splitBrain(t, true, 911)
+	dup := 0
+	for _, n := range relaunches {
+		if n > 1 {
+			dup++
+		}
+	}
+	if dup == 0 {
+		t.Fatalf("unfenced split-brain produced no duplicate relaunches (%v); the fencing test would pass vacuously", relaunches)
+	}
+}

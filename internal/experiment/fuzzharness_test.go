@@ -1,0 +1,109 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+
+	"spotverse/internal/chaos"
+	"spotverse/internal/core"
+	"spotverse/internal/simclock"
+)
+
+// fuzzTestSchedule is a composite plan exercising every fault family the
+// harness actuates: drops, a brownout, a partition, a kill, corruption,
+// a bucket loss, and a split-brain window.
+func fuzzTestSchedule(start time.Time) chaos.Schedule {
+	return chaos.Schedule{
+		Intensity:       chaos.Severe,
+		DropRate:        1.0,
+		DropDetailTypes: []string{core.DetailTypeInterruption},
+		Brownouts: []chaos.Brownout{{
+			Region:   "us-east-1",
+			Services: []string{chaos.ServiceDynamo},
+			Window:   chaos.Window{From: start.Add(4 * time.Hour), To: start.Add(7 * time.Hour)},
+		}},
+		Partitions: []chaos.Partition{{
+			Regions: nil, // all regions
+			Window:  chaos.Window{From: start.Add(5 * time.Hour), To: start.Add(6 * time.Hour)},
+		}},
+		ControllerKills: []chaos.ControllerKill{{At: start.Add(8 * time.Hour)}},
+		ObjectCorruptions: []chaos.ObjectCorruption{{
+			Bucket:    checkpointBucket,
+			KeyPrefix: manifestPrefix,
+			Rate:      0.3,
+			Window:    chaos.Window{From: start.Add(2 * time.Hour), To: start.Add(12 * time.Hour)},
+		}},
+		BucketLosses: []chaos.BucketLoss{{Bucket: CheckpointReplicaBucket, At: start.Add(15 * time.Hour)}},
+		SplitBrains:  []chaos.SplitBrain{{Window: chaos.Window{From: start.Add(3 * time.Hour), To: start.Add(9 * time.Hour)}}},
+	}
+}
+
+func TestChaosRunDeterministicFingerprint(t *testing.T) {
+	cfg := ChaosRunConfig{
+		Seed:      42,
+		Workloads: 8,
+		Schedule:  fuzzTestSchedule(simclock.Epoch),
+		Horizon:   72 * time.Hour,
+	}
+	a, err := ChaosRun(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ChaosRun(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatalf("fingerprints differ across identical runs: %s vs %s", a.Fingerprint(), b.Fingerprint())
+	}
+	if a.RivalsSpawned == 0 {
+		t.Fatal("split-brain window spawned no rival")
+	}
+	if a.Restarts != 1 {
+		t.Fatalf("restarts = %d, want 1", a.Restarts)
+	}
+	if a.Result.Timeline.Len() == 0 {
+		t.Fatal("harness ran without a timeline")
+	}
+	if a.Result.DuplicateRelaunches != 0 {
+		t.Fatalf("fenced run produced %d duplicate relaunches", a.Result.DuplicateRelaunches)
+	}
+}
+
+func TestChaosRunFingerprintSensitiveToPlan(t *testing.T) {
+	base := ChaosRunConfig{Seed: 7, Workloads: 6, Schedule: fuzzTestSchedule(simclock.Epoch), Horizon: 48 * time.Hour}
+	a, err := ChaosRun(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tweaked := base
+	tweaked.Schedule.ControllerKills = nil
+	b, err := ChaosRun(tweaked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("removing the controller kill left the fingerprint unchanged")
+	}
+}
+
+func TestScheduleSplitBrainsSkipsZeroLengthWindows(t *testing.T) {
+	cfg := ChaosRunConfig{
+		Seed:      9,
+		Workloads: 4,
+		Schedule: chaos.Schedule{
+			Intensity: chaos.Low,
+			SplitBrains: []chaos.SplitBrain{
+				{Window: chaos.Window{From: simclock.Epoch.Add(2 * time.Hour), To: simclock.Epoch.Add(2 * time.Hour)}},
+			},
+		},
+		Horizon: 24 * time.Hour,
+	}
+	ev, err := ChaosRun(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.RivalsSpawned != 0 || ev.RivalSpawnErrors != 0 {
+		t.Fatalf("zero-length split-brain window actuated: spawned=%d errors=%d", ev.RivalsSpawned, ev.RivalSpawnErrors)
+	}
+}

@@ -1,0 +1,175 @@
+package fuzz
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"spotverse/internal/chaos"
+	"spotverse/internal/simclock"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42, 1234} {
+		a, b := Generate(seed), Generate(seed)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: two generations differ", seed)
+		}
+		if len(a.Events) < genMinEvents || len(a.Events) > genMaxEvents {
+			t.Fatalf("seed %d: %d events outside [%d,%d]", seed, len(a.Events), genMinEvents, genMaxEvents)
+		}
+		if a.Workloads < 6 || a.Workloads > 12 {
+			t.Fatalf("seed %d: %d workloads outside [6,12]", seed, a.Workloads)
+		}
+	}
+	if reflect.DeepEqual(Generate(1), Generate(2)) {
+		t.Fatal("distinct seeds generated identical plans")
+	}
+}
+
+func TestGenerateRespectsCaps(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		p := Generate(seed)
+		splits, kills, losses := 0, 0, 0
+		var lossAts []int64
+		for _, e := range p.Events {
+			switch e.Kind {
+			case KindSplitBrain:
+				splits++
+				if e.ToMS-e.FromMS > 6*3600_000 {
+					t.Fatalf("seed %d: split-brain window %dms > 6h", seed, e.ToMS-e.FromMS)
+				}
+			case KindKill:
+				kills++
+			case KindBucketLoss:
+				losses++
+				lossAts = append(lossAts, e.AtMS)
+			case KindErrorRate, KindBrownout, KindPartition:
+				for _, s := range append([]string{e.Service}, e.Services...) {
+					if s == chaos.ServiceS3 {
+						t.Fatalf("seed %d: generator targeted S3 with %s", seed, e.Kind)
+					}
+				}
+			case KindCorruption:
+				if e.Rate > 0.35 {
+					t.Fatalf("seed %d: corruption rate %.2f > 0.35", seed, e.Rate)
+				}
+			}
+		}
+		if splits > genMaxSplitBrain || kills > genMaxKills || losses > genMaxBucketLoss {
+			t.Fatalf("seed %d: caps exceeded: splits=%d kills=%d losses=%d", seed, splits, kills, losses)
+		}
+		if len(lossAts) == 2 {
+			gap := lossAts[1] - lossAts[0]
+			if gap < 0 {
+				gap = -gap
+			}
+			if gap < genBucketLossGapMS {
+				t.Fatalf("seed %d: bucket losses %dms apart < 4h", seed, gap)
+			}
+		}
+	}
+}
+
+func TestReproRoundTrip(t *testing.T) {
+	r := &Repro{
+		Plan: Plan{
+			Seed: 99, Workloads: 7, HorizonHours: 72,
+			Events: []Event{
+				{Kind: KindDrop, Rate: 0.8},
+				{Kind: KindSplitBrain, FromMS: 3_600_000, ToMS: 7_200_000},
+			},
+		},
+		Violations:  []Violation{{Invariant: "relaunch-exactly-once", Detail: "2 duplicate relaunches"}},
+		Fingerprint: "deadbeef",
+		ShrinkRuns:  17,
+	}
+	var buf bytes.Buffer
+	if err := WriteRepro(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRepro(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, r) {
+		t.Fatalf("round trip mismatch:\n%+v\n%+v", got, r)
+	}
+}
+
+func TestReadReproRejectsGarbage(t *testing.T) {
+	for name, in := range map[string]string{
+		"empty":   "",
+		"corrupt": "{not json",
+		"unknown": `{"plan":{"seed":1,"workloads":2,"horizonHours":1,"events":[]},"bogus":true}`,
+		"hollow":  `{"plan":{"seed":1,"workloads":0,"horizonHours":0,"events":[]},"fingerprint":"x"}`,
+	} {
+		if _, err := ReadRepro(strings.NewReader(in)); err == nil {
+			t.Fatalf("%s repro accepted", name)
+		}
+	}
+}
+
+func TestRegistrySortedAndComplete(t *testing.T) {
+	reg := Registry()
+	want := []string{
+		"breaker-monotonic",
+		"checkpoint-no-lost-shards",
+		"complete-once-never-relaunched",
+		"journal-replay-convergence",
+		"relaunch-exactly-once",
+		"serve-outcome-accounting",
+	}
+	var got []string
+	for _, inv := range reg {
+		got = append(got, inv.Name)
+		if inv.Desc == "" || inv.Check == nil {
+			t.Fatalf("invariant %s missing desc or checker", inv.Name)
+		}
+	}
+	if !sort.StringsAreSorted(got) {
+		t.Fatalf("registry not sorted: %v", got)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("registry = %v, want %v", got, want)
+	}
+}
+
+func TestViolationNames(t *testing.T) {
+	vs := []Violation{
+		{Invariant: "b", Detail: "x"},
+		{Invariant: "a", Detail: "y"},
+		{Invariant: "b", Detail: "z"},
+	}
+	if got := violationNames(vs); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Fatalf("violationNames = %v", got)
+	}
+}
+
+func TestPlanScheduleCompiles(t *testing.T) {
+	p := Generate(5)
+	sched := p.Schedule(simclock.Epoch)
+	if !sched.Enabled() {
+		t.Fatal("compiled schedule disabled — injection would silently no-op")
+	}
+	serveSched := p.ServeSchedule(simclock.Epoch)
+	if !serveSched.Enabled() {
+		t.Fatal("serve schedule disabled")
+	}
+	// The plan JSON must be byte-stable: two marshals of the same plan
+	// are identical (this is what makes repro files diffable).
+	a, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("plan JSON not byte-stable")
+	}
+}

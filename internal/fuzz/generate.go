@@ -1,0 +1,159 @@
+package fuzz
+
+import (
+	"spotverse/internal/chaos"
+	"spotverse/internal/experiment"
+	"spotverse/internal/simclock"
+)
+
+// Generation bounds. Windows land inside the first two days of the
+// 72-hour horizon so every fault overlaps live work; the caps keep each
+// plan survivable by design — the invariants assert the stack actually
+// survives it.
+const (
+	genMaxEvents     = 10
+	genMinEvents     = 3
+	genWindowSpanMS  = 48 * 3600 * 1000 // windows start inside [0, 48h)
+	genMinWindowMS   = 30 * 60 * 1000   // 30 minutes
+	genMaxWindowMS   = 12 * 3600 * 1000 // 12 hours
+	genMaxSplitBrain = 2
+	genMaxKills      = 3
+	genMaxBucketLoss = 2
+	// genBucketLossGapMS spaces the two bucket losses so anti-entropy
+	// (15-minute cadence) has time to re-replicate between them — losing
+	// both copies inside one sweep window is unsurvivable by design.
+	genBucketLossGapMS = 4 * 3600 * 1000
+)
+
+// genServices is the fault-rate / brownout / partition service pool.
+// S3 is deliberately absent: checkpoint-manifest damage is injected
+// through the corruption and bucket-loss kinds, which the durable layer
+// is built to absorb; a raw S3 outage during a resume loses shards by
+// construction and would make checkpoint-no-lost-shards vacuous.
+var genServices = []string{
+	chaos.ServiceDynamo,
+	chaos.ServiceLambda,
+	chaos.ServiceStepFn,
+	chaos.ServiceCloudWatch,
+	chaos.ServiceEventBridge,
+}
+
+// genRegions is the region pool for brownouts and partitions; the empty
+// entry means "every region".
+var genRegions = []string{"us-east-1", "us-west-2", ""}
+
+// Generate derives one plan from a seed. Identical seeds produce
+// identical plans on every machine; the RNG is a dedicated simclock
+// stream, so generating plans never perturbs any experiment stream.
+func Generate(seed int64) Plan {
+	rng := simclock.Stream(seed, "fuzz/plan")
+	p := Plan{
+		Seed:         seed,
+		Workloads:    6 + rng.Intn(7),
+		HorizonHours: 72,
+	}
+	n := genMinEvents + rng.Intn(genMaxEvents-genMinEvents+1)
+	splitBrains, kills, losses := 0, 0, 0
+	lastLossMS := int64(-genBucketLossGapMS)
+	for len(p.Events) < n {
+		var e Event
+		switch roll := rng.Float64(); {
+		case roll < 0.22:
+			e = Event{
+				Kind:    KindErrorRate,
+				Service: simclock.Pick(rng, genServices),
+				Rate:    0.02 + rng.Float64()*0.13,
+			}
+			if rng.Bool(0.4) {
+				e.Throttle = rng.Float64() * 0.05
+			}
+		case roll < 0.37:
+			e = Event{Kind: KindDrop, Rate: 0.5 + rng.Float64()*0.5}
+		case roll < 0.52:
+			e = Event{Kind: KindBrownout, Services: genServiceSubset(rng)}
+			if r := simclock.Pick(rng, genRegions); r != "" {
+				e.Regions = []string{r}
+			}
+			e.FromMS, e.ToMS = genWindow(rng)
+		case roll < 0.67:
+			e = Event{Kind: KindPartition, Services: genServiceSubset(rng)}
+			if r := simclock.Pick(rng, genRegions); r != "" {
+				e.Regions = []string{r}
+			}
+			e.FromMS, e.ToMS = genWindow(rng)
+		case roll < 0.77:
+			if kills >= genMaxKills {
+				continue
+			}
+			kills++
+			e = Event{Kind: KindKill, AtMS: int64(3600000 + rng.Intn(genWindowSpanMS-3600000))}
+		case roll < 0.85:
+			e = Event{Kind: KindCorruption, Rate: 0.05 + rng.Float64()*0.30}
+			e.FromMS, e.ToMS = genWindow(rng)
+		case roll < 0.90:
+			if losses >= genMaxBucketLoss {
+				continue
+			}
+			at := int64(2*3600000 + rng.Intn(40*3600000))
+			if at-lastLossMS < genBucketLossGapMS && lastLossMS >= 0 {
+				continue
+			}
+			bucket := experiment.CheckpointReplicaBucket
+			if losses == 1 {
+				bucket = experiment.CheckpointBucket
+			}
+			losses++
+			lastLossMS = at
+			e = Event{Kind: KindBucketLoss, Bucket: bucket, AtMS: at}
+		default:
+			if splitBrains >= genMaxSplitBrain {
+				continue
+			}
+			splitBrains++
+			from, to := genWindow(rng)
+			if to-from > 6*3600000 {
+				to = from + 6*3600000
+			}
+			e = Event{Kind: KindSplitBrain, FromMS: from, ToMS: to}
+			// A split brain is not an independent fault: in the real
+			// deployment it is what a journal partition looks like from
+			// the two controllers' perspective. Usually pair the rival
+			// window with a Dynamo partition covering it, so the fenced
+			// commit path is actually exercised while two incarnations
+			// race (uncorrelated windows rarely coincide with a commit).
+			if rng.Bool(0.75) {
+				p.Events = append(p.Events, e)
+				e = Event{
+					Kind:     KindPartition,
+					Services: []string{chaos.ServiceDynamo},
+					FromMS:   from,
+					ToMS:     to,
+				}
+			}
+		}
+		p.Events = append(p.Events, e)
+	}
+	return p
+}
+
+// genWindow draws a fault window inside the first two days.
+func genWindow(rng *simclock.RNG) (fromMS, toMS int64) {
+	from := int64(rng.Intn(genWindowSpanMS - genMaxWindowMS))
+	dur := int64(genMinWindowMS + rng.Intn(genMaxWindowMS-genMinWindowMS))
+	return from, from + dur
+}
+
+// genServiceSubset draws a non-empty subset of the service pool, in
+// pool order (deterministic rendering).
+func genServiceSubset(rng *simclock.RNG) []string {
+	var out []string
+	for _, s := range genServices {
+		if rng.Bool(0.4) {
+			out = append(out, s)
+		}
+	}
+	if len(out) == 0 {
+		out = []string{simclock.Pick(rng, genServices)}
+	}
+	return out
+}

@@ -1,0 +1,193 @@
+package fuzz
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"spotverse/internal/experiment"
+	"spotverse/internal/serve"
+)
+
+// Violation is one invariant breach with enough detail to read the
+// failure without re-running anything.
+type Violation struct {
+	Invariant string `json:"invariant"`
+	Detail    string `json:"detail"`
+}
+
+// TrialResult is everything one fuzz trial produced: the batch arm's
+// evidence and fingerprint, the determinism arm's re-run fingerprint,
+// and the serve arm's replay summary. Invariants read it; they never
+// run anything themselves.
+type TrialResult struct {
+	Plan             Plan
+	Batch            *experiment.ChaosEvidence
+	BatchFingerprint string
+	RerunFingerprint string
+	Serve            *serve.ReplaySummary
+}
+
+// Invariant is one system-wide property checked after every trial.
+type Invariant struct {
+	// Name identifies the invariant; the registry sorts by it.
+	Name string
+	// Desc is the one-line human explanation.
+	Desc string
+	// Check returns the violations found (nil/empty = holds).
+	Check func(tr *TrialResult) []string
+}
+
+// Registry returns the invariant catalog sorted by name — the order
+// -list-invariants prints and every checker run uses.
+func Registry() []Invariant {
+	inv := []Invariant{
+		{
+			Name:  "breaker-monotonic",
+			Desc:  "per incarnation and breaker key, cumulative trip counts never decrease between restarts",
+			Check: checkBreakerMonotonic,
+		},
+		{
+			Name:  "checkpoint-no-lost-shards",
+			Desc:  "the replicated durable store recovers every acknowledged shard and detects every corrupt read",
+			Check: checkNoLostShards,
+		},
+		{
+			Name:  "complete-once-never-relaunched",
+			Desc:  "a workload completes at most once and is never launched or relaunched after completing",
+			Check: checkCompleteOnce,
+		},
+		{
+			Name:  "journal-replay-convergence",
+			Desc:  "re-running the identical plan reproduces the batch fingerprint byte-identically",
+			Check: checkReplayConvergence,
+		},
+		{
+			Name:  "relaunch-exactly-once",
+			Desc:  "no interruption ever actuates two live instances for one workload (split-brain exactly-once)",
+			Check: checkRelaunchExactlyOnce,
+		},
+		{
+			Name:  "serve-outcome-accounting",
+			Desc:  "every replayed request is accounted exactly once: requests == ok+degraded+shed+deadline+errors",
+			Check: checkServeAccounting,
+		},
+	}
+	sort.Slice(inv, func(i, j int) bool { return inv[i].Name < inv[j].Name })
+	return inv
+}
+
+// CheckAll runs the full registry over one trial and returns every
+// violation, ordered by invariant name.
+func CheckAll(tr *TrialResult) []Violation {
+	var out []Violation
+	for _, inv := range Registry() {
+		for _, detail := range inv.Check(tr) {
+			out = append(out, Violation{Invariant: inv.Name, Detail: detail})
+		}
+	}
+	return out
+}
+
+func checkRelaunchExactlyOnce(tr *TrialResult) []string {
+	if tr.Batch == nil {
+		return nil
+	}
+	if n := tr.Batch.Result.DuplicateRelaunches; n > 0 {
+		return []string{fmt.Sprintf("%d duplicate relaunches (two live instances actuated for one workload)", n)}
+	}
+	return nil
+}
+
+func checkNoLostShards(tr *TrialResult) []string {
+	if tr.Batch == nil {
+		return nil
+	}
+	var out []string
+	if n := tr.Batch.Result.LostShards; n > 0 {
+		out = append(out, fmt.Sprintf("%d checkpoint shards unrecoverable at resume", n))
+	}
+	if n := tr.Batch.Result.UndetectedCorruption; n > 0 {
+		out = append(out, fmt.Sprintf("%d corrupt manifest reads consumed undetected", n))
+	}
+	return out
+}
+
+func checkCompleteOnce(tr *TrialResult) []string {
+	if tr.Batch == nil || tr.Batch.Result.Timeline == nil {
+		return nil
+	}
+	tl := tr.Batch.Result.Timeline
+	var out []string
+	completes := make(map[string]int)
+	afterDone := make(map[string]bool)
+	for _, e := range tl.Events() {
+		switch e.Kind {
+		case experiment.EventComplete:
+			completes[e.Workload]++
+		case experiment.EventLaunch, experiment.EventRelaunch:
+			if completes[e.Workload] > 0 && !afterDone[e.Workload] {
+				afterDone[e.Workload] = true
+				out = append(out, fmt.Sprintf("workload %s: %s after completion at %s", e.Workload, e.Kind, e.At))
+			}
+		}
+	}
+	ids := make([]string, 0, len(completes))
+	for id := range completes {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		if completes[id] > 1 {
+			out = append(out, fmt.Sprintf("workload %s completed %d times", id, completes[id]))
+		}
+	}
+	return out
+}
+
+func checkBreakerMonotonic(tr *TrialResult) []string {
+	if tr.Batch == nil {
+		return nil
+	}
+	var out []string
+	last := make(map[string]int)
+	for i, b := range tr.Batch.Breakers {
+		if b.From == "restart" {
+			// "<controllerID>/" marker: that incarnation's registry was
+			// replaced (journal replay may restore older snapshots), so its
+			// per-key baselines reset here.
+			for key := range last {
+				if strings.HasPrefix(key, b.Key) {
+					delete(last, key)
+				}
+			}
+			continue
+		}
+		if prev, seen := last[b.Key]; seen && b.Trips < prev {
+			out = append(out, fmt.Sprintf("transition %d: breaker %s trips went %d -> %d without a restart", i, b.Key, prev, b.Trips))
+		}
+		last[b.Key] = b.Trips
+	}
+	return out
+}
+
+func checkReplayConvergence(tr *TrialResult) []string {
+	if tr.RerunFingerprint == "" {
+		return nil
+	}
+	if tr.RerunFingerprint != tr.BatchFingerprint {
+		return []string{fmt.Sprintf("re-run fingerprint %s != first run %s (nondeterministic replay)", tr.RerunFingerprint, tr.BatchFingerprint)}
+	}
+	return nil
+}
+
+func checkServeAccounting(tr *TrialResult) []string {
+	s := tr.Serve
+	if s == nil {
+		return nil
+	}
+	if sum := s.OK + s.Degraded + s.Shed + s.Deadline + s.Errors; sum != s.Requests {
+		return []string{fmt.Sprintf("requests=%d but ok+degraded+shed+deadline+errors=%d", s.Requests, sum)}
+	}
+	return nil
+}

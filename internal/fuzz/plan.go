@@ -1,0 +1,270 @@
+// Package fuzz is the deterministic fault-space fuzzer: it generates
+// randomized composite chaos plans from a seed, runs the full SpotVerse
+// stack (batch control plane, durable checkpoints, serve replay) under
+// each plan, checks a registry of system-wide invariants after every
+// run, and — on a violation — shrinks the plan to a minimal reproducer
+// that replays byte-identically.
+//
+// Everything is derived from explicit seeds through simclock streams:
+// the same (seed, plan) always produces the same runs, the same
+// fingerprints, and the same violations, on any machine.
+package fuzz
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"spotverse/internal/catalog"
+	"spotverse/internal/chaos"
+	"spotverse/internal/experiment"
+)
+
+// Event kinds a fault plan can contain.
+const (
+	// KindErrorRate sets per-call fault probabilities for one service
+	// (Service, Rate = transient probability, Throttle).
+	KindErrorRate = "error-rate"
+	// KindDrop sets the EventBridge delivery drop rate for interruption
+	// notices (Rate).
+	KindDrop = "drop"
+	// KindBrownout fails the listed Services in one region for the
+	// window (Regions[0] when set, else every region).
+	KindBrownout = "brownout"
+	// KindPartition cuts the network to the listed Regions for the
+	// window (chaos.Partitioned errors on the listed Services).
+	KindPartition = "partition"
+	// KindKill crash-restarts the controller at AtMS.
+	KindKill = "kill"
+	// KindCorruption bit-flips checkpoint-manifest reads from the
+	// primary bucket at Rate for the window.
+	KindCorruption = "corruption"
+	// KindBucketLoss wipes Bucket at AtMS.
+	KindBucketLoss = "bucket-loss"
+	// KindSplitBrain runs a rival controller incarnation for the window.
+	KindSplitBrain = "split-brain"
+)
+
+// Event is one fault in a plan. Windowed kinds use FromMS/ToMS, point
+// kinds use AtMS; all offsets are simulated milliseconds from run
+// start. The flat shape keeps the repro JSON diffable and hand-editable.
+type Event struct {
+	Kind     string   `json:"kind"`
+	Service  string   `json:"service,omitempty"`
+	Services []string `json:"services,omitempty"`
+	Regions  []string `json:"regions,omitempty"`
+	Bucket   string   `json:"bucket,omitempty"`
+	Rate     float64  `json:"rate,omitempty"`
+	Throttle float64  `json:"throttle,omitempty"`
+	FromMS   int64    `json:"fromMS,omitempty"`
+	ToMS     int64    `json:"toMS,omitempty"`
+	AtMS     int64    `json:"atMS,omitempty"`
+}
+
+// window converts the event's offsets to an absolute chaos window.
+func (e Event) window(start time.Time) chaos.Window {
+	return chaos.Window{
+		From: start.Add(time.Duration(e.FromMS) * time.Millisecond),
+		To:   start.Add(time.Duration(e.ToMS) * time.Millisecond),
+	}
+}
+
+// regions converts the event's region names.
+func (e Event) regions() []catalog.Region {
+	if len(e.Regions) == 0 {
+		return nil
+	}
+	out := make([]catalog.Region, len(e.Regions))
+	for i, r := range e.Regions {
+		out[i] = catalog.Region(r)
+	}
+	return out
+}
+
+// Plan is one complete fuzz scenario: a seed, a workload count, and a
+// composite fault plan. Plans round-trip through JSON byte-stably
+// (fields render in struct order), which is what makes repro files
+// replayable artifacts.
+type Plan struct {
+	Seed           int64   `json:"seed"`
+	Workloads      int     `json:"workloads"`
+	HorizonHours   int     `json:"horizonHours"`
+	DisableFencing bool    `json:"disableFencing,omitempty"`
+	Events         []Event `json:"events"`
+}
+
+// Horizon is the plan's batch-run horizon.
+func (p Plan) Horizon() time.Duration {
+	if p.HorizonHours <= 0 {
+		return 72 * time.Hour
+	}
+	return time.Duration(p.HorizonHours) * time.Hour
+}
+
+// Schedule compiles the plan into the batch arm's chaos schedule, with
+// windowed events anchored at start. Error-rate events for the same
+// service merge by taking the maximum of each probability.
+func (p Plan) Schedule(start time.Time) chaos.Schedule {
+	sched := chaos.Schedule{
+		Intensity:       chaos.Severe, // label: enables injection; the fields below decide what actually fires
+		DropDetailTypes: []string{"EC2 Spot Instance Interruption Warning"},
+	}
+	for _, e := range p.Events {
+		switch e.Kind {
+		case KindErrorRate:
+			if sched.ErrorRates == nil {
+				sched.ErrorRates = make(map[string]chaos.Rates)
+			}
+			r := sched.ErrorRates[e.Service]
+			if e.Rate > r.Transient {
+				r.Transient = e.Rate
+			}
+			if e.Throttle > r.Throttle {
+				r.Throttle = e.Throttle
+			}
+			sched.ErrorRates[e.Service] = r
+		case KindDrop:
+			if e.Rate > sched.DropRate {
+				sched.DropRate = e.Rate
+			}
+		case KindBrownout:
+			b := chaos.Brownout{Services: e.Services, Window: e.window(start)}
+			if regs := e.regions(); len(regs) > 0 {
+				b.Region = regs[0]
+			}
+			sched.Brownouts = append(sched.Brownouts, b)
+		case KindPartition:
+			sched.Partitions = append(sched.Partitions, chaos.Partition{
+				Regions:  e.regions(),
+				Services: e.Services,
+				Window:   e.window(start),
+			})
+		case KindKill:
+			sched.ControllerKills = append(sched.ControllerKills, chaos.ControllerKill{
+				At: start.Add(time.Duration(e.AtMS) * time.Millisecond),
+			})
+		case KindCorruption:
+			sched.ObjectCorruptions = append(sched.ObjectCorruptions, chaos.ObjectCorruption{
+				Bucket:    experiment.CheckpointBucket,
+				KeyPrefix: experiment.ManifestPrefix,
+				Rate:      e.Rate,
+				Window:    e.window(start),
+			})
+		case KindBucketLoss:
+			sched.BucketLosses = append(sched.BucketLosses, chaos.BucketLoss{
+				Bucket: e.Bucket,
+				At:     start.Add(time.Duration(e.AtMS) * time.Millisecond),
+			})
+		case KindSplitBrain:
+			sched.SplitBrains = append(sched.SplitBrains, chaos.SplitBrain{Window: e.window(start)})
+		}
+	}
+	return sched
+}
+
+// serveTimeScale maps batch offsets onto the serve arm's timebase: one
+// simulated hour of the batch plan becomes one second of serving, so a
+// 6-hour brownout stresses the daemon as a 6-second outage.
+const serveTimeScale = 3600
+
+// ServeSchedule compiles the plan's windowed faults into the serve
+// arm's short-timebase schedule: brownout and partition windows become
+// ServiceServe brownouts at serveTimeScale compression, and error-rate
+// events bleed onto the serve path at half strength (the daemon shares
+// the region's fate but not every backend fault).
+func (p Plan) ServeSchedule(start time.Time) chaos.Schedule {
+	sched := chaos.Schedule{Intensity: chaos.Severe}
+	rates := chaos.Rates{}
+	for _, e := range p.Events {
+		switch e.Kind {
+		case KindBrownout, KindPartition:
+			sched.Brownouts = append(sched.Brownouts, chaos.Brownout{
+				Services: []string{chaos.ServiceServe},
+				Window: chaos.Window{
+					From: start.Add(time.Duration(e.FromMS/serveTimeScale) * time.Millisecond),
+					To:   start.Add(time.Duration(e.ToMS/serveTimeScale) * time.Millisecond),
+				},
+			})
+		case KindErrorRate:
+			if t := e.Rate / 2; t > rates.Transient {
+				rates.Transient = t
+			}
+			if th := e.Throttle / 2; th > rates.Throttle {
+				rates.Throttle = th
+			}
+		}
+	}
+	if rates.Transient > 0 || rates.Throttle > 0 {
+		sched.ErrorRates = map[string]chaos.Rates{chaos.ServiceServe: rates}
+	}
+	return sched
+}
+
+// Repro is the replayable artifact a violation produces: the shrunken
+// plan, the violations it triggers, and the batch-arm fingerprint every
+// replay must reproduce byte-identically.
+type Repro struct {
+	Plan        Plan        `json:"plan"`
+	Violations  []Violation `json:"violations"`
+	Fingerprint string      `json:"fingerprint"`
+	ShrinkRuns  int         `json:"shrinkRuns"`
+}
+
+// WriteRepro writes the repro as indented JSON.
+func WriteRepro(w io.Writer, r *Repro) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReproPath is the canonical repro filename for a seed.
+func ReproPath(dir string, seed int64) string {
+	return fmt.Sprintf("%s/fuzz-repro-%d.json", dir, seed)
+}
+
+// SaveRepro writes the repro to the canonical path under dir and
+// returns that path.
+func SaveRepro(dir string, r *Repro) (string, error) {
+	path := ReproPath(dir, r.Plan.Seed)
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	if err := WriteRepro(f, r); err != nil {
+		f.Close()
+		return "", err
+	}
+	return path, f.Close()
+}
+
+// ReadRepro parses a repro file.
+func ReadRepro(r io.Reader) (*Repro, error) {
+	var out Repro
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&out); err != nil {
+		return nil, fmt.Errorf("fuzz: bad repro file: %w", err)
+	}
+	if len(out.Plan.Events) == 0 && out.Plan.Workloads == 0 {
+		return nil, fmt.Errorf("fuzz: bad repro file: empty plan")
+	}
+	return &out, nil
+}
+
+// violationNames returns the sorted distinct invariant names of a
+// violation set.
+func violationNames(vs []Violation) []string {
+	seen := make(map[string]bool, len(vs))
+	for _, v := range vs {
+		seen[v.Invariant] = true
+	}
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

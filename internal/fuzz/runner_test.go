@@ -1,0 +1,152 @@
+package fuzz
+
+import (
+	"testing"
+)
+
+// TestTrialCleanSeeds runs full trials over a spread of seeds against
+// the correct (fenced) build and requires every invariant to hold —
+// the fuzzer's steady-state: plans are survivable by construction, so
+// a violation means a real bug.
+func TestTrialCleanSeeds(t *testing.T) {
+	seeds := []int64{1, 2, 3, 5, 8, 13, 21, 34}
+	if testing.Short() {
+		seeds = seeds[:3]
+	}
+	for _, seed := range seeds {
+		tr, err := RunTrial(Generate(seed))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if vs := CheckAll(tr); len(vs) > 0 {
+			t.Fatalf("seed %d: violations on the correct build: %+v", seed, vs)
+		}
+		if tr.RerunFingerprint != tr.BatchFingerprint {
+			t.Fatalf("seed %d: nondeterministic", seed)
+		}
+		if tr.Serve == nil || tr.Serve.Requests == 0 {
+			t.Fatalf("seed %d: serve arm produced nothing", seed)
+		}
+	}
+}
+
+// findUnfencedFailure scans seeds for a generated plan whose unfenced
+// run violates relaunch-exactly-once. A fixed scan keeps the test
+// deterministic: the first qualifying seed is always the same.
+func findUnfencedFailure(t *testing.T) (Plan, []Violation) {
+	t.Helper()
+	for seed := int64(1); seed <= 60; seed++ {
+		p := Generate(seed)
+		hasSplit := false
+		for _, e := range p.Events {
+			if e.Kind == KindSplitBrain {
+				hasSplit = true
+				break
+			}
+		}
+		if !hasSplit {
+			continue
+		}
+		p.DisableFencing = true
+		tr, err := RunTrial(p)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		vs := CheckAll(tr)
+		for _, v := range vs {
+			if v.Invariant == "relaunch-exactly-once" {
+				return p, vs
+			}
+		}
+	}
+	t.Fatal("no seed in [1,60] triggered the unfenced split-brain duplicate — broken-build detection is dead")
+	return Plan{}, nil
+}
+
+// TestUnfencedSplitBrainCaughtShrunkAndReplayable is the acceptance
+// path end to end: the deliberately broken build (fencing disabled) is
+// caught by the split-brain invariant, the failing plan shrinks to a
+// handful of events, and the emitted repro replays byte-identically
+// twice.
+func TestUnfencedSplitBrainCaughtShrunkAndReplayable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shrink search in -short mode")
+	}
+	p, vs := findUnfencedFailure(t)
+	sr, err := Shrink(p, vs, DefaultShrinkBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Plan.Events) > 3 {
+		t.Fatalf("shrunk plan still has %d events (want <= 3): %+v", len(sr.Plan.Events), sr.Plan.Events)
+	}
+	if sr.Runs > DefaultShrinkBudget+1 {
+		t.Fatalf("shrink used %d runs, budget %d", sr.Runs, DefaultShrinkBudget)
+	}
+	names := violationNames(sr.Violations)
+	found := false
+	for _, n := range names {
+		if n == "relaunch-exactly-once" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("shrunk plan's violations %v lost the original split-brain failure", names)
+	}
+	repro := &Repro{Plan: sr.Plan, Violations: sr.Violations, Fingerprint: sr.Fingerprint, ShrinkRuns: sr.Runs}
+	if err := VerifyRepro(repro); err != nil {
+		t.Fatalf("repro does not replay byte-identically: %v", err)
+	}
+}
+
+// TestVerifyReproDetectsDrift proves VerifyRepro is not vacuous: a
+// repro whose recorded fingerprint is wrong must be rejected.
+func TestVerifyReproDetectsDrift(t *testing.T) {
+	p := Generate(1)
+	tr, err := RunTrial(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := &Repro{Plan: p, Fingerprint: tr.BatchFingerprint}
+	if err := VerifyRepro(good); err != nil {
+		t.Fatalf("faithful repro rejected: %v", err)
+	}
+	bad := &Repro{Plan: p, Fingerprint: "0"}
+	if err := VerifyRepro(bad); err == nil {
+		t.Fatal("drifted fingerprint accepted")
+	}
+	lying := &Repro{Plan: p, Fingerprint: tr.BatchFingerprint,
+		Violations: []Violation{{Invariant: "relaunch-exactly-once", Detail: "fabricated"}}}
+	if err := VerifyRepro(lying); err == nil {
+		t.Fatal("fabricated violation set accepted")
+	}
+}
+
+// TestCampaignCleanAndBroken runs a small campaign both ways: the
+// correct build yields zero failures; the unfenced build yields at
+// least one shrunken repro.
+func TestCampaignCleanAndBroken(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign in -short mode")
+	}
+	seeds := []int64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	clean, err := Campaign(CampaignConfig{Seeds: seeds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Trials != len(seeds) || len(clean.Failures) != 0 {
+		t.Fatalf("clean campaign: trials=%d failures=%d", clean.Trials, len(clean.Failures))
+	}
+	broken, err := Campaign(CampaignConfig{Seeds: seeds, DisableFencing: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(broken.Failures) == 0 {
+		t.Fatal("unfenced campaign found nothing — the fuzzer cannot catch the broken build")
+	}
+	for _, r := range broken.Failures {
+		if r.Fingerprint == "" || len(r.Violations) == 0 {
+			t.Fatalf("repro missing fingerprint or violations: %+v", r)
+		}
+	}
+}

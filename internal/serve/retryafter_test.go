@@ -1,0 +1,34 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRetryAfterSecondsRoundsUp pins the header semantics at the
+// sub-second boundary: Retry-After is an integer-seconds header, so a
+// projected wait of 250ms must render as 1, never truncate to 0 — a
+// Retry-After of 0 tells well-behaved clients to hammer a server that
+// is actively shedding.
+func TestRetryAfterSecondsRoundsUp(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 1},
+		{-3 * time.Second, 1},
+		{time.Nanosecond, 1},
+		{250 * time.Millisecond, 1},
+		{999 * time.Millisecond, 1},
+		{time.Second, 1},
+		{time.Second + time.Nanosecond, 2},
+		{1500 * time.Millisecond, 2},
+		{2 * time.Second, 2},
+		{59*time.Second + 400*time.Millisecond, 60},
+	}
+	for _, c := range cases {
+		if got := retryAfterSeconds(c.d); got != c.want {
+			t.Errorf("retryAfterSeconds(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}

@@ -165,6 +165,45 @@ func (s *Store) UpdateIf(tableName string, it Item, attr, want string) error {
 	return nil
 }
 
+// UpdateIfAll writes the item only if every attribute named in conds
+// currently equals its expected value — a multi-attribute conditional
+// write, the primitive behind lease fencing (the condition covers both
+// the holder and the fencing token, so a deposed holder's write loses
+// even if the lease has since been re-acquired under its old name). A
+// missing item never matches. Conditions are checked in sorted
+// attribute order so a multiply-failing condition reports the same
+// attribute on every run.
+func (s *Store) UpdateIfAll(tableName string, it Item, conds map[string]string) error {
+	if err := s.injected("update-if-all"); err != nil {
+		return fmt.Errorf("update-if-all %s/%s: %w", tableName, it.Key, err)
+	}
+	t, err := s.table(tableName)
+	if err != nil {
+		return err
+	}
+	if err := validate(it); err != nil {
+		return err
+	}
+	s.writes++
+	s.ledger.MustAdd(cost.CategoryDynamoDB, cost.DynamoWriteUSD)
+	cur, ok := t[it.Key]
+	if !ok {
+		return fmt.Errorf("update-if-all %s/%s: %w", tableName, it.Key, ErrConditionFailed)
+	}
+	names := make([]string, 0, len(conds))
+	for k := range conds {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		if cur.Attrs[k] != conds[k] {
+			return fmt.Errorf("update-if-all %s/%s attr %q: %w", tableName, it.Key, k, ErrConditionFailed)
+		}
+	}
+	t[it.Key] = it.clone()
+	return nil
+}
+
 // Get reads an item by key.
 func (s *Store) Get(tableName, key string) (Item, error) {
 	if err := s.injected("get"); err != nil {

@@ -3,6 +3,7 @@ package dynamo
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"testing"
 
 	"spotverse/internal/catalog"
@@ -234,5 +235,53 @@ func TestBillingCounts(t *testing.T) {
 	want := 2*cost.DynamoWriteUSD + 1*cost.DynamoReadUSD
 	if got := l.Of(cost.CategoryDynamoDB); got < want-1e-12 || got > want+1e-12 {
 		t.Fatalf("billed %v, want %v", got, want)
+	}
+}
+
+func TestUpdateIfAll(t *testing.T) {
+	s, _ := newStore()
+	_ = s.CreateTable("t")
+	_ = s.Put("t", Item{Key: "lease", Attrs: map[string]string{"holder": "a", "token": "3"}})
+	// All conditions hold: the write lands.
+	next := Item{Key: "lease", Attrs: map[string]string{"holder": "a", "token": "3", "expires": "soon"}}
+	if err := s.UpdateIfAll("t", next, map[string]string{"holder": "a", "token": "3"}); err != nil {
+		t.Fatal(err)
+	}
+	// One condition stale (the fencing-token case): the write loses.
+	err := s.UpdateIfAll("t", Item{Key: "lease", Attrs: map[string]string{"holder": "a", "token": "2"}},
+		map[string]string{"holder": "a", "token": "2"})
+	if !errors.Is(err, ErrConditionFailed) {
+		t.Fatalf("stale token err = %v, want ErrConditionFailed", err)
+	}
+	it, _ := s.Get("t", "lease")
+	if it.Attrs["token"] != "3" || it.Attrs["expires"] != "soon" {
+		t.Fatalf("losing write mutated the item: %+v", it.Attrs)
+	}
+	// A missing item never matches.
+	err = s.UpdateIfAll("t", Item{Key: "ghost", Attrs: map[string]string{"a": "1"}}, map[string]string{"a": "1"})
+	if !errors.Is(err, ErrConditionFailed) {
+		t.Fatalf("missing item err = %v, want ErrConditionFailed", err)
+	}
+	// Empty conditions degrade to "item exists".
+	if err := s.UpdateIfAll("t", Item{Key: "lease", Attrs: map[string]string{"holder": "b"}}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUpdateIfAllReportsSmallestFailingAttr(t *testing.T) {
+	s, _ := newStore()
+	_ = s.CreateTable("t")
+	_ = s.Put("t", Item{Key: "k", Attrs: map[string]string{"x": "1", "y": "1"}})
+	// Both conditions fail; the error must name the lexically smallest
+	// attribute on every run (map iteration must not leak).
+	for i := 0; i < 50; i++ {
+		err := s.UpdateIfAll("t", Item{Key: "k", Attrs: map[string]string{"x": "9"}},
+			map[string]string{"y": "0", "x": "0"})
+		if !errors.Is(err, ErrConditionFailed) {
+			t.Fatalf("err = %v, want ErrConditionFailed", err)
+		}
+		if want := `attr "x"`; !strings.Contains(err.Error(), want) {
+			t.Fatalf("err %q does not name the smallest failing attr %s", err, want)
+		}
 	}
 }

@@ -33,6 +33,7 @@ import (
 	"spotverse/internal/core"
 	"spotverse/internal/durable"
 	"spotverse/internal/experiment"
+	"spotverse/internal/fuzz"
 	"spotverse/internal/market"
 	"spotverse/internal/predict"
 	"spotverse/internal/serve"
@@ -93,6 +94,24 @@ type (
 	ObjectCorruption = chaos.ObjectCorruption
 	// BucketLoss wipes a whole S3 bucket at an instant.
 	BucketLoss = chaos.BucketLoss
+	// Partition cuts the network to regions for a window.
+	Partition = chaos.Partition
+	// SplitBrain runs a rival controller incarnation for a window.
+	SplitBrain = chaos.SplitBrain
+	// FuzzPlan is one seed-derived composite fault scenario.
+	FuzzPlan = fuzz.Plan
+	// FuzzEvent is one fault in a FuzzPlan.
+	FuzzEvent = fuzz.Event
+	// FuzzInvariant is one system-wide property checked after a trial.
+	FuzzInvariant = fuzz.Invariant
+	// FuzzViolation is one invariant breach.
+	FuzzViolation = fuzz.Violation
+	// FuzzRepro is a shrunken, byte-identically replayable failure.
+	FuzzRepro = fuzz.Repro
+	// FuzzCampaignConfig parameterises a fuzz campaign.
+	FuzzCampaignConfig = fuzz.CampaignConfig
+	// FuzzCampaignResult summarises a fuzz campaign.
+	FuzzCampaignResult = fuzz.CampaignResult
 	// DurabilityMode selects how runs persist checkpoint manifests.
 	DurabilityMode = experiment.DurabilityMode
 	// DurabilityStats summarises the durable store's activity.
@@ -125,6 +144,26 @@ const (
 func ChaosPreset(i ChaosIntensity, start time.Time) ChaosSchedule {
 	return chaos.Preset(i, start)
 }
+
+// ChaosPartitioned is the sentinel error a partitioned service call
+// fails with (errors.Is-able through injected fault wrapping).
+var ChaosPartitioned = chaos.Partitioned
+
+// FuzzGenerate derives one fault plan from a seed, deterministically.
+func FuzzGenerate(seed int64) FuzzPlan { return fuzz.Generate(seed) }
+
+// FuzzInvariants returns the invariant catalog, sorted by name.
+func FuzzInvariants() []FuzzInvariant { return fuzz.Registry() }
+
+// FuzzCampaign runs one plan per seed through the full stack, checks
+// every invariant, and shrinks each failure into a replayable repro.
+func FuzzCampaign(cfg FuzzCampaignConfig) (*FuzzCampaignResult, error) {
+	return fuzz.Campaign(cfg)
+}
+
+// FuzzVerifyRepro re-executes a repro twice and errors unless both runs
+// reproduce its recorded fingerprint and violation set byte-identically.
+func FuzzVerifyRepro(r *FuzzRepro) error { return fuzz.VerifyRepro(r) }
 
 // Re-exported instance types (the paper's evaluation set).
 const (

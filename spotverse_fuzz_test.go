@@ -1,0 +1,34 @@
+package spotverse
+
+import (
+	"testing"
+)
+
+// TestPublicFuzzSurface exercises the fuzzer through the facade: plan
+// generation, the invariant catalog, and a tiny campaign on the
+// correct build.
+func TestPublicFuzzSurface(t *testing.T) {
+	p := FuzzGenerate(3)
+	if p.Seed != 3 || len(p.Events) == 0 || p.Workloads == 0 {
+		t.Fatalf("hollow plan: %+v", p)
+	}
+	if q := FuzzGenerate(3); len(q.Events) != len(p.Events) {
+		t.Fatal("plan generation not deterministic through the facade")
+	}
+	invs := FuzzInvariants()
+	if len(invs) != 6 {
+		t.Fatalf("%d invariants, want 6", len(invs))
+	}
+	for i := 1; i < len(invs); i++ {
+		if invs[i-1].Name >= invs[i].Name {
+			t.Fatalf("catalog not sorted: %s >= %s", invs[i-1].Name, invs[i].Name)
+		}
+	}
+	res, err := FuzzCampaign(FuzzCampaignConfig{Seeds: []int64{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trials != 2 || len(res.Failures) != 0 {
+		t.Fatalf("clean campaign: trials=%d failures=%d", res.Trials, len(res.Failures))
+	}
+}
