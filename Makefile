@@ -1,9 +1,9 @@
 GO ?= go
 
 # PR counter for benchmark snapshots (BENCH_$(PR).json).
-PR ?= 6
+PR ?= 8
 
-.PHONY: build test race vet vet-determinism lint verify experiments serve-smoke fuzz fuzz-soak bench bench-compare profile
+.PHONY: build test race vet vet-determinism lint verify experiments serve-smoke fleet-smoke fuzz fuzz-soak bench bench-compare profile
 
 build:
 	$(GO) build ./...
@@ -45,6 +45,13 @@ experiments:
 serve-smoke:
 	sh scripts/serve_smoke.sh
 
+# fleet-smoke drives the fleet-scale path end to end: a 10k-workload
+# `-exp fleet` sweep under the race detector, byte-identical across
+# worker counts, inside a wall-clock budget and an RSS ceiling (see
+# scripts/fleet_smoke.sh for the budgets).
+fleet-smoke:
+	sh scripts/fleet_smoke.sh
+
 # fuzz runs the PR-gate fault-space campaign: 50 fixed-seed composite
 # chaos plans through the full stack with every invariant checked. Any
 # violation shrinks to a replayable fuzz-repro-<seed>.json and fails
@@ -65,11 +72,11 @@ fuzz-soak:
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem -count=3 . | tee BENCH_$(PR).json
 
-# bench-compare diffs the current benchmark snapshot against the PR 5
+# bench-compare diffs the current benchmark snapshot against the PR 6
 # baseline (override OLD/NEW for other pairs). benchstat gives the full
 # statistical treatment when installed; otherwise an awk fallback
 # prints mean ns/op per benchmark side by side.
-OLD ?= BENCH_5.json
+OLD ?= BENCH_6.json
 NEW ?= BENCH_$(PR).json
 
 bench-compare:

@@ -1,0 +1,207 @@
+package spotverse
+
+// Fleet-scale benchmarks: the flat batched FleetState path (RunFleet)
+// against the per-workload path (Run) on the identical configuration —
+// single-region arm, standard workloads, 14-day horizon, seed 42. Two
+// metrics matter:
+//
+//   - workloads/s — simulated workloads per wall-second, the ISSUE 8
+//     throughput headline;
+//   - retained_B/wl — bytes of heap the environment plus result pin
+//     per workload after the run, the streaming-aggregation memory
+//     bound.
+//
+// Both are reported as custom benchmark metrics so BENCH_N.json diffs
+// carry the trajectory.
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"spotverse/internal/baselines"
+	"spotverse/internal/catalog"
+	"spotverse/internal/experiment"
+	"spotverse/internal/simclock"
+	"spotverse/internal/workload"
+)
+
+// runFleetBench executes one RunFleet of n standard workloads and
+// returns the environment and result (kept reachable by retention
+// measurement).
+func runFleetBench(n int) (*experiment.Env, *experiment.FleetResult, error) {
+	env := experiment.NewEnv(benchSeed)
+	single, err := baselines.NewSingleRegion(env.Catalog(), catalog.M5XLarge, experiment.BaselineRegionM5XLarge)
+	if err != nil {
+		return nil, nil, err
+	}
+	f, err := workload.GenerateFleet(simclock.Stream(benchSeed, "wl-standard"),
+		workload.GenOptions{Kind: workload.KindStandard, Count: n})
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := experiment.RunFleet(env, experiment.FleetRunConfig{
+		Fleet:           f,
+		Strategy:        single,
+		InstanceType:    catalog.M5XLarge,
+		AllowIncomplete: true,
+	})
+	return env, res, err
+}
+
+// runLegacyBench executes the identical run on the per-workload path.
+func runLegacyBench(n int) (*experiment.Env, *experiment.Result, error) {
+	env := experiment.NewEnv(benchSeed)
+	single, err := baselines.NewSingleRegion(env.Catalog(), catalog.M5XLarge, experiment.BaselineRegionM5XLarge)
+	if err != nil {
+		return nil, nil, err
+	}
+	ws, err := workload.Generate(simclock.Stream(benchSeed, "wl-standard"),
+		workload.GenOptions{Kind: workload.KindStandard, Count: n})
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := experiment.Run(env, experiment.RunConfig{
+		Workloads:       ws,
+		Strategy:        single,
+		InstanceType:    catalog.M5XLarge,
+		AllowIncomplete: true,
+	})
+	return env, res, err
+}
+
+// retainedPerWorkload measures the heap bytes pinned per workload by a
+// completed run: heap growth between a settled baseline and a settled
+// post-run state with env and result still reachable. The shared market
+// snapshot is warmed by the caller, so it cancels out of the delta.
+func retainedPerWorkload(b *testing.B, n int, run func() (any, any, error)) float64 {
+	b.Helper()
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	env, res, err := run()
+	if err != nil {
+		b.Fatal(err)
+	}
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+	retained := float64(after.HeapAlloc) - float64(before.HeapAlloc)
+	runtime.KeepAlive(env)
+	runtime.KeepAlive(res)
+	if retained < 0 {
+		retained = 0
+	}
+	return retained / float64(n)
+}
+
+func benchFleetPath(b *testing.B, n int) {
+	var last *experiment.FleetResult
+	for i := 0; i < b.N; i++ {
+		_, res, err := runFleetBench(n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.StopTimer()
+	perOp := b.Elapsed().Seconds() / float64(b.N)
+	b.ReportMetric(float64(n)/perOp, "workloads/s")
+	b.ReportMetric(retainedPerWorkload(b, n, func() (any, any, error) {
+		env, res, err := runFleetBench(n)
+		return env, res, err
+	}), "retained_B/wl")
+	b.ReportMetric(float64(last.Interruptions), "interruptions")
+	b.ReportMetric(float64(last.Completed), "completed")
+}
+
+func benchLegacyPath(b *testing.B, n int) {
+	var last *experiment.Result
+	for i := 0; i < b.N; i++ {
+		_, res, err := runLegacyBench(n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.StopTimer()
+	perOp := b.Elapsed().Seconds() / float64(b.N)
+	b.ReportMetric(float64(n)/perOp, "workloads/s")
+	b.ReportMetric(retainedPerWorkload(b, n, func() (any, any, error) {
+		env, res, err := runLegacyBench(n)
+		return env, res, err
+	}), "retained_B/wl")
+	b.ReportMetric(float64(last.Interruptions), "interruptions")
+	b.ReportMetric(float64(last.Completed), "completed")
+}
+
+func BenchmarkFleetPath1k(b *testing.B)   { benchFleetPath(b, 1000) }
+func BenchmarkFleetPath10k(b *testing.B)  { benchFleetPath(b, 10000) }
+func BenchmarkLegacyPath1k(b *testing.B)  { benchLegacyPath(b, 1000) }
+func BenchmarkLegacyPath10k(b *testing.B) { benchLegacyPath(b, 10000) }
+
+// TestFleetSpeedupAndRetention is the acceptance check behind the
+// benchmarks: at N=10k the fleet path must be at least 5x faster and
+// retain at least 5x fewer bytes per workload than the per-workload
+// path. It runs each path once, so it is cheap enough for the ordinary
+// test suite while pinning the regression bar.
+func TestFleetSpeedupAndRetention(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet speedup check runs full 10k simulations")
+	}
+	const n = 10000
+	// Warm the shared market snapshot so retention deltas exclude it.
+	if _, _, err := runFleetBench(100); err != nil {
+		t.Fatal(err)
+	}
+
+	measureOnce := func(run func() (any, any, error)) (seconds, retainedPerWl float64) {
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		env, res, err := run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		seconds = time.Since(start).Seconds()
+		runtime.GC()
+		runtime.ReadMemStats(&after)
+		retainedPerWl = (float64(after.HeapAlloc) - float64(before.HeapAlloc)) / float64(n)
+		runtime.KeepAlive(env)
+		runtime.KeepAlive(res)
+		return seconds, retainedPerWl
+	}
+	// Best of two runs per path: the min is the standard noise-robust
+	// wall-clock estimator, and both paths get the same treatment.
+	measure := func(run func() (any, any, error)) (seconds, retainedPerWl float64) {
+		s1, r1 := measureOnce(run)
+		s2, r2 := measureOnce(run)
+		if s2 < s1 {
+			s1 = s2
+		}
+		if r2 < r1 {
+			r1 = r2
+		}
+		return s1, r1
+	}
+
+	slowSec, slowRet := measure(func() (any, any, error) {
+		env, res, err := runLegacyBench(n)
+		return env, res, err
+	})
+	fleetSec, fleetRet := measure(func() (any, any, error) {
+		env, res, err := runFleetBench(n)
+		return env, res, err
+	})
+
+	speedup := slowSec / fleetSec
+	retRatio := slowRet / fleetRet
+	t.Logf("n=%d legacy %.2fs %.0f B/wl | fleet %.2fs %.0f B/wl | speedup %.1fx, retention ratio %.1fx",
+		n, slowSec, slowRet, fleetSec, fleetRet, speedup, retRatio)
+	if speedup < 5 {
+		t.Errorf("fleet path speedup %.2fx at n=%d, want >= 5x", speedup, n)
+	}
+	if retRatio < 5 {
+		t.Errorf("fleet path retains %.0f B/wl vs legacy %.0f (ratio %.2fx), want >= 5x lower", fleetRet, slowRet, retRatio)
+	}
+}

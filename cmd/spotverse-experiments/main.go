@@ -3,12 +3,18 @@
 //
 // Usage:
 //
-//	spotverse-experiments [-exp all|list|fig2|fig3|fig4|fig7|fig8|fig9|fig10|table1|table4|ext|chaos|crash|trials] [-seed N] [-csv dir] [-intensity off|low|medium|severe] [-parallel N] [-mktcache N] [-cpuprofile file] [-memprofile file]
+//	spotverse-experiments [-exp all|list|fig2|fig3|fig4|fig7|fig8|fig9|fig10|table1|table4|ext|chaos|crash|trials|fleet] [-seed N] [-csv dir] [-intensity off|low|medium|severe] [-parallel N] [-mktcache N] [-fleet sizes] [-cpuprofile file] [-memprofile file]
 //
 // Each experiment prints an ASCII rendering of the corresponding table or
 // figure; -csv additionally writes raw series files into the directory.
 // -intensity sets the background-fault level for -exp crash (the chaos
 // sweep always runs the full intensity ladder).
+//
+// -exp fleet runs the fleet-scale scaling sweep on the flat batched
+// FleetState path; -fleet sets its comma-separated workload counts
+// (default 1000,10000,50000,100000). The deterministic sweep table goes
+// to stdout; wall-clock throughput (workloads simulated per second, a
+// machine-dependent quantity) goes to stderr.
 //
 // -parallel bounds the experiment worker pool (default GOMAXPROCS). The
 // sweep fans out across independent simulations and renders results in a
@@ -44,8 +50,10 @@ import (
 	"runtime/pprof"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"syscall"
+	"time"
 
 	"spotverse/internal/chaos"
 	"spotverse/internal/experiment"
@@ -53,17 +61,18 @@ import (
 
 // usageLine is appended to flag-validation errors so a bad invocation
 // prints the accepted values without the caller digging through -h.
-const usageLine = "usage: spotverse-experiments [-exp all|list|fig2|fig3|fig4|fig7|fig8|fig9|fig10|table1|table4|ext|chaos|crash|trials] [-seed N] [-csv dir] [-intensity off|low|medium|severe] [-parallel N] [-mktcache N] [-cpuprofile file] [-memprofile file]"
+const usageLine = "usage: spotverse-experiments [-exp all|list|fig2|fig3|fig4|fig7|fig8|fig9|fig10|table1|table4|ext|chaos|crash|trials|fleet] [-seed N] [-csv dir] [-intensity off|low|medium|severe] [-parallel N] [-mktcache N] [-fleet sizes] [-cpuprofile file] [-memprofile file]"
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment to run: all, list, fig2, fig3, fig4, fig7, fig8, fig9, fig10, table1, table4, ext, chaos, crash, trials")
+		exp        = flag.String("exp", "all", "experiment to run: all, list, fig2, fig3, fig4, fig7, fig8, fig9, fig10, table1, table4, ext, chaos, crash, trials, fleet")
 		seed       = flag.Int64("seed", 42, "simulation seed")
 		csvDir     = flag.String("csv", "", "directory to write raw CSV series (optional)")
 		trials     = flag.Int("trials", 3, "trial count for -exp trials (the paper repeats each experiment 3x)")
 		intensity  = flag.String("intensity", "medium", "background-fault intensity for -exp crash: off, low, medium, severe")
 		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool bound for the experiment harness (1 = sequential; output is byte-identical either way)")
 		mktcache   = flag.String("mktcache", strconv.Itoa(experiment.DefaultMarketCacheSegments), "market-snapshot store size in 2KiB segments (0 disables sharing; output is byte-identical either way)")
+		fleetSizes = flag.String("fleet", "1000,10000,50000,100000", "comma-separated workload counts for -exp fleet (each must be a positive integer)")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file")
 	)
@@ -76,7 +85,7 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	go handleSignals(sig, prof, os.Stderr, os.Exit)
-	err = run(os.Stdout, *exp, *seed, *csvDir, *trials, *parallel, *intensity, *mktcache)
+	err = run(os.Stdout, *exp, *seed, *csvDir, *trials, *parallel, *intensity, *mktcache, *fleetSizes)
 	if ferr := prof.Flush(); err == nil {
 		err = ferr
 	}
@@ -163,7 +172,7 @@ func handleSignals(sig <-chan os.Signal, prof *profiler, stderr io.Writer, exit 
 	exit(code)
 }
 
-func run(w io.Writer, exp string, seed int64, csvDir string, trials, parallel int, intensity, mktcache string) error {
+func run(w io.Writer, exp string, seed int64, csvDir string, trials, parallel int, intensity, mktcache, fleetSizes string) error {
 	inten, err := chaos.ParseIntensity(intensity)
 	if err != nil {
 		return fmt.Errorf("%w\n%s", err, usageLine)
@@ -201,12 +210,22 @@ func run(w io.Writer, exp string, seed int64, csvDir string, trials, parallel in
 		"ext":    func(w io.Writer) error { return runExtensions(w, seed) },
 		"chaos":  func(w io.Writer) error { return runChaos(w, seed) },
 		"crash":  func(w io.Writer) error { return runCrash(w, seed, inten) },
+		// -fleet is validated here, not up front: only the fleet sweep
+		// reads it, so a malformed value must not break other experiments.
+		"fleet": func(w io.Writer) error {
+			sizes, err := parseFleetSizes(fleetSizes)
+			if err != nil {
+				return err
+			}
+			return runFleetSweep(w, sizes)
+		},
 	}
 	switch exp {
 	case "all":
-		// crash is deliberately not part of "all": it schedules controller
-		// kills and object corruption, so its table is not a paper artifact
-		// and "all" output stays comparable across releases.
+		// crash and fleet are deliberately not part of "all": crash
+		// schedules controller kills and object corruption, fleet is a
+		// scaling study rather than a paper artifact — and "all" output
+		// stays comparable across releases either way.
 		return runAll(w, []string{"table1", "fig2", "fig3", "fig4", "fig7", "fig8", "fig9", "fig10", "table4", "ext", "chaos"}, runners)
 	case "list":
 		return runList(w, runners)
@@ -438,6 +457,45 @@ func runCrash(w io.Writer, seed int64, intensity chaos.Intensity) error {
 		return err
 	}
 	return experiment.RenderCrash(w, rows)
+}
+
+// parseFleetSizes validates the -fleet flag: a comma-separated list of
+// positive integer workload counts.
+func parseFleetSizes(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	sizes := make([]int, 0, len(parts))
+	for _, part := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("invalid -fleet %q (must be comma-separated positive integers)\n%s", s, usageLine)
+		}
+		sizes = append(sizes, n)
+	}
+	return sizes, nil
+}
+
+// runFleetSweep runs the fleet-scale scaling sweep. The deterministic
+// table streams to w; wall-clock throughput — the one machine-dependent
+// number, and the sweep's reason to exist — goes to stderr so stdout
+// stays byte-identical across runs, machines, and -parallel values.
+func runFleetSweep(w io.Writer, sizes []int) error {
+	begin := time.Now()
+	cells, err := experiment.FleetSweep(sizes)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(begin)
+	if err := experiment.RenderFleet(w, cells); err != nil {
+		return err
+	}
+	total := 0
+	for _, c := range cells {
+		total += c.Size
+	}
+	perSec := float64(total) / elapsed.Seconds()
+	fmt.Fprintf(os.Stderr, "fleet sweep: %d cells, %d workloads simulated in %.2fs (%.0f workloads/wall-second)\n",
+		len(cells), total, elapsed.Seconds(), perSec)
+	return nil
 }
 
 // runTrials repeats the Fig. 7 standard-workload comparison across

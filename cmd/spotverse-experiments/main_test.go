@@ -13,7 +13,7 @@ import (
 )
 
 func TestUnknownExperimentRejected(t *testing.T) {
-	err := run(io.Discard, "fig99", 42, "", 3, 1, "medium", "8192")
+	err := run(io.Discard, "fig99", 42, "", 3, 1, "medium", "8192", "1000")
 	if err == nil {
 		t.Fatal("unknown experiment should error")
 	}
@@ -23,7 +23,7 @@ func TestUnknownExperimentRejected(t *testing.T) {
 }
 
 func TestInvalidIntensityRejected(t *testing.T) {
-	err := run(io.Discard, "chaos", 42, "", 3, 1, "apocalyptic", "8192")
+	err := run(io.Discard, "chaos", 42, "", 3, 1, "apocalyptic", "8192", "1000")
 	if err == nil {
 		t.Fatal("invalid intensity should error")
 	}
@@ -33,7 +33,7 @@ func TestInvalidIntensityRejected(t *testing.T) {
 }
 
 func TestInvalidParallelRejected(t *testing.T) {
-	err := run(io.Discard, "table1", 42, "", 3, 0, "medium", "8192")
+	err := run(io.Discard, "table1", 42, "", 3, 0, "medium", "8192", "1000")
 	if err == nil {
 		t.Fatal("non-positive -parallel should error")
 	}
@@ -44,12 +44,67 @@ func TestInvalidParallelRejected(t *testing.T) {
 
 func TestInvalidMktCacheRejected(t *testing.T) {
 	for _, bad := range []string{"lots", "12.5", "", "-1"} {
-		err := run(io.Discard, "table1", 42, "", 3, 1, "medium", bad)
+		err := run(io.Discard, "table1", 42, "", 3, 1, "medium", bad, "1000")
 		if err == nil {
 			t.Fatalf("-mktcache %q should error", bad)
 		}
 		if !strings.Contains(err.Error(), "usage:") {
 			t.Fatalf("error should carry the usage line, got: %v", err)
+		}
+	}
+}
+
+func TestInvalidFleetSizesRejected(t *testing.T) {
+	for _, bad := range []string{"0", "-5", "many", "1000,", "1000,0", "12.5", ""} {
+		err := run(io.Discard, "fleet", 42, "", 3, 1, "medium", "8192", bad)
+		if err == nil {
+			t.Fatalf("-fleet %q should error", bad)
+		}
+		if !strings.Contains(err.Error(), "usage:") {
+			t.Fatalf("error should carry the usage line, got: %v", err)
+		}
+	}
+}
+
+// TestFleetSizesOnlyValidatedForFleet keeps the flag inert elsewhere: a
+// bad -fleet value must not break experiments that never read it.
+func TestFleetSizesOnlyValidatedForFleet(t *testing.T) {
+	if err := run(io.Discard, "table1", 42, "", 3, 1, "medium", "8192", "bogus"); err != nil {
+		t.Fatalf("table1 should ignore -fleet: %v", err)
+	}
+}
+
+func TestRunFleetSmall(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "fleet", 42, "", 3, 1, "medium", "8192", "50,100"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"single-region", "skypilot", "Fleet-scale sweep"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fleet output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestFleetParallelByteIdentical pins the fleet sweep's determinism
+// across worker counts; under `go test -race` it doubles as the data
+// race stress for the batched fleet path.
+func TestFleetParallelByteIdentical(t *testing.T) {
+	render := func(parallel int) string {
+		var buf bytes.Buffer
+		if err := run(&buf, "fleet", 42, "", 3, parallel, "medium", "8192", "200,400"); err != nil {
+			t.Fatalf("fleet with -parallel %d: %v", parallel, err)
+		}
+		return buf.String()
+	}
+	want := render(1)
+	if want == "" {
+		t.Fatal("fleet rendered no output")
+	}
+	for _, parallel := range []int{4, 8} {
+		if got := render(parallel); got != want {
+			t.Fatalf("fleet output with -parallel %d differs from -parallel 1", parallel)
 		}
 	}
 }
@@ -62,7 +117,7 @@ func TestInvalidMktCacheRejected(t *testing.T) {
 func TestMktCacheByteIdentical(t *testing.T) {
 	render := func(mktcache string) string {
 		var buf bytes.Buffer
-		if err := run(&buf, "fig3", 42, "", 3, 2, "medium", mktcache); err != nil {
+		if err := run(&buf, "fig3", 42, "", 3, 2, "medium", mktcache, "1000"); err != nil {
 			t.Fatalf("fig3 with -mktcache %s: %v", mktcache, err)
 		}
 		return buf.String()
@@ -79,44 +134,44 @@ func TestMktCacheByteIdentical(t *testing.T) {
 }
 
 func TestRunTable1(t *testing.T) {
-	if err := run(io.Discard, "table1", 42, "", 3, 1, "medium", "8192"); err != nil {
+	if err := run(io.Discard, "table1", 42, "", 3, 1, "medium", "8192", "1000"); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunFig9(t *testing.T) {
-	if err := run(io.Discard, "fig9", 42, "", 3, 1, "medium", "8192"); err != nil {
+	if err := run(io.Discard, "fig9", 42, "", 3, 1, "medium", "8192", "1000"); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunTrials(t *testing.T) {
-	if err := run(io.Discard, "trials", 42, "", 1, 1, "medium", "8192"); err != nil {
+	if err := run(io.Discard, "trials", 42, "", 1, 1, "medium", "8192", "1000"); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunFig3(t *testing.T) {
-	if err := run(io.Discard, "fig3", 42, "", 3, 1, "medium", "8192"); err != nil {
+	if err := run(io.Discard, "fig3", 42, "", 3, 1, "medium", "8192", "1000"); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunFig4(t *testing.T) {
-	if err := run(io.Discard, "fig4", 42, "", 3, 1, "medium", "8192"); err != nil {
+	if err := run(io.Discard, "fig4", 42, "", 3, 1, "medium", "8192", "1000"); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunTable4(t *testing.T) {
-	if err := run(io.Discard, "table4", 42, "", 3, 1, "medium", "8192"); err != nil {
+	if err := run(io.Discard, "table4", 42, "", 3, 1, "medium", "8192", "1000"); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestCSVOutput(t *testing.T) {
 	dir := t.TempDir()
-	if err := run(io.Discard, "fig2", 42, dir, 3, 1, "medium", "8192"); err != nil {
+	if err := run(io.Discard, "fig2", 42, dir, 3, 1, "medium", "8192", "1000"); err != nil {
 		t.Fatal(err)
 	}
 	matches, err := filepath.Glob(filepath.Join(dir, "fig2_prices.csv"))
@@ -127,7 +182,7 @@ func TestCSVOutput(t *testing.T) {
 
 func TestRunFig7WithCSV(t *testing.T) {
 	dir := t.TempDir()
-	if err := run(io.Discard, "fig7", 42, dir, 3, 1, "medium", "8192"); err != nil {
+	if err := run(io.Discard, "fig7", 42, dir, 3, 1, "medium", "8192", "1000"); err != nil {
 		t.Fatal(err)
 	}
 	for _, name := range []string{
@@ -142,7 +197,7 @@ func TestRunFig7WithCSV(t *testing.T) {
 
 func TestRunFig4WithCSV(t *testing.T) {
 	dir := t.TempDir()
-	if err := run(io.Discard, "fig4", 42, dir, 3, 1, "medium", "8192"); err != nil {
+	if err := run(io.Discard, "fig4", 42, dir, 3, 1, "medium", "8192", "1000"); err != nil {
 		t.Fatal(err)
 	}
 	matches, err := filepath.Glob(filepath.Join(dir, "fig4_metrics.csv"))
@@ -152,31 +207,31 @@ func TestRunFig4WithCSV(t *testing.T) {
 }
 
 func TestRunFig8(t *testing.T) {
-	if err := run(io.Discard, "fig8", 42, "", 3, 1, "medium", "8192"); err != nil {
+	if err := run(io.Discard, "fig8", 42, "", 3, 1, "medium", "8192", "1000"); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunFig10(t *testing.T) {
-	if err := run(io.Discard, "fig10", 42, "", 3, 1, "medium", "8192"); err != nil {
+	if err := run(io.Discard, "fig10", 42, "", 3, 1, "medium", "8192", "1000"); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunExtensions(t *testing.T) {
-	if err := run(io.Discard, "ext", 42, "", 3, 1, "medium", "8192"); err != nil {
+	if err := run(io.Discard, "ext", 42, "", 3, 1, "medium", "8192", "1000"); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunChaos(t *testing.T) {
-	if err := run(io.Discard, "chaos", 42, "", 3, 1, "medium", "8192"); err != nil {
+	if err := run(io.Discard, "chaos", 42, "", 3, 1, "medium", "8192", "1000"); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunCrash(t *testing.T) {
-	if err := run(io.Discard, "crash", 42, "", 3, 1, "medium", "8192"); err != nil {
+	if err := run(io.Discard, "crash", 42, "", 3, 1, "medium", "8192", "1000"); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -192,7 +247,7 @@ func TestAllParallelByteIdentical(t *testing.T) {
 	}
 	render := func(exp string, parallel int) string {
 		var buf bytes.Buffer
-		if err := run(&buf, exp, 42, "", 3, parallel, "medium", "8192"); err != nil {
+		if err := run(&buf, exp, 42, "", 3, parallel, "medium", "8192", "1000"); err != nil {
 			t.Fatalf("%s with -parallel %d: %v", exp, parallel, err)
 		}
 		return buf.String()
@@ -213,7 +268,7 @@ func TestAllParallelByteIdentical(t *testing.T) {
 func TestExpListDeterministicAndComplete(t *testing.T) {
 	render := func() string {
 		var buf bytes.Buffer
-		if err := run(&buf, "list", 42, "", 3, 1, "medium", "8192"); err != nil {
+		if err := run(&buf, "list", 42, "", 3, 1, "medium", "8192", "1000"); err != nil {
 			t.Fatal(err)
 		}
 		return buf.String()
@@ -223,7 +278,7 @@ func TestExpListDeterministicAndComplete(t *testing.T) {
 		t.Fatal("-exp list output is not deterministic")
 	}
 	lines := strings.Split(strings.TrimSpace(a), "\n")
-	for _, want := range []string{"all", "list", "fig2", "fig10", "table1", "table4", "ext", "chaos", "crash", "trials"} {
+	for _, want := range []string{"all", "list", "fig2", "fig10", "table1", "table4", "ext", "chaos", "crash", "trials", "fleet"} {
 		found := false
 		for _, l := range lines {
 			if l == want {

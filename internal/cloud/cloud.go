@@ -116,6 +116,11 @@ type Instance struct {
 	// Tag is an opaque caller label (the workload the instance serves).
 	Tag string
 
+	// seq is the provider-wide allocation counter behind the ID; fleet
+	// mode uses it to keep cost summation in ID order after the record
+	// itself is released.
+	seq int
+
 	noticeEv      *simclock.Event
 	termEv        *simclock.Event
 	priceNoticeEv *simclock.Event
@@ -166,6 +171,15 @@ type Provider struct {
 	instances map[InstanceID]*Instance
 	requests  map[RequestID]*SpotRequest
 	seq       int
+
+	// Fleet mode (EnableFleetMode): bounded-retention bookkeeping for
+	// 10k-100k workload runs. Nil/false on the default path, which stays
+	// byte-identical.
+	fleet      bool
+	agenda     *simclock.Agenda
+	open       []*SpotRequest
+	retired    []retiredCost
+	crossCache map[crossKey]crossState
 
 	noticeSubs []NoticeFunc
 	launchSubs []LaunchFunc
@@ -221,9 +235,9 @@ func (p *Provider) gateCheck(t catalog.InstanceType, r catalog.Region) error {
 	return p.launchGate(t, r)
 }
 
-func (p *Provider) nextInstanceID() InstanceID {
+func (p *Provider) nextInstanceID() (InstanceID, int) {
 	p.seq++
-	return InstanceID(fmt.Sprintf("i-%06d", p.seq))
+	return InstanceID(fmt.Sprintf("i-%06d", p.seq)), p.seq
 }
 
 func (p *Provider) nextRequestID() RequestID {
@@ -241,8 +255,10 @@ func (p *Provider) RunOnDemand(t catalog.InstanceType, r catalog.Region, tag str
 	}
 	zones := p.mkt.Catalog().Zones(r)
 	az := zones[p.rng.Intn(len(zones))]
+	id, seq := p.nextInstanceID()
 	inst := &Instance{
-		ID:         p.nextInstanceID(),
+		ID:         id,
+		seq:        seq,
 		Type:       t,
 		Region:     r,
 		AZ:         az,
@@ -295,6 +311,9 @@ func (p *Provider) RequestSpotWithBid(t catalog.InstanceType, r catalog.Region, 
 		MaxPriceUSD: maxPriceUSD,
 	}
 	p.requests[req.ID] = req
+	if p.fleet {
+		p.open = append(p.open, req)
+	}
 	p.evaluate(req)
 	return req, nil
 }
@@ -312,12 +331,21 @@ func (p *Provider) evaluate(req *SpotRequest) {
 	if !p.rng.Bool(prob) {
 		return // stays open; the 15-minute sweep will retry
 	}
-	p.eng.ScheduleAfter(p.fulfillDelay, "spot-fulfill", func() {
+	fn := func() {
 		if req.State != RequestOpen {
 			return
 		}
 		p.fulfill(req)
-	})
+	}
+	if p.fleet {
+		// Every fulfill scheduled from the same sweep tick lands on the
+		// same instant, so batching them under one global key collapses
+		// a wave of placements into a single heap entry. Bucket order is
+		// add order, which matches the individually-scheduled seq order.
+		p.agenda.ScheduleAfter(p.fulfillDelay, "fulfill", "spot-fulfill", fn)
+		return
+	}
+	p.eng.ScheduleAfter(p.fulfillDelay, "spot-fulfill", fn)
 }
 
 func (p *Provider) fulfill(req *SpotRequest) {
@@ -330,8 +358,10 @@ func (p *Provider) fulfill(req *SpotRequest) {
 		// a sweep finds the price back under it.
 		return
 	}
+	id, seq := p.nextInstanceID()
 	inst := &Instance{
-		ID:         p.nextInstanceID(),
+		ID:         id,
+		seq:        seq,
 		Type:       req.Type,
 		Region:     req.Region,
 		AZ:         az,
@@ -344,6 +374,11 @@ func (p *Provider) fulfill(req *SpotRequest) {
 	p.instances[inst.ID] = inst
 	req.State = RequestActive
 	req.Instance = inst.ID
+	if p.fleet {
+		// The request is resolved; release the record so retention stays
+		// proportional to open requests, not requests-ever-filed.
+		delete(p.requests, req.ID)
+	}
 	p.scheduleInterruption(inst)
 	p.schedulePriceInterruption(inst)
 	p.notifyLaunch(inst)
@@ -356,7 +391,6 @@ func (p *Provider) schedulePriceInterruption(inst *Instance) {
 	if inst.BidUSD <= 0 {
 		return
 	}
-	const horizon = 60 * 24 * time.Hour
 	now := p.eng.Now()
 	// One walk resolution for the whole scan (up to 240 steps) instead
 	// of a map lookup per step; the samples are the same SpotPrice ones.
@@ -364,40 +398,62 @@ func (p *Provider) schedulePriceInterruption(inst *Instance) {
 	if err != nil {
 		return
 	}
-	for at := now.Truncate(market.PriceStep).Add(market.PriceStep); at.Before(now.Add(horizon)); at = at.Add(market.PriceStep) {
-		if series.At(at) <= inst.BidUSD {
-			continue
-		}
-		noticeAt := at.Add(-NoticeWindow)
-		if noticeAt.Before(now) {
-			noticeAt = now
-		}
-		ev, err := p.eng.ScheduleAt(noticeAt, "spot-price-notice", func() {
-			if inst.State != StateRunning {
-				return
-			}
-			for _, fn := range p.noticeSubs {
-				fn(inst)
-			}
-		})
-		if err != nil {
-			return
-		}
-		termEv, err := p.eng.ScheduleAt(at, "spot-price-reclaim", func() {
-			if inst.State != StateRunning {
-				return
-			}
-			inst.Reason = ReasonPrice
-			p.finalize(inst, true)
-		})
-		if err != nil {
-			ev.Cancel()
-			return
-		}
-		inst.priceNoticeEv = ev
-		inst.priceTermEv = termEv
+	at, ok := p.nextPriceCross(inst, series, now)
+	if !ok {
 		return
 	}
+	noticeAt := at.Add(-NoticeWindow)
+	if noticeAt.Before(now) {
+		noticeAt = now
+	}
+	ev, err := p.eng.ScheduleAt(noticeAt, "spot-price-notice", func() {
+		if inst.State != StateRunning {
+			return
+		}
+		for _, fn := range p.noticeSubs {
+			fn(inst)
+		}
+	})
+	if err != nil {
+		return
+	}
+	termEv, err := p.eng.ScheduleAt(at, "spot-price-reclaim", func() {
+		if inst.State != StateRunning {
+			return
+		}
+		inst.Reason = ReasonPrice
+		p.finalize(inst, true)
+	})
+	if err != nil {
+		ev.Cancel()
+		return
+	}
+	inst.priceNoticeEv = ev
+	inst.priceTermEv = termEv
+}
+
+// priceScanHorizon bounds how far ahead the price-crossing scan looks;
+// beyond it a crossing would outlive any experiment horizon in use.
+const priceScanHorizon = 60 * 24 * time.Hour
+
+// nextPriceCross returns the first price step strictly after now at
+// which the walk crosses above the bid, if any within the scan
+// horizon. In fleet mode the answer is memoized per (type, AZ, bid):
+// every same-bid launch in an AZ shares one crossing scan instead of
+// re-walking up to 240 steps, which is the single hottest loop of a
+// fleet-scale run.
+func (p *Provider) nextPriceCross(inst *Instance, series market.PriceSeries, now time.Time) (time.Time, bool) {
+	from := now.Truncate(market.PriceStep).Add(market.PriceStep)
+	end := now.Add(priceScanHorizon)
+	if !p.fleet {
+		for at := from; at.Before(end); at = at.Add(market.PriceStep) {
+			if series.At(at) > inst.BidUSD {
+				return at, true
+			}
+		}
+		return time.Time{}, false
+	}
+	return p.cachedPriceCross(inst, series, from, end)
 }
 
 // scheduleInterruption draws the instance's reclaim time from the
@@ -417,6 +473,14 @@ func (p *Provider) scheduleInterruption(inst *Instance) {
 	if noticeAt < 0 {
 		noticeAt = 0
 	}
+	reclaimAt := p.eng.Now().Add(ttl)
+	term := func() {
+		if inst.State != StateRunning {
+			return
+		}
+		inst.Reason = ReasonCapacity
+		p.finalize(inst, true)
+	}
 	inst.noticeEv = p.eng.ScheduleAfter(noticeAt, "spot-notice", func() {
 		if inst.State != StateRunning {
 			return
@@ -424,14 +488,19 @@ func (p *Provider) scheduleInterruption(inst *Instance) {
 		for _, fn := range p.noticeSubs {
 			fn(inst)
 		}
-	})
-	inst.termEv = p.eng.ScheduleAfter(ttl, "spot-reclaim", func() {
-		if inst.State != StateRunning {
-			return
+		if p.fleet && inst.State == StateRunning {
+			// Fleet mode defers the reclaim event until its notice has
+			// fired: most instances complete first and cancel the notice,
+			// so the reclaim Event is never allocated and the queue stays
+			// one entry per at-risk instance, not two. Reclaim instants
+			// are continuous hazard draws, so the later seq cannot
+			// reorder against any same-instant event.
+			inst.termEv, _ = p.eng.ScheduleAt(reclaimAt, "spot-reclaim", term)
 		}
-		inst.Reason = ReasonCapacity
-		p.finalize(inst, true)
 	})
+	if !p.fleet {
+		inst.termEv = p.eng.ScheduleAfter(ttl, "spot-reclaim", term)
+	}
 }
 
 // Terminate ends an instance at the caller's request.
@@ -466,6 +535,13 @@ func (p *Provider) finalize(inst *Instance, interrupted bool) {
 	inst.CostUSD = p.costBetween(inst, inst.LaunchedAt, inst.TerminatedAt)
 	for _, fn := range p.termSubs {
 		fn(inst, interrupted)
+	}
+	if p.fleet {
+		// Keep only the (seq, cost) pair the total-cost sum needs and
+		// release the record: fleet retention is O(running), not
+		// O(instances-ever-launched).
+		p.retired = append(p.retired, retiredCost{seq: inst.seq, cost: inst.CostUSD})
+		delete(p.instances, inst.ID)
 	}
 }
 
@@ -512,14 +588,22 @@ func (p *Provider) AccruedCost(id InstanceID) (float64, error) {
 }
 
 // CancelRequest cancels an open spot request; active requests are left
-// untouched (the instance keeps running).
+// untouched (the instance keeps running). In fleet mode resolved
+// requests are released as they settle, so cancelling an ID the
+// provider no longer tracks is a no-op rather than an error.
 func (p *Provider) CancelRequest(id RequestID) error {
 	req, ok := p.requests[id]
 	if !ok {
+		if p.fleet {
+			return nil
+		}
 		return fmt.Errorf("cancel %s: %w", id, ErrNotFound)
 	}
 	if req.State == RequestOpen {
 		req.State = RequestCancelled
+		if p.fleet {
+			delete(p.requests, id)
+		}
 	}
 	return nil
 }
@@ -528,6 +612,9 @@ func (p *Provider) CancelRequest(id RequestID) error {
 // Controller drives this from its 15-minute CloudWatch sweep. It returns
 // how many requests were (re)attempted.
 func (p *Provider) EvaluateOpenRequests() int {
+	if p.fleet {
+		return p.evaluateOpenIndexed()
+	}
 	ids := make([]RequestID, 0, len(p.requests))
 	for id, req := range p.requests {
 		if req.State == RequestOpen {
@@ -597,6 +684,9 @@ func (p *Provider) AllInstances() []*Instance {
 // billed to the current instant). Summation follows instance-ID order so
 // the floating-point result is deterministic.
 func (p *Provider) TotalInstanceCost() float64 {
+	if p.fleet {
+		return p.fleetTotalCost()
+	}
 	var sum float64
 	for _, inst := range p.AllInstances() {
 		if inst.State == StateTerminated {

@@ -1,0 +1,152 @@
+package cloud
+
+import (
+	"sort"
+	"time"
+
+	"spotverse/internal/catalog"
+	"spotverse/internal/market"
+	"spotverse/internal/simclock"
+)
+
+// retiredCost is what fleet mode keeps of a terminated instance: its
+// allocation sequence (so the total-cost sum can stay in ID order) and
+// its final cost.
+type retiredCost struct {
+	seq  int
+	cost float64
+}
+
+// EnableFleetMode switches the provider into bounded-retention,
+// batch-scheduling operation for fleet-scale runs:
+//
+//   - Open spot requests are tracked in an index, so the 15-minute
+//     retry sweep is O(open requests) instead of scanning every request
+//     ever filed.
+//   - Resolved requests (fulfilled or cancelled) and terminated
+//     instances are released as they settle; only a (seq, cost) pair
+//     survives per terminated instance, keeping retention proportional
+//     to what is running, not to run history.
+//   - Fulfill callbacks are batched through a simclock.Agenda: a sweep
+//     wave fulfilling thousands of requests 45 seconds later costs one
+//     heap entry, not thousands.
+//
+// Observable behavior is unchanged — the sweep evaluates requests in
+// the same ID order, batched fulfills fire in the same order as
+// individually-scheduled ones, and TotalInstanceCost sums in the same
+// ID order — so runs are bit-identical to the default path. The
+// differences are in what the provider retains: AllInstances and
+// Instance only cover running (plus not-yet-released) records, and
+// Request no longer resolves settled requests. Callers that need full
+// history (the per-workload experiment path) simply leave fleet mode
+// off. Enable before filing any work; flipping modes mid-run is not
+// supported.
+func (p *Provider) EnableFleetMode() {
+	if p.fleet {
+		return
+	}
+	p.fleet = true
+	p.agenda = simclock.NewAgenda(p.eng)
+	p.crossCache = make(map[crossKey]crossState)
+}
+
+// crossKey identifies one price-crossing question: will the walk for
+// this (type, AZ) cross above this bid? Every instance launched with
+// the same bid in the same AZ shares the answer.
+type crossKey struct {
+	t   catalog.InstanceType
+	az  catalog.AZ
+	bid float64
+}
+
+// crossState is the memoized answer. Exactly one of the two shapes is
+// stored: a found crossing (hasCross, crossNs), or a scanned window
+// [.., scannedNs) known to contain no crossing.
+type crossState struct {
+	hasCross  bool
+	crossNs   int64
+	scannedNs int64
+}
+
+// cachedPriceCross serves nextPriceCross from the fleet-mode crossing
+// cache. Scan starts only move forward in simulated time, so a cached
+// crossing at/after `from` is still the *first* crossing after `from`
+// (the earlier scan that found it covered every step in between), and
+// a cached no-crossing window lets a rescan skip the covered prefix.
+// The price walk is pure, so the memoized answer is exact and the
+// scheduled reclaim instants are bit-identical to the default path's.
+func (p *Provider) cachedPriceCross(inst *Instance, series market.PriceSeries, from, end time.Time) (time.Time, bool) {
+	key := crossKey{t: inst.Type, az: inst.AZ, bid: inst.BidUSD}
+	c := p.crossCache[key]
+	fromNs, endNs := from.UnixNano(), end.UnixNano()
+	if c.hasCross && c.crossNs >= fromNs {
+		if c.crossNs < endNs {
+			return time.Unix(0, c.crossNs).UTC(), true
+		}
+		return time.Time{}, false
+	}
+	scan := from
+	if !c.hasCross && c.scannedNs > fromNs {
+		// Resume at the first grid step at/after the covered window;
+		// every earlier step was already scanned crossing-free.
+		covered := time.Unix(0, c.scannedNs).UTC()
+		scan = covered.Truncate(market.PriceStep)
+		if scan.Before(covered) {
+			scan = scan.Add(market.PriceStep)
+		}
+	}
+	for at := scan; at.Before(end); at = at.Add(market.PriceStep) {
+		if series.At(at) > inst.BidUSD {
+			p.crossCache[key] = crossState{hasCross: true, crossNs: at.UnixNano()}
+			return at, true
+		}
+	}
+	p.crossCache[key] = crossState{scannedNs: endNs}
+	return time.Time{}, false
+}
+
+// FleetMode reports whether EnableFleetMode was called.
+func (p *Provider) FleetMode() bool { return p.fleet }
+
+// evaluateOpenIndexed is the fleet-mode retry sweep. The open index is
+// append-ordered, and request IDs are fixed-width and monotonic, so
+// index order equals the sorted-ID order of the default sweep. Settled
+// entries are compacted out in the same pass.
+func (p *Provider) evaluateOpenIndexed() int {
+	live := p.open[:0]
+	n := 0
+	for _, req := range p.open {
+		if req.State != RequestOpen {
+			continue
+		}
+		live = append(live, req)
+		p.evaluate(req)
+		n++
+	}
+	for i := len(live); i < len(p.open); i++ {
+		p.open[i] = nil
+	}
+	p.open = live
+	return n
+}
+
+// fleetTotalCost merges retired (seq, cost) pairs with still-live
+// instances and sums in allocation order, reproducing the default
+// path's ID-ordered float summation exactly.
+func (p *Provider) fleetTotalCost() float64 {
+	entries := make([]retiredCost, 0, len(p.retired)+len(p.instances))
+	entries = append(entries, p.retired...)
+	for _, inst := range p.instances {
+		cost := inst.CostUSD
+		if inst.State != StateTerminated {
+			cost = p.costBetween(inst, inst.LaunchedAt, p.eng.Now())
+		}
+		entries = append(entries, retiredCost{seq: inst.seq, cost: cost})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].seq < entries[j].seq })
+	var sum float64
+	for _, e := range entries {
+		sum += e.cost
+	}
+	return sum
+}

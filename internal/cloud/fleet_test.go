@@ -1,0 +1,125 @@
+package cloud
+
+import (
+	"testing"
+	"time"
+
+	"spotverse/internal/catalog"
+)
+
+// fleetScenario files a batch of spot requests, lets interruptions and
+// sweeps play out, and returns the observable trace the fleet and
+// default modes must agree on.
+func fleetScenario(t *testing.T, enableFleet bool) (launches []InstanceID, cost float64, swept []int) {
+	t.Helper()
+	eng, p := newProvider(9)
+	if enableFleet {
+		p.EnableFleetMode()
+	}
+	p.OnLaunch(func(inst *Instance) { launches = append(launches, inst.ID) })
+	for i := 0; i < 30; i++ {
+		region := catalog.Region("eu-north-1")
+		if i%3 == 0 {
+			region = "us-east-1"
+		}
+		if _, err := p.RequestSpot(catalog.M5XLarge, region, "w"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for tick := 0; tick < 16; tick++ {
+		if err := eng.RunFor(15 * time.Minute); err != nil {
+			t.Fatal(err)
+		}
+		swept = append(swept, p.EvaluateOpenRequests())
+	}
+	if err := eng.RunFor(24 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	for _, inst := range p.RunningInstances() {
+		if err := p.Terminate(inst.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return launches, p.TotalInstanceCost(), swept
+}
+
+// TestFleetModeBitIdentical pins the core fleet-mode contract: the
+// open-request index, agenda-batched fulfills, and released records
+// must not change a single observable — launch order, sweep counts, or
+// the ID-ordered cost sum.
+func TestFleetModeBitIdentical(t *testing.T) {
+	slowLaunches, slowCost, slowSwept := fleetScenario(t, false)
+	fleetLaunches, fleetCost, fleetSwept := fleetScenario(t, true)
+
+	if len(slowLaunches) == 0 {
+		t.Fatal("scenario launched nothing; not exercising the fleet path")
+	}
+	if len(fleetLaunches) != len(slowLaunches) {
+		t.Fatalf("fleet launched %d instances, default %d", len(fleetLaunches), len(slowLaunches))
+	}
+	for i := range slowLaunches {
+		if fleetLaunches[i] != slowLaunches[i] {
+			t.Fatalf("launch[%d] = %s (fleet) vs %s (default)", i, fleetLaunches[i], slowLaunches[i])
+		}
+	}
+	if fleetCost != slowCost {
+		t.Fatalf("TotalInstanceCost = %v (fleet) vs %v (default); must be bit-identical", fleetCost, slowCost)
+	}
+	for i := range slowSwept {
+		if fleetSwept[i] != slowSwept[i] {
+			t.Fatalf("sweep[%d] evaluated %d (fleet) vs %d (default)", i, fleetSwept[i], slowSwept[i])
+		}
+	}
+}
+
+// TestFleetModeReleasesSettledRecords verifies the retention bound:
+// once requests settle and instances terminate, fleet mode keeps maps
+// sized to live work only.
+func TestFleetModeReleasesSettledRecords(t *testing.T) {
+	eng, p := newProvider(3)
+	p.EnableFleetMode()
+	if !p.FleetMode() {
+		t.Fatal("FleetMode not reported")
+	}
+	reqs := make([]RequestID, 0, 20)
+	for i := 0; i < 20; i++ {
+		req, err := p.RequestSpot(catalog.M5XLarge, "eu-north-1", "w")
+		if err != nil {
+			t.Fatal(err)
+		}
+		reqs = append(reqs, req.ID)
+	}
+	for tick := 0; tick < 8; tick++ {
+		if err := eng.RunFor(15 * time.Minute); err != nil {
+			t.Fatal(err)
+		}
+		p.EvaluateOpenRequests()
+	}
+	// Cancel whatever is still open; every request is now settled.
+	for _, id := range reqs {
+		if err := p.CancelRequest(id); err != nil {
+			t.Fatalf("fleet CancelRequest(%s) = %v, want nil", id, err)
+		}
+	}
+	if n := len(p.requests); n != 0 {
+		t.Fatalf("%d settled requests retained, want 0", n)
+	}
+	running := p.RunningInstances()
+	if len(running) == 0 {
+		t.Fatal("scenario fulfilled nothing; not exercising release")
+	}
+	for _, inst := range running {
+		if err := p.Terminate(inst.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := len(p.instances); n != 0 {
+		t.Fatalf("%d terminated instances retained, want 0", n)
+	}
+	if len(p.retired) == 0 {
+		t.Fatal("no retired cost entries recorded")
+	}
+	if cost := p.TotalInstanceCost(); cost <= 0 {
+		t.Fatalf("TotalInstanceCost = %v after release, want > 0", cost)
+	}
+}

@@ -1,0 +1,217 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+
+	"spotverse/internal/baselines"
+	"spotverse/internal/catalog"
+	"spotverse/internal/core"
+	"spotverse/internal/simclock"
+	"spotverse/internal/strategy"
+	"spotverse/internal/workload"
+)
+
+// fleetGoldenArm names one strategy configuration the fleet path must
+// reproduce bit-for-bit.
+type fleetGoldenArm struct {
+	name         string
+	kind         workload.Kind
+	disableSweep bool
+	build        func(env *Env) (strategy.Strategy, error)
+}
+
+func fleetGoldenArms(seed int64) []fleetGoldenArm {
+	return []fleetGoldenArm{
+		{name: "single-region", kind: workload.KindStandard, build: func(env *Env) (strategy.Strategy, error) {
+			return baselines.NewSingleRegion(env.Catalog(), catalog.M5XLarge, BaselineRegionM5XLarge)
+		}},
+		{name: "on-demand", kind: workload.KindStandard, build: func(env *Env) (strategy.Strategy, error) {
+			return baselines.NewOnDemand(env.Catalog(), catalog.M5XLarge)
+		}},
+		{name: "skypilot", kind: workload.KindStandard, build: func(env *Env) (strategy.Strategy, error) {
+			return baselines.NewSkyPilotLike(env.Engine, env.Market, catalog.M5XLarge)
+		}},
+		{name: "naive-multi-region", kind: workload.KindStandard, build: func(env *Env) (strategy.Strategy, error) {
+			return baselines.NewNaiveMultiRegion(env.Catalog(), catalog.M5XLarge, MotivationRegions, seed)
+		}},
+		{name: "spotverse-core", kind: workload.KindStandard, disableSweep: true, build: func(env *Env) (strategy.Strategy, error) {
+			return newSpotVerse(env, core.Config{
+				InstanceType:     catalog.M5XLarge,
+				Threshold:        5,
+				FixedStartRegion: BaselineRegionM5XLarge,
+				Seed:             seed,
+			})
+		}},
+		{name: "single-region-checkpoint", kind: workload.KindCheckpoint, build: func(env *Env) (strategy.Strategy, error) {
+			return baselines.NewSingleRegion(env.Catalog(), catalog.M5XLarge, BaselineRegionM5XLarge)
+		}},
+		{name: "skypilot-checkpoint", kind: workload.KindCheckpoint, build: func(env *Env) (strategy.Strategy, error) {
+			return baselines.NewSkyPilotLike(env.Engine, env.Market, catalog.M5XLarge)
+		}},
+	}
+}
+
+func fleetGenOptions(kind workload.Kind, n int) (string, workload.GenOptions) {
+	if kind == workload.KindCheckpoint {
+		return "wl-checkpoint", workload.GenOptions{
+			Kind:           workload.KindCheckpoint,
+			Count:          n,
+			ResumeOverhead: 15 * time.Minute,
+		}
+	}
+	return "wl-standard", workload.GenOptions{Kind: workload.KindStandard, Count: n}
+}
+
+func runGoldenSlow(t *testing.T, seed int64, arm fleetGoldenArm, n int) *Result {
+	t.Helper()
+	env := NewEnv(seed)
+	strat, err := arm.build(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, opts := fleetGenOptions(arm.kind, n)
+	ws, err := workload.Generate(simclock.Stream(seed, stream), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(env, RunConfig{
+		Workloads:       ws,
+		Strategy:        strat,
+		InstanceType:    catalog.M5XLarge,
+		DisableSweep:    arm.disableSweep,
+		AllowIncomplete: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func runGoldenFleet(t *testing.T, seed int64, arm fleetGoldenArm, n int) *FleetResult {
+	t.Helper()
+	env := NewEnv(seed)
+	strat, err := arm.build(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, opts := fleetGenOptions(arm.kind, n)
+	f, err := workload.GenerateFleet(simclock.Stream(seed, stream), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunFleet(env, FleetRunConfig{
+		Fleet:           f,
+		Strategy:        strat,
+		InstanceType:    catalog.M5XLarge,
+		DisableSweep:    arm.disableSweep,
+		AllowIncomplete: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// intervalHistogram buckets the slow path's retained stamps the way the
+// fleet path streams them, for histogram comparison.
+func intervalHistogram(stamps []time.Time, start time.Time, interval time.Duration, buckets int) []int {
+	out := make([]int, buckets)
+	for _, ts := range stamps {
+		i := int(ts.Sub(start) / interval)
+		if i > buckets-1 {
+			i = buckets - 1
+		}
+		if i < 0 {
+			i = 0
+		}
+		out[i]++
+	}
+	return out
+}
+
+// TestFleetPathBitIdenticalToSlowPath is the golden equivalence test:
+// at N=20, for every strategy arm, the batched struct-of-arrays fleet
+// path must agree with the per-workload path on every headline metric
+// to the exact bit, and its streamed histograms must equal histograms
+// derived from the slow path's retained stamps.
+func TestFleetPathBitIdenticalToSlowPath(t *testing.T) {
+	const seed, n = 42, 20
+	for _, arm := range fleetGoldenArms(seed) {
+		arm := arm
+		t.Run(arm.name, func(t *testing.T) {
+			slow := runGoldenSlow(t, seed, arm, n)
+			fleet := runGoldenFleet(t, seed, arm, n)
+
+			if fleet.Completed != slow.Completed {
+				t.Errorf("Completed = %d, slow %d", fleet.Completed, slow.Completed)
+			}
+			if fleet.Interruptions != slow.Interruptions {
+				t.Errorf("Interruptions = %d, slow %d", fleet.Interruptions, slow.Interruptions)
+			}
+			if fleet.OnDemandLaunches != slow.OnDemandLaunches {
+				t.Errorf("OnDemandLaunches = %d, slow %d", fleet.OnDemandLaunches, slow.OnDemandLaunches)
+			}
+			if fleet.DuplicateRelaunches != slow.DuplicateRelaunches {
+				t.Errorf("DuplicateRelaunches = %d, slow %d", fleet.DuplicateRelaunches, slow.DuplicateRelaunches)
+			}
+			if fleet.MakespanHours != slow.MakespanHours {
+				t.Errorf("MakespanHours = %v, slow %v (must be bit-identical)", fleet.MakespanHours, slow.MakespanHours)
+			}
+			if fleet.MeanCompletionHours != slow.MeanCompletionHours {
+				t.Errorf("MeanCompletionHours = %v, slow %v (must be bit-identical)", fleet.MeanCompletionHours, slow.MeanCompletionHours)
+			}
+			if fleet.InstanceCostUSD != slow.InstanceCostUSD {
+				t.Errorf("InstanceCostUSD = %v, slow %v (must be bit-identical)", fleet.InstanceCostUSD, slow.InstanceCostUSD)
+			}
+			if fleet.ServiceCostUSD != slow.ServiceCostUSD {
+				t.Errorf("ServiceCostUSD = %v, slow %v (must be bit-identical)", fleet.ServiceCostUSD, slow.ServiceCostUSD)
+			}
+			if fleet.TotalCostUSD != slow.TotalCostUSD {
+				t.Errorf("TotalCostUSD = %v, slow %v (must be bit-identical)", fleet.TotalCostUSD, slow.TotalCostUSD)
+			}
+			for r, want := range slow.LaunchesByRegion {
+				if got := fleet.LaunchesByRegion[r]; got != want {
+					t.Errorf("LaunchesByRegion[%s] = %d, slow %d", r, got, want)
+				}
+			}
+			if len(fleet.LaunchesByRegion) != len(slow.LaunchesByRegion) {
+				t.Errorf("LaunchesByRegion has %d regions, slow %d", len(fleet.LaunchesByRegion), len(slow.LaunchesByRegion))
+			}
+			for r, want := range slow.InterruptionsByRegion {
+				if got := fleet.InterruptionsByRegion[r]; got != want {
+					t.Errorf("InterruptionsByRegion[%s] = %d, slow %d", r, got, want)
+				}
+			}
+
+			buckets := len(fleet.CompletionsPerInterval)
+			wantCompl := intervalHistogram(slow.CompletionStamps, slow.Start, fleet.Interval, buckets)
+			for i := range wantCompl {
+				if fleet.CompletionsPerInterval[i] != wantCompl[i] {
+					t.Errorf("CompletionsPerInterval[%d] = %d, slow-derived %d", i, fleet.CompletionsPerInterval[i], wantCompl[i])
+				}
+			}
+			wantIntr := intervalHistogram(slow.InterruptionStamps, slow.Start, fleet.Interval, buckets)
+			for i := range wantIntr {
+				if fleet.InterruptionsPerInterval[i] != wantIntr[i] {
+					t.Errorf("InterruptionsPerInterval[%d] = %d, slow-derived %d", i, fleet.InterruptionsPerInterval[i], wantIntr[i])
+				}
+			}
+		})
+	}
+}
+
+// TestRunFleetRejectsEmpty pins the validation errors.
+func TestRunFleetRejectsEmpty(t *testing.T) {
+	env := NewEnv(1)
+	if _, err := RunFleet(env, FleetRunConfig{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+	f, err := workload.GenerateFleet(simclock.Stream(1, "wl"), workload.GenOptions{Kind: workload.KindStandard, Count: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunFleet(env, FleetRunConfig{Fleet: f}); err == nil {
+		t.Fatal("nil strategy accepted")
+	}
+}

@@ -1,0 +1,116 @@
+package simclock
+
+import "time"
+
+// Agenda coalesces callbacks due at the same (key, instant) into a
+// single engine event. A fleet-scale simulation that would otherwise
+// push one heap entry per workload per poll tick — a sweep wave
+// fulfilling thousands of spot requests 45 seconds later, a batch of
+// same-tick completions in one region — instead appends to one bucket:
+// the heap holds one entry per distinct (key, tick), and scheduling or
+// cancelling inside a bucket is O(1) with no heap churn.
+//
+// Callbacks in a bucket run in the order they were added, which is
+// exactly the order individually-scheduled events with the same due
+// time would have fired (the engine breaks time ties by schedule
+// sequence). Cancellation clears the slot; a bucket whose every slot is
+// cancelled cancels its engine event so compaction can reap it.
+type Agenda struct {
+	eng     *Engine
+	buckets map[agendaKey]*agendaBucket
+}
+
+type agendaKey struct {
+	at  int64 // UnixNano of the due instant
+	key string
+}
+
+type agendaBucket struct {
+	agenda    *Agenda
+	k         agendaKey
+	fns       []func()
+	cancelled int
+	fired     bool
+	ev        *Event
+}
+
+// BatchHandle cancels one callback inside an agenda bucket.
+type BatchHandle struct {
+	b   *agendaBucket
+	idx int
+}
+
+// NewAgenda returns an agenda scheduling onto the engine.
+func NewAgenda(eng *Engine) *Agenda {
+	return &Agenda{eng: eng, buckets: make(map[agendaKey]*agendaBucket)}
+}
+
+// Schedule registers fn to run at t, batched with every other callback
+// registered for the same (key, t). The name labels the bucket's engine
+// event for debugging. Scheduling in the past is an error, exactly as
+// for Engine.ScheduleAt.
+func (a *Agenda) Schedule(t time.Time, key, name string, fn func()) (BatchHandle, error) {
+	k := agendaKey{at: t.UnixNano(), key: key}
+	b, ok := a.buckets[k]
+	if !ok {
+		b = &agendaBucket{agenda: a, k: k}
+		ev, err := a.eng.ScheduleAt(t, name, b.fire)
+		if err != nil {
+			return BatchHandle{}, err
+		}
+		b.ev = ev
+		a.buckets[k] = b
+	}
+	b.fns = append(b.fns, fn)
+	return BatchHandle{b: b, idx: len(b.fns) - 1}, nil
+}
+
+// ScheduleAfter registers fn to run d from now under the key. Negative
+// delays are clamped to zero.
+func (a *Agenda) ScheduleAfter(d time.Duration, key, name string, fn func()) BatchHandle {
+	if d < 0 {
+		d = 0
+	}
+	h, err := a.Schedule(a.eng.Now().Add(d), key, name, fn)
+	if err != nil {
+		// Unreachable: now+nonNegative is never before now.
+		panic(err)
+	}
+	return h
+}
+
+func (b *agendaBucket) fire() {
+	delete(b.agenda.buckets, b.k)
+	b.fired = true
+	for _, fn := range b.fns {
+		if fn != nil {
+			fn()
+		}
+	}
+	b.fns = nil
+}
+
+// Cancel prevents the callback from firing. It reports whether the
+// callback was still pending; cancelling twice, or after the bucket
+// fired, is a no-op.
+func (h BatchHandle) Cancel() bool {
+	b := h.b
+	if b == nil || b.fired || b.fns[h.idx] == nil {
+		return false
+	}
+	b.fns[h.idx] = nil
+	b.cancelled++
+	if b.cancelled == len(b.fns) {
+		// Every slot cancelled: the bucket will never do work. Drop it
+		// from the map and free its heap entry so a fleet that cancels
+		// whole waves of timers retains nothing; a later add for the
+		// same (key, tick) starts a fresh bucket.
+		b.fired = true
+		b.ev.Cancel()
+		delete(b.agenda.buckets, b.k)
+	}
+	return true
+}
+
+// Buckets reports how many unfired buckets the agenda currently tracks.
+func (a *Agenda) Buckets() int { return len(a.buckets) }

@@ -9,7 +9,6 @@
 package simclock
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"time"
@@ -28,9 +27,10 @@ type Event struct {
 	at     time.Time
 	seq    uint64
 	fn     func()
-	index  int // heap index; -1 once popped or cancelled
 	cancel bool
+	done   bool // popped for execution; Cancel is a no-op from then on
 	name   string
+	eng    *Engine
 }
 
 // At reports the simulated time the event fires.
@@ -42,48 +42,95 @@ func (e *Event) Name() string { return e.name }
 // Cancel prevents a pending event from firing. Cancelling an event that
 // already fired (or was cancelled) is a no-op. Cancel reports whether the
 // event was still pending.
+//
+// Cancelled events are deleted lazily: they stay in the queue until
+// popped, but once they outnumber live events the engine compacts them
+// away in one pass, so a workload that schedules and cancels millions of
+// timers keeps the queue sized to its live events.
 func (e *Event) Cancel() bool {
-	if e.cancel || e.index < 0 {
+	if e.cancel || e.done {
 		return false
 	}
 	e.cancel = true
+	if e.eng != nil {
+		e.eng.noteCancelled()
+	}
 	return true
 }
 
-type eventQueue []*Event
+// heapEntry keeps the ordering key inline with the queue slice so the
+// comparator never chases an *Event pointer: at fleet scale the queue
+// holds tens of thousands of entries and every sift comparison on a
+// []*Event layout is a cache miss into a scattered Event allocation.
+type heapEntry struct {
+	atNs int64 // at.UnixNano(); simulated instants fit int64 nanoseconds
+	seq  uint64
+	ev   *Event
+}
 
-func (q eventQueue) Len() int { return len(q) }
+type eventQueue []heapEntry
 
-func (q eventQueue) Less(i, j int) bool {
-	if !q[i].at.Equal(q[j].at) {
-		return q[i].at.Before(q[j].at)
+// less is a total order over (time, seq): seq values are unique, so any
+// valid binary heap of the same entries pops in the identical sequence.
+func (q eventQueue) less(i, j int) bool {
+	if q[i].atNs != q[j].atNs {
+		return q[i].atNs < q[j].atNs
 	}
 	return q[i].seq < q[j].seq
 }
 
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
+// The queue is a 4-ary heap: half the depth of a binary heap, and the
+// four children of a node share cache lines. Heap shape never affects
+// output — the comparator is a total order, so the pop sequence is the
+// sorted sequence whatever the arity.
 
-func (q *eventQueue) Push(x any) {
-	ev, ok := x.(*Event)
-	if !ok {
-		return
+func (q eventQueue) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !q.less(i, parent) {
+			return
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
 	}
-	ev.index = len(*q)
-	*q = append(*q, ev)
 }
 
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*q = old[:n-1]
-	return ev
+func (q eventQueue) siftDown(i int) {
+	n := len(q)
+	for {
+		least := i
+		first := 4*i + 1
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first; c < last; c++ {
+			if q.less(c, least) {
+				least = c
+			}
+		}
+		if least == i {
+			return
+		}
+		q[i], q[least] = q[least], q[i]
+		i = least
+	}
+}
+
+func (e *Engine) heapPush(ent heapEntry) {
+	e.queue = append(e.queue, ent)
+	e.queue.siftUp(len(e.queue) - 1)
+}
+
+func (e *Engine) heapPop() *Event {
+	q := e.queue
+	top := q[0].ev
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = heapEntry{}
+	e.queue = q[:n]
+	e.queue.siftDown(0)
+	return top
 }
 
 // Engine is a single-threaded discrete-event simulator. It is not safe for
@@ -94,7 +141,14 @@ type Engine struct {
 	seq     uint64
 	stopped bool
 	fired   uint64
+	// cancelled counts queue entries whose Cancel ran but that have not
+	// been reaped yet; compaction keeps it at most half the queue.
+	cancelled int
 }
+
+// compactThreshold is the minimum queue size before cancelled-event
+// compaction kicks in; below it the lazy-deletion garbage is noise.
+const compactThreshold = 64
 
 // NewEngine returns an engine starting at Epoch.
 func NewEngine() *Engine {
@@ -112,9 +166,44 @@ func (e *Engine) Now() time.Time { return e.now }
 // Since reports the simulated duration elapsed since t.
 func (e *Engine) Since(t time.Time) time.Duration { return e.now.Sub(t) }
 
-// Pending reports the number of events waiting in the queue, including
-// cancelled events that have not been reaped yet.
-func (e *Engine) Pending() int { return e.queue.Len() }
+// Pending reports the number of live events waiting in the queue.
+// Cancelled-but-unreaped entries are excluded: they will never fire, so
+// callers polling Pending for "is there work left" see only real work.
+func (e *Engine) Pending() int { return len(e.queue) - e.cancelled }
+
+// noteCancelled books one lazily-deleted event and compacts the queue
+// once cancelled entries outnumber live ones.
+func (e *Engine) noteCancelled() {
+	e.cancelled++
+	if len(e.queue) >= compactThreshold && e.cancelled*2 > len(e.queue) {
+		e.compact()
+	}
+}
+
+// compact removes every cancelled entry from the queue in one pass and
+// re-establishes the heap invariant. Pop order is unchanged: the heap
+// comparator is a total order over (time, seq), so any valid heap of the
+// same live events pops identically.
+func (e *Engine) compact() {
+	live := e.queue[:0]
+	for _, ent := range e.queue {
+		if ent.ev.cancel {
+			continue
+		}
+		live = append(live, ent)
+	}
+	// Zero the tail so dropped events are collectable.
+	for i := len(live); i < len(e.queue); i++ {
+		e.queue[i] = heapEntry{}
+	}
+	e.queue = live
+	// (len-2)/4 is the last node with a child in a 4-ary heap; the
+	// leaves below it are already valid sub-heaps.
+	for i := (len(e.queue) - 2) / 4; i >= 0; i-- {
+		e.queue.siftDown(i)
+	}
+	e.cancelled = 0
+}
 
 // Fired reports how many events have executed so far.
 func (e *Engine) Fired() uint64 { return e.fired }
@@ -126,8 +215,8 @@ func (e *Engine) ScheduleAt(t time.Time, name string, fn func()) (*Event, error)
 		return nil, fmt.Errorf("simclock: schedule %q at %s before now %s", name, t, e.now)
 	}
 	e.seq++
-	ev := &Event{at: t, seq: e.seq, fn: fn, name: name}
-	heap.Push(&e.queue, ev)
+	ev := &Event{at: t, seq: e.seq, fn: fn, name: name, eng: e}
+	e.heapPush(heapEntry{atNs: t.UnixNano(), seq: e.seq, ev: ev})
 	return ev, nil
 }
 
@@ -178,14 +267,13 @@ func (e *Engine) Every(interval time.Duration, name string, fn func(now time.Tim
 // Step executes the next pending event, advancing the clock to its due
 // time. It reports whether an event was executed.
 func (e *Engine) Step() bool {
-	for e.queue.Len() > 0 {
-		next, ok := heap.Pop(&e.queue).(*Event)
-		if !ok {
-			return false
-		}
+	for len(e.queue) > 0 {
+		next := e.heapPop()
 		if next.cancel {
+			e.cancelled--
 			continue
 		}
+		next.done = true
 		e.now = next.at
 		e.fired++
 		next.fn()
@@ -199,13 +287,14 @@ func (e *Engine) Step() bool {
 // called from inside an event.
 func (e *Engine) Run(horizon time.Time) error {
 	e.stopped = false
-	for e.queue.Len() > 0 {
+	for len(e.queue) > 0 {
 		if e.stopped {
 			return ErrStopped
 		}
-		next := e.queue[0]
+		next := e.queue[0].ev
 		if next.cancel {
-			heap.Pop(&e.queue)
+			e.heapPop()
+			e.cancelled--
 			continue
 		}
 		if !horizon.IsZero() && next.at.After(horizon) {

@@ -1,0 +1,206 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"spotverse/internal/simclock"
+)
+
+// FleetState is the struct-of-arrays counterpart of []*State for
+// fleet-scale runs. A 100k-workload fleet as individual *State values
+// costs one allocation, one ID string, and a copy of the mostly-uniform
+// Spec per workload, and every access chases a pointer the GC must
+// scan. FleetState keeps the uniform spec fields once and the
+// per-workload progress counters in parallel slices indexed by dense
+// workload index, so the whole fleet is a handful of flat allocations
+// with no interior pointers.
+//
+// Per-index methods mirror State's semantics exactly — the experiment
+// fleet driver must be bit-identical to the per-workload path.
+type FleetState struct {
+	// Uniform spec header, shared by every workload in the fleet.
+	Kind           Kind
+	Shards         int
+	DatasetBytes   int64
+	ResumeOverhead time.Duration
+	IDPrefix       string
+
+	// Per-workload columns, indexed by dense workload index.
+	Durations     []time.Duration
+	ShardsDone    []int32
+	Attempts      []int32
+	Interruptions []int32
+	Recomputed    []int32
+	Completed     []bool
+	// CompletedAtNanos is UnixNano of completion; meaningful only when
+	// Completed[i].
+	CompletedAtNanos []int64
+}
+
+// Len reports the fleet size.
+func (f *FleetState) Len() int { return len(f.Durations) }
+
+// ID materializes workload i's identifier on demand; the fleet retains
+// no ID strings.
+func (f *FleetState) ID(i int) string {
+	return fmt.Sprintf("%s-%03d", f.IDPrefix, i)
+}
+
+// Spec materializes workload i's full Spec, for interop with code that
+// wants the per-workload representation.
+func (f *FleetState) Spec(i int) Spec {
+	return Spec{
+		ID:             f.ID(i),
+		Kind:           f.Kind,
+		Duration:       f.Durations[i],
+		Shards:         f.Shards,
+		DatasetBytes:   f.DatasetBytes,
+		ResumeOverhead: f.ResumeOverhead,
+	}
+}
+
+// ShardDuration is the compute time per shard of workload i.
+func (f *FleetState) ShardDuration(i int) time.Duration {
+	n := f.Shards
+	if f.Kind != KindCheckpoint || n < 1 {
+		n = 1
+	}
+	return f.Durations[i] / time.Duration(n)
+}
+
+// Remaining is the compute time workload i still needs, excluding
+// resume overhead.
+func (f *FleetState) Remaining(i int) time.Duration {
+	if f.Completed[i] {
+		return 0
+	}
+	if f.Kind == KindCheckpoint {
+		left := f.Shards - int(f.ShardsDone[i])
+		return time.Duration(left) * f.ShardDuration(i)
+	}
+	return f.Durations[i]
+}
+
+// AttemptDuration is the time workload i's next attempt needs:
+// remaining work plus resume overhead on resumed checkpoint attempts.
+func (f *FleetState) AttemptDuration(i int) time.Duration {
+	d := f.Remaining(i)
+	if f.Kind == KindCheckpoint && f.Attempts[i] > 0 {
+		d += f.ResumeOverhead
+	}
+	return d
+}
+
+// BeginAttempt records an instance launch for workload i.
+func (f *FleetState) BeginAttempt(i int) error {
+	if f.Completed[i] {
+		return fmt.Errorf("workload %q: %w", f.ID(i), ErrCompleted)
+	}
+	f.Attempts[i]++
+	return nil
+}
+
+// ShardsAt previews how many whole shards workload i's current attempt
+// has finished after elapsed compute time, without mutating state.
+func (f *FleetState) ShardsAt(i int, elapsed time.Duration) int {
+	if f.Kind != KindCheckpoint || elapsed <= 0 {
+		return 0
+	}
+	if f.Attempts[i] > 1 {
+		elapsed -= f.ResumeOverhead
+		if elapsed < 0 {
+			elapsed = 0
+		}
+	}
+	banked := int(elapsed / f.ShardDuration(i))
+	if maxLeft := f.Shards - int(f.ShardsDone[i]); banked > maxLeft {
+		banked = maxLeft
+	}
+	return banked
+}
+
+// CreditProgress accounts an interrupted attempt of workload i that
+// computed for elapsed time, returning the newly banked shard count.
+func (f *FleetState) CreditProgress(i int, elapsed time.Duration) int {
+	f.Interruptions[i]++
+	banked := f.ShardsAt(i, elapsed)
+	f.ShardsDone[i] += int32(banked)
+	return banked
+}
+
+// DropShards rolls back n banked shards of workload i.
+func (f *FleetState) DropShards(i, n int) {
+	if f.Completed[i] || n <= 0 {
+		return
+	}
+	if n > int(f.ShardsDone[i]) {
+		n = int(f.ShardsDone[i])
+	}
+	f.ShardsDone[i] -= int32(n)
+	f.Recomputed[i] += int32(n)
+}
+
+// MarkComplete finalises workload i.
+func (f *FleetState) MarkComplete(i int, at time.Time) error {
+	if f.Completed[i] {
+		return fmt.Errorf("workload %q: %w", f.ID(i), ErrCompleted)
+	}
+	f.Completed[i] = true
+	f.CompletedAtNanos[i] = at.UnixNano()
+	if f.Kind == KindCheckpoint {
+		f.ShardsDone[i] = int32(f.Shards)
+	}
+	return nil
+}
+
+// CheckpointBytes is the data volume per checkpoint upload, uniform
+// across the fleet.
+func (f *FleetState) CheckpointBytes() int64 {
+	if f.Kind != KindCheckpoint || f.Shards == 0 {
+		return 0
+	}
+	return f.DatasetBytes / int64(f.Shards)
+}
+
+// GenerateFleet builds a reproducible fleet. It consumes the RNG
+// stream exactly as Generate does — one Float64 per workload whenever
+// the duration range is non-degenerate — so a fleet and a []*State set
+// generated from the same seed describe identical workloads.
+func GenerateFleet(rng *simclock.RNG, opts GenOptions) (*FleetState, error) {
+	if opts.Count <= 0 {
+		return nil, errors.New("workload: count must be positive")
+	}
+	opts = opts.normalized()
+	shards := 1
+	if opts.Kind == KindCheckpoint {
+		shards = opts.Shards
+	}
+	f := &FleetState{
+		Kind:             opts.Kind,
+		Shards:           shards,
+		DatasetBytes:     opts.DatasetBytes,
+		ResumeOverhead:   opts.ResumeOverhead,
+		IDPrefix:         opts.IDPrefix,
+		Durations:        make([]time.Duration, opts.Count),
+		ShardsDone:       make([]int32, opts.Count),
+		Attempts:         make([]int32, opts.Count),
+		Interruptions:    make([]int32, opts.Count),
+		Recomputed:       make([]int32, opts.Count),
+		Completed:        make([]bool, opts.Count),
+		CompletedAtNanos: make([]int64, opts.Count),
+	}
+	for i := 0; i < opts.Count; i++ {
+		dur := opts.MinDuration
+		if opts.MaxDuration > opts.MinDuration {
+			span := opts.MaxDuration - opts.MinDuration
+			dur += time.Duration(rng.Float64() * float64(span))
+		}
+		f.Durations[i] = dur
+		if err := f.Spec(i).Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}

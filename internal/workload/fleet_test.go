@@ -1,0 +1,168 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"spotverse/internal/simclock"
+)
+
+// TestGenerateFleetMatchesGenerate pins the RNG contract: a fleet and a
+// per-workload set built from the same seed must describe identical
+// specs, for both kinds.
+func TestGenerateFleetMatchesGenerate(t *testing.T) {
+	for _, kind := range []Kind{KindStandard, KindCheckpoint} {
+		opts := GenOptions{Kind: kind, Count: 25}
+		states, err := Generate(simclock.Stream(7, "wl"), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fleet, err := GenerateFleet(simclock.Stream(7, "wl"), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fleet.Len() != len(states) {
+			t.Fatalf("%v: fleet len %d, want %d", kind, fleet.Len(), len(states))
+		}
+		for i, st := range states {
+			if got, want := fleet.Spec(i), st.Spec; got != want {
+				t.Fatalf("%v: spec[%d] = %+v, want %+v", kind, i, got, want)
+			}
+		}
+	}
+}
+
+// TestFleetStateMirrorsState drives a FleetState and the equivalent
+// *State values through the same scripted attempt/interrupt/complete
+// sequence and asserts every observable agrees at every step.
+func TestFleetStateMirrorsState(t *testing.T) {
+	opts := GenOptions{Kind: KindCheckpoint, Count: 8, Shards: 10}
+	states, err := Generate(simclock.Stream(11, "wl"), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet, err := GenerateFleet(simclock.Stream(11, "wl"), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(step string) {
+		t.Helper()
+		for i, st := range states {
+			if got, want := fleet.Remaining(i), st.Remaining(); got != want {
+				t.Fatalf("%s: Remaining[%d] = %v, want %v", step, i, got, want)
+			}
+			if got, want := fleet.AttemptDuration(i), st.AttemptDuration(); got != want {
+				t.Fatalf("%s: AttemptDuration[%d] = %v, want %v", step, i, got, want)
+			}
+			if got, want := int(fleet.ShardsDone[i]), st.ShardsDone; got != want {
+				t.Fatalf("%s: ShardsDone[%d] = %d, want %d", step, i, got, want)
+			}
+			if got, want := int(fleet.Interruptions[i]), st.Interruptions; got != want {
+				t.Fatalf("%s: Interruptions[%d] = %d, want %d", step, i, got, want)
+			}
+			if got, want := int(fleet.Recomputed[i]), st.Recomputed; got != want {
+				t.Fatalf("%s: Recomputed[%d] = %d, want %d", step, i, got, want)
+			}
+			if got, want := fleet.Completed[i], st.Completed; got != want {
+				t.Fatalf("%s: Completed[%d] = %v, want %v", step, i, got, want)
+			}
+		}
+	}
+
+	check("fresh")
+	for i, st := range states {
+		if err := st.BeginAttempt(); err != nil {
+			t.Fatal(err)
+		}
+		if err := fleet.BeginAttempt(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	check("after first attempt")
+
+	// Interrupt each workload partway: enough elapsed compute for a few
+	// shards, varied per index.
+	for i, st := range states {
+		elapsed := time.Duration(i+1) * st.Spec.ShardDuration()
+		a := st.CreditProgress(elapsed)
+		b := fleet.CreditProgress(i, elapsed)
+		if a != b {
+			t.Fatalf("CreditProgress[%d] banked %d (fleet) vs %d (state)", i, b, a)
+		}
+	}
+	check("after interruption")
+
+	// Resumed attempt: resume overhead applies now (Attempts > 0 / > 1).
+	for i, st := range states {
+		if err := st.BeginAttempt(); err != nil {
+			t.Fatal(err)
+		}
+		if err := fleet.BeginAttempt(i); err != nil {
+			t.Fatal(err)
+		}
+		// ShardsAt preview must agree, including the overhead deduction.
+		elapsed := st.Spec.ResumeOverhead + 2*st.Spec.ShardDuration() + time.Minute
+		if a, b := st.ShardsAt(elapsed), fleet.ShardsAt(i, elapsed); a != b {
+			t.Fatalf("ShardsAt[%d] = %d (fleet %d)", i, a, b)
+		}
+	}
+	check("after resume")
+
+	// Roll back a shard on the even indices (lost checkpoint).
+	for i, st := range states {
+		if i%2 == 0 {
+			st.DropShards(1)
+			fleet.DropShards(i, 1)
+		}
+	}
+	check("after drop")
+
+	// Complete everything and verify completion invariants.
+	at := simclock.Epoch.Add(13 * time.Hour)
+	for i, st := range states {
+		if err := st.MarkComplete(at); err != nil {
+			t.Fatal(err)
+		}
+		if err := fleet.MarkComplete(i, at); err != nil {
+			t.Fatal(err)
+		}
+	}
+	check("after completion")
+	for i := range states {
+		if got := fleet.CompletedAtNanos[i]; got != at.UnixNano() {
+			t.Fatalf("CompletedAtNanos[%d] = %d, want %d", i, got, at.UnixNano())
+		}
+		if err := fleet.MarkComplete(i, at); err == nil {
+			t.Fatal("double MarkComplete succeeded")
+		}
+		if err := fleet.BeginAttempt(i); err == nil {
+			t.Fatal("BeginAttempt after completion succeeded")
+		}
+	}
+	if got, want := fleet.CheckpointBytes(), states[0].CheckpointBytes(); got != want {
+		t.Fatalf("CheckpointBytes = %d, want %d", got, want)
+	}
+}
+
+func TestGenerateFleetRejectsBadCount(t *testing.T) {
+	if _, err := GenerateFleet(simclock.Stream(1, "wl"), GenOptions{Kind: KindStandard, Count: 0}); err == nil {
+		t.Fatal("count 0 accepted")
+	}
+}
+
+func TestFleetIDsMatchGenerate(t *testing.T) {
+	states, err := Generate(simclock.Stream(3, "wl"), GenOptions{Kind: KindStandard, Count: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet, err := GenerateFleet(simclock.Stream(3, "wl"), GenOptions{Kind: KindStandard, Count: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, st := range states {
+		if got := fleet.ID(i); got != st.Spec.ID {
+			t.Fatalf("ID(%d) = %q, want %q", i, got, st.Spec.ID)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+#!/bin/sh
+# fleet_smoke.sh — CI smoke test for the fleet-scale simulation path:
+#
+#   1. build cmd/spotverse-experiments with the race detector;
+#   2. run the `-exp fleet` sweep at 10,000 workloads on 1 and 4
+#      workers — the rendered tables must be byte-identical;
+#   3. enforce a wall-clock budget (the race-instrumented 10k sweep
+#      must finish inside FLEET_WALL_BUDGET seconds, default 300) via
+#      timeout(1) when available;
+#   4. enforce an RSS ceiling (default 2 GiB) via /usr/bin/time -v
+#      when available — the streaming result pipeline's memory bound
+#      is the point of the fleet path, so a regression to retained
+#      per-workload state shows up here before it hurts anyone.
+#
+# Budgets are deliberately loose: they catch order-of-magnitude
+# regressions (an accidental O(n^2) sweep, a retained-per-workload
+# leak), not scheduler noise.
+set -eu
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+wall_budget=${FLEET_WALL_BUDGET:-300}
+rss_budget_kb=${FLEET_RSS_BUDGET_KB:-2097152}
+
+echo "fleet smoke: race-instrumented build"
+go build -race -o "$tmp/svexp" ./cmd/spotverse-experiments
+
+runner=""
+if command -v timeout >/dev/null 2>&1; then
+    runner="timeout ${wall_budget}s"
+fi
+
+echo "fleet smoke: 10k sweep under race, 1 vs 4 workers"
+if [ -x /usr/bin/time ] && /usr/bin/time -v true >/dev/null 2>&1; then
+    $runner /usr/bin/time -v -o "$tmp/time.txt" \
+        "$tmp/svexp" -exp fleet -fleet 10000 -parallel 1 > "$tmp/fleet_p1.txt"
+    rss_kb=$(sed -n 's/.*Maximum resident set size (kbytes): \([0-9]*\)/\1/p' "$tmp/time.txt")
+    echo "fleet smoke: max RSS ${rss_kb} kB (ceiling ${rss_budget_kb} kB)"
+    [ "$rss_kb" -le "$rss_budget_kb" ] || {
+        echo "fleet smoke: RSS ${rss_kb} kB exceeds ceiling ${rss_budget_kb} kB" >&2
+        exit 1
+    }
+else
+    $runner "$tmp/svexp" -exp fleet -fleet 10000 -parallel 1 > "$tmp/fleet_p1.txt"
+fi
+$runner "$tmp/svexp" -exp fleet -fleet 10000 -parallel 4 > "$tmp/fleet_p4.txt"
+
+cmp "$tmp/fleet_p1.txt" "$tmp/fleet_p4.txt"
+grep -q 'single-region  10000' "$tmp/fleet_p1.txt"
+grep -q 'skypilot       10000' "$tmp/fleet_p1.txt"
+cat "$tmp/fleet_p1.txt"
+echo "fleet smoke: OK"

@@ -76,6 +76,13 @@ type (
 	RunConfig = experiment.RunConfig
 	// Result aggregates a run's metrics.
 	Result = experiment.Result
+	// WorkloadFleet is the flat struct-of-arrays workload state for
+	// fleet-scale runs (see RunFleet).
+	WorkloadFleet = workload.FleetState
+	// FleetRunConfig parameterises a fleet-scale run.
+	FleetRunConfig = experiment.FleetRunConfig
+	// FleetResult aggregates a fleet-scale run's streamed metrics.
+	FleetResult = experiment.FleetResult
 	// Timeline is the structured event log (RunConfig.Trace).
 	Timeline = experiment.Timeline
 	// AdaptiveConfig tunes the learning strategy.
@@ -373,4 +380,22 @@ func (s *Simulation) Run(cfg RunConfig) (*Result, error) {
 		cfg.DisableSweep = true
 	}
 	return experiment.Run(s.env, cfg)
+}
+
+// GenerateFleet builds the struct-of-arrays equivalent of
+// GenerateWorkloads: same RNG stream, same specs, flat columns.
+func (s *Simulation) GenerateFleet(opts WorkloadOptions) (*WorkloadFleet, error) {
+	return workload.GenerateFleet(simclock.Stream(s.seed, "public-workloads"), opts)
+}
+
+// RunFleet executes a fleet on the batched fleet-scale path: identical
+// headline metrics to Run on the same configuration, with retention
+// bounded by running instances rather than run history. A Simulation
+// that has run in fleet mode keeps its provider in fleet mode. As with
+// Run, a *Manager strategy disables the harness sweep.
+func (s *Simulation) RunFleet(cfg FleetRunConfig) (*FleetResult, error) {
+	if _, isManager := cfg.Strategy.(*Manager); isManager {
+		cfg.DisableSweep = true
+	}
+	return experiment.RunFleet(s.env, cfg)
 }
