@@ -1,7 +1,7 @@
 GO ?= go
 
 # PR counter for benchmark snapshots (BENCH_$(PR).json).
-PR ?= 8
+PR ?= 9
 
 .PHONY: build test race vet vet-determinism lint verify experiments serve-smoke fleet-smoke fuzz fuzz-soak bench bench-compare profile
 
@@ -23,10 +23,13 @@ vet:
 vet-determinism:
 	$(GO) vet -copylocks -loopclosure ./...
 
-# lint builds and runs the spotverse-lint multichecker: the custom
-# determinism analyzers (detrand, mapiter, seedflow, errdrop, locks)
-# over every package. Violations fail the build; see DESIGN.md "Static
-# analysis & determinism invariants".
+# lint builds and runs the spotverse-lint multichecker: the determinism
+# analyzers (detrand, mapiter, seedflow, errdrop, locks) plus the
+# concurrency & hot-path analyzers (lockorder, goleak, atomicmix,
+# hotpath) over every package. Violations — including malformed
+# //spotverse:allow and //spotverse:hotpath annotations — fail the
+# build; see DESIGN.md "Static analysis & determinism invariants" and
+# "Concurrency & hot-path invariants".
 lint:
 	$(GO) run ./cmd/spotverse-lint ./...
 

@@ -37,6 +37,12 @@ import (
 // Analyzer is one named static check. It mirrors the x/tools type of the
 // same name: Run inspects a fully type-checked package through its Pass
 // and reports findings via pass.Reportf.
+//
+// Exactly one of Run and RunModule is set. Run is the per-package shape
+// every determinism analyzer uses; RunModule receives every loaded
+// package at once, for interprocedural analyses (lockorder's
+// mutex-acquisition graph, hotpath's callee traversal) whose facts cross
+// package boundaries.
 type Analyzer struct {
 	// Name identifies the analyzer in output, in -only selections, and
 	// in //spotverse:allow directives. It must be a single lowercase
@@ -46,6 +52,8 @@ type Analyzer struct {
 	Doc string
 	// Run performs the check over one package.
 	Run func(*Pass) error
+	// RunModule performs the check over all loaded packages at once.
+	RunModule func(*ModulePass) error
 }
 
 // Pass carries one type-checked package through one analyzer.
@@ -97,14 +105,67 @@ func (d Diagnostic) String() string {
 		d.Position.Filename, d.Position.Line, d.Position.Column, d.Analyzer, d.Message)
 }
 
+// ModulePass carries every loaded package through one module-level
+// analyzer. Pkgs is in the loader's deterministic (sorted import path)
+// order.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Pkgs     []*Package
+
+	diags  *[]Diagnostic
+	passes map[*Package]*Pass
+}
+
+// Pass returns the per-package view of pkg, sharing this module pass's
+// diagnostic sink; module analyzers use it for type queries and
+// position-resolved reporting.
+func (mp *ModulePass) Pass(pkg *Package) *Pass {
+	if p, ok := mp.passes[pkg]; ok {
+		return p
+	}
+	p := &Pass{
+		Analyzer:  mp.Analyzer,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+		diags:     mp.diags,
+	}
+	mp.passes[pkg] = p
+	return p
+}
+
+// Suppression is one well-formed //spotverse:allow directive, as
+// recorded by RunDetailed for machine-readable lint reports. Used
+// reports whether the directive actually suppressed at least one
+// finding in this run — an unused directive is stale but not an error.
+type Suppression struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Analyzer string `json:"analyzer"`
+	Reason   string `json:"reason"`
+	Used     bool   `json:"used"`
+}
+
 // Run applies each analyzer to each loaded package and returns the
 // surviving findings: suppressed ones are dropped, malformed suppression
 // directives are added (see suppress.go), and the result is sorted by
 // position for stable output.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	diags, _, err := RunDetailed(pkgs, analyzers)
+	return diags, err
+}
+
+// RunDetailed is Run plus the suppression inventory: every well-formed
+// //spotverse:allow directive seen in the analyzed files, with whether
+// it fired. The -json output mode archives both.
+func RunDetailed(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, []Suppression, error) {
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			pass := &Pass{
 				Analyzer:  a,
 				Fset:      pkg.Fset,
@@ -114,8 +175,22 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 				diags:     &diags,
 			}
 			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
+				return nil, nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
 			}
+		}
+	}
+	for _, a := range analyzers {
+		if a.RunModule == nil {
+			continue
+		}
+		mp := &ModulePass{
+			Analyzer: a,
+			Pkgs:     pkgs,
+			diags:    &diags,
+			passes:   map[*Package]*Pass{},
+		}
+		if err := a.RunModule(mp); err != nil {
+			return nil, nil, fmt.Errorf("%s: %w", a.Name, err)
 		}
 	}
 	// Directives may name any suite analyzer, not just the ones running
@@ -129,8 +204,11 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		known[a.Name] = true
 	}
 	var out []Diagnostic
+	var sups []Suppression
 	for _, pkg := range pkgs {
-		out = append(out, filterSuppressed(pkg.Fset, pkg.Files, diagsInPkg(diags, pkg), known)...)
+		kept, used := filterSuppressed(pkg.Fset, pkg.Files, diagsInPkg(diags, pkg), known)
+		out = append(out, kept...)
+		sups = append(sups, used...)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i].Position, out[j].Position
@@ -145,7 +223,16 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		}
 		return out[i].Analyzer < out[j].Analyzer
 	})
-	return out, nil
+	sort.Slice(sups, func(i, j int) bool {
+		if sups[i].File != sups[j].File {
+			return sups[i].File < sups[j].File
+		}
+		if sups[i].Line != sups[j].Line {
+			return sups[i].Line < sups[j].Line
+		}
+		return sups[i].Analyzer < sups[j].Analyzer
+	})
+	return out, sups, nil
 }
 
 // diagsInPkg selects the diagnostics whose position falls in one of the

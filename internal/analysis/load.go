@@ -32,7 +32,8 @@ type Package struct {
 // Listing them here keeps one export-data table serving both the
 // multichecker and the fixture tests.
 var stdExtras = []string{
-	"fmt", "io", "os", "sort", "strings", "strconv", "time", "math/rand", "sync", "bytes",
+	"fmt", "io", "os", "sort", "strings", "strconv", "time", "math/rand", "sync",
+	"sync/atomic", "bytes", "context", "errors",
 }
 
 // listEntry is the subset of `go list -json` output the loader needs.

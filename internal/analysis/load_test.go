@@ -1,0 +1,150 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"spotverse/internal/analysis"
+)
+
+// writeModule materialises a throwaway module on disk so Load exercises
+// the real `go list -export` pipeline: build constraints, vendor
+// resolution, and export-data compilation, all offline.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, content := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestLoadGenerics: type parameters, constraint interfaces, generic
+// methods, and instantiations all type-check through the offline
+// importer, and the analyzers traverse generic bodies — a hotpath
+// annotation inside a generic function still finds its allocation.
+func TestLoadGenerics(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module example.com/generics\n\ngo 1.22\n",
+		"g.go": `package g
+
+type Number interface{ ~int | ~float64 }
+
+func Sum[T Number](xs []T) T {
+	var s T
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+type Stack[T any] struct{ items []T }
+
+func (s *Stack[T]) Push(v T) { s.items = append(s.items, v) }
+
+//spotverse:hotpath
+func Grow[T any](n int) []T {
+	return make([]T, n)
+}
+
+var _ = Sum([]int{1, 2})
+`,
+	})
+	pkgs, err := analysis.Load(dir, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || pkgs[0].PkgPath != "example.com/generics" {
+		t.Fatalf("loaded %d packages, want the generics module", len(pkgs))
+	}
+	diags, err := analysis.Run(pkgs, []*analysis.Analyzer{analysis.HotPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "make allocates") {
+		t.Fatalf("hotpath over generic body: got %v, want one make-allocates finding", diags)
+	}
+}
+
+// TestLoadBuildTags: `go list` applies build constraints, so a file
+// gated behind an inactive tag never reaches the parser. Both gated
+// files declare the same constant — loading both would be a duplicate
+// declaration type error.
+func TestLoadBuildTags(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module example.com/tagged\n\ngo 1.22\n",
+		"on.go": `//go:build !spotverse_special
+
+package tagged
+
+const Mode = "default"
+`,
+		"off.go": `//go:build spotverse_special
+
+package tagged
+
+const Mode = "special"
+`,
+	})
+	pkgs, err := analysis.Load(dir, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	if got := len(pkgs[0].Files); got != 1 {
+		t.Fatalf("loaded %d files, want only the active build-tag side", got)
+	}
+	if obj := pkgs[0].Types.Scope().Lookup("Mode"); obj == nil {
+		t.Fatal("constant from the active file is missing")
+	}
+}
+
+// TestLoadVendoredExport: a dependency resolved through vendor/ is
+// compiled to export data by the (cgo-free, fully offline) toolchain
+// and imported from the build cache; the vendored package itself is
+// DepOnly and never becomes an analysis target.
+func TestLoadVendoredExport(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":             "module example.com/app\n\ngo 1.22\n\nrequire example.com/dep v1.0.0\n",
+		"vendor/modules.txt": "# example.com/dep v1.0.0\n## explicit; go 1.22\nexample.com/dep\n",
+		"vendor/example.com/dep/dep.go": `package dep
+
+func Answer() int { return 42 }
+
+type Widget struct{ N int }
+`,
+		"app.go": `package app
+
+import "example.com/dep"
+
+func Use() int {
+	w := dep.Widget{N: dep.Answer()}
+	return w.N
+}
+`,
+	})
+	pkgs, err := analysis.Load(dir, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var paths []string
+	for _, p := range pkgs {
+		paths = append(paths, p.PkgPath)
+	}
+	if len(pkgs) != 1 || pkgs[0].PkgPath != "example.com/app" {
+		t.Fatalf("targets %v, want only example.com/app (vendored dep is export data, not a target)", paths)
+	}
+	if _, err := analysis.Run(pkgs, analysis.Suite()); err != nil {
+		t.Fatalf("suite over vendored-import package: %v", err)
+	}
+}

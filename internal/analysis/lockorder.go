@@ -1,0 +1,388 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrder builds the interprocedural mutex-acquisition graph across
+// every loaded package and flags cycles: two lock classes acquired in
+// both orders somewhere in the module are a deadlock the scheduler will
+// eventually find, even if no single test does.
+//
+// Lock classes are type-level, not instance-level: every sync.Mutex or
+// sync.RWMutex reached as a field of a named type T collapses to the
+// class "pkg.T.field", and package-level mutexes to "pkg.var". Locks on
+// local variables have no stable class and are skipped, as are
+// self-edges (two instances of the same class may be ordered by address
+// or by construction — the analyzer cannot tell).
+//
+// Within one function, acquisitions are tracked in source order;
+// Unlock/RUnlock releases the class, and a deferred unlock keeps it held
+// to the end of the function. A call made while holding a class links it
+// to every class the callee (transitively, to depth 4) acquires.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc: "mutexes must be acquired in one global order: a cycle in the " +
+		"module-wide acquisition graph is a latent deadlock",
+	RunModule: runLockOrder,
+}
+
+// lockOrderDepth bounds the transitive callee search for acquisitions.
+const lockOrderDepth = 4
+
+const (
+	evLock = iota
+	evUnlock
+	evCall
+)
+
+// lockEvent is one acquisition-relevant action, in source order.
+type lockEvent struct {
+	kind   int
+	class  string // evLock/evUnlock
+	callee string // evCall
+	pos    token.Pos
+	pass   *Pass
+}
+
+type lockFuncInfo struct {
+	events []lockEvent
+	direct []string // classes locked anywhere in the body
+}
+
+func runLockOrder(mp *ModulePass) error {
+	funcs := map[string]*lockFuncInfo{}
+	var keys []string
+	for _, pkg := range mp.Pkgs {
+		pass := mp.Pass(pkg)
+		for _, f := range pass.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pass.ObjectOf(fd.Name).(*types.Func)
+				if !ok {
+					continue
+				}
+				key := funcKeyOf(fn)
+				info := collectLockEvents(pass, fd.Body)
+				funcs[key] = info
+				keys = append(keys, key)
+			}
+		}
+	}
+
+	// acquires resolves the classes a call to key can take, to the
+	// remaining depth, cutting recursion on revisit.
+	var acquires func(key string, depth int, onPath map[string]bool) []string
+	acquires = func(key string, depth int, onPath map[string]bool) []string {
+		info := funcs[key]
+		if info == nil || depth == 0 || onPath[key] {
+			return nil
+		}
+		onPath[key] = true
+		defer delete(onPath, key)
+		set := map[string]bool{}
+		for _, c := range info.direct {
+			set[c] = true
+		}
+		for _, ev := range info.events {
+			if ev.kind != evCall {
+				continue
+			}
+			for _, c := range acquires(ev.callee, depth-1, onPath) {
+				set[c] = true
+			}
+		}
+		out := make([]string, 0, len(set))
+		for c := range set {
+			out = append(out, c)
+		}
+		sort.Strings(out)
+		return out
+	}
+
+	// Build the held-while-acquiring edge set, keeping the first site
+	// per edge (keys iterated in deterministic order).
+	type edge struct{ from, to string }
+	type site struct {
+		pos  token.Pos
+		pass *Pass
+	}
+	edges := map[edge]site{}
+	addEdge := func(from, to string, ev lockEvent) {
+		if from == to {
+			return
+		}
+		e := edge{from, to}
+		if _, ok := edges[e]; !ok {
+			edges[e] = site{pos: ev.pos, pass: ev.pass}
+		}
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		info := funcs[key]
+		var held []string
+		for _, ev := range info.events {
+			switch ev.kind {
+			case evLock:
+				for _, h := range held {
+					addEdge(h, ev.class, ev)
+				}
+				held = append(held, ev.class)
+			case evUnlock:
+				for i := len(held) - 1; i >= 0; i-- {
+					if held[i] == ev.class {
+						held = append(held[:i], held[i+1:]...)
+						break
+					}
+				}
+			case evCall:
+				if len(held) == 0 {
+					continue
+				}
+				for _, c := range acquires(ev.callee, lockOrderDepth, map[string]bool{}) {
+					for _, h := range held {
+						addEdge(h, c, ev)
+					}
+				}
+			}
+		}
+	}
+
+	// Strongly connected components of the class digraph; any SCC with
+	// more than one class is a cycle (self-edges were dropped above).
+	adj := map[string][]string{}
+	nodes := map[string]bool{}
+	for e := range edges {
+		adj[e.from] = append(adj[e.from], e.to)
+		nodes[e.from] = true
+		nodes[e.to] = true
+	}
+	for _, succ := range adj {
+		sort.Strings(succ)
+	}
+	comp := sccComponents(nodes, adj)
+	for _, scc := range comp {
+		if len(scc) < 2 {
+			continue
+		}
+		inSCC := map[string]bool{}
+		for _, c := range scc {
+			inSCC[c] = true
+		}
+		cycle := strings.Join(scc, " -> ") + " -> " + scc[0]
+		// Report every edge inside the cycle at its first site, so each
+		// conflicting acquisition is visible and suppressible.
+		var cyc []edge
+		for e := range edges {
+			if inSCC[e.from] && inSCC[e.to] {
+				cyc = append(cyc, e)
+			}
+		}
+		sort.Slice(cyc, func(i, j int) bool {
+			if cyc[i].from != cyc[j].from {
+				return cyc[i].from < cyc[j].from
+			}
+			return cyc[i].to < cyc[j].to
+		})
+		for _, e := range cyc {
+			s := edges[e]
+			s.pass.Reportf(s.pos, "%s acquired while holding %s, but elsewhere the order is reversed (cycle: %s)", e.to, e.from, cycle)
+		}
+	}
+	return nil
+}
+
+// sccComponents runs Tarjan's algorithm (iterating nodes in sorted
+// order, so output is deterministic) and returns each component with its
+// classes sorted.
+func sccComponents(nodes map[string]bool, adj map[string][]string) [][]string {
+	sorted := make([]string, 0, len(nodes))
+	for n := range nodes {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	var comps [][]string
+	next := 0
+
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			sort.Strings(comp)
+			comps = append(comps, comp)
+		}
+	}
+	for _, v := range sorted {
+		if _, seen := index[v]; !seen {
+			strongconnect(v)
+		}
+	}
+	return comps
+}
+
+// collectLockEvents walks one function body in source order, recording
+// lock/unlock/call events. Deferred unlocks are dropped — they run at
+// function exit, so the class stays held for edge purposes — and nested
+// function literals are separate functions.
+func collectLockEvents(pass *Pass, body *ast.BlockStmt) *lockFuncInfo {
+	info := &lockFuncInfo{}
+	deferred := map[*ast.CallExpr]bool{}
+	inspectShallow(body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			if _, op := lockClassOfCall(pass, d.Call); op == "Unlock" || op == "RUnlock" {
+				deferred[d.Call] = true
+			}
+		}
+		return true
+	})
+	directSet := map[string]bool{}
+	inspectShallow(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || deferred[call] {
+			return true
+		}
+		if class, op := lockClassOfCall(pass, call); class != "" {
+			switch op {
+			case "Lock", "RLock":
+				info.events = append(info.events, lockEvent{kind: evLock, class: class, pos: call.Pos(), pass: pass})
+				directSet[class] = true
+			case "Unlock", "RUnlock":
+				info.events = append(info.events, lockEvent{kind: evUnlock, class: class, pos: call.Pos(), pass: pass})
+			}
+			return true
+		}
+		if fn, ok := calleeObject(pass, call).(*types.Func); ok {
+			info.events = append(info.events, lockEvent{kind: evCall, callee: funcKeyOf(fn), pos: call.Pos(), pass: pass})
+		}
+		return true
+	})
+	for c := range directSet {
+		info.direct = append(info.direct, c)
+	}
+	sort.Strings(info.direct)
+	return info
+}
+
+// lockClassOfCall reports the lock class and operation of a
+// sync.Mutex/RWMutex (R)Lock/(R)Unlock call, or ("", "").
+func lockClassOfCall(pass *Pass, call *ast.CallExpr) (class, op string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", ""
+	}
+	fn, ok := pass.ObjectOf(sel.Sel).(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", ""
+	}
+	recv := namedType(sig.Recv().Type())
+	if recv == nil {
+		return "", ""
+	}
+	switch recv.Obj().Name() {
+	case "Mutex", "RWMutex":
+	default:
+		return "", ""
+	}
+	return lockClassExpr(pass, ast.Unparen(sel.X)), sel.Sel.Name
+}
+
+// lockClassExpr derives the type-level class of the mutex expression:
+// "pkg.Type.field" for a field, "pkg.var" for a package-level mutex,
+// "pkg.Type.<embedded>" for a lock reached through embedding, "" for
+// locals and shapes the analyzer cannot classify.
+func lockClassExpr(pass *Pass, recv ast.Expr) string {
+	switch r := recv.(type) {
+	case *ast.SelectorExpr:
+		v, ok := pass.ObjectOf(r.Sel).(*types.Var)
+		if !ok {
+			return ""
+		}
+		if v.IsField() {
+			owner := namedType(pass.TypeOf(r.X))
+			if owner == nil || owner.Obj().Pkg() == nil {
+				return ""
+			}
+			return owner.Obj().Pkg().Path() + "." + owner.Obj().Name() + "." + v.Name()
+		}
+		if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v.Pkg().Path() + "." + v.Name()
+		}
+		return ""
+	case *ast.Ident:
+		v, ok := pass.ObjectOf(r).(*types.Var)
+		if !ok {
+			return ""
+		}
+		if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v.Pkg().Path() + "." + v.Name()
+		}
+		// A local or receiver whose named type embeds the mutex: the
+		// method resolves through embedding, so the class is the type.
+		if t := namedType(v.Type()); t != nil && t.Obj().Pkg() != nil && t.Obj().Pkg().Path() != "sync" {
+			return t.Obj().Pkg().Path() + "." + t.Obj().Name() + ".<embedded>"
+		}
+		return ""
+	default:
+		return ""
+	}
+}
+
+// funcKeyOf names a function or method with a string stable across
+// export-data package boundaries: "pkg.Recv.name" or "pkg.name".
+func funcKeyOf(fn *types.Func) string {
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Path()
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if named := namedType(sig.Recv().Type()); named != nil {
+			return pkg + "." + named.Obj().Name() + "." + fn.Name()
+		}
+	}
+	return pkg + "." + fn.Name()
+}

@@ -5,9 +5,12 @@ import (
 	"sort"
 )
 
-// Suite returns the full determinism lint suite in display order.
+// Suite returns the full lint suite in display order: the determinism
+// generation (detrand, mapiter, seedflow, errdrop, locks) followed by
+// the concurrency/hot-path generation (lockorder, goleak, atomicmix,
+// hotpath).
 func Suite() []*Analyzer {
-	return []*Analyzer{DetRand, MapIter, SeedFlow, ErrDrop, Locks}
+	return []*Analyzer{DetRand, MapIter, SeedFlow, ErrDrop, Locks, LockOrder, GoLeak, AtomicMix, HotPath}
 }
 
 // Select returns the named analyzers from the suite, preserving suite

@@ -38,6 +38,22 @@ func TestLocks(t *testing.T) {
 	analysistest.Run(t, "testdata", analysis.Locks, "locks/a")
 }
 
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.LockOrder, "lockorder/a")
+}
+
+func TestGoLeak(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.GoLeak, "goleak/a")
+}
+
+func TestAtomicMix(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.AtomicMix, "atomicmix/a")
+}
+
+func TestHotPath(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.HotPath, "hotpath/a")
+}
+
 func TestSelect(t *testing.T) {
 	got, err := analysis.Select([]string{"mapiter", "detrand"})
 	if err != nil {

@@ -82,32 +82,55 @@ func parseDirectives(fset *token.FileSet, f *ast.File, known map[string]bool) (o
 
 // filterSuppressed drops findings covered by a well-formed directive on
 // the same or the preceding line, and appends findings for malformed
-// directives. known is the set of valid analyzer names.
-func filterSuppressed(fset *token.FileSet, files []*ast.File, diags []Diagnostic, known map[string]bool) []Diagnostic {
+// directives. known is the set of valid analyzer names. The second
+// result is the suppression inventory for this package: one record per
+// well-formed directive, flagged Used when it absorbed a finding.
+func filterSuppressed(fset *token.FileSet, files []*ast.File, diags []Diagnostic, known map[string]bool) ([]Diagnostic, []Suppression) {
 	type key struct {
 		file     string
 		line     int
 		analyzer string
 	}
-	allow := map[key]bool{}
+	// allow maps covered (file, line, analyzer) to the covering
+	// directive's index in dirs, so a hit can mark it used.
+	allow := map[key]int{}
+	var dirs []directive
 	var out []Diagnostic
 	for _, f := range files {
-		dirs, bad := parseDirectives(fset, f, known)
+		ok, bad := parseDirectives(fset, f, known)
 		out = append(out, bad...)
-		for _, d := range dirs {
+		for _, d := range ok {
+			idx := len(dirs)
+			dirs = append(dirs, d)
 			// A directive covers its own line (trailing comment) and
 			// the next line (comment above the finding).
-			allow[key{d.file, d.line, d.analyzer}] = true
-			allow[key{d.file, d.line + 1, d.analyzer}] = true
+			allow[key{d.file, d.line, d.analyzer}] = idx
+			allow[key{d.file, d.line + 1, d.analyzer}] = idx
 		}
 	}
+	used := make([]bool, len(dirs))
 	for _, d := range diags {
-		if d.Analyzer != "directive" &&
-			(allow[key{d.Position.Filename, d.Position.Line, d.Analyzer}] ||
-				allow[key{d.Position.Filename, d.Position.Line, "all"}]) {
-			continue
+		if d.Analyzer != "directive" {
+			if idx, ok := allow[key{d.Position.Filename, d.Position.Line, d.Analyzer}]; ok {
+				used[idx] = true
+				continue
+			}
+			if idx, ok := allow[key{d.Position.Filename, d.Position.Line, "all"}]; ok {
+				used[idx] = true
+				continue
+			}
 		}
 		out = append(out, d)
 	}
-	return out
+	sups := make([]Suppression, len(dirs))
+	for i, d := range dirs {
+		sups[i] = Suppression{
+			File:     d.file,
+			Line:     d.line,
+			Analyzer: d.analyzer,
+			Reason:   d.reason,
+			Used:     used[i],
+		}
+	}
+	return out, sups
 }

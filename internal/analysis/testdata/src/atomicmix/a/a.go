@@ -1,0 +1,99 @@
+// Fixture: atomicmix flags plain access of variables that are accessed
+// with sync/atomic elsewhere, and by-value copies of atomic-containing
+// structs.
+package a
+
+import "sync/atomic"
+
+type counter struct {
+	hits  int64 // accessed via atomic.AddInt64 below
+	cold  int64 // never touched atomically
+	ready atomic.Bool
+}
+
+func (c *counter) bump() {
+	atomic.AddInt64(&c.hits, 1) // sanctioned
+}
+
+func (c *counter) read() int64 {
+	return atomic.LoadInt64(&c.hits) // sanctioned
+}
+
+func (c *counter) raceyRead() int64 {
+	return c.hits // want `plain access of hits, which is accessed with sync/atomic`
+}
+
+func (c *counter) raceyWrite() {
+	c.hits = 0 // want `plain access of hits`
+}
+
+func (c *counter) fine() int64 {
+	return c.cold // never atomic: fine
+}
+
+func construct() *counter {
+	return &counter{hits: 0} // composite-literal key is construction: fine
+}
+
+var global int64
+
+func bumpGlobal() {
+	atomic.AddInt64(&global, 1)
+}
+
+func readGlobal() int64 {
+	return global // want `plain access of global`
+}
+
+type published struct {
+	table atomic.Pointer[counter]
+	name  string
+}
+
+func copyRecv(p published) string { // want `parameter of copyRecv copies published contains field table is atomic\.Pointer`
+	return p.name
+}
+
+func copyAssign(p *published) {
+	q := *p // want `assignment copies published contains field table is atomic\.Pointer`
+	_ = q
+}
+
+func copyRange(ps []published) int {
+	n := 0
+	for _, p := range ps { // want `range variable copies published contains field table is atomic\.Pointer per iteration`
+		n += len(p.name)
+	}
+	return n
+}
+
+func pointerUse(ps []*published) int { // pointers share, not copy: fine
+	n := 0
+	for _, p := range ps {
+		n += len(p.name)
+	}
+	return n
+}
+
+func freshConstruct() published {
+	return published{name: "x"} // construction, not a copy: fine
+}
+
+func suppressedRead(c *counter) int64 {
+	//spotverse:allow atomicmix fixture proves atomicmix suppression
+	return c.hits
+}
+
+// rawField is copied even though the atomic access is raw, not typed.
+type rawHolder struct {
+	n int64
+}
+
+func bumpRaw(h *rawHolder) {
+	atomic.AddInt64(&h.n, 1)
+}
+
+func copyRaw(h *rawHolder) rawHolder {
+	v := *h // want `assignment copies rawHolder contains field n, which is accessed with sync/atomic`
+	return v
+}

@@ -1,0 +1,162 @@
+// Fixture: goleak flags time.After in loops, goroutines with exit-free
+// infinite loops, and unbuffered sends whose receiver may walk away.
+package a
+
+import (
+	"context"
+	"time"
+)
+
+func timerPerIteration(ch chan int) {
+	for {
+		select {
+		case <-ch:
+		case <-time.After(time.Second): // want `time\.After in a loop arms a new timer per iteration`
+			return
+		}
+	}
+}
+
+func timerReused(ch chan int) {
+	t := time.NewTimer(time.Second)
+	defer t.Stop()
+	for {
+		select {
+		case <-ch:
+		case <-t.C: // fine: one timer, reused
+			return
+		}
+	}
+}
+
+func afterOutsideLoop() {
+	<-time.After(time.Second) // fine: single shot
+}
+
+func leakyWorker(jobs chan int) {
+	go func() {
+		for { // want `goroutine loop has no exit path`
+			select {
+			case j := <-jobs:
+				_ = j
+			}
+		}
+	}()
+}
+
+// breakLeavesSelectNotLoop is the classic bug: the plain break exits the
+// select, not the for, so the goroutine never terminates.
+func breakLeavesSelectNotLoop(done chan struct{}) {
+	go func() {
+		for { // want `goroutine loop has no exit path`
+			select {
+			case <-done:
+				break
+			default:
+			}
+		}
+	}()
+}
+
+func cancellableWorker(ctx context.Context, jobs chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return // fine: cancellation path
+			case j := <-jobs:
+				_ = j
+			}
+		}
+	}()
+}
+
+func labeledBreakWorker(done chan struct{}) {
+	go func() {
+	loop:
+		for { // fine: labeled break leaves the loop
+			select {
+			case <-done:
+				break loop
+			default:
+			}
+		}
+	}()
+}
+
+func rangeWorker(jobs chan int) {
+	go func() {
+		for j := range jobs { // fine: terminates when jobs closes
+			_ = j
+		}
+	}()
+}
+
+func namedLoop() {
+	for { // body of spin; reported at the go statement below
+	}
+}
+
+func launchNamed() {
+	go namedLoop() // want `goroutine runs namedLoop, whose infinite loop has no exit path`
+}
+
+func abandonedResult() error {
+	c := make(chan error)
+	go func() {
+		c <- work() // want `goroutine sends on unbuffered channel c, but the receive sits in a multi-way select`
+	}()
+	select {
+	case err := <-c:
+		return err
+	case <-time.After(time.Second):
+		return nil // receiver gave up; sender now blocks forever
+	}
+}
+
+func bufferedResult() error {
+	c := make(chan error, 1)
+	go func() {
+		c <- work() // fine: buffered, the send never blocks
+	}()
+	select {
+	case err := <-c:
+		return err
+	case <-time.After(time.Second):
+		return nil
+	}
+}
+
+func guaranteedReceive() error {
+	c := make(chan error)
+	go func() {
+		c <- work() // fine: the receive below always runs
+	}()
+	return <-c
+}
+
+func neverReceived() {
+	c := make(chan int)
+	go func() {
+		c <- 1 // want `goroutine sends on unbuffered channel c with no receive in the launching function`
+	}()
+}
+
+func handedOff() {
+	c := make(chan int)
+	go func() {
+		c <- 1 // fine: the channel escapes to consume, which owns the receive
+	}()
+	consume(c)
+}
+
+func work() error   { return nil }
+func consume(<-chan int) {}
+
+func suppressedLeak() {
+	go func() {
+		//spotverse:allow goleak fixture proves goleak suppression
+		for {
+		}
+	}()
+}

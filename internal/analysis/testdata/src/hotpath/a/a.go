@@ -1,0 +1,164 @@
+// Fixture: hotpath enforces zero-allocation bodies for annotated
+// functions, traverses module callees, prunes cold error branches, and
+// validates the annotation grammar.
+package a
+
+import (
+	"errors"
+	"fmt"
+)
+
+type ring struct {
+	buf  []int
+	head int
+}
+
+// Clean warm path: index math, field access, append (amortized).
+//
+//spotverse:hotpath
+func (r *ring) push(v int) {
+	r.buf = append(r.buf, v)
+	r.head++
+}
+
+//spotverse:hotpath
+func closureHot(n int) func() int {
+	f := func() int { return n } // want `function literal allocates a closure`
+	return f
+}
+
+//spotverse:hotpath
+func makesThings(n int) []int {
+	return make([]int, n) // want `make allocates`
+}
+
+//spotverse:hotpath
+func newsThings() *ring {
+	return new(ring) // want `new allocates`
+}
+
+//spotverse:hotpath
+func literals(n int) []int {
+	m := map[string]int{} // want `map literal allocates`
+	_ = m
+	p := &ring{} // want `&composite literal allocates`
+	_ = p
+	return []int{n} // want `slice literal allocates`
+}
+
+//spotverse:hotpath
+func concat(a, b string) string {
+	return a + b // want `string concatenation allocates`
+}
+
+//spotverse:hotpath
+func constConcat() string {
+	return "a" + "b" // constant-folded: fine
+}
+
+//spotverse:hotpath
+func formats(n int) string {
+	return fmt.Sprintf("%d", n) // want `fmt\.Sprintf allocates`
+}
+
+//spotverse:hotpath
+func converts(s string) []byte {
+	return []byte(s) // want `string to byte/rune slice conversion allocates`
+}
+
+//spotverse:hotpath
+func boxes(n int) {
+	sink(n) // want `passing int to an interface parameter boxes the value`
+}
+
+//spotverse:hotpath
+func pointerNoBox(r *ring) {
+	sink(r) // pointers are iface-word sized: fine
+}
+
+func sink(v any) { _ = v }
+
+// Cold-branch pruning: error paths may allocate.
+//
+//spotverse:hotpath
+func coldError(v int) (int, error) {
+	if v < 0 {
+		return 0, fmt.Errorf("negative input %d", v) // error path: fine
+	}
+	return v * 2, nil
+}
+
+// Callee traversal: allocation two calls down surfaces at the call site
+// in the annotated function.
+//
+//spotverse:hotpath
+func viaCallee(n int) int {
+	return depth1(n) // want `call to depth1 allocates on the hot path: make allocates in depth2`
+}
+
+func depth1(n int) int { return depth2(n) }
+
+func depth2(n int) int {
+	s := make([]int, n)
+	return len(s)
+}
+
+// Beyond hotpathDepth the traversal trusts the callee.
+//
+//spotverse:hotpath
+func beyondDepth(n int) int {
+	return hop1(n) // fine: the allocation is 4 calls down
+}
+
+func hop1(n int) int { return hop2(n) }
+func hop2(n int) int { return hop3(n) }
+func hop3(n int) int {
+	s := make([]int, n)
+	return len(s)
+}
+
+// An annotated callee is trusted: it is checked on its own.
+//
+//spotverse:hotpath
+func trustsHotCallee(r *ring, v int) {
+	r.push(v) // fine
+}
+
+// Cold branches prune inside callees too: a callee whose allocations
+// all sit on error paths is clean.
+//
+//spotverse:hotpath
+func coldCalleePath(v int) int {
+	n, err := validate(v)
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+func validate(v int) (int, error) {
+	if v < 0 {
+		return 0, errors.New("negative") // error path in callee: fine
+	}
+	return v, nil
+}
+
+// Suppression: the closure is justified at its call site.
+//
+//spotverse:hotpath
+func suppressedAlloc(n int) int {
+	//spotverse:allow hotpath fixture proves hotpath suppression
+	return depth1(n)
+}
+
+// Annotation grammar.
+
+//spotverse:hotpath with arguments // want `spotverse:hotpath takes no arguments`
+func badArgs() {}
+
+var _ = 0 //spotverse:hotpath // want `spotverse:hotpath must be in the doc comment of a function declaration`
+
+//spotverse:hotpath
+func goStmt() {
+	go func() {}() // want `go statement allocates a goroutine on the hot path`
+}

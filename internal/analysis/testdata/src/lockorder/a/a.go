@@ -1,0 +1,114 @@
+// Fixture: lockorder flags lock classes acquired in both orders,
+// including through interprocedural call chains, and stays quiet on a
+// consistent global order.
+package a
+
+import "sync"
+
+type account struct {
+	mu      sync.Mutex
+	balance int
+}
+
+type ledger struct {
+	mu       sync.Mutex
+	accounts []*account
+}
+
+// total takes ledger.mu before account.mu; audit takes them reversed.
+// Both edges of the 2-cycle are reported, each at its acquisition site;
+// the edge in total is suppressed here to prove a directive silences
+// exactly one site while the reversed site still fires.
+func (l *ledger) total() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := 0
+	for _, a := range l.accounts {
+		//spotverse:allow lockorder fixture proves lockorder suppression
+		a.mu.Lock()
+		n += a.balance
+		a.mu.Unlock()
+	}
+	return n
+}
+
+func (l *ledger) audit(a *account) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	l.mu.Lock() // want `lockorder/a\.ledger\.mu acquired while holding lockorder/a\.account\.mu, but elsewhere the order is reversed`
+	defer l.mu.Unlock()
+	return a.balance
+}
+
+type registry struct {
+	mu    sync.Mutex
+	names map[string]int
+}
+
+type index struct {
+	mu   sync.Mutex
+	keys []string
+}
+
+// Interprocedural cycle: refresh holds registry.mu and calls rebuild,
+// which takes index.mu; lookup holds index.mu and calls size, which
+// takes registry.mu.
+func (r *registry) refresh(ix *index) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ix.rebuild() // want `lockorder/a\.index\.mu acquired while holding lockorder/a\.registry\.mu`
+}
+
+func (ix *index) rebuild() {
+	ix.mu.Lock()
+	ix.keys = ix.keys[:0]
+	ix.mu.Unlock()
+}
+
+func (ix *index) lookup(r *registry) int {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return r.size() // want `lockorder/a\.registry\.mu acquired while holding lockorder/a\.index\.mu`
+}
+
+func (r *registry) size() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.names)
+}
+
+// Local mutexes have no stable class and are skipped.
+func localOnly() {
+	var mu sync.Mutex
+	mu.Lock()
+	mu.Unlock()
+}
+
+// Releasing before taking the next lock breaks the chain: no edge.
+type stage struct {
+	mu sync.Mutex
+	n  int
+}
+
+type sink struct {
+	mu sync.Mutex
+	n  int
+}
+
+func handoff(s *stage, k *sink) {
+	s.mu.Lock()
+	n := s.n
+	s.mu.Unlock()
+	k.mu.Lock()
+	k.n = n
+	k.mu.Unlock()
+}
+
+func handback(k *sink, s *stage) {
+	k.mu.Lock()
+	n := k.n
+	k.mu.Unlock()
+	s.mu.Lock()
+	s.n = n
+	s.mu.Unlock()
+}

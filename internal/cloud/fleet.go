@@ -112,6 +112,8 @@ func (p *Provider) FleetMode() bool { return p.fleet }
 // append-ordered, and request IDs are fixed-width and monotonic, so
 // index order equals the sorted-ID order of the default sweep. Settled
 // entries are compacted out in the same pass.
+//
+//spotverse:hotpath
 func (p *Provider) evaluateOpenIndexed() int {
 	live := p.open[:0]
 	n := 0
@@ -120,6 +122,7 @@ func (p *Provider) evaluateOpenIndexed() int {
 			continue
 		}
 		live = append(live, req)
+		//spotverse:allow hotpath evaluate builds its fulfill closure only after a successful launch roll; failed-roll sweep iterations return before it
 		p.evaluate(req)
 		n++
 	}

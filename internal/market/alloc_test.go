@@ -1,0 +1,108 @@
+package market
+
+import (
+	"testing"
+	"time"
+
+	"spotverse/internal/catalog"
+	"spotverse/internal/raceflag"
+	"spotverse/internal/simclock"
+)
+
+// These tests are the runtime half of the //spotverse:hotpath gates in
+// this package: the static hotpath analyzer proves the warm paths do
+// not allocate by construction, and AllocsPerRun proves the compiler
+// agrees. A regression in either direction fails exactly one of the two.
+
+func skipUnderRace(t *testing.T) {
+	t.Helper()
+	if raceflag.Enabled {
+		t.Skip("race instrumentation allocates; zero-alloc gates are meaningless under -race")
+	}
+}
+
+// TestAveragePriceWarmAllocFree: after the first query materialises the
+// region series and its prefix sums, repeats are two slice reads.
+func TestAveragePriceWarmAllocFree(t *testing.T) {
+	skipUnderRace(t)
+	m := New(catalog.Default(), 42, simclock.Epoch)
+	typ := catalog.InstanceType("m5.xlarge")
+	r := catalog.Region("us-east-1")
+	from, to := simclock.Epoch, simclock.Epoch.Add(24*time.Hour)
+	if _, err := m.AveragePrice(typ, r, from, to); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := m.AveragePrice(typ, r, from, to); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm AveragePrice allocated %v per run, want 0", allocs)
+	}
+}
+
+// TestPriceSeriesAtWarmAllocFree: sampling published segments through
+// the lock-free handle (PriceSeries.At -> sharedWalk.at) is read-only.
+func TestPriceSeriesAtWarmAllocFree(t *testing.T) {
+	skipUnderRace(t)
+	m := New(catalog.Default(), 42, simclock.Epoch)
+	typ := catalog.InstanceType("m5.xlarge")
+	az := m.Catalog().Zones("us-east-1")[0]
+	ps, err := m.PriceSeries(typ, az)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := simclock.Epoch.Add(48 * time.Hour)
+	ps.At(last) // materialise through the probe window
+	allocs := testing.AllocsPerRun(200, func() {
+		for h := time.Duration(0); h <= 48*time.Hour; h += 7 * time.Hour {
+			ps.At(simclock.Epoch.Add(h))
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm PriceSeries.At allocated %v per run, want 0", allocs)
+	}
+}
+
+// TestAcquireWarmAllocFree: a repeat (seed, start) key is a map hit plus
+// an LRU stamp.
+func TestAcquireWarmAllocFree(t *testing.T) {
+	skipUnderRace(t)
+	st := NewSnapshotStore(catalog.Default(), 0)
+	st.Acquire(1, simclock.Epoch)
+	allocs := testing.AllocsPerRun(200, func() {
+		st.Acquire(1, simclock.Epoch)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm Acquire allocated %v per run, want 0", allocs)
+	}
+}
+
+// TestAcquireSweepAllocFree pins the eviction-sweep fix the hotpath
+// analyzer motivated: the sweep used to allocate a fresh victims slice
+// plus a sort.Slice closure and interface box on every over-limit
+// Acquire. The store now reuses scratch space and sorts through a
+// one-word pointer interface, so an Acquire that runs the full sweep —
+// candidate collection, LRU sort, per-victim Evict calls — allocates
+// nothing when no walk tables actually need freeing.
+func TestAcquireSweepAllocFree(t *testing.T) {
+	skipUnderRace(t)
+	st := NewSnapshotStore(catalog.Default(), 1)
+	for i := int64(0); i < 6; i++ {
+		st.Acquire(i, simclock.Epoch)
+	}
+	// Claim phantom residency: totals stay over the high-water mark so
+	// every Acquire runs the sweep in full, but the walks hold no tables,
+	// so per-victim Evict frees (and allocates) nothing.
+	for _, s := range st.all {
+		s.resident.Store(10)
+	}
+	st.Acquire(0, simclock.Epoch) // grow the scratch slice once
+	allocs := testing.AllocsPerRun(200, func() {
+		st.Acquire(0, simclock.Epoch)
+	})
+	if allocs != 0 {
+		t.Fatalf("over-limit Acquire sweep allocated %v per run, want 0", allocs)
+	}
+}

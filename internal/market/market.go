@@ -442,6 +442,8 @@ func (m *Model) AdvisorSnapshot(t catalog.InstanceType, at time.Time) ([]Advisor
 // every price step across every AZ. A window whose first step lands on
 // the model start reproduces the naive left-to-right summation exactly;
 // other alignments agree to float64 rounding (~1e-12 relative).
+//
+//spotverse:hotpath
 func (m *Model) AveragePrice(t catalog.InstanceType, r catalog.Region, from, to time.Time) (float64, error) {
 	return m.snap.averagePrice(t, r, from, to)
 }

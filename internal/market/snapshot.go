@@ -81,6 +81,8 @@ func (s *Snapshot) newWalk(stream string, base, sigma, revert, lo, hi float64) *
 
 // at returns the walk value at step k (k < 0 clamps to 0), publishing
 // segments as needed. Lock-free when the segment is already published.
+//
+//spotverse:hotpath
 func (w *sharedWalk) at(k int) float64 {
 	if k < 0 {
 		k = 0
@@ -92,6 +94,7 @@ func (w *sharedWalk) at(k int) float64 {
 			}
 		}
 	}
+	//spotverse:allow hotpath segment-miss slow path; warm reads return from the published table above
 	return w.materialize(k)
 }
 
@@ -416,7 +419,10 @@ func (s *Snapshot) Evict() int {
 		n += sm.evict()
 	}
 	s.cheapMu.Lock()
-	s.cheap = make(map[cheapKey]cheapEntry)
+	// clear, not a fresh make: the rankings derive from evicted segments
+	// and must be dropped, but the map itself is private to the snapshot
+	// and reusing it keeps repeat eviction sweeps allocation-free.
+	clear(s.cheap)
 	s.cheapMu.Unlock()
 	return n
 }
@@ -532,6 +538,11 @@ func (s *Snapshot) placementScoreLatent(t catalog.InstanceType, r catalog.Region
 	return w.at(s.stepIndex(at, MetricStep)), nil
 }
 
+// averagePrice is the per-decision query on the placement warm path:
+// after the first call for a (type, region) the series and its prefix
+// sums are cached and the answer is two slice reads.
+//
+//spotverse:hotpath
 func (s *Snapshot) averagePrice(t catalog.InstanceType, r catalog.Region, from, to time.Time) (float64, error) {
 	if !s.cat.Offered(t, r) {
 		return 0, fmt.Errorf("market: %s not offered in %s", t, r)
@@ -539,12 +550,14 @@ func (s *Snapshot) averagePrice(t catalog.InstanceType, r catalog.Region, from, 
 	if to.Before(from) {
 		return 0, fmt.Errorf("market: empty averaging window")
 	}
+	//spotverse:allow hotpath first-use memoization miss; repeat (type, region) queries hit the cached series
 	sm, err := s.regionSeries(t, r)
 	if err != nil {
 		return 0, err
 	}
 	n := int(to.Sub(from)/PriceStep) + 1
 	last := s.stepIndex(from.Add(time.Duration(n-1)*PriceStep), PriceStep)
+	//spotverse:allow hotpath prefix cache extends only when the window grows past the cached frontier
 	d := sm.through(last)
 	if from.Before(s.start) {
 		// Pre-start samples clamp to step 0, so the window's step
@@ -601,6 +614,8 @@ type PriceSeries struct {
 
 // At samples the series at the given instant — identical to
 // Model.SpotPrice for the same arguments.
+//
+//spotverse:hotpath
 func (ps PriceSeries) At(at time.Time) float64 {
 	d := at.Sub(ps.start)
 	if d < 0 {

@@ -22,7 +22,22 @@ type SnapshotStore struct {
 	clock int64
 	byKey map[storeKey]*Snapshot
 	all   []*Snapshot // insertion order, so eviction never iterates a map
+
+	// victims is evictLocked's scratch space, reused across sweeps so an
+	// over-limit Acquire does not allocate a candidate slice per call.
+	// Sorted through a pointer receiver so the sort.Interface value holds
+	// one word and boxing it allocates nothing.
+	victims byLastUse
 }
+
+// byLastUse sorts eviction candidates least-recently-acquired first.
+// lastUse values are distinct (the store clock is strictly increasing
+// under mu), so the order is total and any sort yields it.
+type byLastUse []*Snapshot
+
+func (v *byLastUse) Len() int           { return len(*v) }
+func (v *byLastUse) Less(i, j int) bool { return (*v)[i].lastUse.Load() < (*v)[j].lastUse.Load() }
+func (v *byLastUse) Swap(i, j int)      { (*v)[i], (*v)[j] = (*v)[j], (*v)[i] }
 
 type storeKey struct {
 	seed  int64
@@ -75,12 +90,15 @@ func (st *SnapshotStore) ResidentSegments() int {
 // gets the same *Snapshot, and values read through it are byte-
 // identical to a private market.New regardless of sharing, eviction, or
 // goroutine interleaving.
+//
+//spotverse:hotpath
 func (st *SnapshotStore) Acquire(seed int64, start time.Time) *Snapshot {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	k := storeKey{seed: seed, start: start.UnixNano()}
 	s := st.byKey[k]
 	if s == nil {
+		//spotverse:allow hotpath first-use construction; repeat (seed, start) keys return the cached snapshot
 		s = NewSnapshot(st.cat, seed, start)
 		st.byKey[k] = s
 		st.all = append(st.all, s)
@@ -105,18 +123,14 @@ func (st *SnapshotStore) evictLocked(keep *Snapshot) {
 	if total <= st.limit {
 		return
 	}
-	victims := make([]*Snapshot, 0, len(st.all))
+	st.victims = st.victims[:0]
 	for _, s := range st.all {
 		if s != keep {
-			victims = append(victims, s)
+			st.victims = append(st.victims, s)
 		}
 	}
-	// lastUse values are distinct (the clock is strictly increasing
-	// under mu), so this order is deterministic.
-	sort.Slice(victims, func(i, j int) bool {
-		return victims[i].lastUse.Load() < victims[j].lastUse.Load()
-	})
-	for _, s := range victims {
+	sort.Sort(&st.victims)
+	for _, s := range st.victims {
 		if total <= st.limit {
 			return
 		}

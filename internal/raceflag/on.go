@@ -1,0 +1,5 @@
+//go:build race
+
+package raceflag
+
+const enabled = true

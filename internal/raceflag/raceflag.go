@@ -1,0 +1,8 @@
+// Package raceflag reports at build time whether the race detector is
+// compiled in. The AllocsPerRun hot-path gates skip under -race: the
+// detector instruments every memory access with allocating shadow
+// operations, so a zero-alloc assertion is meaningless there.
+package raceflag
+
+// Enabled is true when the build used -race.
+const Enabled = enabled

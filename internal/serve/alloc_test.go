@@ -1,0 +1,39 @@
+package serve_test
+
+import (
+	"context"
+	"testing"
+
+	"spotverse/internal/chaos"
+	"spotverse/internal/experiment"
+	"spotverse/internal/raceflag"
+	"spotverse/internal/serve"
+)
+
+// TestPlaceWarmAllocFree is the runtime half of the //spotverse:hotpath
+// gate on SimBackend.Place: once the ranking is memoized for the
+// monitor epoch and the response's placement slice has grown, a warm
+// /v1/place decision allocates nothing.
+func TestPlaceWarmAllocFree(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("race instrumentation allocates; zero-alloc gates are meaningless under -race")
+	}
+	sim, err := experiment.NewServeSim(21, chaos.Off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	req := &serve.PlaceRequest{WorkloadID: "w-alloc", Count: 3}
+	resp := &serve.PlaceResponse{}
+	if err := sim.Backend.Place(ctx, req, resp); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := sim.Backend.Place(ctx, req, resp); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm Place allocated %v per run, want 0", allocs)
+	}
+}

@@ -188,6 +188,8 @@ func (b *SimBackend) refresh() error {
 
 // Place implements Backend. The warm path — ranking memoized, resp
 // reused — allocates nothing.
+//
+//spotverse:hotpath
 func (b *SimBackend) Place(ctx context.Context, req *PlaceRequest, resp *PlaceResponse) error {
 	if err := ctx.Err(); err != nil {
 		return err
@@ -199,6 +201,7 @@ func (b *SimBackend) Place(ctx context.Context, req *PlaceRequest, resp *PlaceRe
 			return err
 		}
 	}
+	//spotverse:allow hotpath ranking rebuild is memoized per monitor epoch; warm requests return at the epoch check inside refresh
 	if err := b.refresh(); err != nil {
 		return err
 	}

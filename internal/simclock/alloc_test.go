@@ -1,0 +1,33 @@
+package simclock
+
+import (
+	"testing"
+
+	"spotverse/internal/raceflag"
+)
+
+// TestHeapOpsAllocFree is the runtime half of the //spotverse:hotpath
+// gate on the 4-ary heap comparator and sifts: at fleet scale these run
+// millions of times per simulated day, and a single allocation per sift
+// would dominate the event loop.
+func TestHeapOpsAllocFree(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("race instrumentation allocates; zero-alloc gates are meaningless under -race")
+	}
+	q := make(eventQueue, 0, 64)
+	for i := 63; i >= 0; i-- {
+		q = append(q, heapEntry{atNs: int64(i), seq: uint64(i)})
+	}
+	for i := (len(q) - 2) / 4; i >= 0; i-- {
+		q.siftDown(i)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		_ = q.less(0, 1)
+		q[len(q)-1] = heapEntry{atNs: 1 << 40, seq: 1 << 20}
+		q.siftUp(len(q) - 1)
+		q.siftDown(0)
+	})
+	if allocs != 0 {
+		t.Fatalf("heap ops allocated %v per run, want 0", allocs)
+	}
+}

@@ -72,6 +72,8 @@ type eventQueue []heapEntry
 
 // less is a total order over (time, seq): seq values are unique, so any
 // valid binary heap of the same entries pops in the identical sequence.
+//
+//spotverse:hotpath
 func (q eventQueue) less(i, j int) bool {
 	if q[i].atNs != q[j].atNs {
 		return q[i].atNs < q[j].atNs
@@ -84,6 +86,7 @@ func (q eventQueue) less(i, j int) bool {
 // output — the comparator is a total order, so the pop sequence is the
 // sorted sequence whatever the arity.
 
+//spotverse:hotpath
 func (q eventQueue) siftUp(i int) {
 	for i > 0 {
 		parent := (i - 1) / 4
@@ -95,6 +98,7 @@ func (q eventQueue) siftUp(i int) {
 	}
 }
 
+//spotverse:hotpath
 func (q eventQueue) siftDown(i int) {
 	n := len(q)
 	for {
