@@ -1,7 +1,7 @@
 GO ?= go
 
 # PR counter for benchmark snapshots (BENCH_$(PR).json).
-PR ?= 9
+PR ?= 10
 
 .PHONY: build test race vet vet-determinism lint verify experiments serve-smoke fleet-smoke fuzz fuzz-soak bench bench-compare profile
 
@@ -75,11 +75,11 @@ fuzz-soak:
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem -count=3 . | tee BENCH_$(PR).json
 
-# bench-compare diffs the current benchmark snapshot against the PR 6
+# bench-compare diffs the current benchmark snapshot against the PR 8
 # baseline (override OLD/NEW for other pairs). benchstat gives the full
 # statistical treatment when installed; otherwise an awk fallback
 # prints mean ns/op per benchmark side by side.
-OLD ?= BENCH_6.json
+OLD ?= BENCH_8.json
 NEW ?= BENCH_$(PR).json
 
 bench-compare:

@@ -1,12 +1,14 @@
 package spotverse
 
-// Fleet-scale benchmarks: the flat batched FleetState path (RunFleet)
-// against the per-workload path (Run) on the identical configuration —
+// Fleet-scale benchmarks: the sharded fleet engine (RunFleetSharded)
+// and the flat batched FleetState path (RunFleet) against the
+// per-workload path (Run) on the identical configuration —
 // single-region arm, standard workloads, 14-day horizon, seed 42. Two
 // metrics matter:
 //
 //   - workloads/s — simulated workloads per wall-second, the ISSUE 8
-//     throughput headline;
+//     throughput headline, now swept over shard counts at N=10k and
+//     N=100k;
 //   - retained_B/wl — bytes of heap the environment plus result pin
 //     per workload after the run, the streaming-aggregation memory
 //     bound.
@@ -22,7 +24,9 @@ import (
 	"spotverse/internal/baselines"
 	"spotverse/internal/catalog"
 	"spotverse/internal/experiment"
+	"spotverse/internal/raceflag"
 	"spotverse/internal/simclock"
+	"spotverse/internal/strategy"
 	"spotverse/internal/workload"
 )
 
@@ -134,10 +138,137 @@ func benchLegacyPath(b *testing.B, n int) {
 	b.ReportMetric(float64(last.Completed), "completed")
 }
 
+// runShardedBench executes one RunFleetSharded of n standard workloads
+// over the given shard count (sharded runs own their per-shard
+// environments, so only the result survives for retention measurement).
+func runShardedBench(n, shards int) (*experiment.FleetResult, error) {
+	single := func(env *experiment.Env) (strategy.Strategy, error) {
+		return baselines.NewSingleRegion(env.Catalog(), catalog.M5XLarge, experiment.BaselineRegionM5XLarge)
+	}
+	f, err := workload.GenerateFleet(simclock.Stream(benchSeed, "wl-standard"),
+		workload.GenOptions{Kind: workload.KindStandard, Count: n})
+	if err != nil {
+		return nil, err
+	}
+	return experiment.RunFleetSharded(benchSeed, experiment.FleetShardedConfig{
+		Fleet:           f,
+		NewStrategy:     single,
+		InstanceType:    catalog.M5XLarge,
+		AllowIncomplete: true,
+		Shards:          shards,
+	})
+}
+
+func benchShardedPath(b *testing.B, n, shards int) {
+	var last *experiment.FleetResult
+	for i := 0; i < b.N; i++ {
+		res, err := runShardedBench(n, shards)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.StopTimer()
+	perOp := b.Elapsed().Seconds() / float64(b.N)
+	b.ReportMetric(float64(n)/perOp, "workloads/s")
+	b.ReportMetric(retainedPerWorkload(b, n, func() (any, any, error) {
+		res, err := runShardedBench(n, shards)
+		return nil, res, err
+	}), "retained_B/wl")
+	b.ReportMetric(float64(last.Interruptions), "interruptions")
+	b.ReportMetric(float64(last.Completed), "completed")
+}
+
 func BenchmarkFleetPath1k(b *testing.B)   { benchFleetPath(b, 1000) }
 func BenchmarkFleetPath10k(b *testing.B)  { benchFleetPath(b, 10000) }
 func BenchmarkLegacyPath1k(b *testing.B)  { benchLegacyPath(b, 1000) }
 func BenchmarkLegacyPath10k(b *testing.B) { benchLegacyPath(b, 10000) }
+
+// Sharded-engine scaling ladder: workloads/s versus shard count at
+// N=10k and N=100k. Output is byte-identical at every rung; only the
+// wall clock moves.
+func BenchmarkFleetSharded10kShards1(b *testing.B)  { benchShardedPath(b, 10000, 1) }
+func BenchmarkFleetSharded10kShards2(b *testing.B)  { benchShardedPath(b, 10000, 2) }
+func BenchmarkFleetSharded10kShards8(b *testing.B)  { benchShardedPath(b, 10000, 8) }
+func BenchmarkFleetSharded100kShards1(b *testing.B) { benchShardedPath(b, 100000, 1) }
+func BenchmarkFleetSharded100kShards8(b *testing.B) { benchShardedPath(b, 100000, 8) }
+
+// TestFleetShardedAllocBudget pins the hot-loop allocation rate of the
+// sharded fleet path: at N=10k on one shard, at most 33 heap
+// allocations per workload — half the ~65/wl the PR 8 path spent.
+// Mallocs is a process-global counter, so the assertion is skipped
+// under -race (shadow-memory allocations) and takes the best of two
+// runs to ride out unrelated background allocation.
+func TestFleetShardedAllocBudget(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("race detector allocates shadow memory; alloc budget is meaningless")
+	}
+	if testing.Short() {
+		t.Skip("alloc budget runs full 10k simulations")
+	}
+	const n = 10000
+	const budget = 33.0
+	// Warm the shared market snapshot and the worker pool.
+	if _, err := runShardedBench(100, 1); err != nil {
+		t.Fatal(err)
+	}
+	measure := func() float64 {
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		res, err := runShardedBench(n, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runtime.ReadMemStats(&after)
+		runtime.KeepAlive(res)
+		return float64(after.Mallocs-before.Mallocs) / float64(n)
+	}
+	perWl := measure()
+	if second := measure(); second < perWl {
+		perWl = second
+	}
+	t.Logf("sharded fleet path: %.1f allocs/workload at n=%d (budget %.1f)", perWl, n, budget)
+	if perWl > budget {
+		t.Errorf("sharded fleet path allocates %.1f/workload at n=%d, want <= %.1f", perWl, n, budget)
+	}
+}
+
+// TestFleetShardedThroughput pins that sharding never costs throughput:
+// the sharded path at one shard must stay within 25%% of the PR 8
+// RunFleet path on the identical cell (best of two, same treatment for
+// both paths). In practice it is faster — the lean notice path and
+// pooled fulfill buckets cut per-event work — but the gate only guards
+// against regression, leaving headroom for noisy CI boxes.
+func TestFleetShardedThroughput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("throughput check runs full 10k simulations")
+	}
+	const n = 10000
+	if _, err := runShardedBench(100, 1); err != nil {
+		t.Fatal(err)
+	}
+	timeIt := func(run func() error) float64 {
+		best := 0.0
+		for i := 0; i < 2; i++ {
+			start := time.Now()
+			if err := run(); err != nil {
+				t.Fatal(err)
+			}
+			if sec := time.Since(start).Seconds(); i == 0 || sec < best {
+				best = sec
+			}
+		}
+		return best
+	}
+	legacySec := timeIt(func() error { _, _, err := runFleetBench(n); return err })
+	shardedSec := timeIt(func() error { _, err := runShardedBench(n, 1); return err })
+	ratio := shardedSec / legacySec
+	t.Logf("n=%d legacy RunFleet %.2fs | sharded(1) %.2fs | ratio %.2fx", n, legacySec, shardedSec, ratio)
+	if ratio > 1.25 {
+		t.Errorf("sharded path at 1 shard took %.2fx the RunFleet wall clock, want <= 1.25x", ratio)
+	}
+}
 
 // TestFleetSpeedupAndRetention is the acceptance check behind the
 // benchmarks: at N=10k the fleet path must be at least 5x faster and

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	spotverse-experiments [-exp all|list|fig2|fig3|fig4|fig7|fig8|fig9|fig10|table1|table4|ext|chaos|crash|trials|fleet] [-seed N] [-csv dir] [-intensity off|low|medium|severe] [-parallel N] [-mktcache N] [-fleet sizes] [-cpuprofile file] [-memprofile file]
+//	spotverse-experiments [-exp all|list|fig2|fig3|fig4|fig7|fig8|fig9|fig10|table1|table4|ext|chaos|crash|trials|fleet] [-seed N] [-csv dir] [-intensity off|low|medium|severe] [-parallel N] [-mktcache N] [-fleet sizes] [-fleet-shards N] [-cpuprofile file] [-memprofile file]
 //
 // Each experiment prints an ASCII rendering of the corresponding table or
 // figure; -csv additionally writes raw series files into the directory.
@@ -12,9 +12,13 @@
 //
 // -exp fleet runs the fleet-scale scaling sweep on the flat batched
 // FleetState path; -fleet sets its comma-separated workload counts
-// (default 1000,10000,50000,100000). The deterministic sweep table goes
-// to stdout; wall-clock throughput (workloads simulated per second, a
-// machine-dependent quantity) goes to stderr.
+// (default 1000,10000,50000,100000). -fleet-shards partitions each
+// fleet run into that many contiguous shards, each driven by its own
+// simulation engine on the worker pool (default: the -parallel value);
+// the sweep table is byte-identical for every shard count. The
+// deterministic sweep table goes to stdout; wall-clock throughput
+// (workloads simulated per second, a machine-dependent quantity) goes
+// to stderr.
 //
 // -parallel bounds the experiment worker pool (default GOMAXPROCS). The
 // sweep fans out across independent simulations and renders results in a
@@ -61,20 +65,21 @@ import (
 
 // usageLine is appended to flag-validation errors so a bad invocation
 // prints the accepted values without the caller digging through -h.
-const usageLine = "usage: spotverse-experiments [-exp all|list|fig2|fig3|fig4|fig7|fig8|fig9|fig10|table1|table4|ext|chaos|crash|trials|fleet] [-seed N] [-csv dir] [-intensity off|low|medium|severe] [-parallel N] [-mktcache N] [-fleet sizes] [-cpuprofile file] [-memprofile file]"
+const usageLine = "usage: spotverse-experiments [-exp all|list|fig2|fig3|fig4|fig7|fig8|fig9|fig10|table1|table4|ext|chaos|crash|trials|fleet] [-seed N] [-csv dir] [-intensity off|low|medium|severe] [-parallel N] [-mktcache N] [-fleet sizes] [-fleet-shards N] [-cpuprofile file] [-memprofile file]"
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment to run: all, list, fig2, fig3, fig4, fig7, fig8, fig9, fig10, table1, table4, ext, chaos, crash, trials, fleet")
-		seed       = flag.Int64("seed", 42, "simulation seed")
-		csvDir     = flag.String("csv", "", "directory to write raw CSV series (optional)")
-		trials     = flag.Int("trials", 3, "trial count for -exp trials (the paper repeats each experiment 3x)")
-		intensity  = flag.String("intensity", "medium", "background-fault intensity for -exp crash: off, low, medium, severe")
-		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool bound for the experiment harness (1 = sequential; output is byte-identical either way)")
-		mktcache   = flag.String("mktcache", strconv.Itoa(experiment.DefaultMarketCacheSegments), "market-snapshot store size in 2KiB segments (0 disables sharing; output is byte-identical either way)")
-		fleetSizes = flag.String("fleet", "1000,10000,50000,100000", "comma-separated workload counts for -exp fleet (each must be a positive integer)")
-		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
-		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file")
+		exp         = flag.String("exp", "all", "experiment to run: all, list, fig2, fig3, fig4, fig7, fig8, fig9, fig10, table1, table4, ext, chaos, crash, trials, fleet")
+		seed        = flag.Int64("seed", 42, "simulation seed")
+		csvDir      = flag.String("csv", "", "directory to write raw CSV series (optional)")
+		trials      = flag.Int("trials", 3, "trial count for -exp trials (the paper repeats each experiment 3x)")
+		intensity   = flag.String("intensity", "medium", "background-fault intensity for -exp crash: off, low, medium, severe")
+		parallel    = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool bound for the experiment harness (1 = sequential; output is byte-identical either way)")
+		mktcache    = flag.String("mktcache", strconv.Itoa(experiment.DefaultMarketCacheSegments), "market-snapshot store size in 2KiB segments (0 disables sharing; output is byte-identical either way)")
+		fleetSizes  = flag.String("fleet", "1000,10000,50000,100000", "comma-separated workload counts for -exp fleet (each must be a positive integer)")
+		fleetShards = flag.String("fleet-shards", "", "shard count for -exp fleet runs (default: the -parallel value; output is byte-identical for every shard count)")
+		cpuprofile  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memprofile  = flag.String("memprofile", "", "write a pprof heap profile to this file")
 	)
 	flag.Parse()
 	prof, err := startProfiler(*cpuprofile, *memprofile)
@@ -85,7 +90,7 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	go handleSignals(sig, prof, os.Stderr, os.Exit)
-	err = run(os.Stdout, *exp, *seed, *csvDir, *trials, *parallel, *intensity, *mktcache, *fleetSizes)
+	err = run(os.Stdout, *exp, *seed, *csvDir, *trials, *parallel, *intensity, *mktcache, *fleetSizes, *fleetShards)
 	if ferr := prof.Flush(); err == nil {
 		err = ferr
 	}
@@ -172,7 +177,7 @@ func handleSignals(sig <-chan os.Signal, prof *profiler, stderr io.Writer, exit 
 	exit(code)
 }
 
-func run(w io.Writer, exp string, seed int64, csvDir string, trials, parallel int, intensity, mktcache, fleetSizes string) error {
+func run(w io.Writer, exp string, seed int64, csvDir string, trials, parallel int, intensity, mktcache, fleetSizes, fleetShards string) error {
 	inten, err := chaos.ParseIntensity(intensity)
 	if err != nil {
 		return fmt.Errorf("%w\n%s", err, usageLine)
@@ -210,14 +215,19 @@ func run(w io.Writer, exp string, seed int64, csvDir string, trials, parallel in
 		"ext":    func(w io.Writer) error { return runExtensions(w, seed) },
 		"chaos":  func(w io.Writer) error { return runChaos(w, seed) },
 		"crash":  func(w io.Writer) error { return runCrash(w, seed, inten) },
-		// -fleet is validated here, not up front: only the fleet sweep
-		// reads it, so a malformed value must not break other experiments.
+		// -fleet and -fleet-shards are validated here, not up front: only
+		// the fleet sweep reads them, so a malformed value must not break
+		// other experiments.
 		"fleet": func(w io.Writer) error {
 			sizes, err := parseFleetSizes(fleetSizes)
 			if err != nil {
 				return err
 			}
-			return runFleetSweep(w, sizes)
+			shards, err := parseFleetShards(fleetShards, parallel)
+			if err != nil {
+				return err
+			}
+			return runFleetSweep(w, sizes, shards)
 		},
 	}
 	switch exp {
@@ -474,13 +484,28 @@ func parseFleetSizes(s string) ([]int, error) {
 	return sizes, nil
 }
 
+// parseFleetShards validates the -fleet-shards flag: a positive integer
+// shard count, defaulting to the worker-pool bound so a parallel sweep
+// shards each fleet run across its workers out of the box.
+func parseFleetShards(s string, parallel int) (int, error) {
+	if s == "" {
+		return parallel, nil
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(s))
+	if err != nil || n < 1 {
+		return 0, fmt.Errorf("invalid -fleet-shards %q (must be a positive integer shard count)\n%s", s, usageLine)
+	}
+	return n, nil
+}
+
 // runFleetSweep runs the fleet-scale scaling sweep. The deterministic
 // table streams to w; wall-clock throughput — the one machine-dependent
 // number, and the sweep's reason to exist — goes to stderr so stdout
-// stays byte-identical across runs, machines, and -parallel values.
-func runFleetSweep(w io.Writer, sizes []int) error {
+// stays byte-identical across runs, machines, -parallel, and
+// -fleet-shards values.
+func runFleetSweep(w io.Writer, sizes []int, shards int) error {
 	begin := time.Now()
-	cells, err := experiment.FleetSweep(sizes)
+	cells, err := experiment.FleetSweep(sizes, shards)
 	if err != nil {
 		return err
 	}

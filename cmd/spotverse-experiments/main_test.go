@@ -13,7 +13,7 @@ import (
 )
 
 func TestUnknownExperimentRejected(t *testing.T) {
-	err := run(io.Discard, "fig99", 42, "", 3, 1, "medium", "8192", "1000")
+	err := run(io.Discard, "fig99", 42, "", 3, 1, "medium", "8192", "1000", "")
 	if err == nil {
 		t.Fatal("unknown experiment should error")
 	}
@@ -23,7 +23,7 @@ func TestUnknownExperimentRejected(t *testing.T) {
 }
 
 func TestInvalidIntensityRejected(t *testing.T) {
-	err := run(io.Discard, "chaos", 42, "", 3, 1, "apocalyptic", "8192", "1000")
+	err := run(io.Discard, "chaos", 42, "", 3, 1, "apocalyptic", "8192", "1000", "")
 	if err == nil {
 		t.Fatal("invalid intensity should error")
 	}
@@ -33,7 +33,7 @@ func TestInvalidIntensityRejected(t *testing.T) {
 }
 
 func TestInvalidParallelRejected(t *testing.T) {
-	err := run(io.Discard, "table1", 42, "", 3, 0, "medium", "8192", "1000")
+	err := run(io.Discard, "table1", 42, "", 3, 0, "medium", "8192", "1000", "")
 	if err == nil {
 		t.Fatal("non-positive -parallel should error")
 	}
@@ -44,7 +44,7 @@ func TestInvalidParallelRejected(t *testing.T) {
 
 func TestInvalidMktCacheRejected(t *testing.T) {
 	for _, bad := range []string{"lots", "12.5", "", "-1"} {
-		err := run(io.Discard, "table1", 42, "", 3, 1, "medium", bad, "1000")
+		err := run(io.Discard, "table1", 42, "", 3, 1, "medium", bad, "1000", "")
 		if err == nil {
 			t.Fatalf("-mktcache %q should error", bad)
 		}
@@ -56,7 +56,7 @@ func TestInvalidMktCacheRejected(t *testing.T) {
 
 func TestInvalidFleetSizesRejected(t *testing.T) {
 	for _, bad := range []string{"0", "-5", "many", "1000,", "1000,0", "12.5", ""} {
-		err := run(io.Discard, "fleet", 42, "", 3, 1, "medium", "8192", bad)
+		err := run(io.Discard, "fleet", 42, "", 3, 1, "medium", "8192", bad, "")
 		if err == nil {
 			t.Fatalf("-fleet %q should error", bad)
 		}
@@ -69,14 +69,56 @@ func TestInvalidFleetSizesRejected(t *testing.T) {
 // TestFleetSizesOnlyValidatedForFleet keeps the flag inert elsewhere: a
 // bad -fleet value must not break experiments that never read it.
 func TestFleetSizesOnlyValidatedForFleet(t *testing.T) {
-	if err := run(io.Discard, "table1", 42, "", 3, 1, "medium", "8192", "bogus"); err != nil {
+	if err := run(io.Discard, "table1", 42, "", 3, 1, "medium", "8192", "bogus", ""); err != nil {
 		t.Fatalf("table1 should ignore -fleet: %v", err)
+	}
+}
+
+func TestInvalidFleetShardsRejected(t *testing.T) {
+	for _, bad := range []string{"0", "-2", "two", "1.5", "1,2"} {
+		err := run(io.Discard, "fleet", 42, "", 3, 1, "medium", "8192", "50", bad)
+		if err == nil {
+			t.Fatalf("-fleet-shards %q should error", bad)
+		}
+		if !strings.Contains(err.Error(), "usage:") {
+			t.Fatalf("error should carry the usage line, got: %v", err)
+		}
+	}
+}
+
+// TestFleetShardsOnlyValidatedForFleet mirrors the -fleet contract: a
+// bad shard count must not break experiments that never read it.
+func TestFleetShardsOnlyValidatedForFleet(t *testing.T) {
+	if err := run(io.Discard, "table1", 42, "", 3, 1, "medium", "8192", "1000", "zero"); err != nil {
+		t.Fatalf("table1 should ignore -fleet-shards: %v", err)
+	}
+}
+
+// TestFleetShardsByteIdentical pins the sharded engine's contract at
+// the CLI surface: the sweep table must not depend on how each fleet
+// run is partitioned, including shard counts above the fleet size.
+func TestFleetShardsByteIdentical(t *testing.T) {
+	render := func(shards string) string {
+		var buf bytes.Buffer
+		if err := run(&buf, "fleet", 42, "", 3, 2, "medium", "8192", "100,200", shards); err != nil {
+			t.Fatalf("fleet with -fleet-shards %s: %v", shards, err)
+		}
+		return buf.String()
+	}
+	want := render("1")
+	if want == "" {
+		t.Fatal("fleet rendered no output")
+	}
+	for _, shards := range []string{"2", "8", "256", ""} {
+		if got := render(shards); got != want {
+			t.Fatalf("fleet output with -fleet-shards %s differs from -fleet-shards 1", shards)
+		}
 	}
 }
 
 func TestRunFleetSmall(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "fleet", 42, "", 3, 1, "medium", "8192", "50,100"); err != nil {
+	if err := run(&buf, "fleet", 42, "", 3, 1, "medium", "8192", "50,100", ""); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -88,12 +130,14 @@ func TestRunFleetSmall(t *testing.T) {
 }
 
 // TestFleetParallelByteIdentical pins the fleet sweep's determinism
-// across worker counts; under `go test -race` it doubles as the data
-// race stress for the batched fleet path.
+// across worker counts — and, since -fleet-shards defaults to the
+// -parallel value, across shard counts at the same time; under
+// `go test -race` it doubles as the data race stress for the sharded
+// fleet path.
 func TestFleetParallelByteIdentical(t *testing.T) {
 	render := func(parallel int) string {
 		var buf bytes.Buffer
-		if err := run(&buf, "fleet", 42, "", 3, parallel, "medium", "8192", "200,400"); err != nil {
+		if err := run(&buf, "fleet", 42, "", 3, parallel, "medium", "8192", "200,400", ""); err != nil {
 			t.Fatalf("fleet with -parallel %d: %v", parallel, err)
 		}
 		return buf.String()
@@ -117,7 +161,7 @@ func TestFleetParallelByteIdentical(t *testing.T) {
 func TestMktCacheByteIdentical(t *testing.T) {
 	render := func(mktcache string) string {
 		var buf bytes.Buffer
-		if err := run(&buf, "fig3", 42, "", 3, 2, "medium", mktcache, "1000"); err != nil {
+		if err := run(&buf, "fig3", 42, "", 3, 2, "medium", mktcache, "1000", ""); err != nil {
 			t.Fatalf("fig3 with -mktcache %s: %v", mktcache, err)
 		}
 		return buf.String()
@@ -134,44 +178,44 @@ func TestMktCacheByteIdentical(t *testing.T) {
 }
 
 func TestRunTable1(t *testing.T) {
-	if err := run(io.Discard, "table1", 42, "", 3, 1, "medium", "8192", "1000"); err != nil {
+	if err := run(io.Discard, "table1", 42, "", 3, 1, "medium", "8192", "1000", ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunFig9(t *testing.T) {
-	if err := run(io.Discard, "fig9", 42, "", 3, 1, "medium", "8192", "1000"); err != nil {
+	if err := run(io.Discard, "fig9", 42, "", 3, 1, "medium", "8192", "1000", ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunTrials(t *testing.T) {
-	if err := run(io.Discard, "trials", 42, "", 1, 1, "medium", "8192", "1000"); err != nil {
+	if err := run(io.Discard, "trials", 42, "", 1, 1, "medium", "8192", "1000", ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunFig3(t *testing.T) {
-	if err := run(io.Discard, "fig3", 42, "", 3, 1, "medium", "8192", "1000"); err != nil {
+	if err := run(io.Discard, "fig3", 42, "", 3, 1, "medium", "8192", "1000", ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunFig4(t *testing.T) {
-	if err := run(io.Discard, "fig4", 42, "", 3, 1, "medium", "8192", "1000"); err != nil {
+	if err := run(io.Discard, "fig4", 42, "", 3, 1, "medium", "8192", "1000", ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunTable4(t *testing.T) {
-	if err := run(io.Discard, "table4", 42, "", 3, 1, "medium", "8192", "1000"); err != nil {
+	if err := run(io.Discard, "table4", 42, "", 3, 1, "medium", "8192", "1000", ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestCSVOutput(t *testing.T) {
 	dir := t.TempDir()
-	if err := run(io.Discard, "fig2", 42, dir, 3, 1, "medium", "8192", "1000"); err != nil {
+	if err := run(io.Discard, "fig2", 42, dir, 3, 1, "medium", "8192", "1000", ""); err != nil {
 		t.Fatal(err)
 	}
 	matches, err := filepath.Glob(filepath.Join(dir, "fig2_prices.csv"))
@@ -182,7 +226,7 @@ func TestCSVOutput(t *testing.T) {
 
 func TestRunFig7WithCSV(t *testing.T) {
 	dir := t.TempDir()
-	if err := run(io.Discard, "fig7", 42, dir, 3, 1, "medium", "8192", "1000"); err != nil {
+	if err := run(io.Discard, "fig7", 42, dir, 3, 1, "medium", "8192", "1000", ""); err != nil {
 		t.Fatal(err)
 	}
 	for _, name := range []string{
@@ -197,7 +241,7 @@ func TestRunFig7WithCSV(t *testing.T) {
 
 func TestRunFig4WithCSV(t *testing.T) {
 	dir := t.TempDir()
-	if err := run(io.Discard, "fig4", 42, dir, 3, 1, "medium", "8192", "1000"); err != nil {
+	if err := run(io.Discard, "fig4", 42, dir, 3, 1, "medium", "8192", "1000", ""); err != nil {
 		t.Fatal(err)
 	}
 	matches, err := filepath.Glob(filepath.Join(dir, "fig4_metrics.csv"))
@@ -207,31 +251,31 @@ func TestRunFig4WithCSV(t *testing.T) {
 }
 
 func TestRunFig8(t *testing.T) {
-	if err := run(io.Discard, "fig8", 42, "", 3, 1, "medium", "8192", "1000"); err != nil {
+	if err := run(io.Discard, "fig8", 42, "", 3, 1, "medium", "8192", "1000", ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunFig10(t *testing.T) {
-	if err := run(io.Discard, "fig10", 42, "", 3, 1, "medium", "8192", "1000"); err != nil {
+	if err := run(io.Discard, "fig10", 42, "", 3, 1, "medium", "8192", "1000", ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunExtensions(t *testing.T) {
-	if err := run(io.Discard, "ext", 42, "", 3, 1, "medium", "8192", "1000"); err != nil {
+	if err := run(io.Discard, "ext", 42, "", 3, 1, "medium", "8192", "1000", ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunChaos(t *testing.T) {
-	if err := run(io.Discard, "chaos", 42, "", 3, 1, "medium", "8192", "1000"); err != nil {
+	if err := run(io.Discard, "chaos", 42, "", 3, 1, "medium", "8192", "1000", ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunCrash(t *testing.T) {
-	if err := run(io.Discard, "crash", 42, "", 3, 1, "medium", "8192", "1000"); err != nil {
+	if err := run(io.Discard, "crash", 42, "", 3, 1, "medium", "8192", "1000", ""); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -247,7 +291,7 @@ func TestAllParallelByteIdentical(t *testing.T) {
 	}
 	render := func(exp string, parallel int) string {
 		var buf bytes.Buffer
-		if err := run(&buf, exp, 42, "", 3, parallel, "medium", "8192", "1000"); err != nil {
+		if err := run(&buf, exp, 42, "", 3, parallel, "medium", "8192", "1000", ""); err != nil {
 			t.Fatalf("%s with -parallel %d: %v", exp, parallel, err)
 		}
 		return buf.String()
@@ -268,7 +312,7 @@ func TestAllParallelByteIdentical(t *testing.T) {
 func TestExpListDeterministicAndComplete(t *testing.T) {
 	render := func() string {
 		var buf bytes.Buffer
-		if err := run(&buf, "list", 42, "", 3, 1, "medium", "8192", "1000"); err != nil {
+		if err := run(&buf, "list", 42, "", 3, 1, "medium", "8192", "1000", ""); err != nil {
 			t.Fatal(err)
 		}
 		return buf.String()

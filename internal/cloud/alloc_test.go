@@ -40,3 +40,26 @@ func TestFleetSweepAllocFree(t *testing.T) {
 		t.Fatalf("fleet retry sweep allocated %v per run, want 0", allocs)
 	}
 }
+
+// TestAppendSeqIDZeroAlloc pins the ID-formatting hot path: appending
+// into the provider's reused scratch buffer must not touch the heap.
+// One ID is minted per request (unsharded paths) plus one per launch,
+// so a single stray allocation here is a whole-run regression.
+func TestAppendSeqIDZeroAlloc(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("race instrumentation allocates; zero-alloc gates are meaningless under -race")
+	}
+	buf := make([]byte, 0, 32)
+	allocs := testing.AllocsPerRun(1000, func() {
+		buf = appendSeqID(buf[:0], "sir", 12345678)
+	})
+	if allocs != 0 {
+		t.Errorf("appendSeqID allocates %.1f per call, want 0", allocs)
+	}
+	if got := string(appendSeqID(nil, "i", 7)); got != "i-000007" {
+		t.Errorf("appendSeqID zero-padding: got %q, want %q", got, "i-000007")
+	}
+	if got := string(appendSeqID(nil, "sir", 12345678)); got != "sir-12345678" {
+		t.Errorf("appendSeqID wide seq: got %q, want %q", got, "sir-12345678")
+	}
+}

@@ -176,10 +176,24 @@ type Provider struct {
 	// 10k-100k workload runs. Nil/false on the default path, which stays
 	// byte-identical.
 	fleet      bool
-	agenda     *simclock.Agenda
+	fulfillAt  map[int64][]*SpotRequest
+	fulfillCb  func()
+	bucketPool [][]*SpotRequest
+	batchFired uint64
 	open       []*SpotRequest
 	retired    []retiredCost
 	crossCache map[crossKey]crossState
+
+	// tagRand, when set (sharded fleet runs), resolves a workload tag to
+	// that workload's private random stream; nil falls back to the
+	// provider-wide sequential stream. eventHorizonNs, when non-zero,
+	// lets the provider skip scheduling events that could never fire
+	// because the caller stops the run exactly at that instant.
+	tagRand        func(tag string) *simclock.SplitMix64
+	eventHorizonNs int64
+
+	// idBuf is the reused scratch for instance/request ID formatting.
+	idBuf []byte
 
 	noticeSubs []NoticeFunc
 	launchSubs []LaunchFunc
@@ -237,12 +251,41 @@ func (p *Provider) gateCheck(t catalog.InstanceType, r catalog.Region) error {
 
 func (p *Provider) nextInstanceID() (InstanceID, int) {
 	p.seq++
-	return InstanceID(fmt.Sprintf("i-%06d", p.seq)), p.seq
+	p.idBuf = appendSeqID(p.idBuf[:0], "i", p.seq)
+	return InstanceID(p.idBuf), p.seq
 }
 
 func (p *Provider) nextRequestID() RequestID {
 	p.seq++
-	return RequestID(fmt.Sprintf("sir-%06d", p.seq))
+	p.idBuf = appendSeqID(p.idBuf[:0], "sir", p.seq)
+	return RequestID(p.idBuf)
+}
+
+// appendSeqID appends "<prefix>-<seq>" with the sequence number
+// zero-padded to at least six digits — the byte sequence the original
+// fmt "%06d" formatting rendered. IDs are minted on the fleet hot loop
+// (one per request plus one per launch), so formatting goes through a
+// reused scratch buffer instead of fmt.
+//
+//spotverse:hotpath
+func appendSeqID(dst []byte, prefix string, seq int) []byte {
+	dst = append(dst, prefix...)
+	dst = append(dst, '-')
+	var buf [20]byte
+	i := len(buf)
+	for {
+		i--
+		buf[i] = byte('0' + seq%10)
+		seq /= 10
+		if seq == 0 {
+			break
+		}
+	}
+	for len(buf)-i < 6 {
+		i--
+		buf[i] = '0'
+	}
+	return append(dst, buf[i:]...)
 }
 
 // RunOnDemand launches an on-demand instance immediately.
@@ -254,7 +297,12 @@ func (p *Provider) RunOnDemand(t catalog.InstanceType, r catalog.Region, tag str
 		return nil, fmt.Errorf("cloud: launch gate: %w", err)
 	}
 	zones := p.mkt.Catalog().Zones(r)
-	az := zones[p.rng.Intn(len(zones))]
+	var az catalog.AZ
+	if g := p.tagStream(tag); g != nil {
+		az = zones[g.Intn(len(zones))]
+	} else {
+		az = zones[p.rng.Intn(len(zones))]
+	}
 	id, seq := p.nextInstanceID()
 	inst := &Instance{
 		ID:         id,
@@ -302,7 +350,6 @@ func (p *Provider) RequestSpotWithBid(t catalog.InstanceType, r catalog.Region, 
 		maxPriceUSD = od
 	}
 	req := &SpotRequest{
-		ID:          p.nextRequestID(),
 		Type:        t,
 		Region:      r,
 		State:       RequestOpen,
@@ -310,7 +357,18 @@ func (p *Provider) RequestSpotWithBid(t catalog.InstanceType, r catalog.Region, 
 		Tag:         tag,
 		MaxPriceUSD: maxPriceUSD,
 	}
-	p.requests[req.ID] = req
+	if p.tagRand != nil {
+		// Sharded fleet drivers never address a request by ID (no
+		// Request lookups, no CancelRequest), so skip materializing the
+		// ID string and the registry insert — one request per launch
+		// attempt makes this a measurable share of the hot loop. The
+		// sequence number still advances so instance IDs keep the exact
+		// numbering of the unsharded paths.
+		p.seq++
+	} else {
+		req.ID = p.nextRequestID()
+		p.requests[req.ID] = req
+	}
 	if p.fleet {
 		p.open = append(p.open, req)
 	}
@@ -328,24 +386,37 @@ func (p *Provider) evaluate(req *SpotRequest) {
 	if err != nil {
 		return
 	}
-	if !p.rng.Bool(prob) {
+	if g := p.tagStream(req.Tag); g != nil {
+		if !g.Bool(prob) {
+			return // stays open; the 15-minute sweep will retry
+		}
+	} else if !p.rng.Bool(prob) {
 		return // stays open; the 15-minute sweep will retry
 	}
-	fn := func() {
+	if p.fleet {
+		// Every fulfill scheduled from the same sweep tick lands on the
+		// same instant, so batching them into one per-instant bucket
+		// collapses a wave of placements into a single heap entry.
+		// Bucket order is add order, which matches the individually-
+		// scheduled seq order.
+		p.scheduleBatchedFulfill(req)
+		return
+	}
+	p.eng.ScheduleAfter(p.fulfillDelay, "spot-fulfill", func() {
 		if req.State != RequestOpen {
 			return
 		}
 		p.fulfill(req)
+	})
+}
+
+// tagStream resolves a workload tag to its private random stream, or
+// nil when the provider draws from its sequential stream.
+func (p *Provider) tagStream(tag string) *simclock.SplitMix64 {
+	if p.tagRand == nil {
+		return nil
 	}
-	if p.fleet {
-		// Every fulfill scheduled from the same sweep tick lands on the
-		// same instant, so batching them under one global key collapses
-		// a wave of placements into a single heap entry. Bucket order is
-		// add order, which matches the individually-scheduled seq order.
-		p.agenda.ScheduleAfter(p.fulfillDelay, "fulfill", "spot-fulfill", fn)
-		return
-	}
-	p.eng.ScheduleAfter(p.fulfillDelay, "spot-fulfill", fn)
+	return p.tagRand(tag)
 }
 
 func (p *Provider) fulfill(req *SpotRequest) {
@@ -406,15 +477,27 @@ func (p *Provider) schedulePriceInterruption(inst *Instance) {
 	if noticeAt.Before(now) {
 		noticeAt = now
 	}
-	ev, err := p.eng.ScheduleAt(noticeAt, "spot-price-notice", func() {
-		if inst.State != StateRunning {
+	if p.tagRand == nil || len(p.noticeSubs) > 0 {
+		if p.pastEventHorizon(noticeAt) {
 			return
 		}
-		for _, fn := range p.noticeSubs {
-			fn(inst)
+		ev, err := p.eng.ScheduleAt(noticeAt, "spot-price-notice", func() {
+			if inst.State != StateRunning {
+				return
+			}
+			for _, fn := range p.noticeSubs {
+				fn(inst)
+			}
+		})
+		if err != nil {
+			return
 		}
-	})
-	if err != nil {
+		inst.priceNoticeEv = ev
+	}
+	// Sharded fleet drivers (tagRand set, no notice subscribers) skip
+	// the price-notice event above entirely — with nobody listening it
+	// would fire into a void — and schedule only the reclaim.
+	if p.pastEventHorizon(at) {
 		return
 	}
 	termEv, err := p.eng.ScheduleAt(at, "spot-price-reclaim", func() {
@@ -425,10 +508,12 @@ func (p *Provider) schedulePriceInterruption(inst *Instance) {
 		p.finalize(inst, true)
 	})
 	if err != nil {
-		ev.Cancel()
+		if inst.priceNoticeEv != nil {
+			inst.priceNoticeEv.Cancel()
+			inst.priceNoticeEv = nil
+		}
 		return
 	}
-	inst.priceNoticeEv = ev
 	inst.priceTermEv = termEv
 }
 
@@ -464,7 +549,12 @@ func (p *Provider) scheduleInterruption(inst *Instance) {
 	if err != nil || hazard <= 0 {
 		return
 	}
-	hours := p.rng.Exp(1 / hazard)
+	var hours float64
+	if g := p.tagStream(inst.Tag); g != nil {
+		hours = g.Exp(1 / hazard)
+	} else {
+		hours = p.rng.Exp(1 / hazard)
+	}
 	ttl := time.Duration(hours * float64(time.Hour))
 	if ttl > 365*24*time.Hour {
 		return // effectively never in any experiment horizon
@@ -473,13 +563,29 @@ func (p *Provider) scheduleInterruption(inst *Instance) {
 	if noticeAt < 0 {
 		noticeAt = 0
 	}
-	reclaimAt := p.eng.Now().Add(ttl)
-	term := func() {
-		if inst.State != StateRunning {
+	now := p.eng.Now()
+	reclaimAt := now.Add(ttl)
+	if p.tagRand != nil && len(p.noticeSubs) == 0 {
+		// Sharded fleet drivers register no notice subscribers, so the
+		// notice event would fire into a void purely to schedule the
+		// reclaim. Schedule the reclaim directly instead — it fires
+		// under exactly the same condition (reclaim instant before the
+		// event horizon), but the notice Event, its closure, and its
+		// firing all disappear from the hot loop.
+		if p.pastEventHorizon(reclaimAt) {
 			return
 		}
-		inst.Reason = ReasonCapacity
-		p.finalize(inst, true)
+		inst.termEv = p.eng.ScheduleAfter(ttl, "spot-reclaim", func() {
+			if inst.State != StateRunning {
+				return
+			}
+			inst.Reason = ReasonCapacity
+			p.finalize(inst, true)
+		})
+		return
+	}
+	if p.pastEventHorizon(now.Add(noticeAt)) {
+		return // neither notice nor reclaim can fire before the hard stop
 	}
 	inst.noticeEv = p.eng.ScheduleAfter(noticeAt, "spot-notice", func() {
 		if inst.State != StateRunning {
@@ -488,18 +594,31 @@ func (p *Provider) scheduleInterruption(inst *Instance) {
 		for _, fn := range p.noticeSubs {
 			fn(inst)
 		}
-		if p.fleet && inst.State == StateRunning {
+		if p.fleet && inst.State == StateRunning && !p.pastEventHorizon(reclaimAt) {
 			// Fleet mode defers the reclaim event until its notice has
 			// fired: most instances complete first and cancel the notice,
-			// so the reclaim Event is never allocated and the queue stays
-			// one entry per at-risk instance, not two. Reclaim instants
-			// are continuous hazard draws, so the later seq cannot
-			// reorder against any same-instant event.
-			inst.termEv, _ = p.eng.ScheduleAt(reclaimAt, "spot-reclaim", term)
+			// so the reclaim Event (and its closure, built lazily here)
+			// is never allocated and the queue stays one entry per
+			// at-risk instance, not two. Reclaim instants are continuous
+			// hazard draws, so the later seq cannot reorder against any
+			// same-instant event.
+			inst.termEv, _ = p.eng.ScheduleAt(reclaimAt, "spot-reclaim", func() {
+				if inst.State != StateRunning {
+					return
+				}
+				inst.Reason = ReasonCapacity
+				p.finalize(inst, true)
+			})
 		}
 	})
 	if !p.fleet {
-		inst.termEv = p.eng.ScheduleAfter(ttl, "spot-reclaim", term)
+		inst.termEv = p.eng.ScheduleAfter(ttl, "spot-reclaim", func() {
+			if inst.State != StateRunning {
+				return
+			}
+			inst.Reason = ReasonCapacity
+			p.finalize(inst, true)
+		})
 	}
 }
 

@@ -27,9 +27,9 @@ type retiredCost struct {
 //     instances are released as they settle; only a (seq, cost) pair
 //     survives per terminated instance, keeping retention proportional
 //     to what is running, not to run history.
-//   - Fulfill callbacks are batched through a simclock.Agenda: a sweep
-//     wave fulfilling thousands of requests 45 seconds later costs one
-//     heap entry, not thousands.
+//   - Fulfill callbacks are batched into pooled per-instant buckets: a
+//     sweep wave fulfilling thousands of requests 45 seconds later
+//     costs one heap entry (and no per-request closure), not thousands.
 //
 // Observable behavior is unchanged — the sweep evaluates requests in
 // the same ID order, batched fulfills fire in the same order as
@@ -46,9 +46,102 @@ func (p *Provider) EnableFleetMode() {
 		return
 	}
 	p.fleet = true
-	p.agenda = simclock.NewAgenda(p.eng)
+	p.fulfillAt = make(map[int64][]*SpotRequest)
+	p.fulfillCb = p.fireFulfills
 	p.crossCache = make(map[crossKey]crossState)
 }
+
+// SetWorkloadRand installs a per-workload random-stream resolver: draws
+// that decide one workload's trajectory — the launch-success roll, the
+// on-demand AZ pick, the interruption TTL — come from the stream the
+// resolver returns for the instance/request tag instead of the
+// provider-wide sequential "cloud" stream. A workload's draw sequence
+// then depends only on its own simulated history, which is what lets a
+// sharded fleet run produce bit-identical trajectories at any shard
+// count. A nil resolver (or a nil stream for a tag) falls back to the
+// sequential stream. Install before filing any work.
+func (p *Provider) SetWorkloadRand(fn func(tag string) *simclock.SplitMix64) {
+	p.tagRand = fn
+}
+
+// SetEventHorizon declares that the caller stops driving the engine at
+// exactly t: events due at or after t can never fire, so the provider
+// skips scheduling them at all (interruption notices and reclaims,
+// price-crossing events, batched fulfills). Callers whose run can
+// execute events past t — the default experiment loops, which stop on
+// the first event *after* the horizon — must not set this. Zero clears
+// it.
+func (p *Provider) SetEventHorizon(t time.Time) {
+	if t.IsZero() {
+		p.eventHorizonNs = 0
+		return
+	}
+	p.eventHorizonNs = t.UnixNano()
+}
+
+// pastEventHorizon reports whether an event due at t could never fire
+// under the declared event horizon.
+//
+//spotverse:hotpath
+func (p *Provider) pastEventHorizon(t time.Time) bool {
+	return p.eventHorizonNs != 0 && t.UnixNano() >= p.eventHorizonNs
+}
+
+// scheduleBatchedFulfill queues req's placement p.fulfillDelay from
+// now, batched with every other placement landing on that instant. The
+// bucket's engine event is scheduled when the bucket is created, so
+// event sequence numbers — and therefore same-instant ordering — match
+// the individually-scheduled path exactly.
+//
+// The callback is the single prebound p.fulfillCb — fireFulfills
+// recovers the bucket key from the engine clock at fire time — and
+// fired buckets' backing arrays are recycled through bucketPool, so a
+// relaunch wave costs map traffic only, no per-bucket closure, struct,
+// or slice allocation. (Not hotpath-annotated: each new bucket
+// legitimately allocates one engine Event.)
+func (p *Provider) scheduleBatchedFulfill(req *SpotRequest) {
+	at := p.eng.Now().Add(p.fulfillDelay)
+	if p.pastEventHorizon(at) {
+		return // the run stops before the placement could land
+	}
+	atNs := at.UnixNano()
+	b, live := p.fulfillAt[atNs]
+	if !live {
+		if n := len(p.bucketPool); n > 0 {
+			b = p.bucketPool[n-1]
+			p.bucketPool = p.bucketPool[:n-1]
+		}
+		p.eng.ScheduleAfter(p.fulfillDelay, "spot-fulfill", p.fulfillCb)
+	}
+	p.fulfillAt[atNs] = append(b, req)
+}
+
+// fireFulfills runs one bucket's placements in add order — the order
+// individually-scheduled fulfill events would have fired in. The bucket
+// due now is exactly the one keyed by the engine clock: each key gets
+// one event, scheduled at bucket creation for that instant.
+func (p *Provider) fireFulfills() {
+	atNs := p.eng.Now().UnixNano()
+	b := p.fulfillAt[atNs]
+	delete(p.fulfillAt, atNs)
+	p.batchFired++
+	for i, req := range b {
+		b[i] = nil // no settled-request retention via the pooled array
+		if req.State != RequestOpen {
+			continue
+		}
+		p.fulfill(req)
+	}
+	if b != nil {
+		p.bucketPool = append(p.bucketPool, b[:0])
+	}
+}
+
+// BatchEventsFired reports how many batched-fulfill bucket events have
+// executed. The count is engine-shape bookkeeping (how placements were
+// coalesced), not simulation outcome; the sharded fleet driver
+// subtracts it when building its shard-count-invariant event total.
+func (p *Provider) BatchEventsFired() uint64 { return p.batchFired }
 
 // crossKey identifies one price-crossing question: will the walk for
 // this (type, AZ) cross above this bid? Every instance launched with

@@ -48,8 +48,10 @@ func fleetArms() []fleetArm {
 
 // RunFleetCell executes one sweep cell: `size` standard workloads under
 // the named arm, 14-day horizon, incomplete runs tolerated (the point
-// is scaling, and a 14-day horizon completes essentially everything).
-func RunFleetCell(arm string, size int) (*FleetResult, error) {
+// is scaling, and a 14-day horizon completes essentially everything),
+// partitioned over `shards` shard engines. The result is byte-identical
+// at every shard count.
+func RunFleetCell(arm string, size, shards int) (*FleetResult, error) {
 	var build func(env *Env) (strategy.Strategy, error)
 	for _, a := range fleetArms() {
 		if a.name == arm {
@@ -59,29 +61,26 @@ func RunFleetCell(arm string, size int) (*FleetResult, error) {
 	if build == nil {
 		return nil, fmt.Errorf("experiment: unknown fleet arm %q", arm)
 	}
-	env := NewEnv(FleetSeed)
-	strat, err := build(env)
-	if err != nil {
-		return nil, err
-	}
 	f, err := workload.GenerateFleet(simclock.Stream(FleetSeed, "wl-standard"),
 		workload.GenOptions{Kind: workload.KindStandard, Count: size})
 	if err != nil {
 		return nil, err
 	}
-	return RunFleet(env, FleetRunConfig{
+	return RunFleetSharded(FleetSeed, FleetShardedConfig{
 		Fleet:           f,
-		Strategy:        strat,
+		NewStrategy:     build,
 		InstanceType:    catalog.M5XLarge,
 		AllowIncomplete: true,
+		Shards:          shards,
 		ProfLabel:       fmt.Sprintf("fleet-%s-%d", arm, size),
 	})
 }
 
-// FleetSweep runs every arm at every size, fanned out across the worker
+// FleetSweep runs every arm at every size, each cell partitioned over
+// `shards` shard engines, the whole grid fanned out across the worker
 // pool; cells land in deterministic (size, arm) order regardless of
-// worker count.
-func FleetSweep(sizes []int) ([]FleetCell, error) {
+// worker or shard count.
+func FleetSweep(sizes []int, shards int) ([]FleetCell, error) {
 	if len(sizes) == 0 {
 		sizes = DefaultFleetSizes
 	}
@@ -97,7 +96,7 @@ func FleetSweep(sizes []int) ([]FleetCell, error) {
 		}
 	}
 	return Gather(len(specs), func(i int) (FleetCell, error) {
-		res, err := RunFleetCell(specs[i].arm, specs[i].size)
+		res, err := RunFleetCell(specs[i].arm, specs[i].size, shards)
 		if err != nil {
 			return FleetCell{}, fmt.Errorf("fleet %s n=%d: %w", specs[i].arm, specs[i].size, err)
 		}

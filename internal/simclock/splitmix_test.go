@@ -1,0 +1,114 @@
+package simclock
+
+import (
+	"math"
+	"testing"
+
+	"spotverse/internal/raceflag"
+)
+
+func TestSplitMixDeterministic(t *testing.T) {
+	fam := SplitMixFamily(42, "fleet-wl")
+	a := SplitMixAt(fam, 7)
+	b := SplitMixAt(fam, 7)
+	for i := 0; i < 1000; i++ {
+		if got, want := a.Uint64(), b.Uint64(); got != want {
+			t.Fatalf("draw %d: %d != %d", i, got, want)
+		}
+	}
+}
+
+// TestSplitMixStreamsIndependent pins the sharding property the fleet
+// engine relies on: a stream's draws are a function of (seed, name,
+// index) alone, so draining a neighbouring stream changes nothing.
+func TestSplitMixStreamsIndependent(t *testing.T) {
+	fam := SplitMixFamily(42, "fleet-wl")
+	solo := SplitMixAt(fam, 3)
+	var want [64]uint64
+	for i := range want {
+		want[i] = solo.Uint64()
+	}
+
+	neighbour := SplitMixAt(fam, 2)
+	for i := 0; i < 999; i++ {
+		neighbour.Uint64()
+	}
+	again := SplitMixAt(fam, 3)
+	for i := range want {
+		if got := again.Uint64(); got != want[i] {
+			t.Fatalf("draw %d perturbed by neighbouring stream: %d != %d", i, got, want[i])
+		}
+	}
+}
+
+func TestSplitMixFamiliesDiffer(t *testing.T) {
+	a := SplitMixAt(SplitMixFamily(42, "fleet-wl"), 0)
+	b := SplitMixAt(SplitMixFamily(42, "other"), 0)
+	c := SplitMixAt(SplitMixFamily(43, "fleet-wl"), 0)
+	x, y, z := a.Uint64(), b.Uint64(), c.Uint64()
+	if x == y || x == z {
+		t.Fatalf("family derivations collide: %d %d %d", x, y, z)
+	}
+}
+
+func TestSplitMixDistributions(t *testing.T) {
+	g := SplitMixAt(SplitMixFamily(1, "dist"), 0)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		u := g.Float64()
+		if u < 0 || u >= 1 {
+			t.Fatalf("Float64 out of range: %v", u)
+		}
+		sum += u
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean %v, want ~0.5", mean)
+	}
+
+	var expSum float64
+	for i := 0; i < n; i++ {
+		v := g.Exp(3.0)
+		if v < 0 {
+			t.Fatalf("Exp negative: %v", v)
+		}
+		expSum += v
+	}
+	if mean := expSum / n; math.Abs(mean-3.0) > 0.1 {
+		t.Fatalf("Exp(3) mean %v, want ~3", mean)
+	}
+
+	counts := make([]int, 5)
+	for i := 0; i < n; i++ {
+		counts[g.Intn(5)]++
+	}
+	for b, c := range counts {
+		if c < n/5-2000 || c > n/5+2000 {
+			t.Fatalf("Intn bucket %d count %d, want ~%d", b, c, n/5)
+		}
+	}
+
+	if !math.IsInf(g.Exp(0), 1) || !math.IsInf(g.Exp(-1), 1) {
+		t.Fatal("Exp of non-positive mean must be +Inf")
+	}
+}
+
+// TestSplitMixAllocFree is the runtime half of the //spotverse:hotpath
+// gates on the SplitMix64 draw methods: per-workload draws run on the
+// fleet engine's innermost loop and must not allocate.
+func TestSplitMixAllocFree(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("race instrumentation allocates; zero-alloc gates are meaningless under -race")
+	}
+	g := SplitMixAt(SplitMixFamily(42, "fleet-wl"), 0)
+	allocs := testing.AllocsPerRun(200, func() {
+		_ = g.Uint64()
+		_ = g.Float64()
+		_ = g.Bool(0.5)
+		_ = g.Intn(17)
+		_ = g.Exp(2.5)
+	})
+	if allocs != 0 {
+		t.Fatalf("SplitMix64 draws allocated %v per run, want 0", allocs)
+	}
+}

@@ -27,6 +27,11 @@ type FleetState struct {
 	ResumeOverhead time.Duration
 	IDPrefix       string
 
+	// Base is the global index of column slot 0. It is zero for a fleet
+	// built by GenerateFleet and non-zero for Shard views, whose IDs
+	// must keep their fleet-global index.
+	Base int
+
 	// Per-workload columns, indexed by dense workload index.
 	Durations     []time.Duration
 	ShardsDone    []int32
@@ -43,9 +48,81 @@ type FleetState struct {
 func (f *FleetState) Len() int { return len(f.Durations) }
 
 // ID materializes workload i's identifier on demand; the fleet retains
-// no ID strings.
+// no ID strings. The format is "<prefix>-<index>" with the index
+// zero-padded to at least three digits (what %03d renders).
 func (f *FleetState) ID(i int) string {
-	return fmt.Sprintf("%s-%03d", f.IDPrefix, i)
+	return string(f.AppendID(nil, i))
+}
+
+// AppendID appends workload i's identifier to dst and returns the
+// extended slice. Per-shard drivers format IDs into reused buffers on
+// their hot loop; with capacity present this does not allocate.
+//
+//spotverse:hotpath
+func (f *FleetState) AppendID(dst []byte, i int) []byte {
+	dst = append(dst, f.IDPrefix...)
+	dst = append(dst, '-')
+	return appendPadded(dst, f.Base+i, 3)
+}
+
+// appendPadded appends n in decimal, zero-padded to at least width
+// digits — the byte sequence fmt's %0*d renders for non-negative n.
+//
+//spotverse:hotpath
+func appendPadded(dst []byte, n, width int) []byte {
+	var buf [20]byte
+	i := len(buf)
+	for {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+		if n == 0 {
+			break
+		}
+	}
+	for len(buf)-i < width {
+		i--
+		buf[i] = '0'
+	}
+	return append(dst, buf[i:]...)
+}
+
+// ShardBounds returns the half-open bounds [lo, hi) of shard k when n
+// workloads are split into count contiguous shards: base size n/count,
+// with the first n%count shards taking one extra. Shards beyond the
+// workload count come back empty (lo == hi).
+func ShardBounds(n, count, k int) (lo, hi int) {
+	base := n / count
+	extra := n % count
+	lo = k*base + min(k, extra)
+	hi = lo + base
+	if k < extra {
+		hi++
+	}
+	return lo, hi
+}
+
+// Shard returns a view of workloads [lo, hi). The view's columns alias
+// the parent's backing arrays — disjoint shards touch disjoint memory,
+// so concurrent shard drivers are race-free and mutations through a
+// view land directly in the parent — and Base keeps IDs on their
+// fleet-global index.
+func (f *FleetState) Shard(lo, hi int) *FleetState {
+	return &FleetState{
+		Kind:             f.Kind,
+		Shards:           f.Shards,
+		DatasetBytes:     f.DatasetBytes,
+		ResumeOverhead:   f.ResumeOverhead,
+		IDPrefix:         f.IDPrefix,
+		Base:             f.Base + lo,
+		Durations:        f.Durations[lo:hi:hi],
+		ShardsDone:       f.ShardsDone[lo:hi:hi],
+		Attempts:         f.Attempts[lo:hi:hi],
+		Interruptions:    f.Interruptions[lo:hi:hi],
+		Recomputed:       f.Recomputed[lo:hi:hi],
+		Completed:        f.Completed[lo:hi:hi],
+		CompletedAtNanos: f.CompletedAtNanos[lo:hi:hi],
+	}
 }
 
 // Spec materializes workload i's full Spec, for interop with code that
@@ -198,8 +275,11 @@ func GenerateFleet(rng *simclock.RNG, opts GenOptions) (*FleetState, error) {
 			dur += time.Duration(rng.Float64() * float64(span))
 		}
 		f.Durations[i] = dur
-		if err := f.Spec(i).Validate(); err != nil {
-			return nil, err
+		// The checks are Spec.Validate's, inlined so the happy path does
+		// not materialize an ID string per workload; the error path
+		// reproduces Validate's exact error.
+		if dur <= 0 || (f.Kind == KindCheckpoint && f.Shards < 2) {
+			return nil, f.Spec(i).Validate()
 		}
 	}
 	return f, nil

@@ -1,0 +1,106 @@
+package workload
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"spotverse/internal/raceflag"
+	"spotverse/internal/simclock"
+)
+
+func TestShardBounds(t *testing.T) {
+	cases := []struct {
+		n, count int
+		want     [][2]int
+	}{
+		{n: 10, count: 1, want: [][2]int{{0, 10}}},
+		{n: 10, count: 2, want: [][2]int{{0, 5}, {5, 10}}},
+		// Non-divisible: the first n%count shards take one extra.
+		{n: 10, count: 3, want: [][2]int{{0, 4}, {4, 7}, {7, 10}}},
+		// N < shards: trailing shards are empty.
+		{n: 2, count: 4, want: [][2]int{{0, 1}, {1, 2}, {2, 2}, {2, 2}}},
+		{n: 1, count: 3, want: [][2]int{{0, 1}, {1, 1}, {1, 1}}},
+	}
+	for _, c := range cases {
+		prev := 0
+		for k, w := range c.want {
+			lo, hi := ShardBounds(c.n, c.count, k)
+			if lo != w[0] || hi != w[1] {
+				t.Errorf("ShardBounds(%d, %d, %d) = [%d, %d), want [%d, %d)", c.n, c.count, k, lo, hi, w[0], w[1])
+			}
+			if lo != prev {
+				t.Errorf("ShardBounds(%d, %d, %d) leaves a gap: lo %d after hi %d", c.n, c.count, k, lo, prev)
+			}
+			prev = hi
+		}
+		if prev != c.n {
+			t.Errorf("ShardBounds(%d, %d, ...) covers [0, %d), want [0, %d)", c.n, c.count, prev, c.n)
+		}
+	}
+}
+
+// TestShardViewAliasesParent pins the property the sharded fleet engine
+// rests on: a Shard view writes through to the parent columns, and IDs
+// keep their fleet-global index.
+func TestShardViewAliasesParent(t *testing.T) {
+	f, err := GenerateFleet(simclock.Stream(1, "wl"), GenOptions{Kind: KindStandard, Count: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := f.Shard(4, 7)
+	if v.Len() != 3 {
+		t.Fatalf("view length %d, want 3", v.Len())
+	}
+	if got, want := v.ID(0), f.ID(4); got != want {
+		t.Fatalf("view ID(0) = %q, want parent ID(4) %q", got, want)
+	}
+	if err := v.BeginAttempt(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.MarkComplete(1, time.Unix(0, 12345).UTC()); err != nil {
+		t.Fatal(err)
+	}
+	if !f.Completed[5] || f.CompletedAtNanos[5] != 12345 || f.Attempts[5] != 1 {
+		t.Fatal("mutation through the shard view did not land in the parent columns")
+	}
+	// Appending to a view column must not spill into the neighbour
+	// shard's memory (the view is capacity-clamped).
+	_ = append(v.Durations, time.Hour)
+	if f.Durations[7] == time.Hour {
+		t.Fatal("append through the view overwrote the neighbouring shard")
+	}
+}
+
+// TestAppendIDMatchesSprintf pins the manual ID formatter to the byte
+// sequence the original fmt.Sprintf("%s-%03d", ...) produced, across
+// the padding boundary and into fleet-scale indices.
+func TestAppendIDMatchesSprintf(t *testing.T) {
+	f := &FleetState{IDPrefix: "wl", Durations: make([]time.Duration, 1)}
+	for _, base := range []int{0, 950} {
+		f.Base = base
+		for _, i := range []int{0, 7, 49, 999, 1000, 12345, 99999} {
+			want := fmt.Sprintf("%s-%03d", f.IDPrefix, base+i)
+			if got := f.ID(i); got != want {
+				t.Errorf("ID(%d) with base %d = %q, want %q", i, base, got, want)
+			}
+		}
+	}
+}
+
+// TestAppendIDAllocFree is the runtime half of the //spotverse:hotpath
+// gate on AppendID: with buffer capacity present, formatting a workload
+// ID on the per-shard hot loop must not allocate.
+func TestAppendIDAllocFree(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("race instrumentation allocates; zero-alloc gates are meaningless under -race")
+	}
+	f := &FleetState{IDPrefix: "wl-standard", Base: 90000}
+	buf := make([]byte, 0, 64)
+	allocs := testing.AllocsPerRun(200, func() {
+		buf = f.AppendID(buf[:0], 1234)
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendID allocated %v per run, want 0", allocs)
+	}
+}

@@ -2,8 +2,9 @@
 # fleet_smoke.sh — CI smoke test for the fleet-scale simulation path:
 #
 #   1. build cmd/spotverse-experiments with the race detector;
-#   2. run the `-exp fleet` sweep at 10,000 workloads on 1 and 4
-#      workers — the rendered tables must be byte-identical;
+#   2. run the `-exp fleet` sweep at 10,000 workloads across shard
+#      counts 1/2/8 and worker counts 1/4/8 — the rendered tables must
+#      be byte-identical at every (shards, parallel) combination;
 #   3. enforce a wall-clock budget (the race-instrumented 10k sweep
 #      must finish inside FLEET_WALL_BUDGET seconds, default 300) via
 #      timeout(1) when available;
@@ -31,10 +32,10 @@ if command -v timeout >/dev/null 2>&1; then
     runner="timeout ${wall_budget}s"
 fi
 
-echo "fleet smoke: 10k sweep under race, 1 vs 4 workers"
+echo "fleet smoke: 10k sweep under race, shards 1 / parallel 1"
 if [ -x /usr/bin/time ] && /usr/bin/time -v true >/dev/null 2>&1; then
     $runner /usr/bin/time -v -o "$tmp/time.txt" \
-        "$tmp/svexp" -exp fleet -fleet 10000 -parallel 1 > "$tmp/fleet_p1.txt"
+        "$tmp/svexp" -exp fleet -fleet 10000 -fleet-shards 1 -parallel 1 > "$tmp/fleet_ref.txt"
     rss_kb=$(sed -n 's/.*Maximum resident set size (kbytes): \([0-9]*\)/\1/p' "$tmp/time.txt")
     echo "fleet smoke: max RSS ${rss_kb} kB (ceiling ${rss_budget_kb} kB)"
     [ "$rss_kb" -le "$rss_budget_kb" ] || {
@@ -42,12 +43,26 @@ if [ -x /usr/bin/time ] && /usr/bin/time -v true >/dev/null 2>&1; then
         exit 1
     }
 else
-    $runner "$tmp/svexp" -exp fleet -fleet 10000 -parallel 1 > "$tmp/fleet_p1.txt"
+    $runner "$tmp/svexp" -exp fleet -fleet 10000 -fleet-shards 1 -parallel 1 > "$tmp/fleet_ref.txt"
 fi
-$runner "$tmp/svexp" -exp fleet -fleet 10000 -parallel 4 > "$tmp/fleet_p4.txt"
 
-cmp "$tmp/fleet_p1.txt" "$tmp/fleet_p4.txt"
-grep -q 'single-region  10000' "$tmp/fleet_p1.txt"
-grep -q 'skypilot       10000' "$tmp/fleet_p1.txt"
-cat "$tmp/fleet_p1.txt"
+# The sharded engine's core invariant: the rendered sweep is
+# byte-identical at every shard x worker combination, including the
+# default (-fleet-shards unset, shards = -parallel).
+for cell in "2 4" "8 8" "- 8"; do
+    shards=${cell% *}
+    parallel=${cell#* }
+    if [ "$shards" = "-" ]; then
+        echo "fleet smoke: shards default / parallel $parallel"
+        $runner "$tmp/svexp" -exp fleet -fleet 10000 -parallel "$parallel" > "$tmp/fleet_cell.txt"
+    else
+        echo "fleet smoke: shards $shards / parallel $parallel"
+        $runner "$tmp/svexp" -exp fleet -fleet 10000 -fleet-shards "$shards" -parallel "$parallel" > "$tmp/fleet_cell.txt"
+    fi
+    cmp "$tmp/fleet_ref.txt" "$tmp/fleet_cell.txt"
+done
+
+grep -q 'single-region  10000' "$tmp/fleet_ref.txt"
+grep -q 'skypilot       10000' "$tmp/fleet_ref.txt"
+cat "$tmp/fleet_ref.txt"
 echo "fleet smoke: OK"

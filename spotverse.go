@@ -81,6 +81,9 @@ type (
 	WorkloadFleet = workload.FleetState
 	// FleetRunConfig parameterises a fleet-scale run.
 	FleetRunConfig = experiment.FleetRunConfig
+	// FleetShardedConfig parameterises a sharded fleet-scale run (see
+	// Simulation.RunFleetSharded).
+	FleetShardedConfig = experiment.FleetShardedConfig
 	// FleetResult aggregates a fleet-scale run's streamed metrics.
 	FleetResult = experiment.FleetResult
 	// Timeline is the structured event log (RunConfig.Trace).
@@ -398,4 +401,17 @@ func (s *Simulation) RunFleet(cfg FleetRunConfig) (*FleetResult, error) {
 		cfg.DisableSweep = true
 	}
 	return experiment.RunFleet(s.env, cfg)
+}
+
+// RunFleetSharded executes a standard-workload fleet partitioned across
+// cfg.Shards independent shard engines running on the worker pool (see
+// SetParallelism). Unlike RunFleet it does not drive this simulation's
+// environment: every shard builds a fresh environment from the
+// simulation seed over the shared market snapshot, and cfg.NewStrategy
+// builds one strategy per shard. The merged result is byte-identical at
+// every shard and worker count. Checkpoint fleets are rejected — their
+// shared checkpoint stores couple workloads across shard boundaries —
+// and stay on RunFleet.
+func (s *Simulation) RunFleetSharded(cfg FleetShardedConfig) (*FleetResult, error) {
+	return experiment.RunFleetSharded(s.seed, cfg)
 }

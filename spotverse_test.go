@@ -1,8 +1,12 @@
 package spotverse
 
 import (
+	"reflect"
 	"testing"
 	"time"
+
+	"spotverse/internal/baselines"
+	"spotverse/internal/experiment"
 )
 
 func TestPublicQuickPath(t *testing.T) {
@@ -62,5 +66,39 @@ func TestNewSimulationAt(t *testing.T) {
 	}
 	if !sim.Market().Start().Equal(start) {
 		t.Fatalf("market start = %v", sim.Market().Start())
+	}
+}
+
+// TestPublicRunFleetSharded exercises the sharded fleet entry point
+// through the facade: a fleet split over 3 shard engines must produce
+// exactly the single-shard result.
+func TestPublicRunFleetSharded(t *testing.T) {
+	runAt := func(shards int) *FleetResult {
+		sim := NewSimulation(42)
+		f, err := sim.GenerateFleet(WorkloadOptions{Kind: KindStandard, Count: 40})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.RunFleetSharded(FleetShardedConfig{
+			Fleet: f,
+			NewStrategy: func(env *experiment.Env) (Strategy, error) {
+				return baselines.NewSingleRegion(env.Catalog(), M5XLarge, "ca-central-1")
+			},
+			InstanceType:    M5XLarge,
+			AllowIncomplete: true,
+			Shards:          shards,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	ref := runAt(1)
+	if ref.Completed != 40 {
+		t.Fatalf("completed = %d", ref.Completed)
+	}
+	got := runAt(3)
+	if !reflect.DeepEqual(ref, got) {
+		t.Fatalf("sharded result differs:\n  1 shard:  %+v\n  3 shards: %+v", ref, got)
 	}
 }
